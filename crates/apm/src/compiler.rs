@@ -1,0 +1,431 @@
+//! The RAM → APM compiler (paper Section 3.3 and Appendix A).
+//!
+//! Each stratum of a RAM program is flattened into a straight-line APM
+//! program that is executed once per fix-point iteration. The compiler:
+//!
+//! * expands every rule into its semi-naive variants over the stable /
+//!   recent / all partitions of the database, so only the frontier of newly
+//!   derived facts drives each iteration (Section 3.4);
+//! * lowers project and select to `eval` (row-level parallelism), joins to
+//!   the `build`/`count`/`scan`/`join`/`gather` sequence of Figure 6, unions
+//!   to `append`, and products to a dedicated instruction;
+//! * marks hash indices whose build side is iteration-invariant as *static
+//!   registers* so they are built once and reused (Section 4.2) — the
+//!   "linear recursion" case that covers nearly all programs in the paper's
+//!   evaluation.
+
+use crate::isa::{ApmProgram, DbPart, Instr, RegId};
+use lobster_ram::{RamExpr, RamProgram, RamRule, RowProjection, ScalarExpr, Stratum};
+use std::collections::BTreeSet;
+
+/// The result of compiling one stratum.
+#[derive(Debug, Clone)]
+pub struct CompiledStratum {
+    /// The APM program executed each iteration.
+    pub program: ApmProgram,
+    /// Relations updated by the stratum.
+    pub relations: Vec<String>,
+    /// Whether the stratum requires fix-point iteration.
+    pub recursive: bool,
+}
+
+struct Compiler<'a> {
+    ram: &'a RamProgram,
+    own_relations: BTreeSet<String>,
+    instructions: Vec<Instr>,
+    first_iteration_only: Vec<bool>,
+    static_registers: Vec<RegId>,
+    next_reg: u32,
+    current_first_only: bool,
+}
+
+impl<'a> Compiler<'a> {
+    fn fresh(&mut self) -> RegId {
+        let reg = RegId(self.next_reg);
+        self.next_reg += 1;
+        reg
+    }
+
+    fn fresh_n(&mut self, n: usize) -> Vec<RegId> {
+        (0..n).map(|_| self.fresh()).collect()
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.instructions.push(instr);
+        self.first_iteration_only.push(self.current_first_only);
+    }
+
+    fn arity(&self, expr: &RamExpr) -> usize {
+        expr.arity(&|name| self.ram.arity(name)).expect("validated program has known arities")
+    }
+
+    /// Whether an expression depends on a relation defined in this stratum.
+    fn is_recursive_expr(&self, expr: &RamExpr) -> bool {
+        let mut refs = Vec::new();
+        expr.referenced_relations(&mut refs);
+        refs.iter().any(|r| self.own_relations.contains(r))
+    }
+
+    /// Leaf `Relation` occurrences that refer to this stratum's relations, in
+    /// traversal order.
+    fn recursive_leaf_count(&self, expr: &RamExpr) -> usize {
+        let mut count = 0;
+        expr.visit(&mut |e| {
+            if let RamExpr::Relation(name) = e {
+                if self.own_relations.contains(name) {
+                    count += 1;
+                }
+            }
+        });
+        count
+    }
+
+    /// Compiles an expression. `parts` assigns a database partition to each
+    /// recursive leaf (indexed by `next_recursive_leaf`); non-recursive
+    /// leaves always load the full relation.
+    fn compile_expr(
+        &mut self,
+        expr: &RamExpr,
+        parts: &[DbPart],
+        next_recursive_leaf: &mut usize,
+    ) -> (Vec<RegId>, RegId) {
+        match expr {
+            RamExpr::Relation(name) => {
+                let part = if self.own_relations.contains(name) {
+                    let part = parts[*next_recursive_leaf];
+                    *next_recursive_leaf += 1;
+                    part
+                } else {
+                    DbPart::All
+                };
+                let arity = self.ram.arity(name).expect("relation arity");
+                let columns = self.fresh_n(arity);
+                let tags = self.fresh();
+                self.emit(Instr::Load {
+                    relation: name.clone(),
+                    part,
+                    columns: columns.clone(),
+                    tags,
+                });
+                (columns, tags)
+            }
+            RamExpr::Project { input, proj } => {
+                let (inputs, input_tags) = self.compile_expr(input, parts, next_recursive_leaf);
+                let outputs = self.fresh_n(proj.output_arity());
+                let output_tags = self.fresh();
+                self.emit(Instr::Eval {
+                    inputs,
+                    input_tags,
+                    projection: proj.clone(),
+                    outputs: outputs.clone(),
+                    output_tags,
+                });
+                (outputs, output_tags)
+            }
+            RamExpr::Select { input, cond } => {
+                let arity = self.arity(input);
+                let (inputs, input_tags) = self.compile_expr(input, parts, next_recursive_leaf);
+                let projection = RowProjection::new(
+                    (0..arity).map(ScalarExpr::Col).collect(),
+                    Some(cond.clone()),
+                );
+                let outputs = self.fresh_n(arity);
+                let output_tags = self.fresh();
+                self.emit(Instr::Eval {
+                    inputs,
+                    input_tags,
+                    projection,
+                    outputs: outputs.clone(),
+                    output_tags,
+                });
+                (outputs, output_tags)
+            }
+            RamExpr::Join { left, right, width } => {
+                self.compile_join(left, right, *width, parts, next_recursive_leaf)
+            }
+            RamExpr::Intersect(left, right) => {
+                // a ∩ b is a join on every column followed by keeping the
+                // left row (which the join output convention already does).
+                let width = self.arity(left);
+                self.compile_join(left, right, width, parts, next_recursive_leaf)
+            }
+            RamExpr::Union(left, right) => {
+                let (l_cols, l_tags) = self.compile_expr(left, parts, next_recursive_leaf);
+                let (r_cols, r_tags) = self.compile_expr(right, parts, next_recursive_leaf);
+                let outputs = self.fresh_n(l_cols.len());
+                let output_tags = self.fresh();
+                self.emit(Instr::Append {
+                    inputs: vec![(l_cols, l_tags), (r_cols, r_tags)],
+                    outputs: outputs.clone(),
+                    output_tags,
+                });
+                (outputs, output_tags)
+            }
+            RamExpr::Product(left, right) => {
+                let (l_cols, l_tags) = self.compile_expr(left, parts, next_recursive_leaf);
+                let (r_cols, r_tags) = self.compile_expr(right, parts, next_recursive_leaf);
+                let outputs = self.fresh_n(l_cols.len() + r_cols.len());
+                let output_tags = self.fresh();
+                self.emit(Instr::Product {
+                    left: l_cols,
+                    left_tags: l_tags,
+                    right: r_cols,
+                    right_tags: r_tags,
+                    outputs: outputs.clone(),
+                    output_tags,
+                });
+                (outputs, output_tags)
+            }
+        }
+    }
+
+    /// Compiles `left ⊲⊳_w right` into the hash-join instruction sequence of
+    /// Figure 6.
+    fn compile_join(
+        &mut self,
+        left: &RamExpr,
+        right: &RamExpr,
+        width: usize,
+        parts: &[DbPart],
+        next_recursive_leaf: &mut usize,
+    ) -> (Vec<RegId>, RegId) {
+        let (l_cols, l_tags) = self.compile_expr(left, parts, next_recursive_leaf);
+        let (r_cols, r_tags) = self.compile_expr(right, parts, next_recursive_leaf);
+
+        // Build the hash index on the side that does not depend on the
+        // stratum's own relations when possible: that index is identical on
+        // every iteration, so it can live in a static register and be reused
+        // (the linear-recursion optimization of Section 4.2).
+        let left_recursive = self.is_recursive_expr(left);
+        let right_recursive = self.is_recursive_expr(right);
+        let build_left = !left_recursive && right_recursive;
+        let static_ = if build_left { !left_recursive } else { !right_recursive };
+
+        let (build_cols, build_tags, probe_cols, probe_tags) = if build_left {
+            (&l_cols, l_tags, &r_cols, r_tags)
+        } else {
+            (&r_cols, r_tags, &l_cols, l_tags)
+        };
+
+        let index = self.fresh();
+        if static_ {
+            self.static_registers.push(index);
+        }
+        self.emit(Instr::Build {
+            keys: build_cols[..width].to_vec(),
+            index,
+            static_,
+        });
+        let counts = self.fresh();
+        self.emit(Instr::Count {
+            index,
+            probe_keys: probe_cols[..width].to_vec(),
+            counts,
+        });
+        let offsets = self.fresh();
+        self.emit(Instr::Scan { counts, offsets });
+        let build_indices = self.fresh();
+        let probe_indices = self.fresh();
+        self.emit(Instr::Join {
+            index,
+            probe_keys: probe_cols[..width].to_vec(),
+            counts,
+            offsets,
+            build_indices,
+            probe_indices,
+        });
+
+        // Gather the output table: the full left row, then the non-key
+        // columns of the right row.
+        let (left_indices, right_indices) = if build_left {
+            (build_indices, probe_indices)
+        } else {
+            (probe_indices, build_indices)
+        };
+        let out_left = self.fresh_n(l_cols.len());
+        self.emit(Instr::Gather {
+            indices: left_indices,
+            sources: l_cols.clone(),
+            destinations: out_left.clone(),
+        });
+        let out_right = self.fresh_n(r_cols.len() - width);
+        if !out_right.is_empty() {
+            self.emit(Instr::Gather {
+                indices: right_indices,
+                sources: r_cols[width..].to_vec(),
+                destinations: out_right.clone(),
+            });
+        }
+        let output_tags = self.fresh();
+        self.emit(Instr::GatherMulTags {
+            left_indices,
+            right_indices,
+            left_tags: if build_left { build_tags } else { probe_tags },
+            right_tags: if build_left { probe_tags } else { build_tags },
+            output: output_tags,
+        });
+
+        let mut outputs = out_left;
+        outputs.extend(out_right);
+        (outputs, output_tags)
+    }
+
+    /// Compiles one rule, expanding it into its semi-naive variants.
+    fn compile_rule(&mut self, rule: &RamRule, recursive_stratum: bool) {
+        let recursive_leaves = self.recursive_leaf_count(&rule.expr);
+        let variants: Vec<(Vec<DbPart>, bool)> = if !recursive_stratum || recursive_leaves == 0 {
+            // Base rules only need to run while the initial facts are still
+            // the frontier (the first iteration).
+            vec![(Vec::new(), recursive_stratum)]
+        } else {
+            (0..recursive_leaves)
+                .map(|i| {
+                    let parts = (0..recursive_leaves)
+                        .map(|j| {
+                            if j < i {
+                                DbPart::Stable
+                            } else if j == i {
+                                DbPart::Recent
+                            } else {
+                                DbPart::All
+                            }
+                        })
+                        .collect();
+                    (parts, false)
+                })
+                .collect()
+        };
+        for (parts, first_only) in variants {
+            self.current_first_only = first_only;
+            let mut next_leaf = 0;
+            let (columns, tags) = self.compile_expr(&rule.expr, &parts, &mut next_leaf);
+            self.emit(Instr::Store { relation: rule.target.clone(), columns, tags });
+            self.current_first_only = false;
+        }
+    }
+}
+
+/// Compiles a RAM stratum into an APM program.
+pub fn compile_stratum(stratum: &Stratum, ram: &RamProgram) -> CompiledStratum {
+    let mut compiler = Compiler {
+        ram,
+        own_relations: stratum.relations.iter().cloned().collect(),
+        instructions: Vec::new(),
+        first_iteration_only: Vec::new(),
+        static_registers: Vec::new(),
+        next_reg: 0,
+        current_first_only: false,
+    };
+    for rule in &stratum.rules {
+        compiler.compile_rule(rule, stratum.recursive);
+    }
+    let program = ApmProgram {
+        instructions: compiler.instructions,
+        first_iteration_only: compiler.first_iteration_only,
+        register_count: compiler.next_reg,
+        static_registers: compiler.static_registers,
+        stored_relations: stratum.relations.clone(),
+    };
+    CompiledStratum { program, relations: stratum.relations.clone(), recursive: stratum.recursive }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_datalog::parse;
+
+    fn transitive_closure() -> (lobster_ram::RamProgram, Stratum) {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             query path",
+        )
+        .unwrap();
+        let stratum = compiled.ram.strata[0].clone();
+        (compiled.ram, stratum)
+    }
+
+    #[test]
+    fn base_rule_is_first_iteration_only() {
+        let (ram, stratum) = transitive_closure();
+        let compiled = compile_stratum(&stratum, &ram);
+        assert!(compiled.recursive);
+        // At least one instruction is first-iteration-only (the base rule)
+        // and at least one is not (the recursive rule).
+        assert!(compiled.program.first_iteration_only.iter().any(|&b| b));
+        assert!(compiled.program.first_iteration_only.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn recursive_join_builds_static_index_on_edb_side() {
+        let (ram, stratum) = transitive_closure();
+        let compiled = compile_stratum(&stratum, &ram);
+        // The join against the EDB `edge` relation should produce a static
+        // index register.
+        assert!(!compiled.program.static_registers.is_empty());
+        let builds: Vec<_> = compiled
+            .program
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, Instr::Build { .. }))
+            .collect();
+        assert!(!builds.is_empty());
+        assert!(builds.iter().any(|b| matches!(b, Instr::Build { static_: true, .. })));
+    }
+
+    #[test]
+    fn program_contains_expected_instruction_mix() {
+        let (ram, stratum) = transitive_closure();
+        let compiled = compile_stratum(&stratum, &ram);
+        let mnemonics: Vec<&str> =
+            compiled.program.instructions.iter().map(Instr::mnemonic).collect();
+        for expected in ["load", "store", "build", "count", "scan", "join", "gather", "gather_mul"] {
+            assert!(mnemonics.contains(&expected), "missing `{expected}` in {mnemonics:?}");
+        }
+        assert!(compiled.program.register_count > 0);
+        assert!(!compiled.program.listing().is_empty());
+    }
+
+    #[test]
+    fn nonrecursive_stratum_has_single_variant() {
+        let compiled = parse(
+            "type a(x: u32)
+             type b(x: u32)
+             rel both(x) = a(x), b(x)",
+        )
+        .unwrap();
+        let stratum = compiled.ram.strata[0].clone();
+        let apm = compile_stratum(&stratum, &compiled.ram);
+        assert!(!apm.recursive);
+        let stores =
+            apm.program.instructions.iter().filter(|i| matches!(i, Instr::Store { .. })).count();
+        assert_eq!(stores, 1);
+        assert!(apm.program.first_iteration_only.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn nonlinear_recursion_expands_to_multiple_variants() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and path(z, y))",
+        )
+        .unwrap();
+        let stratum = compiled.ram.strata[0].clone();
+        let apm = compile_stratum(&stratum, &compiled.ram);
+        // The recursive rule has two recursive leaves, so it expands into two
+        // semi-naive variants plus the base rule: three stores.
+        let stores =
+            apm.program.instructions.iter().filter(|i| matches!(i, Instr::Store { .. })).count();
+        assert_eq!(stores, 3);
+        // Both-recursive joins cannot use static indices.
+        assert!(apm
+            .program
+            .instructions
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Build { static_, .. } => Some(*static_),
+                _ => None,
+            })
+            .all(|s| !s));
+    }
+}

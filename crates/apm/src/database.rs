@@ -1,0 +1,404 @@
+//! The tagged, columnar database held on the (simulated) device.
+
+use lobster_gpu::{kernels, Columns, Device};
+use lobster_provenance::Provenance;
+use lobster_ram::{RelationSchema, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A lexicographically sorted, duplicate-free table: the canonical storage
+/// format for a relation partition.
+///
+/// Tables are stored column-wise (flat `u64` columns plus one tag vector), the
+/// layout Section 2.4 argues for: columnar data is cache- and
+/// memory-bandwidth-friendly and suits the per-column kernels the relational
+/// operators compile to.
+#[derive(Debug, Clone)]
+pub struct SortedTable<P: Provenance> {
+    /// Column data (may be empty for nullary relations).
+    pub columns: Columns,
+    /// One provenance tag per row.
+    pub tags: Vec<P::Tag>,
+    arity: usize,
+}
+
+impl<P: Provenance> SortedTable<P> {
+    /// An empty table of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        SortedTable { columns: vec![Vec::new(); arity], tags: Vec::new(), arity }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Approximate device bytes occupied by the table.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.len() * 8).sum::<usize>()
+            + self.tags.len() * std::mem::size_of::<P::Tag>()
+    }
+
+    fn col_refs(&self) -> Vec<&[u64]> {
+        self.columns.iter().map(|c| c.as_slice()).collect()
+    }
+
+    /// Builds a sorted, deduplicated table from unsorted rows, merging the
+    /// tags of duplicate rows with the semiring disjunction.
+    pub fn from_unsorted(device: &Device, prov: &P, columns: Columns, tags: Vec<P::Tag>) -> Self {
+        let arity = columns.len();
+        if tags.is_empty() {
+            return Self::empty(arity);
+        }
+        if arity == 0 {
+            // A nullary relation holds at most one fact; fold all tags.
+            let mut iter = tags.into_iter();
+            let first = iter.next().expect("non-empty tags");
+            let folded = iter.fold(first, |acc, t| prov.add(&acc, &t));
+            return SortedTable { columns: Vec::new(), tags: vec![folded], arity };
+        }
+        let refs: Vec<&[u64]> = columns.iter().map(|c| c.as_slice()).collect();
+        let perm = kernels::sort_permutation(device, &refs);
+        let (sorted_cols, sorted_tags) = kernels::apply_permutation(device, &perm, &refs, &tags);
+        let sorted_refs: Vec<&[u64]> = sorted_cols.iter().map(|c| c.as_slice()).collect();
+        let (unique_cols, unique_tags) =
+            kernels::unique(device, &sorted_refs, &sorted_tags, |a, b| prov.add(a, b));
+        SortedTable { columns: unique_cols, tags: unique_tags, arity }
+    }
+
+    /// Merges two sorted tables whose row sets are disjoint.
+    pub fn merge_disjoint(&self, device: &Device, other: &SortedTable<P>) -> SortedTable<P> {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.arity == 0 {
+            // Keep a single fact; disjointness means at most one side is
+            // non-empty, but fold defensively.
+            let mut tags = self.tags.clone();
+            tags.extend(other.tags.iter().cloned());
+            return SortedTable { columns: Vec::new(), tags: vec![tags.remove(0)], arity: 0 };
+        }
+        let (columns, tags) = kernels::merge(
+            device,
+            &self.col_refs(),
+            &self.tags,
+            &other.col_refs(),
+            &other.tags,
+        );
+        SortedTable { columns, tags, arity: self.arity }
+    }
+
+    /// Rows of `candidate` (sorted) that are not present in `self`.
+    pub fn difference_from(&self, device: &Device, candidate: &SortedTable<P>) -> SortedTable<P> {
+        if candidate.is_empty() || self.is_empty() {
+            return candidate.clone();
+        }
+        if self.arity == 0 {
+            // The fact already exists; nothing is new.
+            return SortedTable::empty(0);
+        }
+        let (columns, tags) = kernels::difference(
+            device,
+            &candidate.col_refs(),
+            &candidate.tags,
+            &self.col_refs(),
+            self.len(),
+        );
+        SortedTable { columns, tags, arity: self.arity }
+    }
+
+    /// The rows as decoded-value tuples paired with their tags (for result
+    /// extraction and tests).
+    pub fn decoded_rows(&self, schema: &RelationSchema) -> Vec<(Tuple, P::Tag)> {
+        (0..self.len())
+            .map(|row| {
+                let tuple: Tuple = schema
+                    .arg_types
+                    .iter()
+                    .enumerate()
+                    .map(|(c, ty)| Value::decode(self.columns[c][row], *ty))
+                    .collect();
+                (tuple, self.tags[row].clone())
+            })
+            .collect()
+    }
+}
+
+/// The bookkeeping for one relation: the semi-naive partitions plus staged
+/// delta candidates produced by `store` instructions during the current
+/// iteration.
+#[derive(Debug, Clone)]
+pub(crate) struct RelationData<P: Provenance> {
+    pub(crate) stable: SortedTable<P>,
+    pub(crate) recent: SortedTable<P>,
+    pub(crate) staged: Vec<(Columns, Vec<P::Tag>)>,
+}
+
+impl<P: Provenance> RelationData<P> {
+    fn new(arity: usize) -> Self {
+        RelationData {
+            stable: SortedTable::empty(arity),
+            recent: SortedTable::empty(arity),
+            staged: Vec::new(),
+        }
+    }
+
+    /// Total number of facts (stable + recent).
+    pub(crate) fn len(&self) -> usize {
+        self.stable.len() + self.recent.len()
+    }
+}
+
+/// The tagged, columnar database: every relation's facts plus the semi-naive
+/// partitions used during fix-point execution.
+#[derive(Debug, Clone)]
+pub struct Database<P: Provenance> {
+    schemas: BTreeMap<String, RelationSchema>,
+    relations: BTreeMap<String, RelationData<P>>,
+    pending: BTreeMap<String, (Columns, Vec<P::Tag>)>,
+    provenance: P,
+}
+
+impl<P: Provenance> Database<P> {
+    /// Creates an empty database for the given schemas.
+    pub fn new(schemas: BTreeMap<String, RelationSchema>, provenance: P) -> Self {
+        let relations = schemas
+            .iter()
+            .map(|(name, schema)| (name.clone(), RelationData::new(schema.arity())))
+            .collect();
+        let pending = schemas
+            .iter()
+            .map(|(name, schema)| (name.clone(), (vec![Vec::new(); schema.arity()], Vec::new())))
+            .collect();
+        Database { schemas, relations, pending, provenance }
+    }
+
+    /// The provenance context used by this database.
+    pub fn provenance(&self) -> &P {
+        &self.provenance
+    }
+
+    /// The schema of a relation.
+    pub fn schema(&self, relation: &str) -> Option<&RelationSchema> {
+        self.schemas.get(relation)
+    }
+
+    /// All relation names.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.schemas.keys().cloned().collect()
+    }
+
+    /// Inserts one fact (encoded values) with its tag. The fact becomes
+    /// visible after the next [`Database::seal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation is unknown or the row arity does not match the
+    /// schema.
+    pub fn insert_encoded(&mut self, relation: &str, row: &[u64], tag: P::Tag) {
+        let (columns, tags) = self
+            .pending
+            .get_mut(relation)
+            .unwrap_or_else(|| panic!("unknown relation `{relation}`"));
+        assert_eq!(columns.len(), row.len(), "arity mismatch inserting into `{relation}`");
+        for (col, v) in columns.iter_mut().zip(row) {
+            col.push(*v);
+        }
+        tags.push(tag);
+    }
+
+    /// Inserts one fact given as [`Value`]s.
+    pub fn insert(&mut self, relation: &str, values: &[Value], tag: P::Tag) {
+        let row: Vec<u64> = values.iter().map(Value::encode).collect();
+        self.insert_encoded(relation, &row, tag);
+    }
+
+    /// Folds all pending inserts into the stable partitions.
+    pub fn seal(&mut self, device: &Device) {
+        let prov = self.provenance.clone();
+        let names: Vec<String> = self.pending.keys().cloned().collect();
+        for name in names {
+            let arity = self.schemas[&name].arity();
+            let (columns, tags) = self.pending.get_mut(&name).expect("relation exists");
+            if tags.is_empty() {
+                continue;
+            }
+            let columns = std::mem::replace(columns, vec![Vec::new(); arity]);
+            let tags = std::mem::take(tags);
+            let table = SortedTable::from_unsorted(device, &prov, columns, tags);
+            let data = self.relations.get_mut(&name).expect("relation exists");
+            let new_rows = data.stable.difference_from(device, &table);
+            data.stable = data.stable.merge_disjoint(device, &new_rows);
+        }
+    }
+
+    /// Number of facts currently stored for a relation.
+    pub fn relation_len(&self, relation: &str) -> usize {
+        self.relations.get(relation).map(RelationData::len).unwrap_or(0)
+    }
+
+    /// Total number of facts in the database.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(RelationData::len).sum()
+    }
+
+    /// Approximate device bytes occupied by all relations.
+    pub fn size_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(|r| r.stable.size_bytes() + r.recent.size_bytes())
+            .sum()
+    }
+
+    /// The decoded rows (with tags) of a relation, combining stable and
+    /// recent partitions.
+    pub fn rows(&self, relation: &str) -> Vec<(Tuple, P::Tag)> {
+        let Some(schema) = self.schemas.get(relation) else {
+            return Vec::new();
+        };
+        let Some(data) = self.relations.get(relation) else {
+            return Vec::new();
+        };
+        let mut rows = data.stable.decoded_rows(schema);
+        rows.extend(data.recent.decoded_rows(schema));
+        rows
+    }
+
+    /// Internal access for the executor.
+    pub(crate) fn relation_data(&self, relation: &str) -> &RelationData<P> {
+        &self.relations[relation]
+    }
+
+    /// Internal mutable access for the executor.
+    pub(crate) fn relation_data_mut(&mut self, relation: &str) -> &mut RelationData<P> {
+        self.relations.get_mut(relation).expect("relation exists")
+    }
+
+    /// Clears all facts (schemas are kept). Used between samples.
+    pub fn clear_facts(&mut self) {
+        for (name, data) in self.relations.iter_mut() {
+            let arity = self.schemas[name].arity();
+            *data = RelationData::new(arity);
+        }
+        for (name, (columns, tags)) in self.pending.iter_mut() {
+            *columns = vec![Vec::new(); self.schemas[name].arity()];
+            tags.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_provenance::{AddMultProb, InputFactId, Provenance, Unit};
+    use lobster_ram::ValueType;
+
+    fn schemas() -> BTreeMap<String, RelationSchema> {
+        let mut m = BTreeMap::new();
+        m.insert("edge".into(), RelationSchema::new("edge", vec![ValueType::U32, ValueType::U32]));
+        m.insert("flag".into(), RelationSchema::new("flag", vec![]));
+        m
+    }
+
+    #[test]
+    fn insert_and_seal_deduplicates() {
+        let device = Device::sequential();
+        let mut db = Database::new(schemas(), Unit::new());
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], ());
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], ());
+        db.insert("edge", &[Value::U32(0), Value::U32(1)], ());
+        db.seal(&device);
+        assert_eq!(db.relation_len("edge"), 2);
+        let rows = db.rows("edge");
+        assert_eq!(rows[0].0, vec![Value::U32(0), Value::U32(1)]);
+        assert_eq!(db.total_facts(), 2);
+        assert!(db.size_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_tags_merge_with_disjunction() {
+        let device = Device::sequential();
+        let prov = AddMultProb::new();
+        let mut db = Database::new(schemas(), prov);
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], 0.4);
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], 0.3);
+        db.seal(&device);
+        let rows = db.rows("edge");
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].1 - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sealing_twice_does_not_duplicate() {
+        let device = Device::sequential();
+        let mut db = Database::new(schemas(), Unit::new());
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], ());
+        db.seal(&device);
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], ());
+        db.insert("edge", &[Value::U32(3), Value::U32(4)], ());
+        db.seal(&device);
+        assert_eq!(db.relation_len("edge"), 2);
+    }
+
+    #[test]
+    fn nullary_relations_hold_at_most_one_fact() {
+        let device = Device::sequential();
+        let prov = AddMultProb::new();
+        let mut db = Database::new(schemas(), prov.clone());
+        let t1 = prov.input_tag(InputFactId(0), Some(0.25));
+        let t2 = prov.input_tag(InputFactId(1), Some(0.5));
+        db.insert("flag", &[], t1);
+        db.insert("flag", &[], t2);
+        db.seal(&device);
+        let rows = db.rows("flag");
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].1 - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_facts_resets_everything() {
+        let device = Device::sequential();
+        let mut db = Database::new(schemas(), Unit::new());
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], ());
+        db.seal(&device);
+        db.clear_facts();
+        assert_eq!(db.total_facts(), 0);
+        assert!(db.rows("edge").is_empty());
+    }
+
+    #[test]
+    fn sorted_table_difference_and_merge() {
+        let device = Device::sequential();
+        let prov = Unit::new();
+        let a = SortedTable::from_unsorted(
+            &device,
+            &prov,
+            vec![vec![1, 3], vec![10, 30]],
+            vec![(), ()],
+        );
+        let b = SortedTable::from_unsorted(
+            &device,
+            &prov,
+            vec![vec![1, 2], vec![10, 20]],
+            vec![(), ()],
+        );
+        let new = a.difference_from(&device, &b);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new.columns[0], vec![2]);
+        let merged = a.merge_disjoint(&device, &new);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.columns[0], vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,736 @@
+//! The APM executor: Algorithm 1 of the paper.
+//!
+//! An APM program is executed once per fix-point iteration against the
+//! stable / recent / delta partitions of the database. The executor owns the
+//! optimization machinery of Section 4:
+//!
+//! * **static registers** — hash indices over iteration-invariant build sides
+//!   are built once and reused across iterations;
+//! * **buffer reuse** — iteration-invariant device buffers (the loaded "all"
+//!   partitions of relations not updated by the stratum) are cached instead
+//!   of being reallocated each iteration, and per-iteration temporaries are
+//!   accounted through an arena;
+//! * a configurable device memory budget and wall-clock timeout, used to
+//!   reproduce the OOM and timeout entries of the paper's evaluation.
+
+use crate::compiler::{compile_stratum, CompiledStratum};
+use crate::config::RuntimeOptions;
+use crate::database::{Database, SortedTable};
+use crate::isa::{DbPart, Instr, RegId};
+use lobster_gpu::{kernels, Column, Device, DeviceError, HashIndex};
+use lobster_provenance::Provenance;
+use lobster_ram::RamProgram;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Statistics describing one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionStats {
+    /// Fix-point iterations executed (summed over strata).
+    pub iterations: usize,
+    /// New facts derived.
+    pub facts_produced: usize,
+    /// Kernel launches on the device.
+    pub kernel_launches: usize,
+    /// Wall-clock time spent in symbolic execution.
+    pub elapsed: Duration,
+    /// Number of strata executed.
+    pub strata: usize,
+}
+
+impl ExecutionStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.iterations += other.iterations;
+        self.facts_produced += other.facts_produced;
+        self.kernel_launches += other.kernel_launches;
+        self.elapsed += other.elapsed;
+        self.strata += other.strata;
+    }
+}
+
+/// Errors produced while executing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The simulated device ran out of memory.
+    Device(DeviceError),
+    /// The configured timeout was exceeded.
+    Timeout {
+        /// Time spent before giving up.
+        elapsed: Duration,
+    },
+    /// The per-stratum iteration cap was exceeded (non-terminating program).
+    IterationLimit {
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Device(e) => write!(f, "device error: {e}"),
+            ExecError::Timeout { elapsed } => write!(f, "timed out after {elapsed:?}"),
+            ExecError::IterationLimit { limit } => {
+                write!(f, "exceeded the iteration limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<DeviceError> for ExecError {
+    fn from(e: DeviceError) -> Self {
+        ExecError::Device(e)
+    }
+}
+
+/// A register value during execution.
+#[derive(Debug, Clone)]
+enum RegValue<P: Provenance> {
+    Data(Arc<Column>),
+    Tags(Arc<Vec<P::Tag>>),
+    Index(Arc<HashIndex>),
+}
+
+/// The APM executor.
+#[derive(Debug, Clone)]
+pub struct Executor<P: Provenance> {
+    device: Device,
+    options: RuntimeOptions,
+    provenance: P,
+}
+
+impl<P: Provenance> Executor<P> {
+    /// Creates an executor over a device with the given options.
+    pub fn new(device: Device, provenance: P, options: RuntimeOptions) -> Self {
+        Executor { device, options, provenance }
+    }
+
+    /// The device this executor runs on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The runtime options in effect.
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.options
+    }
+
+    /// Compiles and runs every stratum of a RAM program against the database.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on device OOM, timeout, or a hit iteration
+    /// cap.
+    pub fn run_program(
+        &self,
+        db: &mut Database<P>,
+        ram: &RamProgram,
+    ) -> Result<ExecutionStats, ExecError> {
+        let mut total = ExecutionStats::default();
+        let start = Instant::now();
+        for stratum in &ram.strata {
+            let compiled = compile_stratum(stratum, ram);
+            let stats = self.run_stratum_with_deadline(db, &compiled, start)?;
+            total.merge(&stats);
+        }
+        Ok(total)
+    }
+
+    /// Runs one compiled stratum to its fix point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on device OOM, timeout, or a hit iteration
+    /// cap.
+    pub fn run_stratum(
+        &self,
+        db: &mut Database<P>,
+        compiled: &CompiledStratum,
+    ) -> Result<ExecutionStats, ExecError> {
+        self.run_stratum_with_deadline(db, compiled, Instant::now())
+    }
+
+    fn run_stratum_with_deadline(
+        &self,
+        db: &mut Database<P>,
+        compiled: &CompiledStratum,
+        start: Instant,
+    ) -> Result<ExecutionStats, ExecError> {
+        let kernels_before = self.device.stats().kernel_launches;
+        let mut stats = ExecutionStats { strata: 1, ..ExecutionStats::default() };
+
+        // Algorithm 1: stable ← ∅, recent ← F_T for the stratum's relations.
+        for rel in &compiled.relations {
+            let data = db.relation_data_mut(rel);
+            let merged = data.stable.merge_disjoint(&self.device, &data.recent);
+            data.stable = SortedTable::empty(merged.arity());
+            data.recent = merged;
+            data.staged.clear();
+        }
+
+        // Registers that survive across iterations.
+        let mut static_file: HashMap<RegId, RegValue<P>> = HashMap::new();
+        // Cached "all" loads of relations not updated by this stratum (the
+        // buffer-reuse optimization: these buffers are identical every
+        // iteration).
+        let mut load_cache: HashMap<String, (Vec<Arc<Column>>, Arc<Vec<P::Tag>>)> = HashMap::new();
+
+        let mut iteration = 0usize;
+        loop {
+            if iteration >= self.options.max_iterations {
+                return Err(ExecError::IterationLimit { limit: self.options.max_iterations });
+            }
+            if let Some(timeout) = self.options.timeout_ms {
+                if start.elapsed() > Duration::from_millis(timeout) {
+                    return Err(ExecError::Timeout { elapsed: start.elapsed() });
+                }
+            }
+
+            self.execute_iteration(
+                db,
+                compiled,
+                iteration,
+                &mut static_file,
+                &mut load_cache,
+            )?;
+
+            // Update phase: fold staged facts into the partitions.
+            let mut changed = false;
+            for rel in &compiled.relations {
+                let prov = self.provenance.clone();
+                let data = db.relation_data_mut(rel);
+                let staged = std::mem::take(&mut data.staged);
+                let candidate = Self::collect_staged(&self.device, &prov, staged, data.recent.arity());
+                let arity = data.recent.arity();
+                // Fold the previous frontier into the stable set. When the
+                // frontier is empty the stable set is unchanged, so the merge
+                // (and its copy) is skipped entirely.
+                let recent = std::mem::replace(&mut data.recent, SortedTable::empty(arity));
+                let new_stable = if recent.is_empty() {
+                    std::mem::replace(&mut data.stable, SortedTable::empty(arity))
+                } else {
+                    data.stable.merge_disjoint(&self.device, &recent)
+                };
+                let delta = if candidate.is_empty() {
+                    candidate
+                } else {
+                    new_stable.difference_from(&self.device, &candidate)
+                };
+                stats.facts_produced += delta.len();
+                if !delta.is_empty() {
+                    changed = true;
+                }
+                data.stable = new_stable;
+                data.recent = delta;
+            }
+
+            // Device memory budget check (reproduces OOM behaviour).
+            if let Some(limit) = self.device.config().memory_limit {
+                let used = db.size_bytes();
+                if used > limit {
+                    return Err(ExecError::Device(DeviceError::OutOfMemory {
+                        requested: used,
+                        live: used,
+                        limit,
+                    }));
+                }
+            }
+
+            iteration += 1;
+            stats.iterations += 1;
+            if !changed || !compiled.recursive {
+                break;
+            }
+        }
+
+        stats.kernel_launches = self.device.stats().kernel_launches - kernels_before;
+        stats.elapsed = start.elapsed();
+        Ok(stats)
+    }
+
+    /// Turns the staged (columns, tags) chunks produced by `store` into one
+    /// sorted, deduplicated candidate table.
+    fn collect_staged(
+        device: &Device,
+        prov: &P,
+        staged: Vec<(Vec<Column>, Vec<P::Tag>)>,
+        arity: usize,
+    ) -> SortedTable<P> {
+        if staged.is_empty() {
+            return SortedTable::empty(arity);
+        }
+        let mut columns: Vec<Column> = vec![Vec::new(); arity];
+        let mut tags: Vec<P::Tag> = Vec::new();
+        for (cols, t) in staged {
+            for (dst, src) in columns.iter_mut().zip(cols) {
+                dst.extend_from_slice(&src);
+            }
+            tags.extend(t);
+        }
+        SortedTable::from_unsorted(device, prov, columns, tags)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute_iteration(
+        &self,
+        db: &mut Database<P>,
+        compiled: &CompiledStratum,
+        iteration: usize,
+        static_file: &mut HashMap<RegId, RegValue<P>>,
+        load_cache: &mut HashMap<String, (Vec<Arc<Column>>, Arc<Vec<P::Tag>>)>,
+    ) -> Result<(), ExecError> {
+        let program = &compiled.program;
+        let mut regs: Vec<Option<RegValue<P>>> = vec![None; program.register_count as usize];
+
+        let set = |regs: &mut Vec<Option<RegValue<P>>>, reg: RegId, value: RegValue<P>| {
+            regs[reg.0 as usize] = Some(value);
+        };
+        fn get<'a, P: Provenance>(
+            regs: &'a [Option<RegValue<P>>],
+            static_file: &'a HashMap<RegId, RegValue<P>>,
+            reg: RegId,
+        ) -> &'a RegValue<P> {
+            regs[reg.0 as usize]
+                .as_ref()
+                .or_else(|| static_file.get(&reg))
+                .expect("register read before write")
+        }
+        macro_rules! data {
+            ($reg:expr) => {
+                match get(&regs, static_file, $reg) {
+                    RegValue::Data(c) => c.clone(),
+                    other => panic!("expected data register, found {other:?}"),
+                }
+            };
+        }
+        macro_rules! tags {
+            ($reg:expr) => {
+                match get(&regs, static_file, $reg) {
+                    RegValue::Tags(t) => t.clone(),
+                    other => panic!("expected tag register, found {other:?}"),
+                }
+            };
+        }
+        macro_rules! index {
+            ($reg:expr) => {
+                match get(&regs, static_file, $reg) {
+                    RegValue::Index(h) => h.clone(),
+                    other => panic!("expected index register, found {other:?}"),
+                }
+            };
+        }
+
+        for (pc, instr) in program.instructions.iter().enumerate() {
+            if iteration > 0 && program.first_iteration_only.get(pc).copied().unwrap_or(false) {
+                continue;
+            }
+            match instr {
+                Instr::Load { relation, part, columns, tags } => {
+                    let is_own = compiled.relations.contains(relation);
+                    let cacheable = self.options.buffer_reuse && !is_own && *part == DbPart::All;
+                    if cacheable {
+                        if let Some((cols, t)) = load_cache.get(relation) {
+                            for (reg, col) in columns.iter().zip(cols) {
+                                set(&mut regs, *reg, RegValue::Data(col.clone()));
+                            }
+                            set(&mut regs, *tags, RegValue::Tags(t.clone()));
+                            continue;
+                        }
+                    }
+                    let data = db.relation_data(relation);
+                    let (cols, tag_vec): (Vec<Arc<Column>>, Arc<Vec<P::Tag>>) = match part {
+                        DbPart::Stable => (
+                            data.stable.columns.iter().map(|c| Arc::new(c.clone())).collect(),
+                            Arc::new(data.stable.tags.clone()),
+                        ),
+                        DbPart::Recent => (
+                            data.recent.columns.iter().map(|c| Arc::new(c.clone())).collect(),
+                            Arc::new(data.recent.tags.clone()),
+                        ),
+                        DbPart::All => {
+                            let mut cols = Vec::with_capacity(data.stable.arity());
+                            for (s, r) in data.stable.columns.iter().zip(&data.recent.columns) {
+                                let mut merged = Vec::with_capacity(s.len() + r.len());
+                                merged.extend_from_slice(s);
+                                merged.extend_from_slice(r);
+                                cols.push(Arc::new(merged));
+                            }
+                            let mut t = data.stable.tags.clone();
+                            t.extend(data.recent.tags.iter().cloned());
+                            (cols, Arc::new(t))
+                        }
+                    };
+                    self.device.record_kernel();
+                    for (reg, col) in columns.iter().zip(&cols) {
+                        set(&mut regs, *reg, RegValue::Data(col.clone()));
+                    }
+                    set(&mut regs, *tags, RegValue::Tags(tag_vec.clone()));
+                    if cacheable {
+                        load_cache.insert(relation.clone(), (cols, tag_vec));
+                    }
+                }
+                Instr::Store { relation, columns, tags } => {
+                    let cols: Vec<Column> = columns.iter().map(|r| (*data!(*r)).clone()).collect();
+                    let tag_vec: Vec<P::Tag> = (*tags!(*tags)).clone();
+                    // Drop rows whose tag collapsed to an unacceptable value
+                    // (e.g. a conflicting proof).
+                    let keep: Vec<usize> = tag_vec
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| self.provenance.accept(t))
+                        .map(|(i, _)| i)
+                        .collect();
+                    let (cols, tag_vec) = if keep.len() == tag_vec.len() {
+                        (cols, tag_vec)
+                    } else {
+                        let filtered_cols = cols
+                            .iter()
+                            .map(|c| keep.iter().map(|&i| c[i]).collect())
+                            .collect();
+                        let filtered_tags = keep.iter().map(|&i| tag_vec[i].clone()).collect();
+                        (filtered_cols, filtered_tags)
+                    };
+                    db.relation_data_mut(relation).staged.push((cols, tag_vec));
+                }
+                Instr::Eval { inputs, input_tags, projection, outputs, output_tags } => {
+                    let in_cols: Vec<Arc<Column>> = inputs.iter().map(|r| data!(*r)).collect();
+                    let in_tags = tags!(*input_tags);
+                    let rows = in_tags.len();
+                    if let Some(perm) = projection.permutation.as_ref() {
+                        // Columnar-copy fast path (Section 5.2).
+                        self.device.record_kernel();
+                        for (out, src) in outputs.iter().zip(perm) {
+                            set(&mut regs, *out, RegValue::Data(in_cols[*src].clone()));
+                        }
+                        set(&mut regs, *output_tags, RegValue::Tags(in_tags.clone()));
+                    } else {
+                        let (out_cols, sources) =
+                            kernels::eval(&self.device, rows, projection.output_arity(), |i| {
+                                let row: Vec<u64> = in_cols.iter().map(|c| c[i]).collect();
+                                projection.eval(&row)
+                            });
+                        let out_tag_vec = kernels::gather_tags(&self.device, &sources, &in_tags);
+                        for (out, col) in outputs.iter().zip(out_cols) {
+                            set(&mut regs, *out, RegValue::Data(Arc::new(col)));
+                        }
+                        set(&mut regs, *output_tags, RegValue::Tags(Arc::new(out_tag_vec)));
+                    }
+                }
+                Instr::Build { keys, index, static_ } => {
+                    let use_static = *static_ && self.options.static_registers;
+                    if use_static && static_file.contains_key(index) {
+                        continue;
+                    }
+                    let key_cols: Vec<Arc<Column>> = keys.iter().map(|r| data!(*r)).collect();
+                    let key_refs: Vec<&[u64]> = key_cols.iter().map(|c| c.as_slice()).collect();
+                    let built = HashIndex::build(
+                        &self.device,
+                        &key_refs,
+                        self.device.config().hash_table_expansion,
+                    );
+                    self.device.try_alloc(built.size_bytes())?;
+                    self.device.free(built.size_bytes());
+                    let value = RegValue::Index(Arc::new(built));
+                    if use_static {
+                        static_file.insert(*index, value);
+                    } else {
+                        set(&mut regs, *index, value);
+                    }
+                }
+                Instr::Count { index, probe_keys, counts } => {
+                    let idx = index!(*index);
+                    let probe_cols: Vec<Arc<Column>> =
+                        probe_keys.iter().map(|r| data!(*r)).collect();
+                    let probe_refs: Vec<&[u64]> = probe_cols.iter().map(|c| c.as_slice()).collect();
+                    let result = kernels::count_matches(&self.device, &idx, &probe_refs);
+                    set(&mut regs, *counts, RegValue::Data(Arc::new(result)));
+                }
+                Instr::Scan { counts, offsets } => {
+                    let input = data!(*counts);
+                    let (result, _total) = kernels::scan(&self.device, &input);
+                    set(&mut regs, *offsets, RegValue::Data(Arc::new(result)));
+                }
+                Instr::Join { index, probe_keys, counts, offsets, build_indices, probe_indices } => {
+                    let idx = index!(*index);
+                    let probe_cols: Vec<Arc<Column>> =
+                        probe_keys.iter().map(|r| data!(*r)).collect();
+                    let probe_refs: Vec<&[u64]> = probe_cols.iter().map(|c| c.as_slice()).collect();
+                    let count_vec = data!(*counts);
+                    let offset_vec = data!(*offsets);
+                    let total: u64 = count_vec.iter().sum();
+                    let (bi, pi) = kernels::hash_join(
+                        &self.device,
+                        &idx,
+                        &probe_refs,
+                        &count_vec,
+                        &offset_vec,
+                        total,
+                    );
+                    set(&mut regs, *build_indices, RegValue::Data(Arc::new(bi)));
+                    set(&mut regs, *probe_indices, RegValue::Data(Arc::new(pi)));
+                }
+                Instr::Gather { indices, sources, destinations } => {
+                    let idx = data!(*indices);
+                    for (src, dst) in sources.iter().zip(destinations) {
+                        let source = data!(*src);
+                        let gathered = kernels::gather(&self.device, &idx, &source);
+                        set(&mut regs, *dst, RegValue::Data(Arc::new(gathered)));
+                    }
+                }
+                Instr::GatherMulTags { left_indices, right_indices, left_tags, right_tags, output } => {
+                    let li = data!(*left_indices);
+                    let ri = data!(*right_indices);
+                    let lt = tags!(*left_tags);
+                    let rt = tags!(*right_tags);
+                    let prov = self.provenance.clone();
+                    let result = kernels::gather_mul_tags(&self.device, &li, &ri, &lt, &rt, |a, b| {
+                        prov.mul(a, b)
+                    });
+                    set(&mut regs, *output, RegValue::Tags(Arc::new(result)));
+                }
+                Instr::Product { left, left_tags, right, right_tags, outputs, output_tags } => {
+                    let l_cols: Vec<Arc<Column>> = left.iter().map(|r| data!(*r)).collect();
+                    let r_cols: Vec<Arc<Column>> = right.iter().map(|r| data!(*r)).collect();
+                    let lt = tags!(*left_tags);
+                    let rt = tags!(*right_tags);
+                    self.device.record_kernel();
+                    let (n, m) = (lt.len(), rt.len());
+                    let mut out_cols: Vec<Column> =
+                        vec![Vec::with_capacity(n * m); l_cols.len() + r_cols.len()];
+                    let mut out_tags: Vec<P::Tag> = Vec::with_capacity(n * m);
+                    for i in 0..n {
+                        for j in 0..m {
+                            for (c, col) in l_cols.iter().enumerate() {
+                                out_cols[c].push(col[i]);
+                            }
+                            for (c, col) in r_cols.iter().enumerate() {
+                                out_cols[l_cols.len() + c].push(col[j]);
+                            }
+                            out_tags.push(self.provenance.mul(&lt[i], &rt[j]));
+                        }
+                    }
+                    for (reg, col) in outputs.iter().zip(out_cols) {
+                        set(&mut regs, *reg, RegValue::Data(Arc::new(col)));
+                    }
+                    set(&mut regs, *output_tags, RegValue::Tags(Arc::new(out_tags)));
+                }
+                Instr::Append { inputs, outputs, output_tags } => {
+                    let tables: Vec<(Vec<Arc<Column>>, Arc<Vec<P::Tag>>)> = inputs
+                        .iter()
+                        .map(|(cols, tags)| {
+                            (cols.iter().map(|r| data!(*r)).collect(), tags!(*tags))
+                        })
+                        .collect();
+                    self.device.record_kernel();
+                    let arity = outputs.len();
+                    let mut out_cols: Vec<Column> = vec![Vec::new(); arity];
+                    let mut out_tags: Vec<P::Tag> = Vec::new();
+                    for (cols, tags) in &tables {
+                        for (c, col) in cols.iter().enumerate() {
+                            out_cols[c].extend_from_slice(col);
+                        }
+                        out_tags.extend(tags.iter().cloned());
+                    }
+                    for (reg, col) in outputs.iter().zip(out_cols) {
+                        set(&mut regs, *reg, RegValue::Data(Arc::new(col)));
+                    }
+                    set(&mut regs, *output_tags, RegValue::Tags(Arc::new(out_tags)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_datalog::parse;
+    use lobster_gpu::DeviceConfig;
+    use lobster_provenance::{AddMultProb, InputFactId, MaxMinProb, Unit};
+    use lobster_ram::Value;
+
+    fn run_tc(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             query path",
+        )
+        .unwrap();
+        let device = Device::sequential();
+        let mut db = Database::new(compiled.ram.schemas.clone(), Unit::new());
+        for (a, b) in edges {
+            db.insert("edge", &[Value::U32(*a), Value::U32(*b)], ());
+        }
+        db.seal(&device);
+        let exec = Executor::new(device, Unit::new(), RuntimeOptions::default());
+        exec.run_program(&mut db, &compiled.ram).unwrap();
+        let mut rows: Vec<(u32, u32)> = db
+            .rows("path")
+            .into_iter()
+            .map(|(t, _)| (t[0].as_u32().unwrap(), t[1].as_u32().unwrap()))
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let rows = run_tc(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(rows, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn transitive_closure_of_a_cycle_terminates() {
+        let rows = run_tc(&[(0, 1), (1, 2), (2, 0)]);
+        // Every ordered pair over {0,1,2} is reachable, including self-loops.
+        assert_eq!(rows.len(), 9);
+    }
+
+    #[test]
+    fn probabilities_propagate_along_paths() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             query path",
+        )
+        .unwrap();
+        let device = Device::sequential();
+        let prov = MaxMinProb::new();
+        let mut db = Database::new(compiled.ram.schemas.clone(), prov.clone());
+        db.insert("edge", &[Value::U32(0), Value::U32(1)], 0.9);
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], 0.5);
+        db.seal(&device);
+        let exec = Executor::new(device, prov, RuntimeOptions::default());
+        exec.run_program(&mut db, &compiled.ram).unwrap();
+        let rows = db.rows("path");
+        let p02 = rows
+            .iter()
+            .find(|(t, _)| t[0] == Value::U32(0) && t[1] == Value::U32(2))
+            .map(|(_, tag)| *tag)
+            .unwrap();
+        assert!((p02 - 0.5).abs() < 1e-9, "max-min path probability should be the weakest edge");
+    }
+
+    #[test]
+    fn selections_and_nullary_outputs_work() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             type is_endpoint(x: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             rel connected() = is_endpoint(x), is_endpoint(y), path(x, y), x != y
+             query connected",
+        )
+        .unwrap();
+        let device = Device::sequential();
+        let prov = AddMultProb::new();
+        let mut db = Database::new(compiled.ram.schemas.clone(), prov.clone());
+        db.insert("edge", &[Value::U32(0), Value::U32(1)], 0.8);
+        db.insert("edge", &[Value::U32(1), Value::U32(2)], 0.7);
+        db.insert("is_endpoint", &[Value::U32(0)], prov.input_tag(InputFactId(10), Some(1.0)));
+        db.insert("is_endpoint", &[Value::U32(2)], prov.input_tag(InputFactId(11), Some(1.0)));
+        db.seal(&device);
+        let exec = Executor::new(device, prov, RuntimeOptions::default());
+        exec.run_program(&mut db, &compiled.ram).unwrap();
+        let rows = db.rows("connected");
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].1 > 0.0);
+    }
+
+    #[test]
+    fn optimizations_do_not_change_results() {
+        let edges: Vec<(u32, u32)> = (0..40).map(|i| (i, i + 1)).collect();
+        let reference = run_tc(&edges);
+        for options in [
+            RuntimeOptions::unoptimized(),
+            RuntimeOptions::default().with_static_registers(false),
+            RuntimeOptions::default().with_buffer_reuse(false),
+        ] {
+            let compiled = parse(
+                "type edge(x: u32, y: u32)
+                 rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+                 query path",
+            )
+            .unwrap();
+            let device = Device::sequential();
+            let mut db = Database::new(compiled.ram.schemas.clone(), Unit::new());
+            for (a, b) in &edges {
+                db.insert("edge", &[Value::U32(*a), Value::U32(*b)], ());
+            }
+            db.seal(&device);
+            let exec = Executor::new(device, Unit::new(), options);
+            exec.run_program(&mut db, &compiled.ram).unwrap();
+            let mut rows: Vec<(u32, u32)> = db
+                .rows("path")
+                .into_iter()
+                .map(|(t, _)| (t[0].as_u32().unwrap(), t[1].as_u32().unwrap()))
+                .collect();
+            rows.sort_unstable();
+            assert_eq!(rows, reference);
+        }
+    }
+
+    #[test]
+    fn memory_budget_produces_oom_error() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))",
+        )
+        .unwrap();
+        let device = Device::new(DeviceConfig { memory_limit: Some(2_000), ..DeviceConfig::default() });
+        let mut db = Database::new(compiled.ram.schemas.clone(), Unit::new());
+        for i in 0..200u32 {
+            db.insert("edge", &[Value::U32(i), Value::U32(i + 1)], ());
+        }
+        db.seal(&device);
+        let exec = Executor::new(device, Unit::new(), RuntimeOptions::default());
+        let err = exec.run_program(&mut db, &compiled.ram).unwrap_err();
+        assert!(matches!(err, ExecError::Device(DeviceError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))",
+        )
+        .unwrap();
+        let device = Device::sequential();
+        let mut db = Database::new(compiled.ram.schemas.clone(), Unit::new());
+        for i in 0..3000u32 {
+            db.insert("edge", &[Value::U32(i), Value::U32(i + 1)], ());
+        }
+        db.seal(&device);
+        let exec =
+            Executor::new(device, Unit::new(), RuntimeOptions::default().with_timeout_ms(Some(0)));
+        let err = exec.run_program(&mut db, &compiled.ram).unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }));
+    }
+
+    #[test]
+    fn stats_report_iterations_and_kernels() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))",
+        )
+        .unwrap();
+        let device = Device::sequential();
+        let mut db = Database::new(compiled.ram.schemas.clone(), Unit::new());
+        for i in 0..10u32 {
+            db.insert("edge", &[Value::U32(i), Value::U32(i + 1)], ());
+        }
+        db.seal(&device);
+        let exec = Executor::new(device, Unit::new(), RuntimeOptions::default());
+        let stats = exec.run_program(&mut db, &compiled.ram).unwrap();
+        // A chain of 11 nodes needs ~10 iterations to close.
+        assert!(stats.iterations >= 9, "iterations = {}", stats.iterations);
+        assert!(stats.kernel_launches > 0);
+        assert!(stats.facts_produced >= 55 - 10);
+        assert_eq!(stats.strata, 1);
+    }
+}

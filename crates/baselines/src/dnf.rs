@@ -1,0 +1,222 @@
+//! Exact DNF-proof provenance used by the ProbLog stand-in.
+//!
+//! Unlike Lobster's top-1-proof provenance, this provenance keeps *every*
+//! proof of every fact (a boolean formula in disjunctive normal form over the
+//! input facts) and computes exact probabilities by weighted model counting.
+//! This is what makes exact probabilistic inference exponential — and why the
+//! ProbLog runs in the paper's evaluation hit the timeout on every non-trivial
+//! input.
+
+use lobster_provenance::{InputFactId, Output, Provenance};
+use std::collections::BTreeSet;
+
+/// A DNF formula: a set of proofs, each a set of input facts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DnfTag {
+    /// The proofs (conjunctions of input facts).
+    pub proofs: BTreeSet<BTreeSet<InputFactId>>,
+}
+
+impl DnfTag {
+    /// The formula `false` (no proofs).
+    pub fn none() -> Self {
+        DnfTag::default()
+    }
+
+    /// The formula `true` (one empty proof).
+    pub fn trivially_true() -> Self {
+        DnfTag { proofs: std::iter::once(BTreeSet::new()).collect() }
+    }
+
+    /// Number of proofs.
+    pub fn len(&self) -> usize {
+        self.proofs.len()
+    }
+
+    /// `true` when there are no proofs.
+    pub fn is_empty(&self) -> bool {
+        self.proofs.is_empty()
+    }
+
+    /// All variables mentioned by the formula.
+    pub fn variables(&self) -> BTreeSet<InputFactId> {
+        self.proofs.iter().flatten().copied().collect()
+    }
+}
+
+/// The exact DNF-proofs provenance with a probability table for weighted
+/// model counting.
+#[derive(Debug, Clone)]
+pub struct DnfProofs {
+    probs: std::sync::Arc<std::sync::RwLock<Vec<f64>>>,
+    /// Cap on the number of proofs per fact before the tag saturates to avoid
+    /// unbounded memory growth; `usize::MAX` means exact (ProbLog-like).
+    pub max_proofs: usize,
+}
+
+impl Default for DnfProofs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DnfProofs {
+    /// Creates an exact DNF-proofs provenance.
+    pub fn new() -> Self {
+        DnfProofs { probs: Default::default(), max_proofs: usize::MAX }
+    }
+
+    fn prob(&self, fact: InputFactId) -> f64 {
+        self.probs
+            .read()
+            .expect("probability table poisoned")
+            .get(fact.0 as usize)
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Exact probability of a DNF formula by Shannon expansion over its
+    /// variables (exponential in the number of variables).
+    pub fn model_count(&self, tag: &DnfTag) -> f64 {
+        fn expand(proofs: &[Vec<InputFactId>], vars: &[(InputFactId, f64)]) -> f64 {
+            if proofs.iter().any(|p| p.is_empty()) {
+                return 1.0;
+            }
+            if proofs.is_empty() {
+                return 0.0;
+            }
+            let Some(&(var, p)) = vars.first() else {
+                return 0.0;
+            };
+            let rest = &vars[1..];
+            // Condition on `var = true`: remove it from every proof.
+            let when_true: Vec<Vec<InputFactId>> = proofs
+                .iter()
+                .map(|proof| proof.iter().copied().filter(|&f| f != var).collect())
+                .collect();
+            // Condition on `var = false`: drop proofs containing it.
+            let when_false: Vec<Vec<InputFactId>> = proofs
+                .iter()
+                .filter(|proof| !proof.contains(&var))
+                .cloned()
+                .collect();
+            p * expand(&when_true, rest) + (1.0 - p) * expand(&when_false, rest)
+        }
+        let vars: Vec<(InputFactId, f64)> =
+            tag.variables().into_iter().map(|v| (v, self.prob(v))).collect();
+        let proofs: Vec<Vec<InputFactId>> =
+            tag.proofs.iter().map(|p| p.iter().copied().collect()).collect();
+        expand(&proofs, &vars)
+    }
+}
+
+impl Provenance for DnfProofs {
+    type Tag = DnfTag;
+
+    fn name(&self) -> &'static str {
+        "exact-dnf-proofs"
+    }
+
+    fn zero(&self) -> Self::Tag {
+        DnfTag::none()
+    }
+
+    fn one(&self) -> Self::Tag {
+        DnfTag::trivially_true()
+    }
+
+    fn add(&self, a: &Self::Tag, b: &Self::Tag) -> Self::Tag {
+        let mut proofs = a.proofs.clone();
+        proofs.extend(b.proofs.iter().cloned());
+        if proofs.len() > self.max_proofs {
+            proofs = proofs.into_iter().take(self.max_proofs).collect();
+        }
+        DnfTag { proofs }
+    }
+
+    fn mul(&self, a: &Self::Tag, b: &Self::Tag) -> Self::Tag {
+        let mut proofs = BTreeSet::new();
+        for pa in &a.proofs {
+            for pb in &b.proofs {
+                let mut merged = pa.clone();
+                merged.extend(pb.iter().copied());
+                proofs.insert(merged);
+                if proofs.len() > self.max_proofs {
+                    return DnfTag { proofs };
+                }
+            }
+        }
+        DnfTag { proofs }
+    }
+
+    fn input_tag(&self, fact: InputFactId, prob: Option<f64>) -> Self::Tag {
+        let mut table = self.probs.write().expect("probability table poisoned");
+        let idx = fact.0 as usize;
+        if table.len() <= idx {
+            table.resize(idx + 1, 1.0);
+        }
+        table[idx] = prob.unwrap_or(1.0);
+        DnfTag { proofs: std::iter::once(std::iter::once(fact).collect()).collect() }
+    }
+
+    fn accept(&self, tag: &Self::Tag) -> bool {
+        !tag.is_empty()
+    }
+
+    fn weight(&self, tag: &Self::Tag) -> f64 {
+        self.model_count(tag)
+    }
+
+    fn output(&self, tag: &Self::Tag) -> Output {
+        Output::scalar(self.model_count(tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_probability_of_two_independent_paths() {
+        let prov = DnfProofs::new();
+        let a = prov.input_tag(InputFactId(0), Some(0.5));
+        let b = prov.input_tag(InputFactId(1), Some(0.5));
+        // a ∨ b: P = 1 - 0.25 = 0.75 (exact, not the 1.0 that add-mult would give).
+        let disj = prov.add(&a, &b);
+        assert!((prov.weight(&disj) - 0.75).abs() < 1e-9);
+        // a ∧ b: P = 0.25.
+        let conj = prov.mul(&a, &b);
+        assert!((prov.weight(&conj) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_subformulas_are_handled_exactly() {
+        let prov = DnfProofs::new();
+        let a = prov.input_tag(InputFactId(0), Some(0.5));
+        let b = prov.input_tag(InputFactId(1), Some(0.5));
+        let c = prov.input_tag(InputFactId(2), Some(0.5));
+        // (a ∧ b) ∨ (a ∧ c): P = P(a) * P(b ∨ c) = 0.5 * 0.75 = 0.375.
+        let f = prov.add(&prov.mul(&a, &b), &prov.mul(&a, &c));
+        assert!((prov.weight(&f) - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_one_behave() {
+        let prov = DnfProofs::new();
+        let a = prov.input_tag(InputFactId(0), Some(0.3));
+        assert_eq!(prov.mul(&a, &prov.zero()), prov.zero());
+        assert_eq!(prov.mul(&a, &prov.one()), a);
+        assert!(!prov.accept(&prov.zero()));
+        assert_eq!(prov.weight(&prov.one()), 1.0);
+    }
+
+    #[test]
+    fn proof_count_grows_combinatorially() {
+        let prov = DnfProofs::new();
+        // (a1 ∨ a2) ∧ (b1 ∨ b2) ∧ (c1 ∨ c2) has 8 proofs.
+        let mk = |i| prov.input_tag(InputFactId(i), Some(0.5));
+        let ab = prov.mul(&prov.add(&mk(0), &mk(1)), &prov.add(&mk(2), &mk(3)));
+        let abc = prov.mul(&ab, &prov.add(&mk(4), &mk(5)));
+        assert_eq!(abc.len(), 8);
+    }
+}

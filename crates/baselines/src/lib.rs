@@ -1,0 +1,39 @@
+//! Baseline systems used by the paper's evaluation.
+//!
+//! Lobster is compared against four systems in the paper; this crate
+//! implements an architectural stand-in for each so the comparison figures
+//! can be regenerated on the same machine:
+//!
+//! * [`ScallopEngine`] — the primary baseline: a CPU, tuple-at-a-time,
+//!   BTree-indexed, semi-naive Datalog engine with the same provenance
+//!   semiring framework (per-tuple tag bookkeeping), mirroring Scallop's
+//!   execution model.
+//! * [`SouffleEngine`] — a discrete-only, multi-threaded CPU engine (no tag
+//!   overhead, parallel joins), standing in for Soufflé.
+//! * [`ProblogEngine`] — exact probabilistic inference: full DNF proof
+//!   enumeration followed by exact weighted model counting, reproducing
+//!   ProbLog's exponential behaviour (and its timeouts).
+//! * [`FvlogEngine`] — a GPU (simulated) columnar engine *without* Lobster's
+//!   APM-level optimizations (no static-register index reuse, no buffer
+//!   reuse, per-stratum transfers), standing in for FVLog.
+//!
+//! All engines consume the same RAM programs produced by the
+//! `lobster-datalog` front-end, so every system under test runs the *same*
+//! logic program — exactly the methodology of the paper's Section 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dnf;
+mod fvlog;
+mod problog;
+mod scallop;
+mod souffle;
+mod tuple;
+
+pub use dnf::{DnfProofs, DnfTag};
+pub use fvlog::{FvlogEngine, FvlogError};
+pub use problog::ProblogEngine;
+pub use scallop::ScallopEngine;
+pub use souffle::SouffleEngine;
+pub use tuple::{BaselineError, TupleDatabase, TupleEngine};

@@ -1,0 +1,47 @@
+//! Figure 8: Lobster's speedup over Scallop on end-to-end *training* for the
+//! four differentiable tasks (CLUTRR, HWF, Pathfinder, Pacman).
+//!
+//! Run with `cargo run -p lobster-bench --release --bin fig8_training`.
+
+use lobster_bench::train::{
+    clutrr_task, hwf_task, pacman_task, pathfinder_task, run_training, Engine, TrainingTask,
+};
+use lobster_bench::{print_header, quick_mode, scaled};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    print_header(
+        "Figure 8 — training speedup over Scallop",
+        "paper reports CLUTTR 1.22x, HWF 1.22x, Pathfinder 1.26x, Pacman 16.46x",
+    );
+    let mut rng = StdRng::seed_from_u64(8);
+    let samples = scaled(8, 2);
+    let epochs = scaled(2, 1);
+    let tasks: Vec<(TrainingTask, f64)> = vec![
+        (clutrr_task(samples, scaled(6, 3), &mut rng), 1.22),
+        (hwf_task(samples, scaled(5, 3), &mut rng), 1.22),
+        (pathfinder_task(samples, scaled(8, 5) as u32, &mut rng), 1.26),
+        (pacman_task(samples, scaled(10, 5) as u32, &mut rng), 16.46),
+    ];
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>10}",
+        "task", "scallop (s)", "lobster (s)", "speedup", "paper"
+    );
+    for (task, paper) in &tasks {
+        let scallop = run_training(task, Engine::Scallop, epochs);
+        let lobster = run_training(task, Engine::Lobster, epochs);
+        let speedup = scallop.elapsed.as_secs_f64() / lobster.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>9.2}x {:>9.2}x",
+            task.name,
+            scallop.elapsed.as_secs_f64(),
+            lobster.elapsed.as_secs_f64(),
+            speedup,
+            paper
+        );
+    }
+    if quick_mode() {
+        println!("(quick mode: workloads were shrunk; speedups are less pronounced)");
+    }
+}

@@ -1,0 +1,23 @@
+//! Table 2: the benchmark suite — task, input, logic, reasoning mode, rule
+//! count, and provenance.
+//!
+//! Run with `cargo run -p lobster-bench --bin table2_suite`.
+
+use lobster_bench::print_header;
+use lobster_workloads::suite;
+
+fn main() {
+    print_header("Table 2 — benchmark characteristics", "nine tasks across three reasoning modes");
+    println!("{:<22} {:<8} {:<6} {:>6}  {:<20} {}", "task", "input", "kind", "rules", "provenance", "logic");
+    for info in suite::table2() {
+        println!(
+            "{:<22} {:<8} {:<6} {:>6}  {:<20} {}",
+            info.name,
+            info.input,
+            info.kind.to_string(),
+            info.rule_count(),
+            info.provenance.name(),
+            info.logic
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! Each figure/table has a dedicated binary in `src/bin/` that prints the
+//! measured numbers next to the values reported in the paper. Absolute
+//! numbers differ (the paper's testbed is a 40-core Xeon with an RTX 2080
+//! Ti / A100; this reproduction runs the GPU as a simulated device), but the
+//! *shape* of each result — which system wins, how speedups scale with
+//! problem size, where systems time out or run out of memory — is what the
+//! harness reproduces.
+//!
+//! Set `LOBSTER_BENCH_QUICK=1` to shrink every workload for a fast smoke run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod train;
+
+use lobster::{LobsterContext, Provenance, RuntimeOptions, Value};
+use lobster_baselines::{BaselineError, ScallopEngine, SouffleEngine};
+use lobster_workloads::WorkloadFacts;
+use std::time::{Duration, Instant};
+
+/// Whether quick mode is enabled (`LOBSTER_BENCH_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var("LOBSTER_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scales a workload size down in quick mode.
+pub fn scaled(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Times a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// The outcome of running one system on one workload.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Completed in the given time.
+    Ok(Duration),
+    /// Ran out of (simulated device) memory.
+    Oom,
+    /// Hit the timeout.
+    Timeout,
+}
+
+impl Outcome {
+    /// The runtime in seconds, if the run completed.
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            Outcome::Ok(d) => Some(d.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// Formats the outcome like the paper's tables (`OOM`, `timeout`, or
+    /// seconds).
+    pub fn cell(&self) -> String {
+        match self {
+            Outcome::Ok(d) => format!("{:.2}", d.as_secs_f64()),
+            Outcome::Oom => "OOM".to_string(),
+            Outcome::Timeout => "timeout".to_string(),
+        }
+    }
+}
+
+/// Formats a speedup of `baseline` over `system` (`baseline / system`).
+pub fn speedup(baseline: &Outcome, system: &Outcome) -> String {
+    match (baseline.seconds(), system.seconds()) {
+        (Some(b), Some(s)) if s > 0.0 => format!("{:.2}x", b / s),
+        _ => "-".to_string(),
+    }
+}
+
+/// Prints a header for a figure/table reproduction.
+pub fn print_header(title: &str, paper_summary: &str) {
+    println!("\n=== {title} ===");
+    println!("paper: {paper_summary}");
+    println!("{}", "-".repeat(72));
+}
+
+/// Runs a probabilistic or discrete workload on Lobster and returns the
+/// symbolic runtime together with the number of facts in the queried
+/// relation.
+///
+/// # Panics
+///
+/// Panics when the program fails to compile or a fact is malformed — bench
+/// workloads are trusted inputs.
+pub fn run_lobster<P: Provenance>(
+    program: &str,
+    provenance_ctx: impl FnOnce(&str) -> LobsterContext<P>,
+    facts: &WorkloadFacts,
+    options: RuntimeOptions,
+) -> (Outcome, usize) {
+    let mut ctx = provenance_ctx(program).with_options(options);
+    facts.add_to_context(&mut ctx).expect("workload facts must match the program");
+    match time_it(|| ctx.run()) {
+        (Ok(result), elapsed) => {
+            let total: usize = result.relations().iter().map(|r| result.len(r)).sum();
+            (Outcome::Ok(elapsed), total)
+        }
+        (Err(lobster::LobsterError::Execution(lobster_apm::ExecError::Device(_))), _) => {
+            (Outcome::Oom, 0)
+        }
+        (Err(lobster::LobsterError::Execution(lobster_apm::ExecError::Timeout { .. })), _) => {
+            (Outcome::Timeout, 0)
+        }
+        (Err(other), _) => panic!("unexpected failure: {other}"),
+    }
+}
+
+/// Runs a workload on the Scallop baseline with the given provenance.
+///
+/// # Panics
+///
+/// Panics when the program fails to compile.
+pub fn run_scallop<P: Provenance>(
+    program: &str,
+    provenance: P,
+    facts: &[(String, Vec<u64>, P::Tag)],
+    timeout: Option<Duration>,
+) -> Outcome {
+    let ram = lobster_datalog::parse(program).expect("benchmark program compiles").ram;
+    let engine = ScallopEngine::new(provenance).with_timeout(timeout);
+    match time_it(|| engine.run(&ram, facts)) {
+        (Ok(_), elapsed) => Outcome::Ok(elapsed),
+        (Err(BaselineError::Timeout { .. }), _) => Outcome::Timeout,
+        (Err(other), _) => panic!("unexpected baseline failure: {other}"),
+    }
+}
+
+/// Runs a discrete workload on the Soufflé baseline.
+///
+/// # Panics
+///
+/// Panics when the program fails to compile.
+pub fn run_souffle(
+    program: &str,
+    facts: &[(String, Vec<u64>)],
+    timeout: Option<Duration>,
+) -> Outcome {
+    let ram = lobster_datalog::parse(program).expect("benchmark program compiles").ram;
+    let engine = SouffleEngine::default().with_timeout(timeout);
+    match time_it(|| engine.run(&ram, facts)) {
+        (Ok(_), elapsed) => Outcome::Ok(elapsed),
+        (Err(BaselineError::Timeout { .. }), _) => Outcome::Timeout,
+        (Err(other), _) => panic!("unexpected baseline failure: {other}"),
+    }
+}
+
+/// Converts probabilistic workload facts into Scallop-baseline facts for a
+/// provenance, registering probabilities through `input_tag`.
+pub fn scallop_facts<P: Provenance>(
+    provenance: &P,
+    facts: &WorkloadFacts,
+) -> Vec<(String, Vec<u64>, P::Tag)> {
+    facts
+        .facts
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, values, prob))| {
+            let tag = provenance
+                .input_tag(lobster_provenance::InputFactId(i as u32), *prob);
+            (rel.clone(), values.iter().map(Value::encode).collect(), tag)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_formatting() {
+        assert_eq!(Outcome::Oom.cell(), "OOM");
+        assert_eq!(Outcome::Timeout.cell(), "timeout");
+        assert_eq!(Outcome::Ok(Duration::from_millis(1500)).cell(), "1.50");
+        assert_eq!(
+            speedup(&Outcome::Ok(Duration::from_secs(4)), &Outcome::Ok(Duration::from_secs(2))),
+            "2.00x"
+        );
+        assert_eq!(speedup(&Outcome::Oom, &Outcome::Ok(Duration::from_secs(1))), "-");
+    }
+
+    #[test]
+    fn quick_scaling() {
+        // The env var is not set in tests, so the full size is returned.
+        if !quick_mode() {
+            assert_eq!(scaled(100, 10), 100);
+        }
+    }
+
+    #[test]
+    fn run_lobster_and_scallop_on_a_tiny_workload() {
+        use lobster_workloads::graphs;
+        let mut facts = WorkloadFacts::new();
+        for i in 0..20u32 {
+            facts.push("edge", vec![Value::U32(i), Value::U32(i + 1)], None);
+        }
+        let (outcome, derived) = run_lobster(
+            graphs::TRANSITIVE_CLOSURE,
+            |p| LobsterContext::discrete(p).unwrap(),
+            &facts,
+            RuntimeOptions::default(),
+        );
+        assert!(outcome.seconds().is_some());
+        assert_eq!(derived, 210);
+        let baseline = run_scallop(
+            graphs::TRANSITIVE_CLOSURE,
+            lobster::Unit::new(),
+            &scallop_facts(&lobster::Unit::new(), &facts),
+            None,
+        );
+        assert!(baseline.seconds().is_some());
+    }
+}

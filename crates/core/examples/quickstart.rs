@@ -1,0 +1,52 @@
+//! Quickstart: compile a Datalog program, feed it probabilistic facts, and
+//! read back probabilities and gradients.
+//!
+//! Run with `cargo run -p lobster --example quickstart`.
+
+use lobster::{LobsterContext, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The symbolic program: graph reachability (the paper's running
+    //    example). Facts for `edge` will come from "a neural network" — here
+    //    we just make them up.
+    let program = "
+        type edge(x: u32, y: u32)
+        type is_endpoint(x: u32)
+        rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+        rel endpoints_connected() = is_endpoint(x), is_endpoint(y), path(x, y), x != y
+        query path
+        query endpoints_connected
+    ";
+
+    // 2. Pick a reasoning mode by picking a provenance. `diff_top1` is the
+    //    differentiable provenance used by the paper's training benchmarks.
+    let mut ctx = LobsterContext::diff_top1(program)?;
+
+    // 3. Add probabilistic input facts (these would be network outputs).
+    let chain = [(0u32, 1u32, 0.95), (1, 2, 0.9), (2, 3, 0.8)];
+    let mut fact_ids = Vec::new();
+    for (a, b, p) in chain {
+        fact_ids.push(ctx.add_fact("edge", &[Value::U32(a), Value::U32(b)], Some(p))?);
+    }
+    ctx.add_fact("is_endpoint", &[Value::U32(0)], None)?;
+    ctx.add_fact("is_endpoint", &[Value::U32(3)], None)?;
+
+    // 4. Run the program on the (simulated) GPU.
+    let result = ctx.run()?;
+
+    println!("derived {} path facts", result.len("path"));
+    let connected = result.probability("endpoints_connected", &[]);
+    println!("P(endpoints connected) = {connected:.4}");
+
+    // 5. Gradients with respect to every input fact let an upstream network
+    //    train end-to-end.
+    for (fact, grad) in result.gradient("endpoints_connected", &[]) {
+        println!("  d P / d Pr({fact}) = {grad:.4}");
+    }
+
+    println!(
+        "symbolic execution: {} iterations, {} kernel launches, {:?}",
+        result.stats.iterations, result.stats.kernel_launches, result.stats.elapsed
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Lobster: a GPU-accelerated framework for neurosymbolic programming.
+//!
+//! This crate is the user-facing API of the Lobster reproduction. It ties
+//! together the Datalog front-end (`lobster-datalog`), the RAM and APM
+//! intermediate representations (`lobster-ram`, `lobster-apm`), the simulated
+//! GPU device (`lobster-gpu`), and the provenance semiring library
+//! (`lobster-provenance`) into a single entry point: [`LobsterContext`].
+//!
+//! A neurosymbolic pipeline uses Lobster like this:
+//!
+//! 1. Compile a Datalog program once with one of the
+//!    [`LobsterContext`] constructors, selecting the reasoning mode by
+//!    choosing a provenance semiring (discrete, probabilistic, or
+//!    differentiable).
+//! 2. For every sample, add the (probabilistic) facts produced by the neural
+//!    network with [`LobsterContext::add_fact`].
+//! 3. Call [`LobsterContext::run`] (or [`LobsterContext::run_batch`] for a
+//!    whole mini-batch) and read back output probabilities and, for
+//!    differentiable provenances, the gradient of every output with respect
+//!    to every input fact — which is what lets the upstream network train
+//!    end-to-end.
+//!
+//! # Example
+//!
+//! ```
+//! use lobster::LobsterContext;
+//! use lobster_ram::Value;
+//!
+//! let mut ctx = LobsterContext::diff_top1(
+//!     "type edge(x: u32, y: u32)
+//!      rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+//!      query path",
+//! ).unwrap();
+//! ctx.add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.9));
+//! ctx.add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.8));
+//! let result = ctx.run().unwrap();
+//! let p = result.probability("path", &[Value::U32(0), Value::U32(2)]);
+//! assert!((p - 0.72).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod error;
+mod scheduler;
+
+pub use context::{FactSet, LobsterContext, RunResult};
+pub use error::LobsterError;
+pub use scheduler::{plan_offload, OffloadPlan};
+
+// Re-export the pieces users routinely need alongside the context.
+pub use lobster_apm::{ExecutionStats, RuntimeOptions};
+pub use lobster_gpu::{Device, DeviceConfig, DeviceStats};
+pub use lobster_provenance::{
+    AddMultProb, Boolean, DiffAddMultProb, DiffMaxMinProb, DiffTop1Proof, InputFactId,
+    InputFactRegistry, MaxMinProb, Output, Provenance, ProvenanceKind, Top1Proof, Unit,
+};
+pub use lobster_ram::{Value, ValueType};

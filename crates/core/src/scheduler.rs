@@ -1,0 +1,173 @@
+//! Stratum offloading: deciding which strata run on the GPU.
+//!
+//! Lobster relations start their life in CPU memory; once data is on the GPU
+//! it is advantageous to keep operating on it there (paper Section 5.3). The
+//! scheduler identifies the longest-running stratum with a heuristic based on
+//! counting recursive joins, places it on the GPU, and then expands the GPU
+//! region forwards and backwards through the data-dependency chain so that a
+//! single host→device transfer feeds a whole run of strata and a single
+//! device→host transfer returns the results — a min-cut-like placement that
+//! avoids repeated CPU↔GPU round trips.
+
+use lobster_ram::{count_recursive_joins, RamProgram, StratumAnalysis};
+
+/// The placement decision for every stratum of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffloadPlan {
+    /// `on_gpu[i]` is true when stratum `i` executes on the device.
+    pub on_gpu: Vec<bool>,
+    /// Number of host↔device transfer points implied by the placement (two
+    /// per contiguous GPU region).
+    pub transfer_points: usize,
+}
+
+impl OffloadPlan {
+    /// Whether stratum `i` is placed on the GPU.
+    pub fn is_gpu(&self, i: usize) -> bool {
+        self.on_gpu.get(i).copied().unwrap_or(false)
+    }
+
+    /// Number of contiguous GPU regions.
+    pub fn regions(&self) -> usize {
+        let mut regions = 0;
+        let mut inside = false;
+        for &g in &self.on_gpu {
+            if g && !inside {
+                regions += 1;
+            }
+            inside = g;
+        }
+        regions
+    }
+}
+
+/// Computes an offload plan.
+///
+/// With `scheduling_enabled = false` every stratum becomes its own GPU region
+/// (transfer in, run, transfer out), which models the unoptimized
+/// configuration in the paper's Figure 10 ablation ("None"/"Alloc" columns).
+/// With scheduling enabled, the longest-running stratum (most recursive
+/// joins) seeds a region that is expanded across adjacent strata while the
+/// neighbouring stratum shares data with the region (its inputs or outputs
+/// overlap), so the expensive middle of the program incurs only one transfer
+/// in and one transfer out.
+pub fn plan_offload(program: &RamProgram, scheduling_enabled: bool) -> OffloadPlan {
+    let n = program.strata.len();
+    if n == 0 {
+        return OffloadPlan { on_gpu: Vec::new(), transfer_points: 0 };
+    }
+    let mut on_gpu = vec![true; n];
+    if !scheduling_enabled {
+        // Every stratum is its own region: 2 transfers each.
+        return OffloadPlan { on_gpu, transfer_points: 2 * n };
+    }
+
+    // Heuristic seed: the stratum with the most recursive joins.
+    let scores: Vec<usize> = program.strata.iter().map(count_recursive_joins).collect();
+    let seed = scores
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    // Expand forwards and backwards while adjacent strata exchange data with
+    // the current region (shared relations), so the region boundary falls
+    // where little data crosses it.
+    let analyses: Vec<StratumAnalysis> =
+        program.strata.iter().map(StratumAnalysis::analyze).collect();
+    let mut lo = seed;
+    let mut hi = seed;
+    while lo > 0 {
+        let prev = &analyses[lo - 1];
+        let cur = &analyses[lo];
+        let shares_data = prev
+            .output_relations
+            .iter()
+            .any(|r| cur.input_relations.contains(r));
+        if shares_data {
+            lo -= 1;
+        } else {
+            break;
+        }
+    }
+    while hi + 1 < n {
+        let next = &analyses[hi + 1];
+        let cur = &analyses[hi];
+        let shares_data = cur
+            .output_relations
+            .iter()
+            .any(|r| next.input_relations.contains(r));
+        if shares_data {
+            hi += 1;
+        } else {
+            break;
+        }
+    }
+    for (i, slot) in on_gpu.iter_mut().enumerate() {
+        *slot = i >= lo && i <= hi;
+    }
+    let plan = OffloadPlan { on_gpu, transfer_points: 2 };
+    debug_assert_eq!(plan.regions(), 1);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster_datalog::parse;
+
+    #[test]
+    fn single_stratum_is_one_region() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))",
+        )
+        .unwrap();
+        let plan = plan_offload(&compiled.ram, true);
+        assert_eq!(plan.on_gpu, vec![true]);
+        assert_eq!(plan.regions(), 1);
+        assert_eq!(plan.transfer_points, 2);
+    }
+
+    #[test]
+    fn dependent_strata_join_the_gpu_region() {
+        let compiled = parse(
+            "type edge(x: u32, y: u32)
+             type is_endpoint(x: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             rel connected() = is_endpoint(x), is_endpoint(y), path(x, y), x != y
+             query connected",
+        )
+        .unwrap();
+        let plan = plan_offload(&compiled.ram, true);
+        // The `connected` stratum consumes `path`, so it joins the region.
+        assert!(plan.is_gpu(0));
+        assert!(plan.is_gpu(1));
+        assert_eq!(plan.regions(), 1);
+    }
+
+    #[test]
+    fn disabled_scheduling_transfers_per_stratum() {
+        let compiled = parse(
+            "type e(x: u32, y: u32)
+             rel a(x, y) = e(x, y)
+             rel b(x, y) = a(x, y) or (b(x, z), a(z, y))
+             rel c(x) = b(x, x)",
+        )
+        .unwrap();
+        let n = compiled.ram.strata.len();
+        let plan = plan_offload(&compiled.ram, false);
+        assert_eq!(plan.transfer_points, 2 * n);
+        let plan = plan_offload(&compiled.ram, true);
+        assert_eq!(plan.transfer_points, 2);
+    }
+
+    #[test]
+    fn empty_program_has_no_regions() {
+        let ram = lobster_ram::RamProgram::default();
+        let plan = plan_offload(&ram, true);
+        assert_eq!(plan.regions(), 0);
+        assert!(!plan.is_gpu(0));
+    }
+}

@@ -1,0 +1,255 @@
+//! Abstract syntax tree of the Datalog surface language.
+
+/// A surface-level type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeName {
+    /// `u32` / `usize`.
+    U32,
+    /// `i32` / `i64` / `isize`.
+    I64,
+    /// `f32` / `f64`.
+    F64,
+    /// `bool`.
+    Bool,
+    /// `String` / `Symbol`.
+    Symbol,
+    /// A user-defined alias (resolved during compilation).
+    Alias(String),
+}
+
+/// A top-level item of a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `type Cell = u32`
+    TypeAlias {
+        /// Alias name.
+        name: String,
+        /// Aliased type.
+        ty: TypeName,
+    },
+    /// `type edge(x: Cell, y: Cell)`
+    RelationDecl {
+        /// Relation name.
+        name: String,
+        /// Parameter names and types.
+        params: Vec<(String, TypeName)>,
+    },
+    /// `rel head(args) = body` (or `:-`).
+    Rule {
+        /// Head atom.
+        head: Atom,
+        /// Body formula.
+        body: Body,
+    },
+    /// `rel edge = {(0, 1), 0.9::(1, 2)}`
+    Facts {
+        /// Relation name.
+        name: String,
+        /// Listed facts.
+        facts: Vec<FactLiteral>,
+    },
+    /// `query path`
+    Query {
+        /// Queried relation.
+        name: String,
+    },
+}
+
+/// One literal fact in a fact-set declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactLiteral {
+    /// Optional probability prefix (`0.9::`).
+    pub probability: Option<f64>,
+    /// The tuple of constant expressions.
+    pub values: Vec<Expr>,
+}
+
+/// A relation atom `name(arg, ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Relation name.
+    pub name: String,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// A rule body formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// A relation atom.
+    Atom(Atom),
+    /// A comparison constraint or binding equality.
+    Constraint(Expr),
+    /// Conjunction.
+    And(Vec<Body>),
+    /// Disjunction.
+    Or(Vec<Body>),
+}
+
+/// Binary operators of the surface expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// A surface expression (atom arguments, constraints, head arguments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String),
+    /// The wildcard `_`.
+    Wildcard,
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A string literal.
+    Str(String),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Collects the variables referenced by the expression, in first-use
+    /// order, into `out` (duplicates skipped).
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Neg(e) => e.collect_vars(out),
+            _ => {}
+        }
+    }
+
+    /// `true` when the expression is a single variable reference.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Expr::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` when the expression contains no variables or wildcards.
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Expr::Var(_) | Expr::Wildcard => false,
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) => true,
+            Expr::Binary(_, a, b) => a.is_constant() && b.is_constant(),
+            Expr::Neg(e) => e.is_constant(),
+        }
+    }
+}
+
+impl Body {
+    /// Normalizes the body into disjunctive normal form: a list of
+    /// conjunctions, each a flat list of atoms and constraints.
+    pub fn to_dnf(&self) -> Vec<Vec<Body>> {
+        match self {
+            Body::Atom(_) | Body::Constraint(_) => vec![vec![self.clone()]],
+            Body::And(parts) => {
+                let mut acc: Vec<Vec<Body>> = vec![Vec::new()];
+                for part in parts {
+                    let part_dnf = part.to_dnf();
+                    let mut next = Vec::with_capacity(acc.len() * part_dnf.len());
+                    for prefix in &acc {
+                        for suffix in &part_dnf {
+                            let mut combined = prefix.clone();
+                            combined.extend(suffix.clone());
+                            next.push(combined);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            Body::Or(parts) => parts.iter().flat_map(|p| p.to_dnf()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(name: &str) -> Body {
+        Body::Atom(Atom { name: name.into(), args: vec![] })
+    }
+
+    #[test]
+    fn dnf_of_simple_conjunction() {
+        let body = Body::And(vec![atom("a"), atom("b")]);
+        let dnf = body.to_dnf();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 2);
+    }
+
+    #[test]
+    fn dnf_distributes_disjunction() {
+        // a and (b or c) => [a, b], [a, c]
+        let body = Body::And(vec![atom("a"), Body::Or(vec![atom("b"), atom("c")])]);
+        let dnf = body.to_dnf();
+        assert_eq!(dnf.len(), 2);
+        assert_eq!(dnf[0], vec![atom("a"), atom("b")]);
+        assert_eq!(dnf[1], vec![atom("a"), atom("c")]);
+    }
+
+    #[test]
+    fn collect_vars_dedups_in_order() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::Var("y".into())),
+                Box::new(Expr::Var("x".into())),
+            )),
+        );
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+        assert!(!e.is_constant());
+    }
+
+    #[test]
+    fn constant_detection() {
+        let e = Expr::Binary(BinOp::Add, Box::new(Expr::Int(1)), Box::new(Expr::Int(2)));
+        assert!(e.is_constant());
+        assert_eq!(Expr::Var("x".into()).as_var(), Some("x"));
+    }
+}

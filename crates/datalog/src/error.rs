@@ -1,0 +1,64 @@
+//! Front-end errors.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, type checking, or compiling a
+/// Datalog program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatalogError {
+    /// A lexical error (unexpected character, malformed literal).
+    Lex {
+        /// Byte offset in the source.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Byte offset in the source.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A semantic error (unknown relation, arity mismatch, unbound variable).
+    Semantic {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl DatalogError {
+    /// Creates a semantic error.
+    pub fn semantic(message: impl Into<String>) -> Self {
+        DatalogError::Semantic { message: message.into() }
+    }
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            DatalogError::Parse { position, message } => {
+                write!(f, "syntax error at byte {position}: {message}")
+            }
+            DatalogError::Semantic { message } => write!(f, "semantic error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = DatalogError::Lex { position: 3, message: "bad char".into() };
+        assert!(e.to_string().contains("byte 3"));
+        let e = DatalogError::semantic("unknown relation `foo`");
+        assert!(e.to_string().contains("foo"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Relation schema inference.
+//!
+//! Extensional relations are usually declared with `type rel(...)`
+//! declarations; intensional relations defined only by rules have their
+//! column types inferred by propagating types from rule bodies to rule heads
+//! until a fixed point is reached. Columns whose type cannot be determined
+//! default to `u32`.
+
+use crate::ast::{Body, Expr, Item, TypeName};
+use crate::error::DatalogError;
+use lobster_ram::ValueType;
+use std::collections::BTreeMap;
+
+fn resolve_type(
+    ty: &TypeName,
+    aliases: &BTreeMap<String, ValueType>,
+) -> Result<ValueType, DatalogError> {
+    Ok(match ty {
+        TypeName::U32 => ValueType::U32,
+        TypeName::I64 => ValueType::I64,
+        TypeName::F64 => ValueType::F64,
+        TypeName::Bool => ValueType::Bool,
+        TypeName::Symbol => ValueType::Symbol,
+        TypeName::Alias(name) => *aliases
+            .get(name)
+            .ok_or_else(|| DatalogError::semantic(format!("unknown type alias `{name}`")))?,
+    })
+}
+
+fn literal_type(expr: &Expr) -> Option<ValueType> {
+    match expr {
+        Expr::Int(v) if *v < 0 => Some(ValueType::I64),
+        Expr::Int(_) => Some(ValueType::U32),
+        Expr::Float(_) => Some(ValueType::F64),
+        Expr::Bool(_) => Some(ValueType::Bool),
+        Expr::Str(_) => Some(ValueType::Symbol),
+        Expr::Neg(_) => Some(ValueType::I64),
+        _ => None,
+    }
+}
+
+/// Collects the type aliases declared in a program.
+pub(crate) fn collect_aliases(
+    items: &[Item],
+) -> Result<BTreeMap<String, ValueType>, DatalogError> {
+    let mut aliases: BTreeMap<String, ValueType> = BTreeMap::new();
+    for item in items {
+        if let Item::TypeAlias { name, ty } = item {
+            let resolved = resolve_type(ty, &aliases)?;
+            aliases.insert(name.clone(), resolved);
+        }
+    }
+    Ok(aliases)
+}
+
+/// Infers the column types of every relation in the program.
+///
+/// # Errors
+///
+/// Returns a [`DatalogError::Semantic`] for unknown type aliases or
+/// inconsistent arities.
+pub fn infer_schemas(items: &[Item]) -> Result<BTreeMap<String, Vec<ValueType>>, DatalogError> {
+    let aliases = collect_aliases(items)?;
+    // Partial schemas: None marks a column whose type is not yet known.
+    let mut schemas: BTreeMap<String, Vec<Option<ValueType>>> = BTreeMap::new();
+
+    let set_schema = |schemas: &mut BTreeMap<String, Vec<Option<ValueType>>>,
+                          name: &str,
+                          types: Vec<Option<ValueType>>|
+     -> Result<bool, DatalogError> {
+        match schemas.get_mut(name) {
+            None => {
+                schemas.insert(name.to_string(), types);
+                Ok(true)
+            }
+            Some(existing) => {
+                if existing.len() != types.len() {
+                    return Err(DatalogError::semantic(format!(
+                        "relation `{name}` used with arities {} and {}",
+                        existing.len(),
+                        types.len()
+                    )));
+                }
+                let mut changed = false;
+                for (slot, ty) in existing.iter_mut().zip(types) {
+                    if slot.is_none() && ty.is_some() {
+                        *slot = ty;
+                        changed = true;
+                    }
+                }
+                Ok(changed)
+            }
+        }
+    };
+
+    // Declared relations.
+    for item in items {
+        match item {
+            Item::RelationDecl { name, params } => {
+                let types: Vec<Option<ValueType>> = params
+                    .iter()
+                    .map(|(_, ty)| resolve_type(ty, &aliases).map(Some))
+                    .collect::<Result<_, _>>()?;
+                set_schema(&mut schemas, name, types)?;
+            }
+            Item::Facts { name, facts } => {
+                if let Some(first) = facts.first() {
+                    let types: Vec<Option<ValueType>> =
+                        first.values.iter().map(literal_type).collect();
+                    set_schema(&mut schemas, name, types)?;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Propagate through rules to a fixed point.
+    let rules: Vec<(&crate::ast::Atom, &Body)> = items
+        .iter()
+        .filter_map(|item| match item {
+            Item::Rule { head, body } => Some((head, body)),
+            _ => None,
+        })
+        .collect();
+    for _ in 0..(rules.len() * 4 + 8) {
+        let mut changed = false;
+        for (head, body) in &rules {
+            // Gather variable types from body atoms with known schemas.
+            let mut var_types: BTreeMap<String, ValueType> = BTreeMap::new();
+            for conjunct in body.to_dnf() {
+                for unit in &conjunct {
+                    if let Body::Atom(atom) = unit {
+                        // Register the atom's arity even if types are unknown.
+                        if !schemas.contains_key(&atom.name) {
+                            schemas.insert(atom.name.clone(), vec![None; atom.args.len()]);
+                            changed = true;
+                        }
+                        let Some(schema) = schemas.get(&atom.name).cloned() else { continue };
+                        if schema.len() != atom.args.len() {
+                            return Err(DatalogError::semantic(format!(
+                                "relation `{}` used with arity {} but declared with arity {}",
+                                atom.name,
+                                atom.args.len(),
+                                schema.len()
+                            )));
+                        }
+                        for (arg, ty) in atom.args.iter().zip(&schema) {
+                            if let (Some(var), Some(ty)) = (arg.as_var(), ty) {
+                                var_types.entry(var.to_string()).or_insert(*ty);
+                            }
+                        }
+                    }
+                }
+            }
+            // Variables bound by `v == expr` constraints pick up the type of
+            // the expression (repeated a few times so chains of bindings
+            // resolve).
+            for _ in 0..3 {
+                for conjunct in body.to_dnf() {
+                    for unit in &conjunct {
+                        if let Body::Constraint(Expr::Binary(crate::ast::BinOp::Eq, lhs, rhs)) =
+                            unit
+                        {
+                            for (var_side, val_side) in [(lhs, rhs), (rhs, lhs)] {
+                                if let Some(var) = var_side.as_var() {
+                                    if !var_types.contains_key(var) {
+                                        if let Some(ty) = expr_type(val_side, &var_types) {
+                                            var_types.insert(var.to_string(), ty);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Derive head column types.
+            let head_types: Vec<Option<ValueType>> = head
+                .args
+                .iter()
+                .map(|arg| expr_type(arg, &var_types))
+                .collect();
+            changed |= set_schema(&mut schemas, &head.name, head_types)?;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Default unknown columns to u32.
+    Ok(schemas
+        .into_iter()
+        .map(|(name, types)| {
+            (name, types.into_iter().map(|t| t.unwrap_or(ValueType::U32)).collect())
+        })
+        .collect())
+}
+
+/// The type of an expression given variable types (None when undetermined).
+pub(crate) fn expr_type(
+    expr: &Expr,
+    var_types: &BTreeMap<String, ValueType>,
+) -> Option<ValueType> {
+    match expr {
+        Expr::Var(v) => var_types.get(v).copied(),
+        Expr::Wildcard => None,
+        Expr::Binary(op, a, b) => {
+            if matches!(
+                op,
+                crate::ast::BinOp::Eq
+                    | crate::ast::BinOp::Ne
+                    | crate::ast::BinOp::Lt
+                    | crate::ast::BinOp::Le
+                    | crate::ast::BinOp::Gt
+                    | crate::ast::BinOp::Ge
+            ) {
+                return Some(ValueType::Bool);
+            }
+            let (ta, tb) = (expr_type(a, var_types), expr_type(b, var_types));
+            unify(ta, tb)
+        }
+        Expr::Neg(e) => expr_type(e, var_types).or(Some(ValueType::I64)),
+        _ => literal_type(expr),
+    }
+}
+
+/// Joins two optional types, preferring the "wider" numeric type.
+pub(crate) fn unify(a: Option<ValueType>, b: Option<ValueType>) -> Option<ValueType> {
+    match (a, b) {
+        (Some(ValueType::F64), _) | (_, Some(ValueType::F64)) => Some(ValueType::F64),
+        (Some(ValueType::I64), _) | (_, Some(ValueType::I64)) => Some(ValueType::I64),
+        (Some(t), _) => Some(t),
+        (None, t) => t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_items;
+
+    #[test]
+    fn declared_schemas_are_used() {
+        let items = parse_items("type Cell = u32  type edge(x: Cell, y: Cell)").unwrap();
+        let schemas = infer_schemas(&items).unwrap();
+        assert_eq!(schemas["edge"], vec![ValueType::U32, ValueType::U32]);
+    }
+
+    #[test]
+    fn idb_schema_is_inferred_from_rules() {
+        let items = parse_items(
+            "type edge(x: u32, y: u32)  rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))",
+        )
+        .unwrap();
+        let schemas = infer_schemas(&items).unwrap();
+        assert_eq!(schemas["path"], vec![ValueType::U32, ValueType::U32]);
+    }
+
+    #[test]
+    fn float_types_propagate_through_arithmetic() {
+        let items = parse_items(
+            "type val(i: u32, v: f64)  rel doubled(i, w) = val(i, v), w == v * 2.0",
+        )
+        .unwrap();
+        let schemas = infer_schemas(&items).unwrap();
+        assert_eq!(schemas["doubled"], vec![ValueType::U32, ValueType::F64]);
+    }
+
+    #[test]
+    fn fact_literals_determine_types() {
+        let items = parse_items(r#"rel name = {("alice", 3), ("bob", 4)}"#).unwrap();
+        let schemas = infer_schemas(&items).unwrap();
+        assert_eq!(schemas["name"], vec![ValueType::Symbol, ValueType::U32]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let items = parse_items("type edge(x: u32, y: u32)  rel bad(x) = edge(x)").unwrap();
+        assert!(infer_schemas(&items).is_err());
+    }
+
+    #[test]
+    fn unknown_alias_is_an_error() {
+        let items = parse_items("type edge(x: Mystery)").unwrap();
+        assert!(infer_schemas(&items).is_err());
+    }
+
+    #[test]
+    fn unknown_columns_default_to_u32() {
+        let items = parse_items("rel out(x) = src(x)").unwrap();
+        let schemas = infer_schemas(&items).unwrap();
+        assert_eq!(schemas["out"], vec![ValueType::U32]);
+        assert_eq!(schemas["src"], vec![ValueType::U32]);
+    }
+}

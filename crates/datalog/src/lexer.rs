@@ -1,0 +1,324 @@
+//! Lexer for the Datalog surface language.
+
+use crate::error::DatalogError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (without quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `:-`
+    Turnstile,
+    /// `::`
+    DoubleColon,
+    /// `:`
+    Colon,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<=`
+    LessEq,
+    /// `>=`
+    GreaterEq,
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `_`
+    Underscore,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+/// A token plus its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source.
+    pub position: usize,
+}
+
+/// Tokenizes a source string.
+///
+/// # Errors
+///
+/// Returns a [`DatalogError::Lex`] for unexpected characters or malformed
+/// literals.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, DatalogError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Skip whitespace.
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments: `//` and `%`-free (Scallop uses `//`).
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let push = |out: &mut Vec<Spanned>, token: Token, pos: usize| {
+            out.push(Spanned { token, position: pos })
+        };
+        match c {
+            '(' => {
+                push(&mut out, Token::LParen, start);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Token::RParen, start);
+                i += 1;
+            }
+            '{' => {
+                push(&mut out, Token::LBrace, start);
+                i += 1;
+            }
+            '}' => {
+                push(&mut out, Token::RBrace, start);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Token::Comma, start);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, Token::Plus, start);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, Token::Star, start);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, Token::Slash, start);
+                i += 1;
+            }
+            '%' => {
+                push(&mut out, Token::Percent, start);
+                i += 1;
+            }
+            '&' if bytes.get(i + 1) == Some(&b'&') => {
+                push(&mut out, Token::AndAnd, start);
+                i += 2;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                push(&mut out, Token::OrOr, start);
+                i += 2;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::EqEq, start);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Assign, start);
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                push(&mut out, Token::NotEq, start);
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::LessEq, start);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Less, start);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::GreaterEq, start);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Greater, start);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    push(&mut out, Token::Turnstile, start);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b':') {
+                    push(&mut out, Token::DoubleColon, start);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Colon, start);
+                    i += 1;
+                }
+            }
+            '-' => {
+                push(&mut out, Token::Minus, start);
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DatalogError::Lex {
+                        position: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                push(&mut out, Token::Str(source[begin..i].to_string()), start);
+                i += 1;
+            }
+            '_' if bytes
+                .get(i + 1)
+                .map(|&b| !(b as char).is_alphanumeric() && b != b'_')
+                .unwrap_or(true) =>
+            {
+                push(&mut out, Token::Underscore, start);
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && bytes.get(j + 1).map(|&b| (b as char).is_ascii_digit()).unwrap_or(false)
+                            && !is_float))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &source[i..j];
+                if is_float {
+                    let value = text.parse::<f64>().map_err(|e| DatalogError::Lex {
+                        position: start,
+                        message: format!("bad float literal `{text}`: {e}"),
+                    })?;
+                    push(&mut out, Token::Float(value), start);
+                } else {
+                    let value = text.parse::<i64>().map_err(|e| DatalogError::Lex {
+                        position: start,
+                        message: format!("bad integer literal `{text}`: {e}"),
+                    })?;
+                    push(&mut out, Token::Int(value), start);
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                push(&mut out, Token::Ident(source[i..j].to_string()), start);
+                i = j;
+            }
+            other => {
+                return Err(DatalogError::Lex {
+                    position: start,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_rule_syntax() {
+        let t = toks("rel path(x, y) :- edge(x, y)");
+        assert_eq!(t[0], Token::Ident("rel".into()));
+        assert!(t.contains(&Token::Turnstile));
+        assert!(t.contains(&Token::LParen));
+    }
+
+    #[test]
+    fn lexes_probabilistic_fact() {
+        let t = toks("0.9::(1, 2)");
+        assert_eq!(t[0], Token::Float(0.9));
+        assert_eq!(t[1], Token::DoubleColon);
+        assert_eq!(t[3], Token::Int(1));
+    }
+
+    #[test]
+    fn lexes_operators_and_comparisons() {
+        let t = toks("x != y, a <= b + 3 * 2, c == d");
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::LessEq));
+        assert!(t.contains(&Token::EqEq));
+        assert!(t.contains(&Token::Star));
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let t = toks("// a comment\nrel  a()   // trailing\n");
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn lexes_strings_and_wildcards() {
+        let t = toks(r#"kin("mother", _, x)"#);
+        assert!(t.contains(&Token::Str("mother".into())));
+        assert!(t.contains(&Token::Underscore));
+    }
+
+    #[test]
+    fn underscore_prefixed_identifier_is_ident() {
+        let t = toks("_foo");
+        assert_eq!(t, vec![Token::Ident("_foo".into())]);
+    }
+
+    #[test]
+    fn reports_bad_characters() {
+        assert!(matches!(tokenize("rel a() = $"), Err(DatalogError::Lex { .. })));
+        assert!(matches!(tokenize("\"unterminated"), Err(DatalogError::Lex { .. })));
+    }
+}

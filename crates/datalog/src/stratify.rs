@@ -1,0 +1,223 @@
+//! Stratification of rules by strongly connected components of the relation
+//! dependency graph.
+
+use crate::ast::{Body, Item};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Computes the strata of a program: groups of mutually recursive relations
+/// in dependency order (dependencies first).
+///
+/// Only relations that appear as rule heads are included; extensional
+/// relations have no stratum of their own.
+pub fn stratify(items: &[Item]) -> Vec<Vec<String>> {
+    // Dependency edges: body relation -> head relation.
+    let mut heads: BTreeSet<String> = BTreeSet::new();
+    let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for item in items {
+        if let Item::Rule { head, body } = item {
+            heads.insert(head.name.clone());
+            let entry = deps.entry(head.name.clone()).or_default();
+            for conjunct in body.to_dnf() {
+                for unit in conjunct {
+                    if let Body::Atom(atom) = unit {
+                        entry.insert(atom.name.clone());
+                    }
+                }
+            }
+        }
+    }
+    // Keep only dependencies on other head relations.
+    for targets in deps.values_mut() {
+        targets.retain(|t| heads.contains(t));
+    }
+
+    // Tarjan-style SCC via iterative Kosaraju (two DFS passes).
+    let nodes: Vec<String> = heads.iter().cloned().collect();
+    let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let n = nodes.len();
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n]; // dep -> head
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (head, body_rels) in &deps {
+        let h = index[head.as_str()];
+        for b in body_rels {
+            let b = index[b.as_str()];
+            fwd[b].push(h);
+            rev[h].push(b);
+        }
+    }
+
+    // First pass: order by finish time on the forward graph.
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        // Iterative DFS with an explicit "exit" marker.
+        let mut stack: Vec<(usize, bool)> = vec![(start, false)];
+        while let Some((node, exiting)) = stack.pop() {
+            if exiting {
+                order.push(node);
+                continue;
+            }
+            if visited[node] {
+                continue;
+            }
+            visited[node] = true;
+            stack.push((node, true));
+            for &next in &fwd[node] {
+                if !visited[next] {
+                    stack.push((next, false));
+                }
+            }
+        }
+    }
+
+    // Second pass: components on the reverse graph in reverse finish order.
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for &start in order.iter().rev() {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        component[start] = id;
+        while let Some(node) = stack.pop() {
+            members.push(node);
+            for &next in &rev[node] {
+                if component[next] == usize::MAX {
+                    component[next] = id;
+                    stack.push(next);
+                }
+            }
+        }
+        components.push(members);
+    }
+
+    // Components are discovered in reverse topological order of the
+    // condensation when using Kosaraju on (fwd, rev) as above; order them so
+    // dependencies come first by sorting on the maximum dependency depth.
+    let mut comp_deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); components.len()];
+    for (head, body_rels) in &deps {
+        let h = component[index[head.as_str()]];
+        for b in body_rels {
+            let b = component[index[b.as_str()]];
+            if b != h {
+                comp_deps[h].insert(b);
+            }
+        }
+    }
+    // Topological sort of components (Kahn).
+    let mut indegree = vec![0usize; components.len()];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); components.len()];
+    for (c, deps) in comp_deps.iter().enumerate() {
+        indegree[c] = deps.len();
+        for &d in deps {
+            dependents[d].push(c);
+        }
+    }
+    let mut queue: Vec<usize> = (0..components.len()).filter(|&c| indegree[c] == 0).collect();
+    queue.sort_unstable();
+    let mut topo: Vec<usize> = Vec::with_capacity(components.len());
+    while let Some(c) = queue.pop() {
+        topo.push(c);
+        for &d in &dependents[c] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push(d);
+            }
+        }
+        queue.sort_unstable();
+    }
+
+    topo.into_iter()
+        .map(|c| {
+            let mut names: Vec<String> =
+                components[c].iter().map(|&i| nodes[i].clone()).collect();
+            names.sort();
+            names
+        })
+        .collect()
+}
+
+/// Whether a stratum (a set of relations) is recursive given the program's
+/// rules: either it has more than one relation, or one of its rules refers to
+/// its own target.
+pub fn stratum_is_recursive(relations: &[String], items: &[Item]) -> bool {
+    if relations.len() > 1 {
+        return true;
+    }
+    let own: BTreeSet<&str> = relations.iter().map(String::as_str).collect();
+    for item in items {
+        if let Item::Rule { head, body } = item {
+            if !own.contains(head.name.as_str()) {
+                continue;
+            }
+            for conjunct in body.to_dnf() {
+                for unit in conjunct {
+                    if let Body::Atom(atom) = unit {
+                        if own.contains(atom.name.as_str()) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_items;
+
+    #[test]
+    fn linear_chain_of_strata() {
+        let items = parse_items(
+            "rel b(x) = a(x)  rel c(x) = b(x)  rel d(x) = c(x)",
+        )
+        .unwrap();
+        let strata = stratify(&items);
+        assert_eq!(strata, vec![vec!["b".to_string()], vec!["c".to_string()], vec!["d".to_string()]]);
+    }
+
+    #[test]
+    fn self_recursion_is_one_recursive_stratum() {
+        let items = parse_items(
+            "rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))  rel out() = path(x, y)",
+        )
+        .unwrap();
+        let strata = stratify(&items);
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0], vec!["path".to_string()]);
+        assert!(stratum_is_recursive(&strata[0], &items));
+        assert!(!stratum_is_recursive(&strata[1], &items));
+    }
+
+    #[test]
+    fn mutual_recursion_groups_relations() {
+        let items = parse_items(
+            "rel even(x) = zero(x) or (odd(y), succ(y, x))  rel odd(x) = even(y), succ(y, x)",
+        )
+        .unwrap();
+        let strata = stratify(&items);
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0], vec!["even".to_string(), "odd".to_string()]);
+        assert!(stratum_is_recursive(&strata[0], &items));
+    }
+
+    #[test]
+    fn dependencies_come_before_dependents() {
+        let items = parse_items(
+            "rel tc(x, y) = e(x, y) or (tc(x, z), e(z, y))  rel query_result(x) = tc(0, x), interesting(x)",
+        )
+        .unwrap();
+        let strata = stratify(&items);
+        let tc_pos = strata.iter().position(|s| s.contains(&"tc".to_string())).unwrap();
+        let qr_pos = strata.iter().position(|s| s.contains(&"query_result".to_string())).unwrap();
+        assert!(tc_pos < qr_pos);
+    }
+}

@@ -1,0 +1,141 @@
+//! Arena allocation and buffer reuse for device registers.
+//!
+//! Section 4.1 of the paper observes that every allocation in an APM program
+//! is identified by an `alloc` instruction and that all register data is
+//! discarded after each fix-point iteration. This enables two optimizations:
+//!
+//! * **Arena allocation** — allocation is a bump of a per-iteration arena and
+//!   deallocation is a no-op performed once per iteration.
+//! * **Buffer reuse** — buffers allocated for a given `alloc` instruction are
+//!   recycled across iterations, because a register's size is strongly
+//!   correlated with its size on the previous iteration.
+//!
+//! The [`Arena`] implements both: buffers are keyed by the id of the `alloc`
+//! instruction that produced them, and `reset` returns them to a free pool
+//! instead of dropping them.
+
+use crate::{Column, Device, DeviceError};
+use std::collections::HashMap;
+
+/// A pool of reusable device buffers keyed by allocation site.
+#[derive(Debug, Default)]
+pub struct Arena {
+    /// Free buffers per allocation site, kept across iterations when buffer
+    /// reuse is enabled.
+    free: HashMap<usize, Vec<Column>>,
+    /// Whether buffers are recycled across `reset` calls.
+    reuse: bool,
+    /// Bytes handed out since the last reset (for statistics).
+    bytes_in_flight: usize,
+}
+
+impl Arena {
+    /// Creates an arena. When `reuse` is false every allocation is fresh,
+    /// which models the unoptimized configuration of the paper's Figure 10
+    /// ablation.
+    pub fn new(reuse: bool) -> Self {
+        Arena { free: HashMap::new(), reuse, bytes_in_flight: 0 }
+    }
+
+    /// Whether buffer reuse is enabled.
+    pub fn reuse_enabled(&self) -> bool {
+        self.reuse
+    }
+
+    /// Allocates (or recycles) a buffer of `len` words for allocation site
+    /// `site`, accounting the memory against the device budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfMemory`] when the device memory budget
+    /// would be exceeded.
+    pub fn alloc(&mut self, device: &Device, site: usize, len: usize) -> Result<Column, DeviceError> {
+        let bytes = len * std::mem::size_of::<u64>();
+        device.try_alloc(bytes)?;
+        self.bytes_in_flight += bytes;
+        if self.reuse {
+            if let Some(pool) = self.free.get_mut(&site) {
+                if let Some(mut buf) = pool.pop() {
+                    buf.clear();
+                    buf.resize(len, 0);
+                    return Ok(buf);
+                }
+            }
+        }
+        Ok(vec![0u64; len])
+    }
+
+    /// Returns a buffer to the arena's free pool (no-op deallocation).
+    pub fn recycle(&mut self, site: usize, buffer: Column) {
+        if self.reuse {
+            self.free.entry(site).or_default().push(buffer);
+        }
+    }
+
+    /// Ends an iteration: releases all in-flight bytes back to the device.
+    pub fn reset(&mut self, device: &Device) {
+        device.free(self.bytes_in_flight);
+        self.bytes_in_flight = 0;
+    }
+
+    /// Bytes currently accounted against the device by this arena.
+    pub fn bytes_in_flight(&self) -> usize {
+        self.bytes_in_flight
+    }
+
+    /// Number of buffers waiting in the free pools.
+    pub fn pooled_buffers(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+
+    #[test]
+    fn alloc_and_reset_balance_device_accounting() {
+        let dev = Device::sequential();
+        let mut arena = Arena::new(true);
+        let a = arena.alloc(&dev, 0, 100).unwrap();
+        let b = arena.alloc(&dev, 1, 50).unwrap();
+        assert_eq!(dev.live_bytes(), 150 * 8);
+        arena.recycle(0, a);
+        arena.recycle(1, b);
+        arena.reset(&dev);
+        assert_eq!(dev.live_bytes(), 0);
+        assert_eq!(arena.bytes_in_flight(), 0);
+    }
+
+    #[test]
+    fn buffers_are_recycled_per_site() {
+        let dev = Device::sequential();
+        let mut arena = Arena::new(true);
+        let a = arena.alloc(&dev, 7, 10).unwrap();
+        arena.recycle(7, a);
+        arena.reset(&dev);
+        assert_eq!(arena.pooled_buffers(), 1);
+        let b = arena.alloc(&dev, 7, 20).unwrap();
+        assert_eq!(b.len(), 20);
+        assert_eq!(arena.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn reuse_disabled_never_pools() {
+        let dev = Device::sequential();
+        let mut arena = Arena::new(false);
+        let a = arena.alloc(&dev, 0, 10).unwrap();
+        arena.recycle(0, a);
+        assert_eq!(arena.pooled_buffers(), 0);
+        assert!(!arena.reuse_enabled());
+    }
+
+    #[test]
+    fn arena_respects_device_memory_budget() {
+        let dev = Device::new(DeviceConfig { memory_limit: Some(64), ..DeviceConfig::default() });
+        let mut arena = Arena::new(true);
+        assert!(arena.alloc(&dev, 0, 4).is_ok());
+        assert!(matches!(arena.alloc(&dev, 1, 100), Err(DeviceError::OutOfMemory { .. })));
+    }
+}

@@ -1,0 +1,269 @@
+//! The simulated device: configuration, memory accounting, and statistics.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Direction of a simulated host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDirection {
+    /// Host (CPU) memory to device (GPU) memory.
+    HostToDevice,
+    /// Device (GPU) memory back to host (CPU) memory.
+    DeviceToHost,
+}
+
+/// Configuration of the simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Number of worker threads used to execute kernels. `1` gives a fully
+    /// sequential execution, which is useful for debugging.
+    pub parallelism: usize,
+    /// Optional device memory budget in bytes. Allocations beyond the budget
+    /// fail with [`DeviceError::OutOfMemory`], reproducing the OOM entries of
+    /// the paper's Table 3.
+    pub memory_limit: Option<usize>,
+    /// The `O` parameter of the paper (Figure 6): the hash table built for a
+    /// join is sized `O ×` the number of build-side rows.
+    pub hash_table_expansion: usize,
+    /// Minimum number of rows per worker chunk before a kernel bothers to go
+    /// parallel.
+    pub min_parallel_rows: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            memory_limit: None,
+            hash_table_expansion: 2,
+            min_parallel_rows: 4096,
+        }
+    }
+}
+
+/// Counters describing the work a device has performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Number of kernel launches.
+    pub kernel_launches: usize,
+    /// Number of device allocations.
+    pub allocations: usize,
+    /// Total bytes ever allocated on the device.
+    pub allocated_bytes: usize,
+    /// Bytes currently allocated.
+    pub live_bytes: usize,
+    /// High-water mark of live bytes.
+    pub peak_bytes: usize,
+    /// Bytes copied host → device.
+    pub bytes_to_device: usize,
+    /// Bytes copied device → host.
+    pub bytes_to_host: usize,
+    /// Number of host↔device transfer operations.
+    pub transfers: usize,
+}
+
+/// Errors produced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The configured device memory budget was exceeded.
+    OutOfMemory {
+        /// Bytes the failing allocation requested.
+        requested: usize,
+        /// Bytes live at the time of the failure.
+        live: usize,
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested, live, limit } => write!(
+                f,
+                "device out of memory: requested {requested} bytes with {live} live of {limit} budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[derive(Debug, Default)]
+struct DeviceInner {
+    stats: Mutex<DeviceStats>,
+    live_bytes: AtomicUsize,
+}
+
+/// A handle to the simulated device.
+///
+/// The device is cheap to clone (clones share statistics and the memory
+/// budget) and is `Send + Sync`, so a single device can back many concurrent
+/// kernel launches.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+    inner: Arc<DeviceInner>,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::new(DeviceConfig::default())
+    }
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Device { config, inner: Arc::new(DeviceInner::default()) }
+    }
+
+    /// Creates a single-threaded device with no memory budget; convenient for
+    /// tests.
+    pub fn sequential() -> Self {
+        Device::new(DeviceConfig { parallelism: 1, ..DeviceConfig::default() })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Number of kernel worker threads.
+    pub fn parallelism(&self) -> usize {
+        self.config.parallelism.max(1)
+    }
+
+    /// Minimum rows before a kernel splits work across threads.
+    pub fn min_parallel_rows(&self) -> usize {
+        self.config.min_parallel_rows.max(1)
+    }
+
+    /// Records a kernel launch (used by every kernel in [`crate::kernels`]).
+    pub fn record_kernel(&self) {
+        self.inner.stats.lock().kernel_launches += 1;
+    }
+
+    /// Accounts for a device allocation of `bytes`, failing if the memory
+    /// budget would be exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfMemory`] when a memory budget is configured
+    /// and the allocation would exceed it.
+    pub fn try_alloc(&self, bytes: usize) -> Result<(), DeviceError> {
+        let live = self.inner.live_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        if let Some(limit) = self.config.memory_limit {
+            if live > limit {
+                self.inner.live_bytes.fetch_sub(bytes, Ordering::SeqCst);
+                return Err(DeviceError::OutOfMemory { requested: bytes, live: live - bytes, limit });
+            }
+        }
+        let mut stats = self.inner.stats.lock();
+        stats.allocations += 1;
+        stats.allocated_bytes += bytes;
+        stats.live_bytes = live;
+        stats.peak_bytes = stats.peak_bytes.max(live);
+        Ok(())
+    }
+
+    /// Releases `bytes` previously accounted with [`Device::try_alloc`].
+    pub fn free(&self, bytes: usize) {
+        let prev = self.inner.live_bytes.fetch_sub(bytes, Ordering::SeqCst);
+        let live = prev.saturating_sub(bytes);
+        self.inner.stats.lock().live_bytes = live;
+    }
+
+    /// Bytes currently accounted as live on the device.
+    pub fn live_bytes(&self) -> usize {
+        self.inner.live_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Records a host↔device transfer of `bytes`.
+    pub fn record_transfer(&self, direction: TransferDirection, bytes: usize) {
+        let mut stats = self.inner.stats.lock();
+        stats.transfers += 1;
+        match direction {
+            TransferDirection::HostToDevice => stats.bytes_to_device += bytes,
+            TransferDirection::DeviceToHost => stats.bytes_to_host += bytes,
+        }
+    }
+
+    /// A snapshot of the device statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.inner.stats.lock().clone()
+    }
+
+    /// Resets all statistics (but not live-memory accounting).
+    pub fn reset_stats(&self) {
+        let live = self.live_bytes();
+        let mut stats = self.inner.stats.lock();
+        *stats = DeviceStats { live_bytes: live, peak_bytes: live, ..DeviceStats::default() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_accounting_tracks_peak_and_live() {
+        let dev = Device::sequential();
+        dev.try_alloc(100).unwrap();
+        dev.try_alloc(50).unwrap();
+        dev.free(100);
+        let stats = dev.stats();
+        assert_eq!(stats.allocations, 2);
+        assert_eq!(stats.allocated_bytes, 150);
+        assert_eq!(stats.peak_bytes, 150);
+        assert_eq!(dev.live_bytes(), 50);
+    }
+
+    #[test]
+    fn memory_budget_produces_oom() {
+        let dev = Device::new(DeviceConfig { memory_limit: Some(128), ..DeviceConfig::default() });
+        dev.try_alloc(100).unwrap();
+        let err = dev.try_alloc(100).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory { requested, live, limit } => {
+                assert_eq!(requested, 100);
+                assert_eq!(live, 100);
+                assert_eq!(limit, 128);
+            }
+        }
+        // The failed allocation must not leak accounting.
+        assert_eq!(dev.live_bytes(), 100);
+    }
+
+    #[test]
+    fn transfers_are_recorded_per_direction() {
+        let dev = Device::sequential();
+        dev.record_transfer(TransferDirection::HostToDevice, 64);
+        dev.record_transfer(TransferDirection::DeviceToHost, 16);
+        let stats = dev.stats();
+        assert_eq!(stats.transfers, 2);
+        assert_eq!(stats.bytes_to_device, 64);
+        assert_eq!(stats.bytes_to_host, 16);
+    }
+
+    #[test]
+    fn clones_share_statistics() {
+        let dev = Device::sequential();
+        let clone = dev.clone();
+        clone.record_kernel();
+        assert_eq!(dev.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn reset_stats_preserves_live_bytes() {
+        let dev = Device::sequential();
+        dev.try_alloc(64).unwrap();
+        dev.record_kernel();
+        dev.reset_stats();
+        let stats = dev.stats();
+        assert_eq!(stats.kernel_launches, 0);
+        assert_eq!(stats.live_bytes, 64);
+    }
+}

@@ -1,0 +1,189 @@
+//! The lock-free-style open-addressing hash index used for joins.
+//!
+//! Section 5.1 of the paper: the join kernel relies on a GPU hash table with
+//! open addressing and linear probing, storing *indices back into the source
+//! table* rather than fact data, so the join's complexity is decoupled from
+//! the width of the input relations. This module reproduces that structure on
+//! the simulated device.
+
+use crate::{Column, Device};
+
+/// Multiplicative hashing constant (the 64-bit golden ratio).
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn hash_key(key: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &k in key {
+        h ^= k.wrapping_mul(HASH_MULT);
+        h = h.rotate_left(27).wrapping_mul(HASH_MULT);
+    }
+    h
+}
+
+/// A hash index over the first `w` columns of a build-side table.
+///
+/// Slots store `row_index + 1` (0 means empty). Duplicate keys occupy
+/// separate slots along the probe chain, so a probe enumerates *all* matching
+/// build rows — exactly what a relational join needs.
+///
+/// The index owns a copy of the key columns it was built from, which is what
+/// allows it to be stored in a *static register* (Section 4.2) and reused
+/// across fix-point iterations even though the transient registers of the
+/// previous iteration have been discarded.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    slots: Vec<u64>,
+    mask: u64,
+    keys: Vec<Column>,
+    rows: usize,
+}
+
+impl HashIndex {
+    /// Builds an index over `key_columns` (all columns must share the same
+    /// length). `expansion` is the paper's `O` parameter: the table capacity
+    /// is the smallest power of two at least `expansion ×` the row count.
+    pub fn build(device: &Device, key_columns: &[&[u64]], expansion: usize) -> Self {
+        device.record_kernel();
+        let rows = key_columns.first().map(|c| c.len()).unwrap_or(0);
+        debug_assert!(key_columns.iter().all(|c| c.len() == rows), "ragged key columns");
+        let capacity = (rows.max(1) * expansion.max(1)).next_power_of_two().max(8);
+        let mask = capacity as u64 - 1;
+        let mut slots = vec![0u64; capacity];
+        let keys: Vec<Column> = key_columns.iter().map(|c| c.to_vec()).collect();
+        let mut key_buf = vec![0u64; keys.len()];
+        for row in 0..rows {
+            for (k, col) in key_buf.iter_mut().zip(&keys) {
+                *k = col[row];
+            }
+            let mut slot = (hash_key(&key_buf) & mask) as usize;
+            while slots[slot] != 0 {
+                slot = (slot + 1) & mask as usize;
+            }
+            slots[slot] = row as u64 + 1;
+        }
+        HashIndex { slots, mask, keys, rows }
+    }
+
+    /// Number of rows indexed.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of slots in the table.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Width of the join key in columns.
+    pub fn key_width(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Approximate number of bytes the index occupies on the device.
+    pub fn size_bytes(&self) -> usize {
+        (self.slots.len() + self.keys.len() * self.rows) * std::mem::size_of::<u64>()
+    }
+
+    fn row_matches(&self, row: usize, key: &[u64]) -> bool {
+        self.keys.iter().zip(key).all(|(col, &k)| col[row] == k)
+    }
+
+    /// Counts the build rows whose key equals `key`.
+    pub fn count(&self, key: &[u64]) -> usize {
+        let mut n = 0;
+        self.for_each_match(key, |_| n += 1);
+        n
+    }
+
+    /// Invokes `f` with the index of every build row whose key equals `key`,
+    /// in probe-chain order (deterministic).
+    pub fn for_each_match(&self, key: &[u64], mut f: impl FnMut(usize)) {
+        if self.rows == 0 {
+            return;
+        }
+        let mut slot = (hash_key(key) & self.mask) as usize;
+        loop {
+            let entry = self.slots[slot];
+            if entry == 0 {
+                return;
+            }
+            let row = (entry - 1) as usize;
+            if self.row_matches(row, key) {
+                f(row);
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(cols: &[Vec<u64>]) -> HashIndex {
+        let dev = Device::sequential();
+        let refs: Vec<&[u64]> = cols.iter().map(|c| c.as_slice()).collect();
+        HashIndex::build(&dev, &refs, 2)
+    }
+
+    #[test]
+    fn single_column_lookup_finds_all_duplicates() {
+        let idx = index_of(&[vec![1, 2, 1, 3, 1]]);
+        let mut hits = Vec::new();
+        idx.for_each_match(&[1], |r| hits.push(r));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2, 4]);
+        assert_eq!(idx.count(&[2]), 1);
+        assert_eq!(idx.count(&[9]), 0);
+    }
+
+    #[test]
+    fn multi_column_keys_distinguish_rows() {
+        let idx = index_of(&[vec![1, 1, 2], vec![10, 20, 10]]);
+        assert_eq!(idx.count(&[1, 10]), 1);
+        assert_eq!(idx.count(&[1, 20]), 1);
+        assert_eq!(idx.count(&[2, 20]), 0);
+        assert_eq!(idx.key_width(), 2);
+    }
+
+    #[test]
+    fn empty_build_side_matches_nothing() {
+        let idx = index_of(&[Vec::new()]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.count(&[42]), 0);
+    }
+
+    #[test]
+    fn capacity_scales_with_expansion() {
+        let dev = Device::sequential();
+        let col: Vec<u64> = (0..100).collect();
+        let small = HashIndex::build(&dev, &[&col], 1);
+        let large = HashIndex::build(&dev, &[&col], 4);
+        assert!(large.capacity() >= small.capacity());
+        assert!(small.capacity() >= 100);
+    }
+
+    #[test]
+    fn heavy_collision_load_still_finds_everything() {
+        // Many distinct keys plus many duplicates of one key.
+        let mut col = Vec::new();
+        for i in 0..1000u64 {
+            col.push(i);
+        }
+        for _ in 0..100 {
+            col.push(7);
+        }
+        let idx = index_of(&[col]);
+        assert_eq!(idx.count(&[7]), 101);
+        for i in 0..1000u64 {
+            if i != 7 {
+                assert_eq!(idx.count(&[i]), 1, "key {i}");
+            }
+        }
+    }
+}

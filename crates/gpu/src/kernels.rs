@@ -1,0 +1,493 @@
+//! The data-parallel kernel library backing the APM instruction set.
+//!
+//! Each function corresponds to one (or one family of) APM instruction from
+//! Table 1 of the paper. Kernels operate on flat 64-bit columns plus a
+//! generic tag slice, record a launch on the [`Device`], and are
+//! deterministic regardless of the configured parallelism.
+
+use crate::parallel::{par_collect_chunks, par_map_into};
+use crate::{Column, Columns, Device, HashIndex};
+use std::cmp::Ordering;
+
+/// Compares row `i` of `a` with row `j` of `b` lexicographically by column.
+pub fn cmp_rows(a: &[&[u64]], i: usize, b: &[&[u64]], j: usize) -> Ordering {
+    for (ca, cb) in a.iter().zip(b.iter()) {
+        match ca[i].cmp(&cb[j]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `eval⟨α⟩(s̄)`: evaluates a projection/selection function on every row.
+///
+/// `f` receives the row index and returns the output row, or `None` when the
+/// row is filtered out (selection). The result is the output columns plus,
+/// for each output row, the index of the input row it came from — the latter
+/// is what lets the caller copy (or gather) provenance tags, since projection
+/// ties each output fact to exactly one input fact (Section 3.3).
+pub fn eval<F>(device: &Device, len: usize, out_arity: usize, f: F) -> (Columns, Column)
+where
+    F: Fn(usize) -> Option<Vec<u64>> + Sync,
+{
+    device.record_kernel();
+    let rows: Vec<(u64, Vec<u64>)> = par_collect_chunks(device, len, |range| {
+        let mut out = Vec::new();
+        for i in range {
+            if let Some(row) = f(i) {
+                debug_assert_eq!(row.len(), out_arity, "projection produced wrong arity");
+                out.push((i as u64, row));
+            }
+        }
+        out
+    });
+    let mut columns: Columns = vec![Vec::with_capacity(rows.len()); out_arity];
+    let mut sources: Column = Vec::with_capacity(rows.len());
+    for (src, row) in rows {
+        sources.push(src);
+        for (c, v) in row.into_iter().enumerate() {
+            columns[c].push(v);
+        }
+    }
+    (columns, sources)
+}
+
+/// `gather(i, s)`: `out[k] = column[indices[k]]`.
+pub fn gather(device: &Device, indices: &[u64], column: &[u64]) -> Column {
+    device.record_kernel();
+    let mut out = vec![0u64; indices.len()];
+    par_map_into(device, &mut out, |k| column[indices[k] as usize]);
+    out
+}
+
+/// Tag variant of [`gather`].
+pub fn gather_tags<T: Clone + Send + Sync>(device: &Device, indices: &[u64], tags: &[T]) -> Vec<T> {
+    device.record_kernel();
+    let mut out: Vec<Option<T>> = vec![None; indices.len()];
+    par_map_into(device, &mut out, |k| Some(tags[indices[k] as usize].clone()));
+    out.into_iter().map(|t| t.expect("gather_tags produced a hole")).collect()
+}
+
+/// `gather⟨⊗⟩([i_l, i_r], [t_l, t_r])`: gathers a tag from each side of a
+/// join and combines them with the semiring conjunction.
+pub fn gather_mul_tags<T, F>(
+    device: &Device,
+    left_indices: &[u64],
+    right_indices: &[u64],
+    left_tags: &[T],
+    right_tags: &[T],
+    mul: F,
+) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    device.record_kernel();
+    debug_assert_eq!(left_indices.len(), right_indices.len());
+    let mut out: Vec<Option<T>> = vec![None; left_indices.len()];
+    par_map_into(device, &mut out, |k| {
+        let l = &left_tags[left_indices[k] as usize];
+        let r = &right_tags[right_indices[k] as usize];
+        Some(mul(l, r))
+    });
+    out.into_iter().map(|t| t.expect("gather_mul_tags produced a hole")).collect()
+}
+
+/// `scan(s)`: exclusive prefix sum. Returns the offsets and the total.
+pub fn scan(device: &Device, counts: &[u64]) -> (Column, u64) {
+    device.record_kernel();
+    let mut offsets = Vec::with_capacity(counts.len());
+    let mut acc = 0u64;
+    for &c in counts {
+        offsets.push(acc);
+        acc += c;
+    }
+    (offsets, acc)
+}
+
+/// `sort(s̄)`: returns the permutation that lexicographically sorts the rows
+/// of the table formed by `columns`.
+pub fn sort_permutation(device: &Device, columns: &[&[u64]]) -> Column {
+    device.record_kernel();
+    let len = columns.first().map(|c| c.len()).unwrap_or(0);
+    let mut perm: Vec<u64> = (0..len as u64).collect();
+    perm.sort_unstable_by(|&i, &j| cmp_rows(columns, i as usize, columns, j as usize));
+    perm
+}
+
+/// Applies a sort permutation to a set of columns and their tags.
+pub fn apply_permutation<T: Clone + Send + Sync>(
+    device: &Device,
+    perm: &[u64],
+    columns: &[&[u64]],
+    tags: &[T],
+) -> (Columns, Vec<T>) {
+    let cols = columns.iter().map(|c| gather(device, perm, c)).collect();
+    let tags = gather_tags(device, perm, tags);
+    (cols, tags)
+}
+
+/// `unique⟨⊕⟩(s̄)`: merges adjacent duplicate rows of a sorted table,
+/// combining their tags with the semiring disjunction.
+pub fn unique<T, F>(
+    device: &Device,
+    columns: &[&[u64]],
+    tags: &[T],
+    or: F,
+) -> (Columns, Vec<T>)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T,
+{
+    device.record_kernel();
+    let len = columns.first().map(|c| c.len()).unwrap_or(0);
+    let arity = columns.len();
+    let mut out_cols: Columns = vec![Vec::new(); arity];
+    let mut out_tags: Vec<T> = Vec::new();
+    let mut i = 0;
+    while i < len {
+        let mut tag = tags[i].clone();
+        let mut j = i + 1;
+        while j < len && cmp_rows(columns, i, columns, j) == Ordering::Equal {
+            tag = or(&tag, &tags[j]);
+            j += 1;
+        }
+        for (c, col) in columns.iter().enumerate() {
+            out_cols[c].push(col[i]);
+        }
+        out_tags.push(tag);
+        i = j;
+    }
+    (out_cols, out_tags)
+}
+
+/// `merge(ā, b̄)`: merges two lexicographically sorted tables into one sorted
+/// table. Rows are kept from both inputs (no deduplication).
+pub fn merge<T: Clone + Send + Sync>(
+    device: &Device,
+    a_cols: &[&[u64]],
+    a_tags: &[T],
+    b_cols: &[&[u64]],
+    b_tags: &[T],
+) -> (Columns, Vec<T>) {
+    device.record_kernel();
+    let arity = a_cols.len().max(b_cols.len());
+    let (la, lb) = (a_tags.len(), b_tags.len());
+    let mut out_cols: Columns = vec![Vec::with_capacity(la + lb); arity];
+    let mut out_tags: Vec<T> = Vec::with_capacity(la + lb);
+    let (mut i, mut j) = (0, 0);
+    while i < la && j < lb {
+        if cmp_rows(a_cols, i, b_cols, j) != Ordering::Greater {
+            for (c, col) in a_cols.iter().enumerate() {
+                out_cols[c].push(col[i]);
+            }
+            out_tags.push(a_tags[i].clone());
+            i += 1;
+        } else {
+            for (c, col) in b_cols.iter().enumerate() {
+                out_cols[c].push(col[j]);
+            }
+            out_tags.push(b_tags[j].clone());
+            j += 1;
+        }
+    }
+    while i < la {
+        for (c, col) in a_cols.iter().enumerate() {
+            out_cols[c].push(col[i]);
+        }
+        out_tags.push(a_tags[i].clone());
+        i += 1;
+    }
+    while j < lb {
+        for (c, col) in b_cols.iter().enumerate() {
+            out_cols[c].push(col[j]);
+        }
+        out_tags.push(b_tags[j].clone());
+        j += 1;
+    }
+    (out_cols, out_tags)
+}
+
+/// `diff(ā, b̄)`: rows of sorted table `a` that do not occur in sorted table
+/// `b`, keeping `a`'s tags. This is the set difference required to keep
+/// semi-naive evaluation terminating (new delta facts must not already be
+/// known).
+pub fn difference<T: Clone + Send + Sync>(
+    device: &Device,
+    a_cols: &[&[u64]],
+    a_tags: &[T],
+    b_cols: &[&[u64]],
+    b_len: usize,
+) -> (Columns, Vec<T>) {
+    device.record_kernel();
+    let arity = a_cols.len();
+    let a_len = a_tags.len();
+    let mut out_cols: Columns = vec![Vec::new(); arity];
+    let mut out_tags: Vec<T> = Vec::new();
+    let mut j = 0usize;
+    for i in 0..a_len {
+        while j < b_len && cmp_rows(b_cols, j, a_cols, i) == Ordering::Less {
+            j += 1;
+        }
+        let present = j < b_len && cmp_rows(b_cols, j, a_cols, i) == Ordering::Equal;
+        if !present {
+            for (c, col) in a_cols.iter().enumerate() {
+                out_cols[c].push(col[i]);
+            }
+            out_tags.push(a_tags[i].clone());
+        }
+    }
+    (out_cols, out_tags)
+}
+
+/// `count(b̄, h, ā)`: for every probe row, the number of build rows with a
+/// matching key in the hash index.
+pub fn count_matches(device: &Device, index: &HashIndex, probe_key_cols: &[&[u64]]) -> Column {
+    device.record_kernel();
+    let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
+    let mut out = vec![0u64; len];
+    par_map_into(device, &mut out, |i| {
+        let key: Vec<u64> = probe_key_cols.iter().map(|c| c[i]).collect();
+        index.count(&key) as u64
+    });
+    out
+}
+
+/// `join⟨W⟩(b̄, ā, h, c, o)`: produces the matching index pairs of a hash
+/// join. Returns `(build_indices, probe_indices)`, where output rows for
+/// probe row `i` occupy positions `offsets[i] .. offsets[i] + counts[i]`.
+pub fn hash_join(
+    device: &Device,
+    index: &HashIndex,
+    probe_key_cols: &[&[u64]],
+    counts: &[u64],
+    offsets: &[u64],
+    total: u64,
+) -> (Column, Column) {
+    device.record_kernel();
+    let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
+    debug_assert_eq!(counts.len(), len);
+    debug_assert_eq!(offsets.len(), len);
+    // Fill per probe row; collect per-chunk triples then scatter into the
+    // pre-sized output (disjoint ranges, so order is deterministic).
+    let pieces: Vec<(u64, Vec<u64>)> = par_collect_chunks(device, len, |range| {
+        let mut piece = Vec::new();
+        for i in range {
+            if counts[i] == 0 {
+                continue;
+            }
+            let key: Vec<u64> = probe_key_cols.iter().map(|c| c[i]).collect();
+            let mut matches = Vec::with_capacity(counts[i] as usize);
+            index.for_each_match(&key, |build_row| matches.push(build_row as u64));
+            piece.push((offsets[i], matches.into_iter().map(|b| (b << 32) | i as u64).collect()));
+        }
+        piece
+    });
+    let mut build_out = vec![0u64; total as usize];
+    let mut probe_out = vec![0u64; total as usize];
+    for (offset, packed) in pieces {
+        for (k, p) in packed.into_iter().enumerate() {
+            build_out[offset as usize + k] = p >> 32;
+            probe_out[offset as usize + k] = p & 0xFFFF_FFFF;
+        }
+    }
+    (build_out, probe_out)
+}
+
+/// `copy(s̄)` / `append`: concatenates columns row-wise.
+pub fn append(device: &Device, tables: &[&[&[u64]]]) -> Columns {
+    device.record_kernel();
+    let arity = tables.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut out: Columns = vec![Vec::new(); arity];
+    for table in tables {
+        for (c, col) in table.iter().enumerate() {
+            out[c].extend_from_slice(col);
+        }
+    }
+    out
+}
+
+/// Tag variant of [`append`].
+pub fn append_tags<T: Clone>(device: &Device, tag_sets: &[&[T]]) -> Vec<T> {
+    device.record_kernel();
+    let mut out = Vec::with_capacity(tag_sets.iter().map(|t| t.len()).sum());
+    for tags in tag_sets {
+        out.extend_from_slice(tags);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::sequential()
+    }
+
+    fn refs(cols: &[Column]) -> Vec<&[u64]> {
+        cols.iter().map(|c| c.as_slice()).collect()
+    }
+
+    #[test]
+    fn eval_projects_and_filters() {
+        let d = dev();
+        let col = vec![1u64, 2, 3, 4, 5];
+        let (cols, src) = eval(&d, col.len(), 1, |i| {
+            let v = col[i];
+            if v % 2 == 1 {
+                Some(vec![v * 10])
+            } else {
+                None
+            }
+        });
+        assert_eq!(cols, vec![vec![10, 30, 50]]);
+        assert_eq!(src, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn gather_and_gather_tags_follow_indices() {
+        let d = dev();
+        let col = vec![10u64, 20, 30];
+        let tags = vec!["a", "b", "c"];
+        assert_eq!(gather(&d, &[2, 0, 0], &col), vec![30, 10, 10]);
+        assert_eq!(gather_tags(&d, &[1, 1, 2], &tags), vec!["b", "b", "c"]);
+    }
+
+    #[test]
+    fn gather_mul_tags_combines_sides() {
+        let d = dev();
+        let left = vec![2.0f64, 3.0];
+        let right = vec![10.0f64, 100.0];
+        let out = gather_mul_tags(&d, &[0, 1], &[1, 0], &left, &right, |a, b| a * b);
+        assert_eq!(out, vec![200.0, 30.0]);
+    }
+
+    #[test]
+    fn scan_is_exclusive_prefix_sum() {
+        let d = dev();
+        let (offsets, total) = scan(&d, &[2, 0, 3, 1]);
+        assert_eq!(offsets, vec![0, 2, 2, 5]);
+        assert_eq!(total, 6);
+        let (empty, zero) = scan(&d, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn sort_and_unique_deduplicate_with_tag_merge() {
+        let d = dev();
+        let cols = vec![vec![2u64, 1, 2, 1], vec![7u64, 5, 7, 6]];
+        let tags = vec![1.0f64, 2.0, 3.0, 4.0];
+        let perm = sort_permutation(&d, &refs(&cols));
+        let (sorted, stags) = apply_permutation(&d, &perm, &refs(&cols), &tags);
+        assert_eq!(sorted[0], vec![1, 1, 2, 2]);
+        assert_eq!(sorted[1], vec![5, 6, 7, 7]);
+        let (uniq, utags) = unique(&d, &refs(&sorted), &stags, |a, b| a.max(*b));
+        assert_eq!(uniq[0], vec![1, 1, 2]);
+        assert_eq!(uniq[1], vec![5, 6, 7]);
+        assert_eq!(utags, vec![2.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_preserves_sort_order() {
+        let d = dev();
+        let a = vec![vec![1u64, 3, 5]];
+        let b = vec![vec![2u64, 3, 6]];
+        let (cols, tags) = merge(&d, &refs(&a), &[10, 30, 50], &refs(&b), &[20, 31, 60]);
+        assert_eq!(cols[0], vec![1, 2, 3, 3, 5, 6]);
+        assert_eq!(tags, vec![10, 20, 30, 31, 50, 60]);
+    }
+
+    #[test]
+    fn difference_removes_known_rows() {
+        let d = dev();
+        let a = vec![vec![1u64, 2, 3, 4]];
+        let b = vec![vec![2u64, 4]];
+        let (cols, tags) = difference(&d, &refs(&a), &["p", "q", "r", "s"], &refs(&b), 2);
+        assert_eq!(cols[0], vec![1, 3]);
+        assert_eq!(tags, vec!["p", "r"]);
+    }
+
+    #[test]
+    fn difference_against_empty_keeps_everything() {
+        let d = dev();
+        let a = vec![vec![5u64, 6]];
+        let empty: Vec<Column> = vec![Vec::new()];
+        let (cols, tags) = difference(&d, &refs(&a), &[1, 2], &refs(&empty), 0);
+        assert_eq!(cols[0], vec![5, 6]);
+        assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn hash_join_produces_all_pairs() {
+        let d = dev();
+        // Build side: edge(z, y) keyed on z; probe side: path(x, z) keyed on z.
+        let build = vec![vec![1u64, 1, 2], vec![10u64, 11, 12]];
+        let probe = vec![vec![0u64, 5], vec![1u64, 1]]; // path(0,1), path(5,1)
+        let index = HashIndex::build(&d, &[&build[0]], 2);
+        let probe_key = [probe[1].as_slice()];
+        let counts = count_matches(&d, &index, &probe_key);
+        assert_eq!(counts, vec![2, 2]);
+        let (offsets, total) = scan(&d, &counts);
+        let (bi, pi) = hash_join(&d, &index, &probe_key, &counts, &offsets, total);
+        assert_eq!(bi.len(), 4);
+        // Each probe row matched build rows 0 and 1 in some deterministic order.
+        let mut pairs: Vec<(u64, u64)> = bi.iter().copied().zip(pi.iter().copied()).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn append_concatenates_tables() {
+        let d = dev();
+        let a = vec![vec![1u64], vec![2u64]];
+        let b = vec![vec![3u64, 4], vec![5u64, 6]];
+        let out = append(&d, &[&refs(&a), &refs(&b)]);
+        assert_eq!(out[0], vec![1, 3, 4]);
+        assert_eq!(out[1], vec![2, 5, 6]);
+        let tags = append_tags(&d, &[&[1.0f64], &[2.0, 3.0]]);
+        assert_eq!(tags, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn kernels_record_launches() {
+        let d = dev();
+        let _ = scan(&d, &[1, 2, 3]);
+        let _ = sort_permutation(&d, &[&[3u64, 1, 2][..]]);
+        assert!(d.stats().kernel_launches >= 2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_join_agree() {
+        use crate::DeviceConfig;
+        let seq = Device::sequential();
+        let par = Device::new(DeviceConfig { parallelism: 8, min_parallel_rows: 16, ..DeviceConfig::default() });
+        // Random-ish graph join.
+        let n = 5000u64;
+        let from: Vec<u64> = (0..n).map(|i| i % 97).collect();
+        let to: Vec<u64> = (0..n).map(|i| (i * 7) % 89).collect();
+        for d in [&seq, &par] {
+            let index = HashIndex::build(d, &[&from], 2);
+            let counts = count_matches(d, &index, &[&to]);
+            let (offsets, total) = scan(d, &counts);
+            let (bi, pi) = hash_join(d, &index, &[&to], &counts, &offsets, total);
+            let mut pairs: Vec<(u64, u64)> = bi.into_iter().zip(pi).collect();
+            pairs.sort_unstable();
+            // Compare against a nested-loop reference on the first device only.
+            if std::ptr::eq(d, &seq) {
+                let mut reference = Vec::new();
+                for (j, &t) in to.iter().enumerate() {
+                    for (i, &f) in from.iter().enumerate() {
+                        if f == t {
+                            reference.push((i as u64, j as u64));
+                        }
+                    }
+                }
+                reference.sort_unstable();
+                assert_eq!(pairs, reference);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! A simulated GPU device and the data-parallel kernel library used by the
+//! Lobster APM runtime.
+//!
+//! The paper implements Lobster's runtime with CUDA kernels. This crate
+//! substitutes a *simulated device*: vector registers are large contiguous
+//! buffers of 64-bit words, kernels are bulk data-parallel operations executed
+//! on a host thread pool, and the device tracks the statistics a real GPU
+//! runtime would care about — kernel launches, allocated bytes, peak memory,
+//! and host↔device transfer volume. A configurable memory budget reproduces
+//! the out-of-memory behaviour reported in the paper's Table 3.
+//!
+//! The kernel library mirrors the APM instruction set of Table 1:
+//!
+//! * [`kernels::eval`] — per-row projection/selection (row-level parallelism),
+//! * [`kernels::gather`] / [`kernels::gather_mul_tags`] — index gathers,
+//! * [`kernels::scan`] — exclusive prefix sum,
+//! * [`kernels::sort_rows`], [`kernels::unique`], [`kernels::merge`],
+//!   [`kernels::difference`] — sorted-table maintenance for semi-naive
+//!   evaluation,
+//! * [`HashIndex`] with [`kernels::count_matches`] and [`kernels::hash_join`]
+//!   — the open-addressing, linear-probing hash join of Section 5.1.
+//!
+//! All kernels are deterministic regardless of the configured parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod device;
+mod hash;
+pub mod kernels;
+mod parallel;
+
+pub use arena::Arena;
+pub use device::{Device, DeviceConfig, DeviceError, DeviceStats, TransferDirection};
+pub use hash::HashIndex;
+pub use parallel::par_map_into;
+
+/// A column of a device-resident table: a flat vector of 64-bit words.
+///
+/// Logical types (unsigned, signed, float, symbol) are tracked by the layers
+/// above; the device only sees raw words, which keeps every kernel a simple
+/// bulk memory operation — exactly the property APM is designed to guarantee.
+pub type Column = Vec<u64>;
+
+/// A set of equally sized columns forming a table (without its tag column).
+pub type Columns = Vec<Column>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_is_plain_vector() {
+        let c: Column = vec![1, 2, 3];
+        assert_eq!(c.len(), 3);
+    }
+}

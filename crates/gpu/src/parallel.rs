@@ -1,0 +1,107 @@
+//! Minimal data-parallel helpers used by the kernel library.
+//!
+//! Kernels in this crate are written as bulk per-row operations. When the
+//! input is large enough and the device is configured with more than one
+//! worker, the output buffer is split into disjoint chunks that are filled by
+//! scoped threads; otherwise the work runs sequentially. Results are
+//! identical either way.
+
+use crate::Device;
+
+/// Fills `out[i] = f(offset + i)` for every element of `out`, splitting the
+/// work across the device's workers when profitable.
+pub fn par_map_into<T, F>(device: &Device, out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = out.len();
+    let workers = device.parallelism();
+    if workers <= 1 || len < device.min_parallel_rows() {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = c * chunk;
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = f(base + i);
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f` over every index in `0..len`, collecting the per-chunk results in
+/// index order. Used by kernels whose per-row output size is not known ahead
+/// of time (e.g. filtering projections).
+pub fn par_collect_chunks<T, F>(device: &Device, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let workers = device.parallelism();
+    if workers <= 1 || len < device.min_parallel_rows() {
+        return f(0..len);
+    }
+    let chunk = len.div_ceil(workers);
+    let mut pieces: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            let f = &f;
+            handles.push(scope.spawn(move || f(start..end)));
+            start = end;
+        }
+        for handle in handles {
+            pieces.push(handle.join().expect("kernel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+    for piece in pieces {
+        out.extend(piece);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceConfig};
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let seq = Device::sequential();
+        let par = Device::new(DeviceConfig { parallelism: 8, min_parallel_rows: 1, ..DeviceConfig::default() });
+        let n = 10_000;
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        par_map_into(&seq, &mut a, |i| (i * 3 + 1) as u64);
+        par_map_into(&par, &mut b, |i| (i * 3 + 1) as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_collect_preserves_order() {
+        let par = Device::new(DeviceConfig { parallelism: 4, min_parallel_rows: 1, ..DeviceConfig::default() });
+        let out = par_collect_chunks(&par, 1000, |range| range.map(|i| i as u64).collect());
+        assert_eq!(out, (0..1000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let dev = Device::sequential();
+        let mut out: Vec<u64> = Vec::new();
+        par_map_into(&dev, &mut out, |i| i as u64);
+        assert!(out.is_empty());
+        let collected = par_collect_chunks(&dev, 0, |r| r.map(|i| i as u64).collect());
+        assert!(collected.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! A minimal neural substrate for end-to-end neurosymbolic training.
+//!
+//! The paper's benchmarks pair a perception network (a CNN over images or a
+//! transformer over sequences, trained with PyTorch) with a Lobster symbolic
+//! program. The network's job in the pipeline is narrow: turn raw features
+//! into *probabilities of input facts*, and accept gradients of the loss
+//! with respect to those probabilities coming back from the differentiable
+//! symbolic layer.
+//!
+//! This crate provides exactly that substrate, written from scratch so the
+//! whole pipeline stays inside the workspace: dense layers with manual
+//! backpropagation, sigmoid/ReLU activations, binary-cross-entropy loss, and
+//! SGD/Adam optimizers. The architecture is intentionally small — what the
+//! reproduction measures is the symbolic engine, and the neural component
+//! only needs to be a realistic differentiable producer of fact
+//! probabilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod loss;
+mod mlp;
+mod optim;
+
+pub use loss::{bce_grad, bce_loss};
+pub use mlp::{Activation, Layer, Mlp};
+pub use optim::{Adam, Optimizer, Sgd};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// End-to-end smoke test: a tiny MLP learns to map 2-feature inputs to a
+    /// "probability" that the symbolic layer would then consume.
+    #[test]
+    fn mlp_learns_a_simple_threshold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = Mlp::new(&[2, 8, 1], Activation::Sigmoid, &mut rng);
+        let mut opt = Sgd::new(0.1);
+        // Label = 1 when x0 > x1.
+        let data: Vec<(Vec<f32>, f32)> = (0..200)
+            .map(|i| {
+                let a = (i % 10) as f32 / 10.0;
+                let b = ((i * 7) % 10) as f32 / 10.0;
+                (vec![a, b], if a > b { 1.0 } else { 0.0 })
+            })
+            .collect();
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..200 {
+            let mut total = 0.0;
+            for (x, y) in &data {
+                let out = model.forward(x);
+                let p = out[0];
+                total += bce_loss(p, *y);
+                let dl_dp = bce_grad(p, *y).clamp(-10.0, 10.0);
+                model.backward(&[dl_dp]);
+                model.apply_gradients(&mut opt);
+            }
+            last_loss = total / data.len() as f32;
+        }
+        assert!(last_loss < 0.35, "training did not converge: loss {last_loss}");
+        // Check a couple of predictions.
+        assert!(model.forward(&[0.9, 0.1])[0] > 0.6);
+        assert!(model.forward(&[0.1, 0.9])[0] < 0.4);
+    }
+}

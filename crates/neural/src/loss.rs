@@ -1,0 +1,40 @@
+//! Loss functions used by the neurosymbolic training loops.
+
+/// Binary cross entropy between a predicted probability and a 0/1 label.
+pub fn bce_loss(prediction: f32, label: f32) -> f32 {
+    let p = prediction.clamp(1e-6, 1.0 - 1e-6);
+    -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+}
+
+/// Gradient of [`bce_loss`] with respect to the prediction.
+pub fn bce_grad(prediction: f32, label: f32) -> f32 {
+    let p = prediction.clamp(1e-6, 1.0 - 1e-6);
+    (p - label) / (p * (1.0 - p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_low_for_correct_confident_predictions() {
+        assert!(bce_loss(0.99, 1.0) < 0.05);
+        assert!(bce_loss(0.01, 0.0) < 0.05);
+        assert!(bce_loss(0.01, 1.0) > 2.0);
+    }
+
+    #[test]
+    fn gradient_points_toward_the_label() {
+        assert!(bce_grad(0.8, 1.0) < 0.0, "should push the prediction up");
+        assert!(bce_grad(0.2, 0.0) > 0.0, "should push the prediction down");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let eps = 1e-4;
+        for &(p, y) in &[(0.3, 1.0), (0.7, 0.0), (0.5, 1.0)] {
+            let numeric = (bce_loss(p + eps, y) - bce_loss(p - eps, y)) / (2.0 * eps);
+            assert!((numeric - bce_grad(p, y)).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Dense layers and multi-layer perceptrons with manual backpropagation.
+
+use crate::optim::Optimizer;
+use rand::Rng;
+
+/// Activation function applied after each hidden layer (and the output
+/// layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (used when outputs are probabilities).
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    fn forward(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, expressed in terms of
+    /// the activated output `y`.
+    fn backward(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense layer: `y = act(W x + b)`.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    inputs: usize,
+    outputs: usize,
+    activation: Activation,
+    last_input: Vec<f32>,
+    last_output: Vec<f32>,
+}
+
+impl Layer {
+    /// Creates a layer with Xavier-style random initialization.
+    pub fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        let scale = (2.0 / (inputs + outputs) as f32).sqrt();
+        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-scale..scale)).collect();
+        Layer {
+            weights,
+            bias: vec![0.0; outputs],
+            grad_weights: vec![0.0; inputs * outputs],
+            grad_bias: vec![0.0; outputs],
+            inputs,
+            outputs,
+            activation,
+            last_input: vec![0.0; inputs],
+            last_output: vec![0.0; outputs],
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(input.len(), self.inputs);
+        self.last_input.copy_from_slice(input);
+        let mut out = vec![0.0; self.outputs];
+        for (o, out_val) in out.iter_mut().enumerate() {
+            let mut acc = self.bias[o];
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            *out_val = self.activation.forward(acc);
+        }
+        self.last_output.copy_from_slice(&out);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_output.len(), self.outputs);
+        let mut grad_input = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            let dz = grad_output[o] * self.activation.backward(self.last_output[o]);
+            self.grad_bias[o] += dz;
+            let row_start = o * self.inputs;
+            for i in 0..self.inputs {
+                self.grad_weights[row_start + i] += dz * self.last_input[i];
+                grad_input[i] += dz * self.weights[row_start + i];
+            }
+        }
+        grad_input
+    }
+
+    fn apply(&mut self, optimizer: &mut dyn Optimizer, layer_index: usize) {
+        optimizer.step(layer_index * 2, &mut self.weights, &mut self.grad_weights);
+        optimizer.step(layer_index * 2 + 1, &mut self.bias, &mut self.grad_bias);
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// A multi-layer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes; hidden layers use ReLU and
+    /// the output layer uses `output_activation`.
+    pub fn new(sizes: &[usize], output_activation: Activation, rng: &mut impl Rng) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let activation =
+                if i + 2 == sizes.len() { output_activation } else { Activation::Relu };
+            layers.push(Layer::new(sizes[i], sizes[i + 1], activation, rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Layer::parameter_count).sum()
+    }
+
+    /// Forward pass for one input vector.
+    pub fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let mut value = input.to_vec();
+        for layer in &mut self.layers {
+            value = layer.forward(&value);
+        }
+        value
+    }
+
+    /// Backward pass: accumulates parameter gradients given the gradient of
+    /// the loss with respect to the network output, and returns the gradient
+    /// with respect to the input.
+    pub fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
+        let mut grad = grad_output.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Applies and clears the accumulated gradients.
+    pub fn apply_gradients(&mut self, optimizer: &mut impl Optimizer) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.apply(optimizer, i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_match() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&[4, 6, 3], Activation::Sigmoid, &mut rng);
+        let out = mlp.forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(mlp.parameter_count(), 4 * 6 + 6 + 6 * 3 + 3);
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[3, 5, 1], Activation::Sigmoid, &mut rng);
+        let x = [0.3, -0.2, 0.8];
+        // Analytic input gradient of the scalar output.
+        let _ = mlp.forward(&x);
+        let grad = mlp.backward(&[1.0]);
+        // Finite differences on the input.
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut plus = x;
+            plus[i] += eps;
+            let mut minus = x;
+            minus[i] -= eps;
+            let f_plus = mlp.forward(&plus)[0];
+            let f_minus = mlp.forward(&minus)[0];
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-2,
+                "input gradient mismatch at {i}: analytic {} vs numeric {numeric}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn activations_behave() {
+        assert_eq!(Activation::Relu.forward(-1.0), 0.0);
+        assert_eq!(Activation::Relu.forward(2.0), 2.0);
+        assert!((Activation::Sigmoid.forward(0.0) - 0.5).abs() < 1e-6);
+        assert_eq!(Activation::Identity.forward(3.5), 3.5);
+        assert_eq!(Activation::Identity.backward(3.5), 1.0);
+    }
+}

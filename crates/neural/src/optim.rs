@@ -1,0 +1,113 @@
+//! Optimizers.
+
+use std::collections::HashMap;
+
+/// A parameter-group optimizer. `slot` identifies a parameter tensor so the
+/// optimizer can keep per-tensor state (e.g. Adam moments).
+pub trait Optimizer {
+    /// Updates `params` in place using `grads`.
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &mut [f32]);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd { learning_rate }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, _slot: usize, params: &mut [f32], grads: &mut [f32]) {
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            *p -= self.learning_rate * g;
+        }
+    }
+}
+
+/// The Adam optimizer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub epsilon: f32,
+    state: HashMap<usize, (Vec<f32>, Vec<f32>, u32)>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults.
+    pub fn new(learning_rate: f32) -> Self {
+        Adam { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, state: HashMap::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &mut [f32]) {
+        let (m, v, t) = self
+            .state
+            .entry(slot)
+            .or_insert_with(|| (vec![0.0; params.len()], vec![0.0; params.len()], 0));
+        *t += 1;
+        let t_f = *t as f32;
+        for i in 0..params.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grads[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = m[i] / (1.0 - self.beta1.powf(t_f));
+            let v_hat = v[i] / (1.0 - self.beta2.powf(t_f));
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_the_gradient() {
+        let mut opt = Sgd::new(0.1);
+        let mut params = vec![1.0, -1.0];
+        let mut grads = vec![0.5, -0.5];
+        opt.step(0, &mut params, &mut grads);
+        assert!((params[0] - 0.95).abs() < 1e-6);
+        assert!((params[1] + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        // Minimize f(x) = (x - 3)^2 from x = 0.
+        let mut opt = Adam::new(0.1);
+        let mut x = vec![0.0f32];
+        for _ in 0..500 {
+            let mut grad = vec![2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &mut grad);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_keeps_separate_state_per_slot() {
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![0.0f32];
+        let mut b = vec![0.0f32];
+        for _ in 0..100 {
+            let mut grad_a = vec![2.0 * (a[0] - 1.0)];
+            opt.step(0, &mut a, &mut grad_a);
+            let mut grad_b = vec![2.0 * (b[0] + 1.0)];
+            opt.step(1, &mut b, &mut grad_b);
+        }
+        assert!(a[0] > 0.5);
+        assert!(b[0] < -0.5);
+    }
+}

@@ -1,0 +1,91 @@
+//! The boolean provenance semiring.
+
+use crate::{InputFactId, Provenance};
+
+/// Boolean provenance: tags are `bool`, `⊕` is `∨`, `⊗` is `∧`.
+///
+/// Facts whose tag collapses to `false` are rejected, so this provenance
+/// behaves like discrete Datalog but allows marking input facts as absent
+/// without removing them from the database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Boolean;
+
+impl Boolean {
+    /// Creates the boolean provenance.
+    pub fn new() -> Self {
+        Boolean
+    }
+}
+
+impl Provenance for Boolean {
+    type Tag = bool;
+
+    fn name(&self) -> &'static str {
+        "bool"
+    }
+
+    fn zero(&self) -> Self::Tag {
+        false
+    }
+
+    fn one(&self) -> Self::Tag {
+        true
+    }
+
+    fn add(&self, a: &Self::Tag, b: &Self::Tag) -> Self::Tag {
+        *a || *b
+    }
+
+    fn mul(&self, a: &Self::Tag, b: &Self::Tag) -> Self::Tag {
+        *a && *b
+    }
+
+    fn input_tag(&self, _fact: InputFactId, prob: Option<f64>) -> Self::Tag {
+        // A fact with probability 0 is treated as absent; anything else as
+        // present. Non-probabilistic facts are present.
+        prob.map(|p| p > 0.0).unwrap_or(true)
+    }
+
+    fn accept(&self, tag: &Self::Tag) -> bool {
+        *tag
+    }
+
+    fn weight(&self, tag: &Self::Tag) -> f64 {
+        if *tag {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_operations() {
+        let p = Boolean::new();
+        assert!(p.add(&true, &false));
+        assert!(!p.add(&false, &false));
+        assert!(p.mul(&true, &true));
+        assert!(!p.mul(&true, &false));
+    }
+
+    #[test]
+    fn input_tag_treats_zero_probability_as_absent() {
+        let p = Boolean::new();
+        assert!(!p.input_tag(InputFactId(0), Some(0.0)));
+        assert!(p.input_tag(InputFactId(0), Some(0.3)));
+        assert!(p.input_tag(InputFactId(0), None));
+    }
+
+    #[test]
+    fn accept_rejects_false() {
+        let p = Boolean::new();
+        assert!(p.accept(&true));
+        assert!(!p.accept(&false));
+        assert_eq!(p.weight(&true), 1.0);
+        assert_eq!(p.weight(&false), 0.0);
+    }
+}

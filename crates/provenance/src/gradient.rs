@@ -1,0 +1,138 @@
+//! Sparse gradients with respect to input-fact probabilities.
+
+use crate::InputFactId;
+
+/// A sparse vector of partial derivatives `d value / d Pr(fact)`.
+///
+/// Entries are kept sorted by fact id and duplicate ids are merged by
+/// addition, so the representation is canonical and comparisons are
+/// meaningful.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseGradient {
+    entries: Vec<(InputFactId, f64)>,
+}
+
+impl SparseGradient {
+    /// The zero gradient.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A gradient with a single non-zero entry.
+    pub fn singleton(fact: InputFactId, value: f64) -> Self {
+        SparseGradient { entries: vec![(fact, value)] }
+    }
+
+    /// Builds a gradient from arbitrary entries (sorted and merged).
+    pub fn from_entries(mut entries: Vec<(InputFactId, f64)>) -> Self {
+        entries.sort_unstable_by_key(|(f, _)| *f);
+        let mut merged: Vec<(InputFactId, f64)> = Vec::with_capacity(entries.len());
+        for (f, v) in entries {
+            match merged.last_mut() {
+                Some((lf, lv)) if *lf == f => *lv += v,
+                _ => merged.push((f, v)),
+            }
+        }
+        SparseGradient { entries: merged }
+    }
+
+    /// The non-zero entries, sorted by fact id.
+    pub fn entries(&self) -> &[(InputFactId, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` for the zero gradient.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The derivative with respect to a specific fact (0 if absent).
+    pub fn get(&self, fact: InputFactId) -> f64 {
+        match self.entries.binary_search_by_key(&fact, |(f, _)| *f) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &SparseGradient) -> SparseGradient {
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (fa, va) = self.entries[i];
+            let (fb, vb) = other.entries[j];
+            if fa == fb {
+                out.push((fa, va + vb));
+                i += 1;
+                j += 1;
+            } else if fa < fb {
+                out.push((fa, va));
+                i += 1;
+            } else {
+                out.push((fb, vb));
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.entries[i..]);
+        out.extend_from_slice(&other.entries[j..]);
+        SparseGradient { entries: out }
+    }
+
+    /// Scalar multiplication `self * k`.
+    pub fn scale(&self, k: f64) -> SparseGradient {
+        SparseGradient { entries: self.entries.iter().map(|&(f, v)| (f, v * k)).collect() }
+    }
+
+    /// Consumes the gradient into its entry list.
+    pub fn into_entries(self) -> Vec<(InputFactId, f64)> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> InputFactId {
+        InputFactId(i)
+    }
+
+    #[test]
+    fn from_entries_sorts_and_merges() {
+        let g = SparseGradient::from_entries(vec![(f(3), 1.0), (f(1), 2.0), (f(3), 0.5)]);
+        assert_eq!(g.entries(), &[(f(1), 2.0), (f(3), 1.5)]);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let g = SparseGradient::singleton(f(2), 0.7);
+        assert_eq!(g.get(f(2)), 0.7);
+        assert_eq!(g.get(f(5)), 0.0);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = SparseGradient::from_entries(vec![(f(0), 1.0), (f(2), 2.0)]);
+        let b = SparseGradient::from_entries(vec![(f(1), 3.0), (f(2), 4.0)]);
+        let s = a.add(&b);
+        assert_eq!(s.entries(), &[(f(0), 1.0), (f(1), 3.0), (f(2), 6.0)]);
+    }
+
+    #[test]
+    fn scale_multiplies_every_entry() {
+        let a = SparseGradient::from_entries(vec![(f(0), 1.0), (f(2), 2.0)]);
+        let s = a.scale(0.5);
+        assert_eq!(s.entries(), &[(f(0), 0.5), (f(2), 1.0)]);
+    }
+
+    #[test]
+    fn zero_is_empty() {
+        assert!(SparseGradient::zero().is_empty());
+        assert_eq!(SparseGradient::zero().len(), 0);
+    }
+}

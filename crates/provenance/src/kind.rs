@@ -1,0 +1,135 @@
+//! Runtime selection of a provenance semiring by name.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The provenance semirings implemented by Lobster, selectable by name.
+///
+/// This mirrors the library of 7 semirings listed in Section 3.5 of the
+/// paper: `unit`, `max-min-prob`, `add-mult-prob`, `top-1-proof`, and the
+/// differentiable versions of the probabilistic semirings (plus the boolean
+/// semiring used for testing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProvenanceKind {
+    /// Discrete reasoning with no tags ([`crate::Unit`]).
+    Unit,
+    /// Boolean tags ([`crate::Boolean`]).
+    Boolean,
+    /// Max-min probabilities ([`crate::MaxMinProb`]).
+    MaxMinProb,
+    /// Add-mult pseudo-probabilities ([`crate::AddMultProb`]).
+    AddMultProb,
+    /// Most likely proof per fact ([`crate::Top1Proof`]).
+    Top1Proof,
+    /// Differentiable max-min probabilities ([`crate::DiffMaxMinProb`]).
+    DiffMaxMinProb,
+    /// Differentiable add-mult probabilities ([`crate::DiffAddMultProb`]).
+    DiffAddMultProb,
+    /// Differentiable most likely proof ([`crate::DiffTop1Proof`]).
+    DiffTop1Proof,
+}
+
+impl ProvenanceKind {
+    /// All implemented provenance kinds.
+    pub const ALL: [ProvenanceKind; 8] = [
+        ProvenanceKind::Unit,
+        ProvenanceKind::Boolean,
+        ProvenanceKind::MaxMinProb,
+        ProvenanceKind::AddMultProb,
+        ProvenanceKind::Top1Proof,
+        ProvenanceKind::DiffMaxMinProb,
+        ProvenanceKind::DiffAddMultProb,
+        ProvenanceKind::DiffTop1Proof,
+    ];
+
+    /// The canonical name of the semiring.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProvenanceKind::Unit => "unit",
+            ProvenanceKind::Boolean => "bool",
+            ProvenanceKind::MaxMinProb => "minmaxprob",
+            ProvenanceKind::AddMultProb => "addmultprob",
+            ProvenanceKind::Top1Proof => "prob-top-1-proofs",
+            ProvenanceKind::DiffMaxMinProb => "diff-minmaxprob",
+            ProvenanceKind::DiffAddMultProb => "diff-addmultprob",
+            ProvenanceKind::DiffTop1Proof => "diff-top-1-proofs",
+        }
+    }
+
+    /// Whether this semiring supports gradient computation.
+    pub fn is_differentiable(self) -> bool {
+        matches!(
+            self,
+            ProvenanceKind::DiffMaxMinProb
+                | ProvenanceKind::DiffAddMultProb
+                | ProvenanceKind::DiffTop1Proof
+        )
+    }
+
+    /// Whether this semiring carries probabilities at all.
+    pub fn is_probabilistic(self) -> bool {
+        !matches!(self, ProvenanceKind::Unit | ProvenanceKind::Boolean)
+    }
+}
+
+impl fmt::Display for ProvenanceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown provenance name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProvenanceError(String);
+
+impl fmt::Display for ParseProvenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown provenance semiring `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseProvenanceError {}
+
+impl FromStr for ProvenanceKind {
+    type Err = ParseProvenanceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.trim().to_ascii_lowercase();
+        ProvenanceKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == normalized)
+            .ok_or_else(|| ParseProvenanceError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ProvenanceKind::ALL {
+            assert_eq!(kind.name().parse::<ProvenanceKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let err = "top-7-proofs".parse::<ProvenanceKind>().unwrap_err();
+        assert!(err.to_string().contains("top-7-proofs"));
+    }
+
+    #[test]
+    fn differentiability_classification() {
+        assert!(ProvenanceKind::DiffTop1Proof.is_differentiable());
+        assert!(!ProvenanceKind::Top1Proof.is_differentiable());
+        assert!(ProvenanceKind::Top1Proof.is_probabilistic());
+        assert!(!ProvenanceKind::Unit.is_probabilistic());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ProvenanceKind::DiffTop1Proof.to_string(), "diff-top-1-proofs");
+    }
+}

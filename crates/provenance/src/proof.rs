@@ -1,0 +1,183 @@
+//! Bounded proofs: conjunctions of input facts.
+
+use crate::{InputFactId, InputFactRegistry};
+
+/// Default cap on the number of facts in a single proof.
+///
+/// The paper (Section 3.5) fixes the proof-size limit to 300, which is
+/// sufficient for all evaluated benchmarks; the limit is configurable via
+/// [`Proof::with_capacity`]-style constructors on the provenances.
+pub const DEFAULT_MAX_PROOF_SIZE: usize = 300;
+
+/// A single proof: a conjunction of input facts, stored as a sorted,
+/// duplicate-free list of fact ids.
+///
+/// Proofs are bounded in size; conjunction fails (returns `None`) when the
+/// result would exceed the bound or when two facts from the same
+/// mutual-exclusion group would co-occur.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Proof {
+    facts: Vec<InputFactId>,
+}
+
+impl Proof {
+    /// The empty proof (the multiplicative identity: "true").
+    pub fn empty() -> Self {
+        Proof { facts: Vec::new() }
+    }
+
+    /// A proof consisting of a single input fact.
+    pub fn singleton(fact: InputFactId) -> Self {
+        Proof { facts: vec![fact] }
+    }
+
+    /// Builds a proof from an arbitrary list of facts (sorted and
+    /// deduplicated internally).
+    pub fn from_facts(mut facts: Vec<InputFactId>) -> Self {
+        facts.sort_unstable();
+        facts.dedup();
+        Proof { facts }
+    }
+
+    /// The facts in this proof, in ascending id order.
+    pub fn facts(&self) -> &[InputFactId] {
+        &self.facts
+    }
+
+    /// Number of facts in the proof.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// `true` for the empty proof.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Probability of the proof under the given registry: the product of the
+    /// probabilities of its facts.
+    pub fn probability(&self, registry: &InputFactRegistry) -> f64 {
+        self.facts.iter().map(|f| registry.prob(*f)).product()
+    }
+
+    /// Conjunction of two proofs: the sorted union of their facts.
+    ///
+    /// Returns `None` when the union exceeds `max_size` or when two distinct
+    /// facts share a mutual-exclusion group in `registry` (a conflicting
+    /// proof, e.g. claiming one digit image is both a 3 and a 7).
+    pub fn union(
+        &self,
+        other: &Proof,
+        max_size: usize,
+        registry: &InputFactRegistry,
+    ) -> Option<Proof> {
+        let mut merged = Vec::with_capacity(self.facts.len() + other.facts.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.facts.len() && j < other.facts.len() {
+            let (a, b) = (self.facts[i], other.facts[j]);
+            if a == b {
+                merged.push(a);
+                i += 1;
+                j += 1;
+            } else if a < b {
+                merged.push(a);
+                i += 1;
+            } else {
+                merged.push(b);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.facts[i..]);
+        merged.extend_from_slice(&other.facts[j..]);
+        if merged.len() > max_size {
+            return None;
+        }
+        if Self::has_conflict(&merged, registry) {
+            return None;
+        }
+        Some(Proof { facts: merged })
+    }
+
+    /// Detects whether a sorted fact list contains two distinct facts from
+    /// the same mutual-exclusion group.
+    fn has_conflict(facts: &[InputFactId], registry: &InputFactRegistry) -> bool {
+        // Proofs are short (bounded by max_size); a quadratic scan over facts
+        // that actually carry an exclusion group is fast enough and avoids
+        // allocation in this hot path.
+        let mut groups: Vec<(u32, InputFactId)> = Vec::new();
+        for &f in facts {
+            if let Some(g) = registry.exclusion(f) {
+                if groups.iter().any(|&(og, of)| og == g && of != f) {
+                    return true;
+                }
+                groups.push((g, f));
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_facts_sorts_and_dedups() {
+        let p = Proof::from_facts(vec![InputFactId(3), InputFactId(1), InputFactId(3)]);
+        assert_eq!(p.facts(), &[InputFactId(1), InputFactId(3)]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn empty_proof_probability_is_one() {
+        let reg = InputFactRegistry::new();
+        assert_eq!(Proof::empty().probability(&reg), 1.0);
+        assert!(Proof::empty().is_empty());
+    }
+
+    #[test]
+    fn probability_is_product_of_fact_probs() {
+        let reg = InputFactRegistry::new();
+        let a = reg.register(Some(0.5), None);
+        let b = reg.register(Some(0.4), None);
+        let p = Proof::from_facts(vec![a, b]);
+        assert!((p.probability(&reg) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_merges_sorted_sets() {
+        let reg = InputFactRegistry::new();
+        let a = reg.register(Some(0.5), None);
+        let b = reg.register(Some(0.5), None);
+        let c = reg.register(Some(0.5), None);
+        let p1 = Proof::from_facts(vec![a, c]);
+        let p2 = Proof::from_facts(vec![b, c]);
+        let u = p1.union(&p2, 10, &reg).unwrap();
+        assert_eq!(u.facts(), &[a, b, c]);
+    }
+
+    #[test]
+    fn union_respects_size_limit() {
+        let reg = InputFactRegistry::new();
+        let a = reg.register(Some(0.5), None);
+        let b = reg.register(Some(0.5), None);
+        let p1 = Proof::singleton(a);
+        let p2 = Proof::singleton(b);
+        assert!(p1.union(&p2, 1, &reg).is_none());
+        assert!(p1.union(&p2, 2, &reg).is_some());
+    }
+
+    #[test]
+    fn union_detects_exclusion_conflicts() {
+        let reg = InputFactRegistry::new();
+        let digit_is_3 = reg.register(Some(0.6), Some(0));
+        let digit_is_7 = reg.register(Some(0.4), Some(0));
+        let other = reg.register(Some(0.9), Some(1));
+        let p1 = Proof::singleton(digit_is_3);
+        let p2 = Proof::singleton(digit_is_7);
+        let p3 = Proof::singleton(other);
+        assert!(p1.union(&p2, 10, &reg).is_none(), "same exclusion group must conflict");
+        assert!(p1.union(&p3, 10, &reg).is_some(), "different groups must not conflict");
+        assert!(p1.union(&p1, 10, &reg).is_some(), "a fact never conflicts with itself");
+    }
+}

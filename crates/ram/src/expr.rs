@@ -1,0 +1,434 @@
+//! Scalar expressions and the bytecode stack machine that evaluates them.
+//!
+//! Projection and selection functions in RAM are arbitrary expressions over
+//! the columns of a row. Following Section 5.2 of the paper, expressions that
+//! merely permute or subset columns take a fast path of columnar copies,
+//! while expressions containing arithmetic or comparisons are compiled to a
+//! small bytecode program executed by each device thread against one row with
+//! a fixed-size stack.
+
+use crate::{Value, ValueType};
+
+/// Binary operators usable in projection / selection expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division by zero yields 0).
+    Div,
+    /// Remainder (by zero yields 0).
+    Rem,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+impl BinaryOp {
+    /// Whether the operator produces a boolean regardless of operand type.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+}
+
+/// Unary operators usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+}
+
+/// A scalar expression over the columns of a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// The value of column `i` of the input row.
+    Col(usize),
+    /// A constant.
+    Const(Value),
+    /// A binary operation; `ty` is the operand type used for arithmetic and
+    /// ordering semantics.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Operand type.
+        ty: ValueType,
+        /// Left operand.
+        lhs: Box<ScalarExpr>,
+        /// Right operand.
+        rhs: Box<ScalarExpr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand type.
+        ty: ValueType,
+        /// Operand.
+        expr: Box<ScalarExpr>,
+    },
+}
+
+impl ScalarExpr {
+    /// Convenience constructor for a typed binary expression.
+    pub fn binary(op: BinaryOp, ty: ValueType, lhs: ScalarExpr, rhs: ScalarExpr) -> Self {
+        ScalarExpr::Binary { op, ty, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor for a typed unary expression.
+    pub fn unary(op: UnaryOp, ty: ValueType, expr: ScalarExpr) -> Self {
+        ScalarExpr::Unary { op, ty, expr: Box::new(expr) }
+    }
+
+    /// Compiles the expression to bytecode.
+    pub fn compile(&self) -> ExprProgram {
+        let mut ops = Vec::new();
+        self.emit(&mut ops);
+        ExprProgram { ops }
+    }
+
+    fn emit(&self, ops: &mut Vec<ByteOp>) {
+        match self {
+            ScalarExpr::Col(i) => ops.push(ByteOp::PushCol(*i)),
+            ScalarExpr::Const(v) => ops.push(ByteOp::PushConst(v.encode())),
+            ScalarExpr::Binary { op, ty, lhs, rhs } => {
+                lhs.emit(ops);
+                rhs.emit(ops);
+                ops.push(ByteOp::Binary(*op, *ty));
+            }
+            ScalarExpr::Unary { op, ty, expr } => {
+                expr.emit(ops);
+                ops.push(ByteOp::Unary(*op, *ty));
+            }
+        }
+    }
+
+    /// If this expression is a bare column reference, returns its index.
+    pub fn as_column(&self) -> Option<usize> {
+        match self {
+            ScalarExpr::Col(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The largest column index referenced by the expression, if any.
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            ScalarExpr::Col(i) => Some(*i),
+            ScalarExpr::Const(_) => None,
+            ScalarExpr::Binary { lhs, rhs, .. } => match (lhs.max_column(), rhs.max_column()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            ScalarExpr::Unary { expr, .. } => expr.max_column(),
+        }
+    }
+}
+
+/// One bytecode instruction of the expression stack machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ByteOp {
+    /// Push the encoded value of input column `i`.
+    PushCol(usize),
+    /// Push an encoded constant.
+    PushConst(u64),
+    /// Pop two operands, apply a typed binary operator, push the result.
+    Binary(BinaryOp, ValueType),
+    /// Pop one operand, apply a typed unary operator, push the result.
+    Unary(UnaryOp, ValueType),
+}
+
+/// A compiled expression: a straight-line bytecode program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExprProgram {
+    /// The instructions, executed in order.
+    pub ops: Vec<ByteOp>,
+}
+
+impl ExprProgram {
+    /// Evaluates the program against an encoded row, returning the encoded
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is malformed (stack underflow) — compiled
+    /// programs produced by [`ScalarExpr::compile`] are always well formed.
+    pub fn eval(&self, row: &[u64]) -> u64 {
+        let mut stack: Vec<u64> = Vec::with_capacity(8);
+        for op in &self.ops {
+            match op {
+                ByteOp::PushCol(i) => stack.push(row[*i]),
+                ByteOp::PushConst(c) => stack.push(*c),
+                ByteOp::Binary(op, ty) => {
+                    let b = stack.pop().expect("expression stack underflow");
+                    let a = stack.pop().expect("expression stack underflow");
+                    stack.push(apply_binary(*op, *ty, a, b));
+                }
+                ByteOp::Unary(op, ty) => {
+                    let a = stack.pop().expect("expression stack underflow");
+                    stack.push(apply_unary(*op, *ty, a));
+                }
+            }
+        }
+        stack.pop().expect("expression produced no value")
+    }
+
+    /// Evaluates the program as a boolean predicate (non-zero = true).
+    pub fn eval_bool(&self, row: &[u64]) -> bool {
+        self.eval(row) != 0
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+fn apply_binary(op: BinaryOp, ty: ValueType, a: u64, b: u64) -> u64 {
+    use BinaryOp::*;
+    match ty {
+        ValueType::F64 => {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            match op {
+                Add => (x + y).to_bits(),
+                Sub => (x - y).to_bits(),
+                Mul => (x * y).to_bits(),
+                Div => (x / y).to_bits(),
+                Rem => (x % y).to_bits(),
+                Eq => u64::from(x == y),
+                Ne => u64::from(x != y),
+                Lt => u64::from(x < y),
+                Le => u64::from(x <= y),
+                Gt => u64::from(x > y),
+                Ge => u64::from(x >= y),
+                And => u64::from(x != 0.0 && y != 0.0),
+                Or => u64::from(x != 0.0 || y != 0.0),
+            }
+        }
+        ValueType::I64 => {
+            let (x, y) = (a as i64, b as i64);
+            match op {
+                Add => x.wrapping_add(y) as u64,
+                Sub => x.wrapping_sub(y) as u64,
+                Mul => x.wrapping_mul(y) as u64,
+                Div => x.checked_div(y).unwrap_or(0) as u64,
+                Rem => x.checked_rem(y).unwrap_or(0) as u64,
+                Eq => u64::from(x == y),
+                Ne => u64::from(x != y),
+                Lt => u64::from(x < y),
+                Le => u64::from(x <= y),
+                Gt => u64::from(x > y),
+                Ge => u64::from(x >= y),
+                And => u64::from(x != 0 && y != 0),
+                Or => u64::from(x != 0 || y != 0),
+            }
+        }
+        // U32, Symbol, and Bool all use unsigned word semantics.
+        _ => match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => a.checked_div(b).unwrap_or(0),
+            Rem => a.checked_rem(b).unwrap_or(0),
+            Eq => u64::from(a == b),
+            Ne => u64::from(a != b),
+            Lt => u64::from(a < b),
+            Le => u64::from(a <= b),
+            Gt => u64::from(a > b),
+            Ge => u64::from(a >= b),
+            And => u64::from(a != 0 && b != 0),
+            Or => u64::from(a != 0 || b != 0),
+        },
+    }
+}
+
+fn apply_unary(op: UnaryOp, ty: ValueType, a: u64) -> u64 {
+    match (op, ty) {
+        (UnaryOp::Neg, ValueType::F64) => (-f64::from_bits(a)).to_bits(),
+        (UnaryOp::Neg, ValueType::I64) => (a as i64).wrapping_neg() as u64,
+        (UnaryOp::Neg, _) => a.wrapping_neg(),
+        (UnaryOp::Not, _) => u64::from(a == 0),
+    }
+}
+
+/// A row-to-row projection: one compiled expression per output column, with a
+/// fast path when the projection is a pure column permutation / subset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowProjection {
+    /// The compiled expression for each output column.
+    pub programs: Vec<ExprProgram>,
+    /// When every output column is a bare input column, the list of source
+    /// columns (the columnar-copy fast path of Section 5.2).
+    pub permutation: Option<Vec<usize>>,
+    /// Optional selection predicate applied to the *input* row; rows failing
+    /// the predicate produce no output.
+    pub filter: Option<ExprProgram>,
+}
+
+impl RowProjection {
+    /// Builds a projection from output expressions and an optional filter.
+    pub fn new(outputs: Vec<ScalarExpr>, filter: Option<ScalarExpr>) -> Self {
+        let permutation: Option<Vec<usize>> = if filter.is_none() {
+            outputs.iter().map(ScalarExpr::as_column).collect()
+        } else {
+            None
+        };
+        RowProjection {
+            programs: outputs.iter().map(ScalarExpr::compile).collect(),
+            permutation,
+            filter: filter.map(|f| f.compile()),
+        }
+    }
+
+    /// The identity projection over `arity` columns.
+    pub fn identity(arity: usize) -> Self {
+        RowProjection::new((0..arity).map(ScalarExpr::Col).collect(), None)
+    }
+
+    /// Number of output columns.
+    pub fn output_arity(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Evaluates the projection against an encoded row; `None` when the
+    /// filter rejects the row.
+    pub fn eval(&self, row: &[u64]) -> Option<Vec<u64>> {
+        if let Some(filter) = &self.filter {
+            if !filter.eval_bool(row) {
+                return None;
+            }
+        }
+        Some(self.programs.iter().map(|p| p.eval(row)).collect())
+    }
+
+    /// Whether the projection is a pure column permutation (no arithmetic, no
+    /// filter), eligible for the columnar-copy fast path.
+    pub fn is_permutation(&self) -> bool {
+        self.permutation.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_on_u32() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Add,
+            ValueType::U32,
+            ScalarExpr::Col(0),
+            ScalarExpr::Const(Value::U32(5)),
+        );
+        assert_eq!(e.compile().eval(&[10]), 15);
+    }
+
+    #[test]
+    fn arithmetic_on_f64() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Div,
+            ValueType::F64,
+            ScalarExpr::Col(0),
+            ScalarExpr::Col(1),
+        );
+        let row = [Value::F64(1.0).encode(), Value::F64(4.0).encode()];
+        assert_eq!(f64::from_bits(e.compile().eval(&row)), 0.25);
+    }
+
+    #[test]
+    fn signed_comparison_respects_sign() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Lt,
+            ValueType::I64,
+            ScalarExpr::Const(Value::I64(-5)),
+            ScalarExpr::Const(Value::I64(3)),
+        );
+        assert_eq!(e.compile().eval(&[]), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero_for_integers() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Div,
+            ValueType::U32,
+            ScalarExpr::Const(Value::U32(10)),
+            ScalarExpr::Const(Value::U32(0)),
+        );
+        assert_eq!(e.compile().eval(&[]), 0);
+    }
+
+    #[test]
+    fn unary_operators() {
+        let neg = ScalarExpr::unary(UnaryOp::Neg, ValueType::I64, ScalarExpr::Col(0));
+        assert_eq!(neg.compile().eval(&[Value::I64(4).encode()]) as i64, -4);
+        let not = ScalarExpr::unary(UnaryOp::Not, ValueType::Bool, ScalarExpr::Col(0));
+        assert_eq!(not.compile().eval(&[0]), 1);
+        assert_eq!(not.compile().eval(&[1]), 0);
+    }
+
+    #[test]
+    fn projection_permutation_fast_path() {
+        let proj = RowProjection::new(vec![ScalarExpr::Col(2), ScalarExpr::Col(0)], None);
+        assert!(proj.is_permutation());
+        assert_eq!(proj.permutation, Some(vec![2, 0]));
+        assert_eq!(proj.eval(&[10, 20, 30]), Some(vec![30, 10]));
+    }
+
+    #[test]
+    fn projection_with_filter_rejects_rows() {
+        let filter = ScalarExpr::binary(
+            BinaryOp::Ne,
+            ValueType::U32,
+            ScalarExpr::Col(0),
+            ScalarExpr::Col(1),
+        );
+        let proj = RowProjection::new(vec![ScalarExpr::Col(0)], Some(filter));
+        assert!(!proj.is_permutation());
+        assert_eq!(proj.eval(&[1, 1]), None);
+        assert_eq!(proj.eval(&[1, 2]), Some(vec![1]));
+    }
+
+    #[test]
+    fn identity_projection() {
+        let proj = RowProjection::identity(3);
+        assert_eq!(proj.output_arity(), 3);
+        assert_eq!(proj.eval(&[7, 8, 9]), Some(vec![7, 8, 9]));
+    }
+
+    #[test]
+    fn max_column_tracks_references() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Add,
+            ValueType::U32,
+            ScalarExpr::Col(3),
+            ScalarExpr::Const(Value::U32(1)),
+        );
+        assert_eq!(e.max_column(), Some(3));
+        assert_eq!(ScalarExpr::Const(Value::U32(1)).max_column(), None);
+    }
+}

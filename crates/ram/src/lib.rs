@@ -1,0 +1,31 @@
+//! The Relational Algebra Machine (RAM): Lobster's mid-level intermediate
+//! representation.
+//!
+//! The Datalog front-end (`lobster-datalog`) compiles a user-level program
+//! into a RAM program (Figure 4 of the paper): an ordered list of *strata*,
+//! each containing rules of the form `ρ ← ε` where `ε` is a relational
+//! algebra expression over project (`π`), select (`σ`), join (`⊲⊳`), union,
+//! product, and intersect. The APM back-end (`lobster-apm`) then lowers each
+//! stratum to APM instructions for execution on the (simulated) GPU.
+//!
+//! This crate also defines the data model shared by every layer:
+//!
+//! * [`Value`] / [`ValueType`] — 64-bit encoded cell values,
+//! * [`SymbolTable`] — string interning for symbolic constants,
+//! * [`ExprProgram`] — the bytecode stack machine of Section 5.2 used to
+//!   evaluate projection and selection expressions row-by-row on the device.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod expr;
+mod program;
+mod symbols;
+mod value;
+
+pub use analysis::{count_recursive_joins, is_linear_recursive, StratumAnalysis};
+pub use expr::{BinaryOp, ByteOp, ExprProgram, RowProjection, ScalarExpr, UnaryOp};
+pub use program::{RamExpr, RamProgram, RamRule, RelationSchema, Stratum, ValidationError};
+pub use symbols::SymbolTable;
+pub use value::{Tuple, Value, ValueType};

@@ -1,0 +1,385 @@
+//! The RAM program structure: expressions, rules, strata, and programs.
+
+use crate::{RowProjection, ScalarExpr, ValueType};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The schema of one relation: its name and column types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name.
+    pub name: String,
+    /// Column types, in order.
+    pub arg_types: Vec<ValueType>,
+}
+
+impl RelationSchema {
+    /// Creates a schema.
+    pub fn new(name: impl Into<String>, arg_types: Vec<ValueType>) -> Self {
+        RelationSchema { name: name.into(), arg_types }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arg_types.len()
+    }
+}
+
+/// A relational-algebra expression (the `ε` of Figure 4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RamExpr {
+    /// A reference to a relation in the database.
+    Relation(String),
+    /// Projection `π_α(ε)`; may also filter rows (a fused `σ∘π`).
+    Project {
+        /// Input expression.
+        input: Box<RamExpr>,
+        /// The projection function.
+        proj: RowProjection,
+    },
+    /// Selection `σ_β(ε)`.
+    Select {
+        /// Input expression.
+        input: Box<RamExpr>,
+        /// The selection predicate over the input row.
+        cond: ScalarExpr,
+    },
+    /// Join `ε₁ ⊲⊳_w ε₂` on the first `w` columns of each side. The output
+    /// row is the left row followed by the non-key columns of the right row.
+    Join {
+        /// Left (probe) input.
+        left: Box<RamExpr>,
+        /// Right (build) input.
+        right: Box<RamExpr>,
+        /// Number of key columns.
+        width: usize,
+    },
+    /// Union `ε₁ ∪ ε₂`.
+    Union(Box<RamExpr>, Box<RamExpr>),
+    /// Cartesian product `ε₁ × ε₂`.
+    Product(Box<RamExpr>, Box<RamExpr>),
+    /// Intersection `ε₁ ∩ ε₂`.
+    Intersect(Box<RamExpr>, Box<RamExpr>),
+}
+
+impl RamExpr {
+    /// A reference to a relation.
+    pub fn relation(name: impl Into<String>) -> Self {
+        RamExpr::Relation(name.into())
+    }
+
+    /// Wraps the expression in a projection.
+    pub fn project(self, proj: RowProjection) -> Self {
+        RamExpr::Project { input: Box::new(self), proj }
+    }
+
+    /// Wraps the expression in a selection.
+    pub fn select(self, cond: ScalarExpr) -> Self {
+        RamExpr::Select { input: Box::new(self), cond }
+    }
+
+    /// Joins two expressions on their first `width` columns.
+    pub fn join(self, other: RamExpr, width: usize) -> Self {
+        RamExpr::Join { left: Box::new(self), right: Box::new(other), width }
+    }
+
+    /// The arity of the expression given a lookup of relation arities.
+    pub fn arity(&self, relation_arity: &impl Fn(&str) -> Option<usize>) -> Option<usize> {
+        match self {
+            RamExpr::Relation(name) => relation_arity(name),
+            RamExpr::Project { proj, .. } => Some(proj.output_arity()),
+            RamExpr::Select { input, .. } => input.arity(relation_arity),
+            RamExpr::Join { left, right, width } => {
+                let l = left.arity(relation_arity)?;
+                let r = right.arity(relation_arity)?;
+                Some(l + r - width)
+            }
+            RamExpr::Union(l, _) | RamExpr::Intersect(l, _) => l.arity(relation_arity),
+            RamExpr::Product(l, r) => {
+                Some(l.arity(relation_arity)? + r.arity(relation_arity)?)
+            }
+        }
+    }
+
+    /// Collects the names of every relation referenced by the expression.
+    pub fn referenced_relations(&self, out: &mut Vec<String>) {
+        match self {
+            RamExpr::Relation(name) => out.push(name.clone()),
+            RamExpr::Project { input, .. } | RamExpr::Select { input, .. } => {
+                input.referenced_relations(out)
+            }
+            RamExpr::Join { left, right, .. }
+            | RamExpr::Union(left, right)
+            | RamExpr::Product(left, right)
+            | RamExpr::Intersect(left, right) => {
+                left.referenced_relations(out);
+                right.referenced_relations(out);
+            }
+        }
+    }
+
+    /// Visits every sub-expression, outermost first.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a RamExpr)) {
+        f(self);
+        match self {
+            RamExpr::Relation(_) => {}
+            RamExpr::Project { input, .. } | RamExpr::Select { input, .. } => input.visit(f),
+            RamExpr::Join { left, right, .. }
+            | RamExpr::Union(left, right)
+            | RamExpr::Product(left, right)
+            | RamExpr::Intersect(left, right) => {
+                left.visit(f);
+                right.visit(f);
+            }
+        }
+    }
+}
+
+/// A RAM rule `ρ ← ε`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RamRule {
+    /// The relation updated by this rule.
+    pub target: String,
+    /// The query producing new facts for the target.
+    pub expr: RamExpr,
+}
+
+/// A stratum: a set of rules evaluated together to a fix point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Stratum {
+    /// Relations defined (updated) by this stratum.
+    pub relations: Vec<String>,
+    /// The rules of the stratum.
+    pub rules: Vec<RamRule>,
+    /// Whether the stratum is recursive (needs fix-point iteration).
+    pub recursive: bool,
+}
+
+/// A complete RAM program: schemas, strata in evaluation order, and the
+/// relations the user asked to query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RamProgram {
+    /// Schemas of every relation (EDB and IDB).
+    pub schemas: BTreeMap<String, RelationSchema>,
+    /// Strata in dependency order.
+    pub strata: Vec<Stratum>,
+    /// Output (queried) relations.
+    pub outputs: Vec<String>,
+}
+
+/// Errors detected by [`RamProgram::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A rule or expression references a relation with no schema.
+    UnknownRelation(String),
+    /// An expression's arity does not match its target or sibling.
+    ArityMismatch {
+        /// Where the mismatch was found.
+        context: String,
+        /// Expected arity.
+        expected: usize,
+        /// Actual arity.
+        actual: usize,
+    },
+    /// A join's key width exceeds one of its inputs.
+    BadJoinWidth {
+        /// The rule's target relation.
+        target: String,
+        /// The requested key width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            ValidationError::ArityMismatch { context, expected, actual } => {
+                write!(f, "arity mismatch in {context}: expected {expected}, found {actual}")
+            }
+            ValidationError::BadJoinWidth { target, width } => {
+                write!(f, "join width {width} exceeds input arity in rule for `{target}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl RamProgram {
+    /// The schema of a relation, if declared.
+    pub fn schema(&self, name: &str) -> Option<&RelationSchema> {
+        self.schemas.get(name)
+    }
+
+    /// The arity of a relation, if declared.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.schemas.get(name).map(RelationSchema::arity)
+    }
+
+    /// Relations that are never the target of any rule (the extensional
+    /// database).
+    pub fn edb_relations(&self) -> Vec<String> {
+        let idb: std::collections::BTreeSet<&str> = self
+            .strata
+            .iter()
+            .flat_map(|s| s.rules.iter().map(|r| r.target.as_str()))
+            .collect();
+        self.schemas.keys().filter(|name| !idb.contains(name.as_str())).cloned().collect()
+    }
+
+    /// Checks structural well-formedness of the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] found.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let lookup = |name: &str| self.arity(name);
+        for stratum in &self.strata {
+            for rule in &stratum.rules {
+                let target_arity = self
+                    .arity(&rule.target)
+                    .ok_or_else(|| ValidationError::UnknownRelation(rule.target.clone()))?;
+                let mut refs = Vec::new();
+                rule.expr.referenced_relations(&mut refs);
+                for r in refs {
+                    if self.arity(&r).is_none() {
+                        return Err(ValidationError::UnknownRelation(r));
+                    }
+                }
+                let mut join_error = None;
+                rule.expr.visit(&mut |e| {
+                    if let RamExpr::Join { left, right, width } = e {
+                        let l = left.arity(&lookup).unwrap_or(0);
+                        let r = right.arity(&lookup).unwrap_or(0);
+                        if *width > l || *width > r {
+                            join_error.get_or_insert(ValidationError::BadJoinWidth {
+                                target: rule.target.clone(),
+                                width: *width,
+                            });
+                        }
+                    }
+                });
+                if let Some(err) = join_error {
+                    return Err(err);
+                }
+                let actual = rule.expr.arity(&lookup).ok_or_else(|| {
+                    ValidationError::UnknownRelation(rule.target.clone())
+                })?;
+                if actual != target_arity {
+                    return Err(ValidationError::ArityMismatch {
+                        context: format!("rule for `{}`", rule.target),
+                        expected: target_arity,
+                        actual,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RowProjection, ScalarExpr};
+
+    fn tc_program() -> RamProgram {
+        // path(x, y) :- edge(x, y) or (path(x, z) and edge(z, y)).
+        let mut schemas = BTreeMap::new();
+        schemas.insert(
+            "edge".to_string(),
+            RelationSchema::new("edge", vec![ValueType::U32, ValueType::U32]),
+        );
+        schemas.insert(
+            "path".to_string(),
+            RelationSchema::new("path", vec![ValueType::U32, ValueType::U32]),
+        );
+        let base = RamRule { target: "path".into(), expr: RamExpr::relation("edge") };
+        // path(x,z) joined with edge(z,y) on z: reorder path to (z, x).
+        let path_zx = RamExpr::relation("path")
+            .project(RowProjection::new(vec![ScalarExpr::Col(1), ScalarExpr::Col(0)], None));
+        let joined = path_zx.join(RamExpr::relation("edge"), 1);
+        // joined columns: (z, x, y) -> project to (x, y).
+        let rec = RamRule {
+            target: "path".into(),
+            expr: joined
+                .project(RowProjection::new(vec![ScalarExpr::Col(1), ScalarExpr::Col(2)], None)),
+        };
+        RamProgram {
+            schemas,
+            strata: vec![Stratum {
+                relations: vec!["path".into()],
+                rules: vec![base, rec],
+                recursive: true,
+            }],
+            outputs: vec!["path".into()],
+        }
+    }
+
+    #[test]
+    fn transitive_closure_program_validates() {
+        let prog = tc_program();
+        prog.validate().unwrap();
+        assert_eq!(prog.edb_relations(), vec!["edge".to_string()]);
+    }
+
+    #[test]
+    fn arity_of_join_expression() {
+        let prog = tc_program();
+        let lookup = |name: &str| prog.arity(name);
+        let expr = RamExpr::relation("path").join(RamExpr::relation("edge"), 1);
+        assert_eq!(expr.arity(&lookup), Some(3));
+        let product = RamExpr::Product(
+            Box::new(RamExpr::relation("path")),
+            Box::new(RamExpr::relation("edge")),
+        );
+        assert_eq!(product.arity(&lookup), Some(4));
+    }
+
+    #[test]
+    fn unknown_relation_is_rejected() {
+        let mut prog = tc_program();
+        prog.strata[0].rules.push(RamRule {
+            target: "path".into(),
+            expr: RamExpr::relation("ghost"),
+        });
+        assert_eq!(prog.validate(), Err(ValidationError::UnknownRelation("ghost".into())));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut prog = tc_program();
+        prog.strata[0].rules.push(RamRule {
+            target: "path".into(),
+            expr: RamExpr::relation("edge")
+                .project(RowProjection::new(vec![ScalarExpr::Col(0)], None)),
+        });
+        assert!(matches!(prog.validate(), Err(ValidationError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_join_width_is_rejected() {
+        let mut prog = tc_program();
+        prog.strata[0].rules.push(RamRule {
+            target: "path".into(),
+            expr: RamExpr::relation("edge").join(RamExpr::relation("edge"), 3),
+        });
+        assert!(matches!(prog.validate(), Err(ValidationError::BadJoinWidth { .. })));
+    }
+
+    #[test]
+    fn referenced_relations_are_collected() {
+        let expr = RamExpr::relation("a").join(RamExpr::relation("b"), 1).select(
+            ScalarExpr::binary(
+                crate::BinaryOp::Ne,
+                ValueType::U32,
+                ScalarExpr::Col(0),
+                ScalarExpr::Col(1),
+            ),
+        );
+        let mut refs = Vec::new();
+        expr.referenced_relations(&mut refs);
+        assert_eq!(refs, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,101 @@
+//! String interning for symbolic constants.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_name: HashMap<String, u32>,
+    by_id: Vec<String>,
+}
+
+/// A shared, append-only table interning strings to dense `u32` ids.
+///
+/// Symbols appear in relation columns of type [`crate::ValueType::Symbol`]
+/// (e.g. kinship relation names in the CLUTRR benchmark or alarm kinds in the
+/// static-analysis benchmark). The table is cheaply cloneable and clones share
+/// state, so a front-end, runtime, and result decoder can all hold handles to
+/// one table.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing id if already interned).
+    pub fn intern(&self, name: &str) -> u32 {
+        {
+            let inner = self.inner.read().expect("symbol table poisoned");
+            if let Some(&id) = inner.by_name.get(name) {
+                return id;
+            }
+        }
+        let mut inner = self.inner.write().expect("symbol table poisoned");
+        if let Some(&id) = inner.by_name.get(name) {
+            return id;
+        }
+        let id = inner.by_id.len() as u32;
+        inner.by_id.push(name.to_string());
+        inner.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an already interned symbol without interning it.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.inner.read().expect("symbol table poisoned").by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its string, if known.
+    pub fn resolve(&self, id: u32) -> Option<String> {
+        self.inner.read().expect("symbol table poisoned").by_id.get(id as usize).cloned()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("symbol table poisoned").by_id.len()
+    }
+
+    /// `true` when no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let t = SymbolTable::new();
+        let a = t.intern("mother");
+        let b = t.intern("father");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("mother"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_and_lookup() {
+        let t = SymbolTable::new();
+        let a = t.intern("alarm");
+        assert_eq!(t.resolve(a).as_deref(), Some("alarm"));
+        assert_eq!(t.lookup("alarm"), Some(a));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.resolve(99), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = SymbolTable::new();
+        let clone = t.clone();
+        let id = t.intern("shared");
+        assert_eq!(clone.resolve(id).as_deref(), Some("shared"));
+        assert!(!clone.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Discrete graph benchmarks: Transitive Closure and Same Generation, plus
+//! named synthetic graphs standing in for the SNAP datasets used by the
+//! paper's Figure 13 and Table 3.
+
+use rand::Rng;
+
+/// Transitive closure program (2 rules, `unit` provenance).
+pub const TRANSITIVE_CLOSURE: &str = "
+    type edge(x: u32, y: u32)
+    rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+    query path
+";
+
+/// Same Generation program (2 rules, `unit` provenance).
+pub const SAME_GENERATION: &str = "
+    type parent(p: u32, c: u32)
+    rel sg(x, y) = parent(p, x), parent(p, y), x != y
+    rel sg(x, y) = parent(a, x), parent(b, y), sg(a, b)
+    query sg
+";
+
+/// The kind of synthetic graph a named dataset maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Power-law degree distribution (social / citation / p2p networks).
+    ScaleFree,
+    /// Bounded-degree, high-diameter graphs (road networks, meshes).
+    Mesh,
+    /// Balanced trees plus cross edges (call graphs, file systems).
+    Tree,
+}
+
+/// A named graph from the paper's evaluation with its synthetic stand-in
+/// parameters (node count scaled to laptop size, structure preserved).
+#[derive(Debug, Clone, Copy)]
+pub struct NamedGraph {
+    /// Dataset name as used in the paper's figures.
+    pub name: &'static str,
+    /// Structural family.
+    pub kind: GraphKind,
+    /// Number of vertices in the synthetic stand-in.
+    pub nodes: u32,
+    /// Average out-degree.
+    pub degree: u32,
+}
+
+/// The graphs of Figure 13 (transitive closure vs Soufflé / FVLog).
+pub const FIG13_GRAPHS: [NamedGraph; 12] = [
+    NamedGraph { name: "Gnu31", kind: GraphKind::ScaleFree, nodes: 900, degree: 3 },
+    NamedGraph { name: "p2p-Gnu24", kind: GraphKind::ScaleFree, nodes: 800, degree: 3 },
+    NamedGraph { name: "com-dblp", kind: GraphKind::ScaleFree, nodes: 1200, degree: 4 },
+    NamedGraph { name: "p2p-Gnu25", kind: GraphKind::ScaleFree, nodes: 700, degree: 3 },
+    NamedGraph { name: "loc-Brightkite", kind: GraphKind::ScaleFree, nodes: 1000, degree: 4 },
+    NamedGraph { name: "cit-HepTh", kind: GraphKind::ScaleFree, nodes: 900, degree: 5 },
+    NamedGraph { name: "cit-HepPh", kind: GraphKind::ScaleFree, nodes: 1000, degree: 5 },
+    NamedGraph { name: "usroad", kind: GraphKind::Mesh, nodes: 1600, degree: 2 },
+    NamedGraph { name: "p2p-Gnu30", kind: GraphKind::ScaleFree, nodes: 850, degree: 3 },
+    NamedGraph { name: "vsp-finan", kind: GraphKind::Mesh, nodes: 1400, degree: 3 },
+    NamedGraph { name: "SF.cedge", kind: GraphKind::Mesh, nodes: 1500, degree: 2 },
+    NamedGraph { name: "fe-body", kind: GraphKind::Mesh, nodes: 1200, degree: 3 },
+];
+
+/// The graphs of Table 3 (same generation vs FVLog).
+pub const TABLE3_GRAPHS: [NamedGraph; 11] = [
+    NamedGraph { name: "fe-sphere", kind: GraphKind::Mesh, nodes: 700, degree: 3 },
+    NamedGraph { name: "CA-HepTH", kind: GraphKind::ScaleFree, nodes: 500, degree: 3 },
+    NamedGraph { name: "ego-Facebook", kind: GraphKind::ScaleFree, nodes: 400, degree: 5 },
+    NamedGraph { name: "Gnu31", kind: GraphKind::ScaleFree, nodes: 900, degree: 3 },
+    NamedGraph { name: "fe_body", kind: GraphKind::Tree, nodes: 700, degree: 2 },
+    NamedGraph { name: "loc-Brightkite", kind: GraphKind::ScaleFree, nodes: 450, degree: 4 },
+    NamedGraph { name: "SF.cedge", kind: GraphKind::Tree, nodes: 800, degree: 2 },
+    NamedGraph { name: "com-dblp", kind: GraphKind::ScaleFree, nodes: 1000, degree: 4 },
+    NamedGraph { name: "usroad", kind: GraphKind::Tree, nodes: 900, degree: 2 },
+    NamedGraph { name: "fc_ocean", kind: GraphKind::Mesh, nodes: 600, degree: 2 },
+    NamedGraph { name: "vsp_finan", kind: GraphKind::Mesh, nodes: 750, degree: 3 },
+];
+
+impl NamedGraph {
+    /// Generates the edge list of the synthetic stand-in.
+    pub fn edges(&self, rng: &mut impl Rng) -> Vec<(u32, u32)> {
+        match self.kind {
+            GraphKind::ScaleFree => scale_free(self.nodes, self.degree, rng),
+            GraphKind::Mesh => mesh(self.nodes, self.degree, rng),
+            GraphKind::Tree => tree_with_cross_edges(self.nodes, self.degree, rng),
+        }
+    }
+}
+
+/// Preferential-attachment style scale-free digraph.
+pub fn scale_free(nodes: u32, degree: u32, rng: &mut impl Rng) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity((nodes * degree) as usize);
+    let mut targets: Vec<u32> = vec![0];
+    for v in 1..nodes {
+        for _ in 0..degree {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v {
+                edges.push((v, t));
+                targets.push(t);
+            }
+        }
+        targets.push(v);
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Bounded-degree, high-diameter mesh (road-network-like): a long corridor
+/// with a few shortcuts.
+pub fn mesh(nodes: u32, degree: u32, rng: &mut impl Rng) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for v in 0..nodes.saturating_sub(1) {
+        edges.push((v, v + 1));
+    }
+    let extra = (nodes as usize) * (degree.saturating_sub(1) as usize) / 2;
+    for _ in 0..extra {
+        let a = rng.gen_range(0..nodes);
+        let span = rng.gen_range(2..20.min(nodes.max(3)));
+        let b = (a + span).min(nodes - 1);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// A balanced tree (as `parent(p, c)` edges) with a few random cross edges,
+/// used for the Same Generation benchmark.
+pub fn tree_with_cross_edges(nodes: u32, fanout: u32, rng: &mut impl Rng) -> Vec<(u32, u32)> {
+    let fanout = fanout.max(2);
+    let mut edges = Vec::new();
+    for c in 1..nodes {
+        edges.push((c / fanout, c));
+    }
+    for _ in 0..(nodes / 20) {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn named_graphs_generate_reasonable_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for graph in FIG13_GRAPHS {
+            let edges = graph.edges(&mut rng);
+            assert!(!edges.is_empty(), "{} generated no edges", graph.name);
+            assert!(edges.iter().all(|&(a, b)| a < graph.nodes && b < graph.nodes));
+        }
+    }
+
+    #[test]
+    fn scale_free_graphs_have_hubs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let edges = scale_free(500, 3, &mut rng);
+        let mut in_degree = vec![0usize; 500];
+        for &(_, t) in &edges {
+            in_degree[t as usize] += 1;
+        }
+        let max = *in_degree.iter().max().unwrap();
+        let avg = edges.len() / 500;
+        assert!(max > avg * 5, "expected a hub: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn mesh_graphs_have_high_diameter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let edges = mesh(300, 2, &mut rng);
+        // The corridor edges guarantee connectivity in one direction.
+        assert!(edges.windows(1).count() >= 299);
+    }
+
+    #[test]
+    fn tree_edges_form_a_tree_plus_extras() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let edges = tree_with_cross_edges(200, 2, &mut rng);
+        assert!(edges.len() >= 199);
+    }
+
+    #[test]
+    fn programs_compile() {
+        assert!(lobster_datalog::parse(TRANSITIVE_CLOSURE).is_ok());
+        assert!(lobster_datalog::parse(SAME_GENERATION).is_ok());
+    }
+}
