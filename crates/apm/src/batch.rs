@@ -69,7 +69,11 @@ fn shift_projection(proj: &RowProjection) -> RowProjection {
     // Prepend the sample column as output 0.
     let mut programs = vec![ScalarExpr::Col(0).compile()];
     programs.extend(shifted.programs);
-    RowProjection { programs, permutation: None, filter: shifted.filter }
+    RowProjection {
+        programs,
+        permutation: None,
+        filter: shifted.filter,
+    }
 }
 
 fn transform_expr(expr: &RamExpr) -> RamExpr {
@@ -88,10 +92,9 @@ fn transform_expr(expr: &RamExpr) -> RamExpr {
             right: Box::new(transform_expr(right)),
             width: width + 1,
         },
-        RamExpr::Intersect(l, r) => RamExpr::Intersect(
-            Box::new(transform_expr(l)),
-            Box::new(transform_expr(r)),
-        ),
+        RamExpr::Intersect(l, r) => {
+            RamExpr::Intersect(Box::new(transform_expr(l)), Box::new(transform_expr(r)))
+        }
         RamExpr::Union(l, r) => {
             RamExpr::Union(Box::new(transform_expr(l)), Box::new(transform_expr(r)))
         }
@@ -126,11 +129,18 @@ pub fn batch_transform(program: &RamProgram) -> RamProgram {
             rules: stratum
                 .rules
                 .iter()
-                .map(|rule| RamRule { target: rule.target.clone(), expr: transform_expr(&rule.expr) })
+                .map(|rule| RamRule {
+                    target: rule.target.clone(),
+                    expr: transform_expr(&rule.expr),
+                })
                 .collect(),
         })
         .collect();
-    RamProgram { schemas, strata, outputs: program.outputs.clone() }
+    RamProgram {
+        schemas,
+        strata,
+        outputs: program.outputs.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +173,10 @@ mod tests {
                 });
             }
         }
-        assert!(join_widths.iter().all(|&w| w >= 2), "joins must include the sample column");
+        assert!(
+            join_widths.iter().all(|&w| w >= 2),
+            "joins must include the sample column"
+        );
     }
 
     #[test]
@@ -185,7 +198,11 @@ mod tests {
         let exec = Executor::new(device, Unit::new(), RuntimeOptions::default());
         exec.run_program(&mut db, &batched).unwrap();
         let rows = db.rows("path");
-        assert_eq!(rows.len(), 2, "each sample derives exactly its own edge as a path");
+        assert_eq!(
+            rows.len(),
+            2,
+            "each sample derives exactly its own edge as a path"
+        );
         assert!(rows
             .iter()
             .all(|(t, _)| !(t[1] == Value::U32(0) && t[2] == Value::U32(2))));

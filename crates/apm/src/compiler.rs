@@ -56,7 +56,8 @@ impl<'a> Compiler<'a> {
     }
 
     fn arity(&self, expr: &RamExpr) -> usize {
-        expr.arity(&|name| self.ram.arity(name)).expect("validated program has known arities")
+        expr.arity(&|name| self.ram.arity(name))
+            .expect("validated program has known arities")
     }
 
     /// Whether an expression depends on a relation defined in this stratum.
@@ -199,7 +200,11 @@ impl<'a> Compiler<'a> {
         let left_recursive = self.is_recursive_expr(left);
         let right_recursive = self.is_recursive_expr(right);
         let build_left = !left_recursive && right_recursive;
-        let static_ = if build_left { !left_recursive } else { !right_recursive };
+        let static_ = if build_left {
+            !left_recursive
+        } else {
+            !right_recursive
+        };
 
         let (build_cols, build_tags, probe_cols, probe_tags) = if build_left {
             (&l_cols, l_tags, &r_cols, r_tags)
@@ -299,7 +304,11 @@ impl<'a> Compiler<'a> {
             self.current_first_only = first_only;
             let mut next_leaf = 0;
             let (columns, tags) = self.compile_expr(&rule.expr, &parts, &mut next_leaf);
-            self.emit(Instr::Store { relation: rule.target.clone(), columns, tags });
+            self.emit(Instr::Store {
+                relation: rule.target.clone(),
+                columns,
+                tags,
+            });
             self.current_first_only = false;
         }
     }
@@ -326,7 +335,11 @@ pub fn compile_stratum(stratum: &Stratum, ram: &RamProgram) -> CompiledStratum {
         static_registers: compiler.static_registers,
         stored_relations: stratum.relations.clone(),
     };
-    CompiledStratum { program, relations: stratum.relations.clone(), recursive: stratum.recursive }
+    CompiledStratum {
+        program,
+        relations: stratum.relations.clone(),
+        recursive: stratum.recursive,
+    }
 }
 
 #[cfg(test)]
@@ -370,17 +383,35 @@ mod tests {
             .filter(|i| matches!(i, Instr::Build { .. }))
             .collect();
         assert!(!builds.is_empty());
-        assert!(builds.iter().any(|b| matches!(b, Instr::Build { static_: true, .. })));
+        assert!(builds
+            .iter()
+            .any(|b| matches!(b, Instr::Build { static_: true, .. })));
     }
 
     #[test]
     fn program_contains_expected_instruction_mix() {
         let (ram, stratum) = transitive_closure();
         let compiled = compile_stratum(&stratum, &ram);
-        let mnemonics: Vec<&str> =
-            compiled.program.instructions.iter().map(Instr::mnemonic).collect();
-        for expected in ["load", "store", "build", "count", "scan", "join", "gather", "gather_mul"] {
-            assert!(mnemonics.contains(&expected), "missing `{expected}` in {mnemonics:?}");
+        let mnemonics: Vec<&str> = compiled
+            .program
+            .instructions
+            .iter()
+            .map(Instr::mnemonic)
+            .collect();
+        for expected in [
+            "load",
+            "store",
+            "build",
+            "count",
+            "scan",
+            "join",
+            "gather",
+            "gather_mul",
+        ] {
+            assert!(
+                mnemonics.contains(&expected),
+                "missing `{expected}` in {mnemonics:?}"
+            );
         }
         assert!(compiled.program.register_count > 0);
         assert!(!compiled.program.listing().is_empty());
@@ -397,8 +428,12 @@ mod tests {
         let stratum = compiled.ram.strata[0].clone();
         let apm = compile_stratum(&stratum, &compiled.ram);
         assert!(!apm.recursive);
-        let stores =
-            apm.program.instructions.iter().filter(|i| matches!(i, Instr::Store { .. })).count();
+        let stores = apm
+            .program
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count();
         assert_eq!(stores, 1);
         assert!(apm.program.first_iteration_only.iter().all(|&b| !b));
     }
@@ -414,8 +449,12 @@ mod tests {
         let apm = compile_stratum(&stratum, &compiled.ram);
         // The recursive rule has two recursive leaves, so it expands into two
         // semi-naive variants plus the base rule: three stores.
-        let stores =
-            apm.program.instructions.iter().filter(|i| matches!(i, Instr::Store { .. })).count();
+        let stores = apm
+            .program
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count();
         assert_eq!(stores, 3);
         // Both-recursive joins cannot use static indices.
         assert!(apm

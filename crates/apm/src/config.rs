@@ -39,7 +39,11 @@ impl RuntimeOptions {
 
     /// All optimizations disabled (the paper's "None").
     pub fn unoptimized() -> Self {
-        RuntimeOptions { static_registers: false, buffer_reuse: false, ..Self::default() }
+        RuntimeOptions {
+            static_registers: false,
+            buffer_reuse: false,
+            ..Self::default()
+        }
     }
 
     /// Builder-style setter for [`RuntimeOptions::static_registers`].

@@ -24,7 +24,11 @@ pub struct SortedTable<P: Provenance> {
 impl<P: Provenance> SortedTable<P> {
     /// An empty table of the given arity.
     pub fn empty(arity: usize) -> Self {
-        SortedTable { columns: vec![Vec::new(); arity], tags: Vec::new(), arity }
+        SortedTable {
+            columns: vec![Vec::new(); arity],
+            tags: Vec::new(),
+            arity,
+        }
     }
 
     /// Number of rows.
@@ -64,7 +68,11 @@ impl<P: Provenance> SortedTable<P> {
             let mut iter = tags.into_iter();
             let first = iter.next().expect("non-empty tags");
             let folded = iter.fold(first, |acc, t| prov.add(&acc, &t));
-            return SortedTable { columns: Vec::new(), tags: vec![folded], arity };
+            return SortedTable {
+                columns: Vec::new(),
+                tags: vec![folded],
+                arity,
+            };
         }
         let refs: Vec<&[u64]> = columns.iter().map(|c| c.as_slice()).collect();
         let perm = kernels::sort_permutation(device, &refs);
@@ -72,7 +80,11 @@ impl<P: Provenance> SortedTable<P> {
         let sorted_refs: Vec<&[u64]> = sorted_cols.iter().map(|c| c.as_slice()).collect();
         let (unique_cols, unique_tags) =
             kernels::unique(device, &sorted_refs, &sorted_tags, |a, b| prov.add(a, b));
-        SortedTable { columns: unique_cols, tags: unique_tags, arity }
+        SortedTable {
+            columns: unique_cols,
+            tags: unique_tags,
+            arity,
+        }
     }
 
     /// Merges two sorted tables whose row sets are disjoint.
@@ -88,7 +100,11 @@ impl<P: Provenance> SortedTable<P> {
             // non-empty, but fold defensively.
             let mut tags = self.tags.clone();
             tags.extend(other.tags.iter().cloned());
-            return SortedTable { columns: Vec::new(), tags: vec![tags.remove(0)], arity: 0 };
+            return SortedTable {
+                columns: Vec::new(),
+                tags: vec![tags.remove(0)],
+                arity: 0,
+            };
         }
         let (columns, tags) = kernels::merge(
             device,
@@ -97,7 +113,11 @@ impl<P: Provenance> SortedTable<P> {
             &other.col_refs(),
             &other.tags,
         );
-        SortedTable { columns, tags, arity: self.arity }
+        SortedTable {
+            columns,
+            tags,
+            arity: self.arity,
+        }
     }
 
     /// Rows of `candidate` (sorted) that are not present in `self`.
@@ -116,7 +136,11 @@ impl<P: Provenance> SortedTable<P> {
             &self.col_refs(),
             self.len(),
         );
-        SortedTable { columns, tags, arity: self.arity }
+        SortedTable {
+            columns,
+            tags,
+            arity: self.arity,
+        }
     }
 
     /// The rows as decoded-value tuples paired with their tags (for result
@@ -182,7 +206,12 @@ impl<P: Provenance> Database<P> {
             .iter()
             .map(|(name, schema)| (name.clone(), (vec![Vec::new(); schema.arity()], Vec::new())))
             .collect();
-        Database { schemas, relations, pending, provenance }
+        Database {
+            schemas,
+            relations,
+            pending,
+            provenance,
+        }
     }
 
     /// The provenance context used by this database.
@@ -212,7 +241,11 @@ impl<P: Provenance> Database<P> {
             .pending
             .get_mut(relation)
             .unwrap_or_else(|| panic!("unknown relation `{relation}`"));
-        assert_eq!(columns.len(), row.len(), "arity mismatch inserting into `{relation}`");
+        assert_eq!(
+            columns.len(),
+            row.len(),
+            "arity mismatch inserting into `{relation}`"
+        );
         for (col, v) in columns.iter_mut().zip(row) {
             col.push(*v);
         }
@@ -246,7 +279,10 @@ impl<P: Provenance> Database<P> {
 
     /// Number of facts currently stored for a relation.
     pub fn relation_len(&self, relation: &str) -> usize {
-        self.relations.get(relation).map(RelationData::len).unwrap_or(0)
+        self.relations
+            .get(relation)
+            .map(RelationData::len)
+            .unwrap_or(0)
     }
 
     /// Total number of facts in the database.
@@ -307,7 +343,10 @@ mod tests {
 
     fn schemas() -> BTreeMap<String, RelationSchema> {
         let mut m = BTreeMap::new();
-        m.insert("edge".into(), RelationSchema::new("edge", vec![ValueType::U32, ValueType::U32]));
+        m.insert(
+            "edge".into(),
+            RelationSchema::new("edge", vec![ValueType::U32, ValueType::U32]),
+        );
         m.insert("flag".into(), RelationSchema::new("flag", vec![]));
         m
     }
@@ -356,7 +395,7 @@ mod tests {
     fn nullary_relations_hold_at_most_one_fact() {
         let device = Device::sequential();
         let prov = AddMultProb::new();
-        let mut db = Database::new(schemas(), prov.clone());
+        let mut db = Database::new(schemas(), prov);
         let t1 = prov.input_tag(InputFactId(0), Some(0.25));
         let t2 = prov.input_tag(InputFactId(1), Some(0.5));
         db.insert("flag", &[], t1);

@@ -25,6 +25,13 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// A relation loaded into columnar form: one device column per attribute
+/// plus the tag of every row.
+type LoadedTable<T> = (Vec<Arc<Column>>, Arc<Vec<T>>);
+
+/// Cached "all" loads of relations not updated by the running stratum.
+type LoadCache<T> = HashMap<String, LoadedTable<T>>;
+
 /// Statistics describing one execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionStats {
@@ -107,7 +114,11 @@ pub struct Executor<P: Provenance> {
 impl<P: Provenance> Executor<P> {
     /// Creates an executor over a device with the given options.
     pub fn new(device: Device, provenance: P, options: RuntimeOptions) -> Self {
-        Executor { device, options, provenance }
+        Executor {
+            device,
+            options,
+            provenance,
+        }
     }
 
     /// The device this executor runs on.
@@ -162,7 +173,10 @@ impl<P: Provenance> Executor<P> {
         start: Instant,
     ) -> Result<ExecutionStats, ExecError> {
         let kernels_before = self.device.stats().kernel_launches;
-        let mut stats = ExecutionStats { strata: 1, ..ExecutionStats::default() };
+        let mut stats = ExecutionStats {
+            strata: 1,
+            ..ExecutionStats::default()
+        };
 
         // Algorithm 1: stable ← ∅, recent ← F_T for the stratum's relations.
         for rel in &compiled.relations {
@@ -178,26 +192,24 @@ impl<P: Provenance> Executor<P> {
         // Cached "all" loads of relations not updated by this stratum (the
         // buffer-reuse optimization: these buffers are identical every
         // iteration).
-        let mut load_cache: HashMap<String, (Vec<Arc<Column>>, Arc<Vec<P::Tag>>)> = HashMap::new();
+        let mut load_cache: LoadCache<P::Tag> = HashMap::new();
 
         let mut iteration = 0usize;
         loop {
             if iteration >= self.options.max_iterations {
-                return Err(ExecError::IterationLimit { limit: self.options.max_iterations });
+                return Err(ExecError::IterationLimit {
+                    limit: self.options.max_iterations,
+                });
             }
             if let Some(timeout) = self.options.timeout_ms {
                 if start.elapsed() > Duration::from_millis(timeout) {
-                    return Err(ExecError::Timeout { elapsed: start.elapsed() });
+                    return Err(ExecError::Timeout {
+                        elapsed: start.elapsed(),
+                    });
                 }
             }
 
-            self.execute_iteration(
-                db,
-                compiled,
-                iteration,
-                &mut static_file,
-                &mut load_cache,
-            )?;
+            self.execute_iteration(db, compiled, iteration, &mut static_file, &mut load_cache)?;
 
             // Update phase: fold staged facts into the partitions.
             let mut changed = false;
@@ -205,7 +217,8 @@ impl<P: Provenance> Executor<P> {
                 let prov = self.provenance.clone();
                 let data = db.relation_data_mut(rel);
                 let staged = std::mem::take(&mut data.staged);
-                let candidate = Self::collect_staged(&self.device, &prov, staged, data.recent.arity());
+                let candidate =
+                    Self::collect_staged(&self.device, &prov, staged, data.recent.arity());
                 let arity = data.recent.arity();
                 // Fold the previous frontier into the stable set. When the
                 // frontier is empty the stable set is unchanged, so the merge
@@ -282,7 +295,7 @@ impl<P: Provenance> Executor<P> {
         compiled: &CompiledStratum,
         iteration: usize,
         static_file: &mut HashMap<RegId, RegValue<P>>,
-        load_cache: &mut HashMap<String, (Vec<Arc<Column>>, Arc<Vec<P::Tag>>)>,
+        load_cache: &mut LoadCache<P::Tag>,
     ) -> Result<(), ExecError> {
         let program = &compiled.program;
         let mut regs: Vec<Option<RegValue<P>>> = vec![None; program.register_count as usize];
@@ -326,11 +339,22 @@ impl<P: Provenance> Executor<P> {
         }
 
         for (pc, instr) in program.instructions.iter().enumerate() {
-            if iteration > 0 && program.first_iteration_only.get(pc).copied().unwrap_or(false) {
+            if iteration > 0
+                && program
+                    .first_iteration_only
+                    .get(pc)
+                    .copied()
+                    .unwrap_or(false)
+            {
                 continue;
             }
             match instr {
-                Instr::Load { relation, part, columns, tags } => {
+                Instr::Load {
+                    relation,
+                    part,
+                    columns,
+                    tags,
+                } => {
                     let is_own = compiled.relations.contains(relation);
                     let cacheable = self.options.buffer_reuse && !is_own && *part == DbPart::All;
                     if cacheable {
@@ -345,11 +369,19 @@ impl<P: Provenance> Executor<P> {
                     let data = db.relation_data(relation);
                     let (cols, tag_vec): (Vec<Arc<Column>>, Arc<Vec<P::Tag>>) = match part {
                         DbPart::Stable => (
-                            data.stable.columns.iter().map(|c| Arc::new(c.clone())).collect(),
+                            data.stable
+                                .columns
+                                .iter()
+                                .map(|c| Arc::new(c.clone()))
+                                .collect(),
                             Arc::new(data.stable.tags.clone()),
                         ),
                         DbPart::Recent => (
-                            data.recent.columns.iter().map(|c| Arc::new(c.clone())).collect(),
+                            data.recent
+                                .columns
+                                .iter()
+                                .map(|c| Arc::new(c.clone()))
+                                .collect(),
                             Arc::new(data.recent.tags.clone()),
                         ),
                         DbPart::All => {
@@ -374,7 +406,11 @@ impl<P: Provenance> Executor<P> {
                         load_cache.insert(relation.clone(), (cols, tag_vec));
                     }
                 }
-                Instr::Store { relation, columns, tags } => {
+                Instr::Store {
+                    relation,
+                    columns,
+                    tags,
+                } => {
                     let cols: Vec<Column> = columns.iter().map(|r| (*data!(*r)).clone()).collect();
                     let tag_vec: Vec<P::Tag> = (*tags!(*tags)).clone();
                     // Drop rows whose tag collapsed to an unacceptable value
@@ -397,7 +433,13 @@ impl<P: Provenance> Executor<P> {
                     };
                     db.relation_data_mut(relation).staged.push((cols, tag_vec));
                 }
-                Instr::Eval { inputs, input_tags, projection, outputs, output_tags } => {
+                Instr::Eval {
+                    inputs,
+                    input_tags,
+                    projection,
+                    outputs,
+                    output_tags,
+                } => {
                     let in_cols: Vec<Arc<Column>> = inputs.iter().map(|r| data!(*r)).collect();
                     let in_tags = tags!(*input_tags);
                     let rows = in_tags.len();
@@ -418,10 +460,18 @@ impl<P: Provenance> Executor<P> {
                         for (out, col) in outputs.iter().zip(out_cols) {
                             set(&mut regs, *out, RegValue::Data(Arc::new(col)));
                         }
-                        set(&mut regs, *output_tags, RegValue::Tags(Arc::new(out_tag_vec)));
+                        set(
+                            &mut regs,
+                            *output_tags,
+                            RegValue::Tags(Arc::new(out_tag_vec)),
+                        );
                     }
                 }
-                Instr::Build { keys, index, static_ } => {
+                Instr::Build {
+                    keys,
+                    index,
+                    static_,
+                } => {
                     let use_static = *static_ && self.options.static_registers;
                     if use_static && static_file.contains_key(index) {
                         continue;
@@ -442,7 +492,11 @@ impl<P: Provenance> Executor<P> {
                         set(&mut regs, *index, value);
                     }
                 }
-                Instr::Count { index, probe_keys, counts } => {
+                Instr::Count {
+                    index,
+                    probe_keys,
+                    counts,
+                } => {
                     let idx = index!(*index);
                     let probe_cols: Vec<Arc<Column>> =
                         probe_keys.iter().map(|r| data!(*r)).collect();
@@ -455,7 +509,14 @@ impl<P: Provenance> Executor<P> {
                     let (result, _total) = kernels::scan(&self.device, &input);
                     set(&mut regs, *offsets, RegValue::Data(Arc::new(result)));
                 }
-                Instr::Join { index, probe_keys, counts, offsets, build_indices, probe_indices } => {
+                Instr::Join {
+                    index,
+                    probe_keys,
+                    counts,
+                    offsets,
+                    build_indices,
+                    probe_indices,
+                } => {
                     let idx = index!(*index);
                     let probe_cols: Vec<Arc<Column>> =
                         probe_keys.iter().map(|r| data!(*r)).collect();
@@ -474,7 +535,11 @@ impl<P: Provenance> Executor<P> {
                     set(&mut regs, *build_indices, RegValue::Data(Arc::new(bi)));
                     set(&mut regs, *probe_indices, RegValue::Data(Arc::new(pi)));
                 }
-                Instr::Gather { indices, sources, destinations } => {
+                Instr::Gather {
+                    indices,
+                    sources,
+                    destinations,
+                } => {
                     let idx = data!(*indices);
                     for (src, dst) in sources.iter().zip(destinations) {
                         let source = data!(*src);
@@ -482,18 +547,32 @@ impl<P: Provenance> Executor<P> {
                         set(&mut regs, *dst, RegValue::Data(Arc::new(gathered)));
                     }
                 }
-                Instr::GatherMulTags { left_indices, right_indices, left_tags, right_tags, output } => {
+                Instr::GatherMulTags {
+                    left_indices,
+                    right_indices,
+                    left_tags,
+                    right_tags,
+                    output,
+                } => {
                     let li = data!(*left_indices);
                     let ri = data!(*right_indices);
                     let lt = tags!(*left_tags);
                     let rt = tags!(*right_tags);
                     let prov = self.provenance.clone();
-                    let result = kernels::gather_mul_tags(&self.device, &li, &ri, &lt, &rt, |a, b| {
-                        prov.mul(a, b)
-                    });
+                    let result =
+                        kernels::gather_mul_tags(&self.device, &li, &ri, &lt, &rt, |a, b| {
+                            prov.mul(a, b)
+                        });
                     set(&mut regs, *output, RegValue::Tags(Arc::new(result)));
                 }
-                Instr::Product { left, left_tags, right, right_tags, outputs, output_tags } => {
+                Instr::Product {
+                    left,
+                    left_tags,
+                    right,
+                    right_tags,
+                    outputs,
+                    output_tags,
+                } => {
                     let l_cols: Vec<Arc<Column>> = left.iter().map(|r| data!(*r)).collect();
                     let r_cols: Vec<Arc<Column>> = right.iter().map(|r| data!(*r)).collect();
                     let lt = tags!(*left_tags);
@@ -519,8 +598,12 @@ impl<P: Provenance> Executor<P> {
                     }
                     set(&mut regs, *output_tags, RegValue::Tags(Arc::new(out_tags)));
                 }
-                Instr::Append { inputs, outputs, output_tags } => {
-                    let tables: Vec<(Vec<Arc<Column>>, Arc<Vec<P::Tag>>)> = inputs
+                Instr::Append {
+                    inputs,
+                    outputs,
+                    output_tags,
+                } => {
+                    let tables: Vec<LoadedTable<P::Tag>> = inputs
                         .iter()
                         .map(|(cols, tags)| {
                             (cols.iter().map(|r| data!(*r)).collect(), tags!(*tags))
@@ -602,7 +685,7 @@ mod tests {
         .unwrap();
         let device = Device::sequential();
         let prov = MaxMinProb::new();
-        let mut db = Database::new(compiled.ram.schemas.clone(), prov.clone());
+        let mut db = Database::new(compiled.ram.schemas.clone(), prov);
         db.insert("edge", &[Value::U32(0), Value::U32(1)], 0.9);
         db.insert("edge", &[Value::U32(1), Value::U32(2)], 0.5);
         db.seal(&device);
@@ -614,7 +697,10 @@ mod tests {
             .find(|(t, _)| t[0] == Value::U32(0) && t[1] == Value::U32(2))
             .map(|(_, tag)| *tag)
             .unwrap();
-        assert!((p02 - 0.5).abs() < 1e-9, "max-min path probability should be the weakest edge");
+        assert!(
+            (p02 - 0.5).abs() < 1e-9,
+            "max-min path probability should be the weakest edge"
+        );
     }
 
     #[test]
@@ -629,11 +715,19 @@ mod tests {
         .unwrap();
         let device = Device::sequential();
         let prov = AddMultProb::new();
-        let mut db = Database::new(compiled.ram.schemas.clone(), prov.clone());
+        let mut db = Database::new(compiled.ram.schemas.clone(), prov);
         db.insert("edge", &[Value::U32(0), Value::U32(1)], 0.8);
         db.insert("edge", &[Value::U32(1), Value::U32(2)], 0.7);
-        db.insert("is_endpoint", &[Value::U32(0)], prov.input_tag(InputFactId(10), Some(1.0)));
-        db.insert("is_endpoint", &[Value::U32(2)], prov.input_tag(InputFactId(11), Some(1.0)));
+        db.insert(
+            "is_endpoint",
+            &[Value::U32(0)],
+            prov.input_tag(InputFactId(10), Some(1.0)),
+        );
+        db.insert(
+            "is_endpoint",
+            &[Value::U32(2)],
+            prov.input_tag(InputFactId(11), Some(1.0)),
+        );
         db.seal(&device);
         let exec = Executor::new(device, prov, RuntimeOptions::default());
         exec.run_program(&mut db, &compiled.ram).unwrap();
@@ -682,7 +776,10 @@ mod tests {
              rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))",
         )
         .unwrap();
-        let device = Device::new(DeviceConfig { memory_limit: Some(2_000), ..DeviceConfig::default() });
+        let device = Device::new(DeviceConfig {
+            memory_limit: Some(2_000),
+            ..DeviceConfig::default()
+        });
         let mut db = Database::new(compiled.ram.schemas.clone(), Unit::new());
         for i in 0..200u32 {
             db.insert("edge", &[Value::U32(i), Value::U32(i + 1)], ());
@@ -690,7 +787,10 @@ mod tests {
         db.seal(&device);
         let exec = Executor::new(device, Unit::new(), RuntimeOptions::default());
         let err = exec.run_program(&mut db, &compiled.ram).unwrap_err();
-        assert!(matches!(err, ExecError::Device(DeviceError::OutOfMemory { .. })));
+        assert!(matches!(
+            err,
+            ExecError::Device(DeviceError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
@@ -706,8 +806,11 @@ mod tests {
             db.insert("edge", &[Value::U32(i), Value::U32(i + 1)], ());
         }
         db.seal(&device);
-        let exec =
-            Executor::new(device, Unit::new(), RuntimeOptions::default().with_timeout_ms(Some(0)));
+        let exec = Executor::new(
+            device,
+            Unit::new(),
+            RuntimeOptions::default().with_timeout_ms(Some(0)),
+        );
         let err = exec.run_program(&mut db, &compiled.ram).unwrap_err();
         assert!(matches!(err, ExecError::Timeout { .. }));
     }

@@ -209,7 +209,11 @@ impl Instr {
                 regs
             }
             Instr::Store { .. } => Vec::new(),
-            Instr::Eval { outputs, output_tags, .. } => {
+            Instr::Eval {
+                outputs,
+                output_tags,
+                ..
+            } => {
                 let mut regs = outputs.clone();
                 regs.push(*output_tags);
                 regs
@@ -217,17 +221,29 @@ impl Instr {
             Instr::Build { index, .. } => vec![*index],
             Instr::Count { counts, .. } => vec![*counts],
             Instr::Scan { offsets, .. } => vec![*offsets],
-            Instr::Join { build_indices, probe_indices, .. } => {
+            Instr::Join {
+                build_indices,
+                probe_indices,
+                ..
+            } => {
                 vec![*build_indices, *probe_indices]
             }
             Instr::Gather { destinations, .. } => destinations.clone(),
             Instr::GatherMulTags { output, .. } => vec![*output],
-            Instr::Product { outputs, output_tags, .. } => {
+            Instr::Product {
+                outputs,
+                output_tags,
+                ..
+            } => {
                 let mut regs = outputs.clone();
                 regs.push(*output_tags);
                 regs
             }
-            Instr::Append { outputs, output_tags, .. } => {
+            Instr::Append {
+                outputs,
+                output_tags,
+                ..
+            } => {
                 let mut regs = outputs.clone();
                 regs.push(*output_tags);
                 regs
@@ -239,10 +255,19 @@ impl Instr {
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Instr::Load { relation, part, columns, tags } => {
+            Instr::Load {
+                relation,
+                part,
+                columns,
+                tags,
+            } => {
                 write!(f, "{:?},{tags} <- load<{relation}:{part}>()", columns)
             }
-            Instr::Store { relation, columns, tags } => {
+            Instr::Store {
+                relation,
+                columns,
+                tags,
+            } => {
                 write!(f, "store<{relation}>({columns:?}, {tags})")
             }
             other => write!(f, "{} {:?} <- ...", other.mnemonic(), other.defs()),
@@ -313,7 +338,11 @@ mod tests {
 
     #[test]
     fn store_defines_nothing() {
-        let instr = Instr::Store { relation: "path".into(), columns: vec![RegId(0)], tags: RegId(1) };
+        let instr = Instr::Store {
+            relation: "path".into(),
+            columns: vec![RegId(0)],
+            tags: RegId(1),
+        };
         assert!(instr.defs().is_empty());
         assert_eq!(instr.mnemonic(), "store");
     }
@@ -328,7 +357,11 @@ mod tests {
                     columns: vec![RegId(0), RegId(1)],
                     tags: RegId(2),
                 },
-                Instr::Store { relation: "path".into(), columns: vec![RegId(0), RegId(1)], tags: RegId(2) },
+                Instr::Store {
+                    relation: "path".into(),
+                    columns: vec![RegId(0), RegId(1)],
+                    tags: RegId(2),
+                },
             ],
             first_iteration_only: vec![true, true],
             register_count: 3,

@@ -25,7 +25,9 @@ impl DnfTag {
 
     /// The formula `true` (one empty proof).
     pub fn trivially_true() -> Self {
-        DnfTag { proofs: std::iter::once(BTreeSet::new()).collect() }
+        DnfTag {
+            proofs: std::iter::once(BTreeSet::new()).collect(),
+        }
     }
 
     /// Number of proofs.
@@ -63,7 +65,10 @@ impl Default for DnfProofs {
 impl DnfProofs {
     /// Creates an exact DNF-proofs provenance.
     pub fn new() -> Self {
-        DnfProofs { probs: Default::default(), max_proofs: usize::MAX }
+        DnfProofs {
+            probs: Default::default(),
+            max_proofs: usize::MAX,
+        }
     }
 
     fn prob(&self, fact: InputFactId) -> f64 {
@@ -102,10 +107,16 @@ impl DnfProofs {
                 .collect();
             p * expand(&when_true, rest) + (1.0 - p) * expand(&when_false, rest)
         }
-        let vars: Vec<(InputFactId, f64)> =
-            tag.variables().into_iter().map(|v| (v, self.prob(v))).collect();
-        let proofs: Vec<Vec<InputFactId>> =
-            tag.proofs.iter().map(|p| p.iter().copied().collect()).collect();
+        let vars: Vec<(InputFactId, f64)> = tag
+            .variables()
+            .into_iter()
+            .map(|v| (v, self.prob(v)))
+            .collect();
+        let proofs: Vec<Vec<InputFactId>> = tag
+            .proofs
+            .iter()
+            .map(|p| p.iter().copied().collect())
+            .collect();
         expand(&proofs, &vars)
     }
 }
@@ -156,7 +167,9 @@ impl Provenance for DnfProofs {
             table.resize(idx + 1, 1.0);
         }
         table[idx] = prob.unwrap_or(1.0);
-        DnfTag { proofs: std::iter::once(std::iter::once(fact).collect()).collect() }
+        DnfTag {
+            proofs: std::iter::once(std::iter::once(fact).collect()).collect(),
+        }
     }
 
     fn accept(&self, tag: &Self::Tag) -> bool {

@@ -7,6 +7,9 @@ use lobster_provenance::Unit;
 use lobster_ram::RamProgram;
 use std::collections::BTreeMap;
 
+/// The output of an FVLog run: encoded tuples per relation.
+pub type FvlogDatabase = BTreeMap<String, Vec<Vec<u64>>>;
+
 /// A discrete-only, GPU (simulated) columnar Datalog engine standing in for
 /// FVLog. It shares Lobster's device and kernels but, like FVLog, has no
 /// intermediate representation to optimize over: hash indices are rebuilt on
@@ -27,7 +30,10 @@ impl Default for FvlogEngine {
 impl FvlogEngine {
     /// Creates the engine on the given device.
     pub fn new(device: Device) -> Self {
-        FvlogEngine { device, options: RuntimeOptions::unoptimized() }
+        FvlogEngine {
+            device,
+            options: RuntimeOptions::unoptimized(),
+        }
     }
 
     /// Sets the wall-clock budget in milliseconds.
@@ -52,14 +58,16 @@ impl FvlogEngine {
         &self,
         ram: &RamProgram,
         facts: &[(String, Vec<u64>)],
-    ) -> Result<(BTreeMap<String, Vec<Vec<u64>>>, ExecutionStats), FvlogError> {
+    ) -> Result<(FvlogDatabase, ExecutionStats), FvlogError> {
         let mut db = Database::new(ram.schemas.clone(), Unit::new());
         for (rel, row) in facts {
             db.insert_encoded(rel, row, ());
         }
         db.seal(&self.device);
         let executor = Executor::new(self.device.clone(), Unit::new(), self.options.clone());
-        let stats = executor.run_program(&mut db, ram).map_err(FvlogError::Execution)?;
+        let stats = executor
+            .run_program(&mut db, ram)
+            .map_err(FvlogError::Execution)?;
         let mut out = BTreeMap::new();
         for rel in ram.schemas.keys() {
             let rows: Vec<Vec<u64>> = db
@@ -106,8 +114,9 @@ mod tests {
     #[test]
     fn fvlog_computes_transitive_closure() {
         let compiled = parse(TC).unwrap();
-        let facts: Vec<(String, Vec<u64>)> =
-            (0..6u64).map(|i| ("edge".to_string(), vec![i, i + 1])).collect();
+        let facts: Vec<(String, Vec<u64>)> = (0..6u64)
+            .map(|i| ("edge".to_string(), vec![i, i + 1]))
+            .collect();
         let engine = FvlogEngine::new(Device::sequential());
         let (db, stats) = engine.run(&compiled.ram, &facts).unwrap();
         assert_eq!(db["path"].len(), 21);
@@ -117,10 +126,13 @@ mod tests {
     #[test]
     fn fvlog_runs_out_of_memory_on_tight_budgets() {
         let compiled = parse(TC).unwrap();
-        let facts: Vec<(String, Vec<u64>)> =
-            (0..500u64).map(|i| ("edge".to_string(), vec![i, i + 1])).collect();
-        let device =
-            Device::new(DeviceConfig { memory_limit: Some(10_000), ..DeviceConfig::default() });
+        let facts: Vec<(String, Vec<u64>)> = (0..500u64)
+            .map(|i| ("edge".to_string(), vec![i, i + 1]))
+            .collect();
+        let device = Device::new(DeviceConfig {
+            memory_limit: Some(10_000),
+            ..DeviceConfig::default()
+        });
         let engine = FvlogEngine::new(device);
         assert!(matches!(
             engine.run(&compiled.ram, &facts),
@@ -131,10 +143,13 @@ mod tests {
     #[test]
     fn fvlog_never_reuses_indices() {
         let compiled = parse(TC).unwrap();
-        let facts: Vec<(String, Vec<u64>)> =
-            (0..50u64).map(|i| ("edge".to_string(), vec![i, i + 1])).collect();
+        let facts: Vec<(String, Vec<u64>)> = (0..50u64)
+            .map(|i| ("edge".to_string(), vec![i, i + 1]))
+            .collect();
         let fvlog_device = Device::sequential();
-        let (_, _) = FvlogEngine::new(fvlog_device.clone()).run(&compiled.ram, &facts).unwrap();
+        let (_, _) = FvlogEngine::new(fvlog_device.clone())
+            .run(&compiled.ram, &facts)
+            .unwrap();
         // Count build kernels: FVLog rebuilds per iteration, so there must be
         // roughly one build per iteration; Lobster with static registers
         // builds once per join.
@@ -145,7 +160,11 @@ mod tests {
             db.insert_encoded(rel, row, ());
         }
         db.seal(&lobster_device);
-        let exec = Executor::new(lobster_device.clone(), Unit::new(), RuntimeOptions::optimized());
+        let exec = Executor::new(
+            lobster_device.clone(),
+            Unit::new(),
+            RuntimeOptions::optimized(),
+        );
         exec.run_program(&mut db, &compiled.ram).unwrap();
         let lobster_kernels = lobster_device.stats().kernel_launches;
         assert!(

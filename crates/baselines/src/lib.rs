@@ -32,8 +32,8 @@ mod souffle;
 mod tuple;
 
 pub use dnf::{DnfProofs, DnfTag};
-pub use fvlog::{FvlogEngine, FvlogError};
-pub use problog::ProblogEngine;
-pub use scallop::ScallopEngine;
+pub use fvlog::{FvlogDatabase, FvlogEngine, FvlogError};
+pub use problog::{ProblogDatabase, ProblogEngine};
+pub use scallop::{ScallopEngine, TaggedFact};
 pub use souffle::SouffleEngine;
 pub use tuple::{BaselineError, TupleDatabase, TupleEngine};

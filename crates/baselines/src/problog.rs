@@ -7,6 +7,9 @@ use lobster_ram::RamProgram;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// The output of a ProbLog run: tuples with exact probabilities per relation.
+pub type ProblogDatabase = BTreeMap<String, Vec<(Vec<u64>, f64)>>;
+
 /// Exact probabilistic inference in the style of ProbLog: every derived fact
 /// carries its full DNF proof formula and the final probability is computed
 /// by exact weighted model counting. No approximation is performed, so the
@@ -42,14 +45,16 @@ impl ProblogEngine {
         &self,
         ram: &RamProgram,
         facts: &[(String, Vec<u64>, f64)],
-    ) -> Result<BTreeMap<String, Vec<(Vec<u64>, f64)>>, BaselineError> {
+    ) -> Result<ProblogDatabase, BaselineError> {
         let start = Instant::now();
         let engine = TupleEngine::new(self.provenance.clone()).with_timeout(self.timeout);
         let tagged: Vec<(String, Vec<u64>, DnfTag)> = facts
             .iter()
             .enumerate()
             .map(|(i, (rel, row, prob))| {
-                let tag = self.provenance.input_tag(InputFactId(i as u32), Some(*prob));
+                let tag = self
+                    .provenance
+                    .input_tag(InputFactId(i as u32), Some(*prob));
                 (rel.clone(), row.clone(), tag)
             })
             .collect();
@@ -60,7 +65,9 @@ impl ProblogEngine {
             for (tuple, tag) in tuples {
                 if let Some(budget) = self.timeout {
                     if start.elapsed() > budget {
-                        return Err(BaselineError::Timeout { phase: "model counting" });
+                        return Err(BaselineError::Timeout {
+                            phase: "model counting",
+                        });
                     }
                 }
                 rows.push((tuple, self.provenance.model_count(&tag)));
@@ -92,7 +99,11 @@ mod tests {
         ];
         let engine = ProblogEngine::new();
         let db = engine.run(&compiled.ram, &facts).unwrap();
-        let p03 = db["path"].iter().find(|(t, _)| t == &vec![0, 3]).map(|(_, p)| *p).unwrap();
+        let p03 = db["path"]
+            .iter()
+            .find(|(t, _)| t == &vec![0, 3])
+            .map(|(_, p)| *p)
+            .unwrap();
         // P(path) = 1 - (1 - 0.25)^2 = 0.4375 exactly.
         assert!((p03 - 0.4375).abs() < 1e-9, "got {p03}");
     }

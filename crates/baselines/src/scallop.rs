@@ -5,6 +5,9 @@ use lobster_provenance::Provenance;
 use lobster_ram::RamProgram;
 use std::time::Duration;
 
+/// One input fact handed to a baseline engine: relation, encoded tuple, tag.
+pub type TaggedFact<T> = (String, Vec<u64>, T);
+
 /// The primary baseline of the paper: Scallop's execution model — a CPU,
 /// tuple-at-a-time, semi-naive Datalog engine carrying provenance tags on
 /// every fact. Batch-level parallelism (running independent samples on
@@ -18,7 +21,9 @@ pub struct ScallopEngine<P: Provenance> {
 impl<P: Provenance> ScallopEngine<P> {
     /// Creates the engine with the given provenance.
     pub fn new(provenance: P) -> Self {
-        ScallopEngine { engine: TupleEngine::new(provenance) }
+        ScallopEngine {
+            engine: TupleEngine::new(provenance),
+        }
     }
 
     /// Sets the wall-clock budget.
@@ -54,7 +59,7 @@ impl<P: Provenance> ScallopEngine<P> {
     pub fn run_batch(
         &self,
         ram: &RamProgram,
-        samples: &[Vec<(String, Vec<u64>, P::Tag)>],
+        samples: &[Vec<TaggedFact<P::Tag>>],
     ) -> Result<Vec<TupleDatabase<P>>, BaselineError> {
         let mut results: Vec<Option<Result<TupleDatabase<P>, BaselineError>>> =
             (0..samples.len()).map(|_| None).collect();
@@ -68,7 +73,10 @@ impl<P: Provenance> ScallopEngine<P> {
                 *slot = Some(handle.join().expect("sample worker panicked"));
             }
         });
-        results.into_iter().map(|r| r.expect("sample result recorded")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("sample result recorded"))
+            .collect()
     }
 }
 
@@ -86,8 +94,9 @@ mod tests {
     fn scallop_engine_matches_expected_closure() {
         let compiled = parse(TC).unwrap();
         let engine = ScallopEngine::new(Unit::new());
-        let facts: Vec<(String, Vec<u64>, ())> =
-            (0..5u64).map(|i| ("edge".to_string(), vec![i, i + 1], ())).collect();
+        let facts: Vec<(String, Vec<u64>, ())> = (0..5u64)
+            .map(|i| ("edge".to_string(), vec![i, i + 1], ()))
+            .collect();
         let db = engine.run(&compiled.ram, &facts).unwrap();
         assert_eq!(db["path"].len(), 15);
     }
@@ -101,8 +110,16 @@ mod tests {
         let e0 = registry.register(Some(0.9), None);
         let e1 = registry.register(Some(0.5), None);
         let facts = vec![
-            ("edge".to_string(), vec![0, 1], prov.input_tag(e0, Some(0.9))),
-            ("edge".to_string(), vec![1, 2], prov.input_tag(e1, Some(0.5))),
+            (
+                "edge".to_string(),
+                vec![0, 1],
+                prov.input_tag(e0, Some(0.9)),
+            ),
+            (
+                "edge".to_string(),
+                vec![1, 2],
+                prov.input_tag(e1, Some(0.5)),
+            ),
         ];
         let db = engine.run(&compiled.ram, &facts).unwrap();
         let tag = &db["path"][&vec![0, 2]];

@@ -3,7 +3,6 @@
 use crate::tuple::{BaselineError, TupleEngine};
 use lobster_provenance::Unit;
 use lobster_ram::RamProgram;
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// A discrete, multi-threaded, BTree-indexed CPU Datalog engine standing in
@@ -16,14 +15,20 @@ pub struct SouffleEngine {
 
 impl Default for SouffleEngine {
     fn default() -> Self {
-        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
     }
 }
 
 impl SouffleEngine {
     /// Creates the engine with the given number of worker threads.
     pub fn new(threads: usize) -> Self {
-        SouffleEngine { engine: TupleEngine::new(Unit::new()).with_parallelism(threads) }
+        SouffleEngine {
+            engine: TupleEngine::new(Unit::new()).with_parallelism(threads),
+        }
     }
 
     /// Sets the wall-clock budget.
@@ -42,9 +47,11 @@ impl SouffleEngine {
         &self,
         ram: &RamProgram,
         facts: &[(String, Vec<u64>)],
-    ) -> Result<BTreeMap<String, Vec<Vec<u64>>>, BaselineError> {
-        let tagged: Vec<(String, Vec<u64>, ())> =
-            facts.iter().map(|(rel, row)| (rel.clone(), row.clone(), ())).collect();
+    ) -> Result<crate::FvlogDatabase, BaselineError> {
+        let tagged: Vec<(String, Vec<u64>, ())> = facts
+            .iter()
+            .map(|(rel, row)| (rel.clone(), row.clone(), ()))
+            .collect();
         let db = self.engine.run(ram, &tagged)?;
         Ok(db
             .into_iter()
@@ -68,9 +75,11 @@ mod tests {
         )
         .unwrap();
         // A small binary tree: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5, 6}.
-        let parents = vec![(0u64, 1u64), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)];
-        let facts: Vec<(String, Vec<u64>)> =
-            parents.iter().map(|&(p, c)| ("parent".to_string(), vec![p, c])).collect();
+        let parents = [(0u64, 1u64), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)];
+        let facts: Vec<(String, Vec<u64>)> = parents
+            .iter()
+            .map(|&(p, c)| ("parent".to_string(), vec![p, c]))
+            .collect();
         let engine = SouffleEngine::new(4);
         let db = engine.run(&compiled.ram, &facts).unwrap();
         let sg = &db["sg"];

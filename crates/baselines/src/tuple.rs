@@ -38,6 +38,9 @@ impl std::error::Error for BaselineError {}
 /// A tuple-oriented database: every relation maps encoded tuples to tags.
 pub type TupleDatabase<P> = BTreeMap<String, BTreeMap<Vec<u64>, <P as Provenance>::Tag>>;
 
+/// Rows produced by evaluating one rule: encoded tuple plus tag.
+type TaggedRows<T> = Vec<(Vec<u64>, T)>;
+
 /// The shared tuple-at-a-time engine.
 #[derive(Debug, Clone)]
 pub struct TupleEngine<P: Provenance> {
@@ -54,7 +57,12 @@ pub struct TupleEngine<P: Provenance> {
 impl<P: Provenance> TupleEngine<P> {
     /// Creates a sequential engine.
     pub fn new(provenance: P) -> Self {
-        TupleEngine { provenance, parallelism: 1, timeout: None, max_iterations: 1_000_000 }
+        TupleEngine {
+            provenance,
+            parallelism: 1,
+            timeout: None,
+            max_iterations: 1_000_000,
+        }
     }
 
     /// Sets the number of join worker threads.
@@ -139,7 +147,11 @@ impl<P: Provenance> TupleEngine<P> {
                         continue;
                     }
                     // Skip tuples that already exist in the database.
-                    if db.get(&rule.target).map(|r| r.contains_key(&tuple)).unwrap_or(false) {
+                    if db
+                        .get(&rule.target)
+                        .map(|r| r.contains_key(&tuple))
+                        .unwrap_or(false)
+                    {
                         continue;
                     }
                     match slot.get_mut(&tuple) {
@@ -182,7 +194,7 @@ impl<P: Provenance> TupleEngine<P> {
         recent: &BTreeMap<String, BTreeMap<Vec<u64>, P::Tag>>,
         iteration: usize,
         start: Instant,
-    ) -> Result<Vec<(Vec<u64>, P::Tag)>, BaselineError> {
+    ) -> Result<TaggedRows<P::Tag>, BaselineError> {
         let mut recursive_leaves = 0usize;
         rule.expr.visit(&mut |e| {
             if let RamExpr::Relation(name) = e {
@@ -225,7 +237,7 @@ impl<P: Provenance> TupleEngine<P> {
         focus: Option<usize>,
         recursive_counter: &mut usize,
         start: Instant,
-    ) -> Result<Vec<(Vec<u64>, P::Tag)>, BaselineError> {
+    ) -> Result<TaggedRows<P::Tag>, BaselineError> {
         self.check_deadline(start, "expression evaluation")?;
         match expr {
             RamExpr::Relation(name) => {
@@ -256,17 +268,22 @@ impl<P: Provenance> TupleEngine<P> {
                 let rows =
                     self.eval_expr(input, stratum, db, recent, focus, recursive_counter, start)?;
                 let program = cond.compile();
-                Ok(rows.into_iter().filter(|(row, _)| program.eval_bool(row)).collect())
+                Ok(rows
+                    .into_iter()
+                    .filter(|(row, _)| program.eval_bool(row))
+                    .collect())
             }
             RamExpr::Join { left, right, width } => {
-                let l = self.eval_expr(left, stratum, db, recent, focus, recursive_counter, start)?;
+                let l =
+                    self.eval_expr(left, stratum, db, recent, focus, recursive_counter, start)?;
                 let r =
                     self.eval_expr(right, stratum, db, recent, focus, recursive_counter, start)?;
                 self.check_deadline(start, "join")?;
                 Ok(self.join(&l, &r, *width))
             }
             RamExpr::Intersect(left, right) => {
-                let l = self.eval_expr(left, stratum, db, recent, focus, recursive_counter, start)?;
+                let l =
+                    self.eval_expr(left, stratum, db, recent, focus, recursive_counter, start)?;
                 let r =
                     self.eval_expr(right, stratum, db, recent, focus, recursive_counter, start)?;
                 let width = l.first().map(|(t, _)| t.len()).unwrap_or(0);
@@ -281,7 +298,8 @@ impl<P: Provenance> TupleEngine<P> {
                 Ok(l)
             }
             RamExpr::Product(left, right) => {
-                let l = self.eval_expr(left, stratum, db, recent, focus, recursive_counter, start)?;
+                let l =
+                    self.eval_expr(left, stratum, db, recent, focus, recursive_counter, start)?;
                 let r =
                     self.eval_expr(right, stratum, db, recent, focus, recursive_counter, start)?;
                 let mut out = Vec::with_capacity(l.len() * r.len());
@@ -386,7 +404,9 @@ mod tests {
         let facts: Vec<(String, Vec<u64>, ())> = (0..300u64)
             .map(|i| ("edge".to_string(), vec![i % 50, (i * 7) % 50], ()))
             .collect();
-        let seq = TupleEngine::new(Unit::new()).run(&compiled.ram, &facts).unwrap();
+        let seq = TupleEngine::new(Unit::new())
+            .run(&compiled.ram, &facts)
+            .unwrap();
         let par = TupleEngine::new(Unit::new())
             .with_parallelism(8)
             .run(&compiled.ram, &facts)
@@ -409,22 +429,30 @@ mod tests {
 
     #[test]
     fn agrees_with_lobster_on_random_graphs() {
-        use lobster::LobsterContext;
+        use lobster::Lobster;
         use lobster_ram::Value;
         let compiled = parse(TC).unwrap();
         // Pseudo-random but deterministic edge set.
-        let edges: Vec<(u64, u64)> =
-            (0..120u64).map(|i| ((i * 37) % 23, (i * 61 + 7) % 23)).collect();
+        let edges: Vec<(u64, u64)> = (0..120u64)
+            .map(|i| ((i * 37) % 23, (i * 61 + 7) % 23))
+            .collect();
         let engine = TupleEngine::new(Unit::new());
-        let facts: Vec<(String, Vec<u64>, ())> =
-            edges.iter().map(|&(a, b)| ("edge".to_string(), vec![a, b], ())).collect();
+        let facts: Vec<(String, Vec<u64>, ())> = edges
+            .iter()
+            .map(|&(a, b)| ("edge".to_string(), vec![a, b], ()))
+            .collect();
         let baseline = engine.run(&compiled.ram, &facts).unwrap();
 
-        let mut ctx = LobsterContext::discrete(TC).unwrap();
+        let program = Lobster::builder(TC)
+            .compile_typed::<lobster::Unit>()
+            .unwrap();
+        let mut session = program.session();
         for &(a, b) in &edges {
-            ctx.add_fact("edge", &[Value::U32(a as u32), Value::U32(b as u32)], None).unwrap();
+            session
+                .add_fact("edge", &[Value::U32(a as u32), Value::U32(b as u32)], None)
+                .unwrap();
         }
-        let lobster_rows = ctx.run().unwrap();
+        let lobster_rows = session.run().unwrap();
         assert_eq!(baseline["path"].len(), lobster_rows.len("path"));
     }
 }

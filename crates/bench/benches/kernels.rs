@@ -18,7 +18,9 @@ fn random_columns(rows: usize, key_space: u64, rng: &mut StdRng) -> Vec<Vec<u64>
 fn bench_hash_join(c: &mut Criterion) {
     let device = Device::default();
     let mut group = c.benchmark_group("hash_join");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for &rows in &[1_000usize, 10_000, 50_000] {
         let mut rng = StdRng::seed_from_u64(rows as u64);
         let build = random_columns(rows, rows as u64 / 4, &mut rng);
@@ -38,7 +40,9 @@ fn bench_hash_join(c: &mut Criterion) {
 fn bench_sort_unique(c: &mut Criterion) {
     let device = Device::default();
     let mut group = c.benchmark_group("sort_unique");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for &rows in &[1_000usize, 10_000, 100_000] {
         let mut rng = StdRng::seed_from_u64(rows as u64);
         let cols = random_columns(rows, rows as u64 / 2, &mut rng);
@@ -59,16 +63,25 @@ fn bench_sort_unique(c: &mut Criterion) {
 fn bench_scan_and_gather(c: &mut Criterion) {
     let device = Device::default();
     let mut group = c.benchmark_group("scan_gather");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     let rows = 100_000usize;
     let mut rng = StdRng::seed_from_u64(1);
     let counts: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..4)).collect();
     let data: Vec<u64> = (0..rows as u64).collect();
     let indices: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..rows as u64)).collect();
     group.bench_function("scan_100k", |b| b.iter(|| kernels::scan(&device, &counts)));
-    group.bench_function("gather_100k", |b| b.iter(|| kernels::gather(&device, &indices, &data)));
+    group.bench_function("gather_100k", |b| {
+        b.iter(|| kernels::gather(&device, &indices, &data))
+    });
     group.finish();
 }
 
-criterion_group!(kernels_benches, bench_hash_join, bench_sort_unique, bench_scan_and_gather);
+criterion_group!(
+    kernels_benches,
+    bench_hash_join,
+    bench_sort_unique,
+    bench_scan_and_gather
+);
 criterion_main!(kernels_benches);

@@ -5,9 +5,11 @@
 //!
 //! Run with `cargo run -p lobster-bench --release --bin fig11_psa`.
 
-use lobster::{LobsterContext, MaxMinProb, RuntimeOptions};
+use lobster::{Lobster, MaxMinProb};
 use lobster_baselines::{BaselineError, ProblogEngine};
-use lobster_bench::{print_header, quick_mode, run_lobster, run_scallop, scallop_facts, time_it, Outcome};
+use lobster_bench::{
+    print_header, quick_mode, run_lobster, run_scallop, scallop_facts, time_it, Outcome,
+};
 use lobster_workloads::psa;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,20 +28,24 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>9} {:>8} {:>12}",
         "program", "scallop (s)", "lobster (s)", "speedup", "paper", "problog"
     );
+    let program = Lobster::builder(psa::PROGRAM)
+        .compile_typed::<MaxMinProb>()
+        .expect("program compiles");
     for (i, (name, nodes, degree)) in psa::FIG11_PROGRAMS.iter().enumerate() {
         let nodes = if quick_mode() { nodes / 5 } else { *nodes };
         let sample = psa::generate(name, nodes.max(50), *degree, &mut rng);
-        let (lobster, _) = run_lobster(
-            psa::PROGRAM,
-            |p| LobsterContext::minmaxprob(p).expect("program compiles"),
-            &sample.facts,
-            RuntimeOptions::default(),
-        );
+        let (lobster, _) = run_lobster(&program, &sample.facts);
         let prov = MaxMinProb::new();
-        let scallop =
-            run_scallop(psa::PROGRAM, prov, &scallop_facts(&prov, &sample.facts), None);
+        let scallop = run_scallop(
+            psa::PROGRAM,
+            prov,
+            &scallop_facts(&prov, &sample.facts),
+            None,
+        );
         // ProbLog: exact inference over the same facts with a timeout.
-        let ram = lobster_datalog::parse(psa::PROGRAM).expect("program compiles").ram;
+        let ram = lobster_datalog::parse(psa::PROGRAM)
+            .expect("program compiles")
+            .ram;
         let problog_engine = ProblogEngine::new().with_timeout(Some(problog_budget));
         let problog_facts = sample.facts.encoded_probabilistic();
         let (problog_result, problog_time) = time_it(|| problog_engine.run(&ram, &problog_facts));

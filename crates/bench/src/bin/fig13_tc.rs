@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p lobster-bench --release --bin fig13_tc`.
 
-use lobster::{Device, LobsterContext, RuntimeOptions, Value};
+use lobster::{Device, Lobster, Unit, Value};
 use lobster_baselines::FvlogEngine;
 use lobster_bench::{print_header, quick_mode, run_lobster, run_souffle, time_it, Outcome};
 use lobster_workloads::graphs::{self, NamedGraph};
@@ -25,13 +25,19 @@ fn main() {
         "paper: Lobster consistently beats Soufflé (up to ~80x) and often beats FVLog",
     );
     let mut rng = StdRng::seed_from_u64(13);
+    let program = Lobster::builder(graphs::TRANSITIVE_CLOSURE)
+        .compile_typed::<Unit>()
+        .expect("program compiles");
     println!(
         "{:<16} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "graph", "edges", "souffle (s)", "lobster (s)", "fvlog (s)", "lobster spd", "fvlog spd"
     );
     for graph in graphs::FIG13_GRAPHS {
         let graph = if quick_mode() {
-            NamedGraph { nodes: graph.nodes / 4, ..graph }
+            NamedGraph {
+                nodes: graph.nodes / 4,
+                ..graph
+            }
         } else {
             graph
         };
@@ -40,13 +46,10 @@ fn main() {
         let discrete: Vec<(String, Vec<u64>)> = facts.encoded_discrete();
 
         let souffle = run_souffle(graphs::TRANSITIVE_CLOSURE, &discrete, None);
-        let (lobster, _) = run_lobster(
-            graphs::TRANSITIVE_CLOSURE,
-            |p| LobsterContext::discrete(p).expect("program compiles"),
-            &facts,
-            RuntimeOptions::default(),
-        );
-        let ram = lobster_datalog::parse(graphs::TRANSITIVE_CLOSURE).expect("compiles").ram;
+        let (lobster, _) = run_lobster(&program, &facts);
+        let ram = lobster_datalog::parse(graphs::TRANSITIVE_CLOSURE)
+            .expect("compiles")
+            .ram;
         let fvlog_engine = FvlogEngine::new(Device::default());
         let (fvlog_result, fvlog_time) = time_it(|| fvlog_engine.run(&ram, &discrete));
         let fvlog = match fvlog_result {

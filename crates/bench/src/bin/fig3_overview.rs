@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run -p lobster-bench --release --bin fig3_overview`.
 
-use lobster::LobsterContext;
+use lobster::{DiffTop1Proof, Lobster};
 use lobster_bench::train::{pathfinder_task, run_training, Engine};
 use lobster_bench::{print_header, scaled};
 use lobster_neural::{Activation, Mlp};
@@ -42,12 +42,18 @@ fn neural_only_accuracy(samples: &[(lobster_workloads::WorkloadFacts, bool)]) ->
 /// The neurosymbolic classifier: probability of `endpoints_connected` from
 /// the symbolic program over the predicted edges.
 fn neurosymbolic_accuracy(samples: &[(lobster_workloads::WorkloadFacts, bool)]) -> f64 {
+    let program = Lobster::builder(pathfinder::PROGRAM)
+        .compile_typed::<DiffTop1Proof>()
+        .expect("compiles");
     let correct = samples
         .iter()
         .filter(|(facts, label)| {
-            let mut ctx = LobsterContext::diff_top1(pathfinder::PROGRAM).expect("compiles");
-            facts.add_to_context(&mut ctx).expect("facts load");
-            let p = ctx.run().expect("runs").probability("endpoints_connected", &[]);
+            let mut session = program.session();
+            facts.add_to_session(&mut session).expect("facts load");
+            let p = session
+                .run()
+                .expect("runs")
+                .probability("endpoints_connected", &[]);
             (p > 0.25) == *label
         })
         .count();
@@ -69,8 +75,11 @@ fn main() {
         .collect();
     let neural = neural_only_accuracy(&samples);
     let neurosymbolic = neurosymbolic_accuracy(&samples);
-    println!("accuracy (Fig. 3d): neural-only {:.1}%  neurosymbolic {:.1}%  (paper: 71.4% vs 87.4%)",
-        neural * 100.0, neurosymbolic * 100.0);
+    println!(
+        "accuracy (Fig. 3d): neural-only {:.1}%  neurosymbolic {:.1}%  (paper: 71.4% vs 87.4%)",
+        neural * 100.0,
+        neurosymbolic * 100.0
+    );
 
     let task = pathfinder_task(scaled(6, 2), 6, &mut rng);
     let scallop = run_training(&task, Engine::Scallop, 1);

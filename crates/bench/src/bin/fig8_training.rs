@@ -21,7 +21,10 @@ fn main() {
     let tasks: Vec<(TrainingTask, f64)> = vec![
         (clutrr_task(samples, scaled(6, 3), &mut rng), 1.22),
         (hwf_task(samples, scaled(5, 3), &mut rng), 1.22),
-        (pathfinder_task(samples, scaled(8, 5) as u32, &mut rng), 1.26),
+        (
+            pathfinder_task(samples, scaled(8, 5) as u32, &mut rng),
+            1.26,
+        ),
         (pacman_task(samples, scaled(10, 5) as u32, &mut rng), 16.46),
     ];
     println!(

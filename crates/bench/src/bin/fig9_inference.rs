@@ -4,8 +4,10 @@
 //!
 //! Run with `cargo run -p lobster-bench --release --bin fig9_inference`.
 
-use lobster::{DiffTop1Proof, LobsterContext, RuntimeOptions};
-use lobster_bench::{print_header, quick_mode, run_lobster, run_scallop, scallop_facts, scaled, Outcome};
+use lobster::{DiffTop1Proof, Lobster};
+use lobster_bench::{
+    print_header, quick_mode, run_lobster, run_scallop, scaled, scallop_facts, Outcome,
+};
 use lobster_provenance::InputFactRegistry;
 use lobster_workloads::{clutrr, hwf, pacman, pathfinder, WorkloadFacts};
 use rand::rngs::StdRng;
@@ -41,13 +43,17 @@ fn main() {
         Task {
             name: "CLUTTR",
             program: clutrr::PROGRAM,
-            samples: (0..n).map(|_| clutrr::generate(scaled(8, 4), &mut rng).facts()).collect(),
+            samples: (0..n)
+                .map(|_| clutrr::generate(scaled(8, 4), &mut rng).facts())
+                .collect(),
             paper_speedup: 3.69,
         },
         Task {
             name: "HWF",
             program: hwf::PROGRAM,
-            samples: (0..n).map(|_| hwf::generate(scaled(7, 3), &mut rng).facts()).collect(),
+            samples: (0..n)
+                .map(|_| hwf::generate(scaled(7, 3), &mut rng).facts())
+                .collect(),
             paper_speedup: 1.22,
         },
         Task {
@@ -73,18 +79,14 @@ fn main() {
         "task", "scallop (s)", "lobster (s)", "speedup", "paper"
     );
     for task in &tasks {
+        // One compiled program serves every sample of the task.
+        let program = Lobster::builder(task.program)
+            .compile_typed::<DiffTop1Proof>()
+            .expect("program compiles");
         let lobster_outcomes: Vec<Outcome> = task
             .samples
             .iter()
-            .map(|facts| {
-                run_lobster(
-                    task.program,
-                    |p| LobsterContext::diff_top1(p).expect("program compiles"),
-                    facts,
-                    RuntimeOptions::default(),
-                )
-                .0
-            })
+            .map(|facts| run_lobster(&program, facts).0)
             .collect();
         let scallop_outcomes: Vec<Outcome> = task
             .samples
@@ -92,7 +94,12 @@ fn main() {
             .map(|facts| {
                 let registry = InputFactRegistry::new();
                 let prov = DiffTop1Proof::new(registry);
-                run_scallop(task.program, prov.clone(), &scallop_facts(&prov, facts), None)
+                run_scallop(
+                    task.program,
+                    prov.clone(),
+                    &scallop_facts(&prov, facts),
+                    None,
+                )
             })
             .collect();
         let lobster_total = total(&lobster_outcomes);

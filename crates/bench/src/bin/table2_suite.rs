@@ -7,8 +7,14 @@ use lobster_bench::print_header;
 use lobster_workloads::suite;
 
 fn main() {
-    print_header("Table 2 — benchmark characteristics", "nine tasks across three reasoning modes");
-    println!("{:<22} {:<8} {:<6} {:>6}  {:<20} {}", "task", "input", "kind", "rules", "provenance", "logic");
+    print_header(
+        "Table 2 — benchmark characteristics",
+        "nine tasks across three reasoning modes",
+    );
+    println!(
+        "{:<22} {:<8} {:<6} {:>6}  {:<20} logic",
+        "task", "input", "kind", "rules", "provenance"
+    );
     for info in suite::table2() {
         println!(
             "{:<22} {:<8} {:<6} {:>6}  {:<20} {}",

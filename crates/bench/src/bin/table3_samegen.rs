@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p lobster-bench --release --bin table3_samegen`.
 
-use lobster::{Device, DeviceConfig, LobsterContext, RuntimeOptions, Value};
+use lobster::{Device, DeviceConfig, Lobster, Unit, Value};
 use lobster_baselines::FvlogEngine;
 use lobster_bench::{print_header, quick_mode, time_it, Outcome};
 use lobster_workloads::graphs::{self, NamedGraph};
@@ -28,10 +28,16 @@ fn main() {
         "paper: Lobster is at least 2x faster than FVLog per dataset; both systems OOM on some inputs",
     );
     let mut rng = StdRng::seed_from_u64(3);
-    println!("{:<16} {:>8} {:>12} {:>12}", "dataset", "edges", "lobster (s)", "fvlog (s)");
+    println!(
+        "{:<16} {:>8} {:>12} {:>12}",
+        "dataset", "edges", "lobster (s)", "fvlog (s)"
+    );
     for graph in graphs::TABLE3_GRAPHS {
         let graph = if quick_mode() {
-            NamedGraph { nodes: graph.nodes / 3, ..graph }
+            NamedGraph {
+                nodes: graph.nodes / 3,
+                ..graph
+            }
         } else {
             graph
         };
@@ -40,23 +46,28 @@ fn main() {
         for &(p, c) in &edges {
             facts.push("parent", vec![Value::U32(p), Value::U32(c)], None);
         }
-        let device_config = DeviceConfig { memory_limit: Some(budget()), ..DeviceConfig::default() };
+        let device_config = DeviceConfig {
+            memory_limit: Some(budget()),
+            ..DeviceConfig::default()
+        };
 
-        // Lobster with the full optimization set.
-        let lobster_device = Device::new(device_config.clone());
-        let mut ctx = LobsterContext::discrete(graphs::SAME_GENERATION)
-            .expect("program compiles")
-            .with_device(lobster_device)
-            .with_options(RuntimeOptions::default());
-        facts.add_to_context(&mut ctx).expect("facts load");
-        let (lobster_result, lobster_time) = time_it(|| ctx.run());
+        // Lobster with the full optimization set and a budgeted device.
+        let program = Lobster::builder(graphs::SAME_GENERATION)
+            .device(Device::new(device_config.clone()))
+            .compile_typed::<Unit>()
+            .expect("program compiles");
+        let mut session = program.session();
+        facts.add_to_session(&mut session).expect("facts load");
+        let (lobster_result, lobster_time) = time_it(|| session.run());
         let lobster = match lobster_result {
             Ok(_) => Outcome::Ok(lobster_time),
             Err(_) => Outcome::Oom,
         };
 
         // FVLog: same device budget, no APM optimizations.
-        let ram = lobster_datalog::parse(graphs::SAME_GENERATION).expect("compiles").ram;
+        let ram = lobster_datalog::parse(graphs::SAME_GENERATION)
+            .expect("compiles")
+            .ram;
         let fvlog_engine = FvlogEngine::new(Device::new(device_config));
         let discrete = facts.encoded_discrete();
         let (fvlog_result, fvlog_time) = time_it(|| fvlog_engine.run(&ram, &discrete));

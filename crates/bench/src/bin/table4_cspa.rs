@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p lobster-bench --release --bin table4_cspa`.
 
-use lobster::{Device, LobsterContext, RuntimeOptions};
+use lobster::{Device, Lobster, Unit};
 use lobster_baselines::FvlogEngine;
 use lobster_bench::{print_header, quick_mode, run_lobster, time_it, Outcome};
 use lobster_workloads::cspa;
@@ -16,17 +16,18 @@ fn main() {
         "paper: Lobster and FVLog are approximately matched (geomean 1.27x in Lobster's favour)",
     );
     let mut rng = StdRng::seed_from_u64(4);
-    println!("{:<12} {:>8} {:>12} {:>12} {:>10}", "dataset", "facts", "lobster (s)", "fvlog (s)", "ratio");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>10}",
+        "dataset", "facts", "lobster (s)", "fvlog (s)", "ratio"
+    );
     let mut ratios = Vec::new();
+    let program = Lobster::builder(cspa::PROGRAM)
+        .compile_typed::<Unit>()
+        .expect("program compiles");
     for (name, vars, degree) in cspa::TABLE4_PROGRAMS {
         let vars = if quick_mode() { vars / 4 } else { vars };
         let sample = cspa::generate(name, vars.max(40), degree, &mut rng);
-        let (lobster, _) = run_lobster(
-            cspa::PROGRAM,
-            |p| LobsterContext::discrete(p).expect("program compiles"),
-            &sample.facts,
-            RuntimeOptions::default(),
-        );
+        let (lobster, _) = run_lobster(&program, &sample.facts);
         let ram = lobster_datalog::parse(cspa::PROGRAM).expect("compiles").ram;
         let fvlog_engine = FvlogEngine::new(Device::default());
         let discrete = sample.facts.encoded_discrete();
@@ -53,6 +54,9 @@ fn main() {
     }
     if !ratios.is_empty() {
         let geomean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
-        println!("geometric-mean speedup of Lobster over FVLog: {:.2}x (paper: 1.27x)", geomean.exp());
+        println!(
+            "geometric-mean speedup of Lobster over FVLog: {:.2}x (paper: 1.27x)",
+            geomean.exp()
+        );
     }
 }

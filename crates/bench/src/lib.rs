@@ -16,14 +16,16 @@
 
 pub mod train;
 
-use lobster::{LobsterContext, Provenance, RuntimeOptions, Value};
+use lobster::{Program, Provenance, SessionProvenance, Value};
 use lobster_baselines::{BaselineError, ScallopEngine, SouffleEngine};
 use lobster_workloads::WorkloadFacts;
 use std::time::{Duration, Instant};
 
 /// Whether quick mode is enabled (`LOBSTER_BENCH_QUICK=1`).
 pub fn quick_mode() -> bool {
-    std::env::var("LOBSTER_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LOBSTER_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scales a workload size down in quick mode.
@@ -88,23 +90,26 @@ pub fn print_header(title: &str, paper_summary: &str) {
     println!("{}", "-".repeat(72));
 }
 
-/// Runs a probabilistic or discrete workload on Lobster and returns the
-/// symbolic runtime together with the number of facts in the queried
-/// relation.
+/// Runs a probabilistic or discrete workload on a compiled Lobster
+/// [`Program`] and returns the symbolic runtime together with the number of
+/// facts in the queried relation.
+///
+/// The program carries its own device and runtime options (set them on the
+/// [`lobster::Lobster::builder`] chain); this helper opens a fresh session
+/// per call, so one compiled program can be reused across measurements.
 ///
 /// # Panics
 ///
-/// Panics when the program fails to compile or a fact is malformed — bench
-/// workloads are trusted inputs.
-pub fn run_lobster<P: Provenance>(
-    program: &str,
-    provenance_ctx: impl FnOnce(&str) -> LobsterContext<P>,
+/// Panics when a fact is malformed — bench workloads are trusted inputs.
+pub fn run_lobster<P: SessionProvenance>(
+    program: &Program<P>,
     facts: &WorkloadFacts,
-    options: RuntimeOptions,
 ) -> (Outcome, usize) {
-    let mut ctx = provenance_ctx(program).with_options(options);
-    facts.add_to_context(&mut ctx).expect("workload facts must match the program");
-    match time_it(|| ctx.run()) {
+    let mut session = program.session();
+    facts
+        .add_to_session(&mut session)
+        .expect("workload facts must match the program");
+    match time_it(|| session.run()) {
         (Ok(result), elapsed) => {
             let total: usize = result.relations().iter().map(|r| result.len(r)).sum();
             (Outcome::Ok(elapsed), total)
@@ -130,7 +135,9 @@ pub fn run_scallop<P: Provenance>(
     facts: &[(String, Vec<u64>, P::Tag)],
     timeout: Option<Duration>,
 ) -> Outcome {
-    let ram = lobster_datalog::parse(program).expect("benchmark program compiles").ram;
+    let ram = lobster_datalog::parse(program)
+        .expect("benchmark program compiles")
+        .ram;
     let engine = ScallopEngine::new(provenance).with_timeout(timeout);
     match time_it(|| engine.run(&ram, facts)) {
         (Ok(_), elapsed) => Outcome::Ok(elapsed),
@@ -149,7 +156,9 @@ pub fn run_souffle(
     facts: &[(String, Vec<u64>)],
     timeout: Option<Duration>,
 ) -> Outcome {
-    let ram = lobster_datalog::parse(program).expect("benchmark program compiles").ram;
+    let ram = lobster_datalog::parse(program)
+        .expect("benchmark program compiles")
+        .ram;
     let engine = SouffleEngine::default().with_timeout(timeout);
     match time_it(|| engine.run(&ram, facts)) {
         (Ok(_), elapsed) => Outcome::Ok(elapsed),
@@ -169,8 +178,7 @@ pub fn scallop_facts<P: Provenance>(
         .iter()
         .enumerate()
         .map(|(i, (rel, values, prob))| {
-            let tag = provenance
-                .input_tag(lobster_provenance::InputFactId(i as u32), *prob);
+            let tag = provenance.input_tag(lobster_provenance::InputFactId(i as u32), *prob);
             (rel.clone(), values.iter().map(Value::encode).collect(), tag)
         })
         .collect()
@@ -186,10 +194,16 @@ mod tests {
         assert_eq!(Outcome::Timeout.cell(), "timeout");
         assert_eq!(Outcome::Ok(Duration::from_millis(1500)).cell(), "1.50");
         assert_eq!(
-            speedup(&Outcome::Ok(Duration::from_secs(4)), &Outcome::Ok(Duration::from_secs(2))),
+            speedup(
+                &Outcome::Ok(Duration::from_secs(4)),
+                &Outcome::Ok(Duration::from_secs(2))
+            ),
             "2.00x"
         );
-        assert_eq!(speedup(&Outcome::Oom, &Outcome::Ok(Duration::from_secs(1))), "-");
+        assert_eq!(
+            speedup(&Outcome::Oom, &Outcome::Ok(Duration::from_secs(1))),
+            "-"
+        );
     }
 
     #[test]
@@ -207,12 +221,10 @@ mod tests {
         for i in 0..20u32 {
             facts.push("edge", vec![Value::U32(i), Value::U32(i + 1)], None);
         }
-        let (outcome, derived) = run_lobster(
-            graphs::TRANSITIVE_CLOSURE,
-            |p| LobsterContext::discrete(p).unwrap(),
-            &facts,
-            RuntimeOptions::default(),
-        );
+        let program = lobster::Lobster::builder(graphs::TRANSITIVE_CLOSURE)
+            .compile_typed::<lobster::Unit>()
+            .unwrap();
+        let (outcome, derived) = run_lobster(&program, &facts);
         assert!(outcome.seconds().is_some());
         assert_eq!(derived, 210);
         let baseline = run_scallop(

@@ -10,9 +10,7 @@
 //! The harness runs the identical loop with Lobster or with the Scallop
 //! baseline as the symbolic engine, and reports the wall-clock time.
 
-use lobster::{
-    DiffTop1Proof, InputFactId, InputFactRegistry, LobsterContext, Provenance, Value,
-};
+use lobster::{DiffTop1Proof, InputFactId, InputFactRegistry, Lobster, Provenance, Session, Value};
 use lobster_baselines::ScallopEngine;
 use lobster_neural::{bce_grad, bce_loss, Activation, Adam, Mlp};
 use lobster_workloads::{clutrr, hwf, pacman, pathfinder, WorkloadFacts};
@@ -98,7 +96,11 @@ pub fn pathfinder_task(samples: usize, grid: u32, rng: &mut StdRng) -> TrainingT
             }
         })
         .collect();
-    TrainingTask { name: "Pathfinder", program: pathfinder::PROGRAM, samples }
+    TrainingTask {
+        name: "Pathfinder",
+        program: pathfinder::PROGRAM,
+        samples,
+    }
 }
 
 /// Builds the PacMan training task.
@@ -114,7 +116,11 @@ pub fn pacman_task(samples: usize, grid: u32, rng: &mut StdRng) -> TrainingTask 
             }
         })
         .collect();
-    TrainingTask { name: "Pacman", program: pacman::PROGRAM, samples }
+    TrainingTask {
+        name: "Pacman",
+        program: pacman::PROGRAM,
+        samples,
+    }
 }
 
 /// Builds the HWF training task.
@@ -130,7 +136,11 @@ pub fn hwf_task(samples: usize, digits: usize, rng: &mut StdRng) -> TrainingTask
             }
         })
         .collect();
-    TrainingTask { name: "HWF", program: hwf::PROGRAM, samples }
+    TrainingTask {
+        name: "HWF",
+        program: hwf::PROGRAM,
+        samples,
+    }
 }
 
 /// Builds the CLUTRR training task.
@@ -147,7 +157,11 @@ pub fn clutrr_task(samples: usize, chain: usize, rng: &mut StdRng) -> TrainingTa
             })
         })
         .collect();
-    TrainingTask { name: "CLUTTR", program: clutrr::PROGRAM, samples }
+    TrainingTask {
+        name: "CLUTTR",
+        program: clutrr::PROGRAM,
+        samples,
+    }
 }
 
 /// Runs the end-to-end training loop for `epochs` epochs and reports the
@@ -160,24 +174,31 @@ pub fn run_training(task: &TrainingTask, engine: Engine, epochs: usize) -> Train
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let mut model = Mlp::new(&[FEATURES, 16, 1], Activation::Sigmoid, &mut rng);
     let mut optimizer = Adam::new(0.01);
-    let ram = lobster_datalog::parse(task.program).expect("training program compiles").ram;
+    let ram = lobster_datalog::parse(task.program)
+        .expect("training program compiles")
+        .ram;
 
-    // Pre-compile one Lobster context per sample (program compilation is not
-    // part of the per-step cost for either engine).
-    let mut lobster_ctxs: Vec<(LobsterContext<DiffTop1Proof>, Vec<(usize, InputFactId)>)> =
-        Vec::new();
+    // Compile the program once and open one cheap session per sample
+    // (program compilation is not part of the per-step cost for either
+    // engine, and all sessions share the same compiled artifact).
+    // A session per sample plus the (fact index, registered id) pairs of
+    // its probabilistic facts.
+    type SampleSession = (Session<DiffTop1Proof>, Vec<(usize, InputFactId)>);
+    let mut lobster_sessions: Vec<SampleSession> = Vec::new();
     if engine == Engine::Lobster {
+        let program = Lobster::builder(task.program)
+            .compile_typed::<DiffTop1Proof>()
+            .expect("training program compiles");
         for sample in &task.samples {
-            let mut ctx =
-                LobsterContext::diff_top1(task.program).expect("training program compiles");
+            let mut session = program.session();
             let mut prob_facts = Vec::new();
             for (i, (rel, values, prob)) in sample.facts.facts.iter().enumerate() {
-                let id = ctx.add_fact(rel, values, *prob).expect("valid fact");
+                let id = session.add_fact(rel, values, *prob).expect("valid fact");
                 if prob.is_some() {
                     prob_facts.push((i, id));
                 }
             }
-            lobster_ctxs.push((ctx, prob_facts));
+            lobster_sessions.push((session, prob_facts));
         }
     }
 
@@ -205,11 +226,11 @@ pub fn run_training(task: &TrainingTask, engine: Engine, epochs: usize) -> Train
             // 2. Symbolic execution with those probabilities.
             let (prediction, gradient): (f64, HashMap<usize, f64>) = match engine {
                 Engine::Lobster => {
-                    let (ctx, prob_facts) = &lobster_ctxs[si];
+                    let (session, prob_facts) = &lobster_sessions[si];
                     for (k, (_, id)) in prob_facts.iter().enumerate() {
-                        ctx.set_fact_probability(*id, predictions[k]);
+                        session.set_fact_probability(*id, predictions[k]);
                     }
-                    let result = ctx.run().expect("training run succeeds");
+                    let result = session.run().expect("training run succeeds");
                     let p = result.probability(&sample.target_relation, &sample.target_tuple);
                     let id_to_index: HashMap<InputFactId, usize> =
                         prob_facts.iter().map(|(i, id)| (*id, *i)).collect();
@@ -243,8 +264,7 @@ pub fn run_training(task: &TrainingTask, engine: Engine, epochs: usize) -> Train
                     }
                     let scallop = ScallopEngine::new(prov.clone());
                     let db = scallop.run(&ram, &facts).expect("baseline run succeeds");
-                    let key: Vec<u64> =
-                        sample.target_tuple.iter().map(Value::encode).collect();
+                    let key: Vec<u64> = sample.target_tuple.iter().map(Value::encode).collect();
                     let (p, grad) = db
                         .get(&sample.target_relation)
                         .and_then(|rel| rel.get(&key))
@@ -265,7 +285,8 @@ pub fn run_training(task: &TrainingTask, engine: Engine, epochs: usize) -> Train
             // 3. Loss and back-propagation through the symbolic layer into
             //    the perception model.
             epoch_loss += bce_loss(prediction as f32, sample.label as f32) as f64;
-            let dl_dp = f64::from(bce_grad(prediction as f32, sample.label as f32).clamp(-5.0, 5.0));
+            let dl_dp =
+                f64::from(bce_grad(prediction as f32, sample.label as f32).clamp(-5.0, 5.0));
             for (k, &fact_index) in prob_fact_indices.iter().enumerate() {
                 let d_fact = gradient.get(&fact_index).copied().unwrap_or(0.0);
                 if d_fact == 0.0 {
@@ -281,7 +302,10 @@ pub fn run_training(task: &TrainingTask, engine: Engine, epochs: usize) -> Train
         }
         last_epoch_loss = epoch_loss / task.samples.len().max(1) as f64;
     }
-    TrainingReport { elapsed: start.elapsed(), final_loss: last_epoch_loss }
+    TrainingReport {
+        elapsed: start.elapsed(),
+        final_loss: last_epoch_loss,
+    }
 }
 
 #[cfg(test)]

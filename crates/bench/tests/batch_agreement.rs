@@ -1,0 +1,221 @@
+//! Cross-provenance agreement tests for the compile-once API:
+//! `Program::run_batch` over N samples must produce identical probabilities
+//! and gradients to N sequential single-sample `Session::run`s, and a
+//! `DynProgram` selected at run time from a string must match the
+//! statically-typed program bit for bit.
+
+use lobster::{
+    AddMultProb, DiffTop1Proof, FactSet, Lobster, Program, ProvenanceKind, SessionProvenance, Unit,
+    Value,
+};
+use lobster_workloads::{pathfinder, WorkloadFacts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+const TC: &str = "type edge(x: u32, y: u32)
+    rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+    query path";
+
+/// Random per-sample chain-with-shortcuts fact sets over disjoint node
+/// ranges, with probabilistic edges.
+fn random_samples(n: usize, seed: u64) -> Vec<WorkloadFacts> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut facts = WorkloadFacts::new();
+            let len = rng.gen_range(2u32..6);
+            for i in 0..len {
+                facts.push(
+                    "edge",
+                    vec![Value::U32(i), Value::U32(i + 1)],
+                    Some(rng.gen_range(0.2..0.95)),
+                );
+            }
+            // A certain (non-probabilistic) shortcut edge.
+            facts.push("edge", vec![Value::U32(0), Value::U32(len)], None);
+            facts
+        })
+        .collect()
+}
+
+/// Asserts that batched execution of `samples` matches sequential
+/// single-sample sessions: same derived tuples, same probabilities, and —
+/// after translating the batch's registry offsets — same gradients.
+///
+/// `run_batch` registers the program's inline facts first (ids
+/// `0..inline`, identical in both runs), then sample k's facts after those
+/// of samples 0..k — so a fact at position `i` of sample `k` has batch id
+/// `inline + offset_k + i` where `offset_k` is the total fact count of the
+/// preceding samples, while in a standalone session it has id `inline + i`.
+fn assert_batch_matches_sequential<P: SessionProvenance>(
+    program: &Program<P>,
+    samples: &[WorkloadFacts],
+) {
+    let fact_sets: Vec<FactSet> = samples.iter().map(WorkloadFacts::to_fact_set).collect();
+    let batched = program.run_batch(&fact_sets).unwrap();
+    assert_eq!(batched.len(), samples.len());
+    let inline = program.session().fact_count() as u32;
+
+    let mut offset = 0u32;
+    for (k, sample) in samples.iter().enumerate() {
+        let mut session = program.session();
+        sample.add_to_session(&mut session).unwrap();
+        let expected = session.run().unwrap();
+
+        for rel in expected.relations() {
+            assert_eq!(
+                batched[k].len(rel),
+                expected.len(rel),
+                "sample {k}: tuple count of `{rel}` diverged"
+            );
+            for (tuple, out) in expected.relation(rel) {
+                let batch_p = batched[k].probability(rel, tuple);
+                assert!(
+                    (batch_p - out.probability).abs() < 1e-9,
+                    "sample {k}: probability of {tuple:?} diverged: {batch_p} vs {}",
+                    out.probability
+                );
+                let batch_grad: BTreeMap<u32, f64> = batched[k]
+                    .gradient(rel, tuple)
+                    .into_iter()
+                    .map(|(id, g)| {
+                        // Inline (shared) facts keep their id; per-sample
+                        // facts are shifted by the preceding samples' count.
+                        if id.0 < inline {
+                            (id.0, g)
+                        } else {
+                            (id.0 - offset, g)
+                        }
+                    })
+                    .collect();
+                let session_grad: BTreeMap<u32, f64> =
+                    out.gradient.iter().map(|(id, g)| (id.0, *g)).collect();
+                assert_eq!(
+                    batch_grad.keys().collect::<Vec<_>>(),
+                    session_grad.keys().collect::<Vec<_>>(),
+                    "sample {k}: gradient support of {tuple:?} diverged"
+                );
+                for (fact, g) in &session_grad {
+                    assert!(
+                        (batch_grad[fact] - g).abs() < 1e-9,
+                        "sample {k}: gradient of {tuple:?} w.r.t. fact {fact} diverged"
+                    );
+                }
+            }
+        }
+        offset += sample.len() as u32;
+    }
+}
+
+#[test]
+fn batch_matches_sequential_for_discrete() {
+    let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+    assert_batch_matches_sequential(&program, &random_samples(5, 1));
+}
+
+#[test]
+fn batch_matches_sequential_for_addmultprob() {
+    let program = Lobster::builder(TC).compile_typed::<AddMultProb>().unwrap();
+    assert_batch_matches_sequential(&program, &random_samples(5, 2));
+}
+
+#[test]
+fn batch_matches_sequential_for_diff_top1() {
+    let program = Lobster::builder(TC)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap();
+    assert_batch_matches_sequential(&program, &random_samples(5, 3));
+}
+
+#[test]
+fn batch_matches_sequential_with_inline_program_facts() {
+    // The inline probabilistic fact is shared by every sample and keeps the
+    // same registry id in batched and sequential runs, while per-sample
+    // fact ids are offset — this exercises both id-translation branches.
+    let program = Lobster::builder(
+        "type edge(x: u32, y: u32)
+         rel edge = {0.5::(0, 1)}
+         rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+         query path",
+    )
+    .compile_typed::<DiffTop1Proof>()
+    .unwrap();
+    assert_batch_matches_sequential(&program, &random_samples(3, 7));
+}
+
+#[test]
+fn batch_matches_sequential_on_a_real_workload() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let samples: Vec<WorkloadFacts> = (0..4)
+        .map(|i| pathfinder::generate(4, i % 2 == 0, &mut rng).facts())
+        .collect();
+    let program = Lobster::builder(pathfinder::PROGRAM)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap();
+    assert_batch_matches_sequential(&program, &samples);
+}
+
+/// The acceptance test of the API redesign: a `DynProgram` whose provenance
+/// kind was parsed from a *string* must produce exactly the result of the
+/// statically-typed `Program` on the quickstart program.
+#[test]
+fn dyn_program_from_string_matches_statically_typed_result() {
+    let quickstart = "
+        type edge(x: u32, y: u32)
+        type is_endpoint(x: u32)
+        rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+        rel endpoints_connected() = is_endpoint(x), is_endpoint(y), path(x, y), x != y
+        query path
+        query endpoints_connected
+    ";
+    let chain = [(0u32, 1u32, 0.95), (1, 2, 0.9), (2, 3, 0.8)];
+
+    // Statically typed.
+    let typed = Lobster::builder(quickstart)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap();
+    let mut typed_session = typed.session();
+    for (a, b, p) in chain {
+        typed_session
+            .add_fact("edge", &[Value::U32(a), Value::U32(b)], Some(p))
+            .unwrap();
+    }
+    typed_session
+        .add_fact("is_endpoint", &[Value::U32(0)], None)
+        .unwrap();
+    typed_session
+        .add_fact("is_endpoint", &[Value::U32(3)], None)
+        .unwrap();
+    let typed_result = typed_session.run().unwrap();
+
+    // Runtime-selected from a config string.
+    let kind: ProvenanceKind = "diff-top-1-proofs".parse().unwrap();
+    assert_eq!(kind, ProvenanceKind::DiffTop1Proof);
+    let dynamic = Lobster::builder(quickstart)
+        .provenance(kind)
+        .compile()
+        .unwrap();
+    assert_eq!(dynamic.kind(), kind);
+    let mut dyn_session = dynamic.session();
+    for (a, b, p) in chain {
+        dyn_session
+            .add_fact("edge", &[Value::U32(a), Value::U32(b)], Some(p))
+            .unwrap();
+    }
+    dyn_session
+        .add_fact("is_endpoint", &[Value::U32(0)], None)
+        .unwrap();
+    dyn_session
+        .add_fact("is_endpoint", &[Value::U32(3)], None)
+        .unwrap();
+    let dyn_result = dyn_session.run().unwrap();
+
+    for rel in ["path", "endpoints_connected"] {
+        assert_eq!(typed_result.len(rel), dyn_result.len(rel));
+        for (tuple, out) in typed_result.relation(rel) {
+            assert_eq!(dyn_result.probability(rel, tuple), out.probability);
+            assert_eq!(dyn_result.gradient(rel, tuple), out.gradient);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! results, batching must equal per-sample execution, and provenance
 //! gradients must match finite differences through a whole program.
 
-use lobster::{Device, LobsterContext, RuntimeOptions, Value};
+use lobster::{Device, Lobster, RuntimeOptions, Value};
 use lobster_baselines::{ScallopEngine, SouffleEngine};
 use lobster_provenance::{DiffTop1Proof, InputFactRegistry, MaxMinProb, Provenance, Unit};
 use lobster_workloads::{clutrr, cspa, graphs, hwf, pacman, pathfinder, psa, rna, WorkloadFacts};
@@ -15,9 +15,12 @@ use std::collections::BTreeSet;
 /// Runs a discrete workload on Lobster and returns the full set of derived
 /// tuples per queried relation.
 fn lobster_discrete(program: &str, facts: &WorkloadFacts) -> BTreeSet<(String, Vec<u64>)> {
-    let mut ctx = LobsterContext::discrete(program).unwrap();
-    facts.add_to_context(&mut ctx).unwrap();
-    let result = ctx.run().unwrap();
+    let mut session = Lobster::builder(program)
+        .compile_typed::<Unit>()
+        .unwrap()
+        .session();
+    facts.add_to_session(&mut session).unwrap();
+    let result = session.run().unwrap();
     let mut out = BTreeSet::new();
     for rel in result.relations() {
         for (tuple, _) in result.relation(rel) {
@@ -36,7 +39,9 @@ fn souffle_discrete(
 ) -> BTreeSet<(String, Vec<u64>)> {
     let compiled = lobster_datalog::parse(program).unwrap();
     let engine = SouffleEngine::new(2);
-    let db = engine.run(&compiled.ram, &facts.encoded_discrete()).unwrap();
+    let db = engine
+        .run(&compiled.ram, &facts.encoded_discrete())
+        .unwrap();
     let mut out = BTreeSet::new();
     for rel in queried {
         for row in db.get(rel).into_iter().flatten() {
@@ -65,12 +70,20 @@ fn discrete_benchmarks_agree_with_the_cpu_baseline() {
     let cspa_sample = cspa::generate("httpd", 60, 2, &mut rng);
 
     let cases = [
-        (graphs::TRANSITIVE_CLOSURE, tc_facts, vec!["path".to_string()]),
+        (
+            graphs::TRANSITIVE_CLOSURE,
+            tc_facts,
+            vec!["path".to_string()],
+        ),
         (graphs::SAME_GENERATION, sg_facts, vec!["sg".to_string()]),
         (
             cspa::PROGRAM,
             cspa_sample.facts,
-            vec!["value_flow".to_string(), "value_alias".to_string(), "memory_alias".to_string()],
+            vec![
+                "value_flow".to_string(),
+                "value_alias".to_string(),
+                "memory_alias".to_string(),
+            ],
         ),
     ];
     for (program, facts, queried) in cases {
@@ -85,15 +98,20 @@ fn probabilistic_benchmarks_agree_with_scallop_on_weights() {
     let mut rng = StdRng::seed_from_u64(101);
     let sample = psa::generate("sunflow-core", 100, 3, &mut rng);
     // Lobster.
-    let mut ctx = LobsterContext::minmaxprob(psa::PROGRAM).unwrap();
-    sample.facts.add_to_context(&mut ctx).unwrap();
-    let result = ctx.run().unwrap();
+    let mut session = Lobster::builder(psa::PROGRAM)
+        .compile_typed::<MaxMinProb>()
+        .unwrap()
+        .session();
+    sample.facts.add_to_session(&mut session).unwrap();
+    let result = session.run().unwrap();
     // Scallop baseline with the same provenance.
     let prov = MaxMinProb::new();
     let compiled = lobster_datalog::parse(psa::PROGRAM).unwrap();
     let facts: Vec<(String, Vec<u64>, f64)> = sample.facts.encoded_probabilistic();
-    let tagged: Vec<(String, Vec<u64>, f64)> =
-        facts.iter().map(|(r, t, p)| (r.clone(), t.clone(), *p)).collect();
+    let tagged: Vec<(String, Vec<u64>, f64)> = facts
+        .iter()
+        .map(|(r, t, p)| (r.clone(), t.clone(), *p))
+        .collect();
     let engine = ScallopEngine::new(prov);
     let db = engine.run(&compiled.ram, &tagged).unwrap();
 
@@ -107,7 +125,9 @@ fn probabilistic_benchmarks_agree_with_scallop_on_weights() {
     let baseline_alarms = &db["alarm"];
     assert_eq!(lobster_alarms.len(), baseline_alarms.len());
     for (tuple, severity) in &lobster_alarms {
-        let baseline_severity = baseline_alarms.get(tuple).expect("alarm missing from baseline");
+        let baseline_severity = baseline_alarms
+            .get(tuple)
+            .expect("alarm missing from baseline");
         assert!(
             (severity - baseline_severity).abs() < 1e-9,
             "severity mismatch for {tuple:?}: {severity} vs {baseline_severity}"
@@ -120,30 +140,51 @@ fn every_benchmark_program_runs_end_to_end() {
     let mut rng = StdRng::seed_from_u64(102);
     // Differentiable tasks.
     let pf = pathfinder::generate(5, true, &mut rng);
-    let mut ctx = LobsterContext::diff_top1(pathfinder::PROGRAM).unwrap();
-    pf.facts().add_to_context(&mut ctx).unwrap();
-    assert!(ctx.run().unwrap().probability("endpoints_connected", &[]) > 0.0);
+    let mut session = Lobster::builder(pathfinder::PROGRAM)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap()
+        .session();
+    pf.facts().add_to_session(&mut session).unwrap();
+    assert!(
+        session
+            .run()
+            .unwrap()
+            .probability("endpoints_connected", &[])
+            > 0.0
+    );
 
     let pm = pacman::generate(5, &mut rng);
-    let mut ctx = LobsterContext::diff_top1(pacman::PROGRAM).unwrap();
-    pm.facts().add_to_context(&mut ctx).unwrap();
-    assert!(!ctx.run().unwrap().relation("action").is_empty());
+    let mut session = Lobster::builder(pacman::PROGRAM)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap()
+        .session();
+    pm.facts().add_to_session(&mut session).unwrap();
+    assert!(!session.run().unwrap().relation("action").is_empty());
 
     let formula = hwf::generate(3, &mut rng);
-    let mut ctx = LobsterContext::diff_top1(hwf::PROGRAM).unwrap();
-    formula.facts().add_to_context(&mut ctx).unwrap();
-    assert!(!ctx.run().unwrap().relation("result").is_empty());
+    let mut session = Lobster::builder(hwf::PROGRAM)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap()
+        .session();
+    formula.facts().add_to_session(&mut session).unwrap();
+    assert!(!session.run().unwrap().relation("result").is_empty());
 
     let kin = clutrr::generate(3, &mut rng);
-    let mut ctx = LobsterContext::diff_top1(clutrr::PROGRAM).unwrap();
-    kin.facts().add_to_context(&mut ctx).unwrap();
-    ctx.run().unwrap();
+    let mut session = Lobster::builder(clutrr::PROGRAM)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap()
+        .session();
+    kin.facts().add_to_session(&mut session).unwrap();
+    session.run().unwrap();
 
     // Probabilistic tasks.
     let seq = rna::generate(30, &mut rng);
-    let mut ctx = LobsterContext::top1(rna::PROGRAM).unwrap();
-    seq.facts().add_to_context(&mut ctx).unwrap();
-    ctx.run().unwrap();
+    let mut session = Lobster::builder(rna::PROGRAM)
+        .compile_typed::<lobster::Top1Proof>()
+        .unwrap()
+        .session();
+    seq.facts().add_to_session(&mut session).unwrap();
+    session.run().unwrap();
 }
 
 #[test]
@@ -161,13 +202,15 @@ fn optimization_toggles_preserve_results_on_a_real_workload() {
         (RuntimeOptions::unoptimized(), true),
         (RuntimeOptions::unoptimized(), false),
     ] {
-        let mut ctx = LobsterContext::discrete(graphs::TRANSITIVE_CLOSURE)
+        let mut session = Lobster::builder(graphs::TRANSITIVE_CLOSURE)
+            .options(options)
+            .stratum_scheduling(scheduling)
+            .device(Device::sequential())
+            .compile_typed::<Unit>()
             .unwrap()
-            .with_options(options)
-            .with_stratum_scheduling(scheduling)
-            .with_device(Device::sequential());
-        facts.add_to_context(&mut ctx).unwrap();
-        let result = ctx.run().unwrap();
+            .session();
+        facts.add_to_session(&mut session).unwrap();
+        let result = session.run().unwrap();
         let tuples: BTreeSet<(String, Vec<u64>)> = result
             .relation("path")
             .iter()
@@ -183,13 +226,17 @@ fn optimization_toggles_preserve_results_on_a_real_workload() {
 #[test]
 fn batched_execution_matches_per_sample_execution() {
     let mut rng = StdRng::seed_from_u64(104);
-    let samples: Vec<_> = (0..4).map(|i| pathfinder::generate(4, i % 2 == 0, &mut rng)).collect();
-    let ctx = LobsterContext::with_provenance(pathfinder::PROGRAM, Unit::new()).unwrap();
+    let samples: Vec<_> = (0..4)
+        .map(|i| pathfinder::generate(4, i % 2 == 0, &mut rng))
+        .collect();
+    let program = Lobster::builder(pathfinder::PROGRAM)
+        .compile_typed::<Unit>()
+        .unwrap();
     let fact_sets: Vec<_> = samples.iter().map(|s| s.facts().to_fact_set()).collect();
-    let batched = ctx.run_batch(&fact_sets).unwrap();
+    let batched = program.run_batch(&fact_sets).unwrap();
     for (i, sample) in samples.iter().enumerate() {
-        let mut single = LobsterContext::with_provenance(pathfinder::PROGRAM, Unit::new()).unwrap();
-        sample.facts().add_to_context(&mut single).unwrap();
+        let mut single = program.session();
+        sample.facts().add_to_session(&mut single).unwrap();
         let expected = single.run().unwrap();
         assert_eq!(
             batched[i].len("endpoints_connected"),
@@ -204,31 +251,42 @@ fn gradients_match_finite_differences_through_a_whole_program() {
     // A 3-edge chain: P(connected) = p0 * p1 * p2 under diff-top-1-proofs.
     let registry = InputFactRegistry::new();
     let prov = DiffTop1Proof::new(registry.clone());
-    let mut ctx = LobsterContext::with_provenance_and_registry(
-        pathfinder::PROGRAM,
-        prov.clone(),
-        registry,
-    )
-    .unwrap();
+    let program = Lobster::builder(pathfinder::PROGRAM)
+        .compile_typed::<DiffTop1Proof>()
+        .unwrap();
+    let mut session = program.session_with(prov.clone(), registry);
     let probs = [0.9, 0.6, 0.7];
     let mut ids = Vec::new();
     for (i, p) in probs.iter().enumerate() {
-        let id = ctx
-            .add_fact("edge", &[Value::U32(i as u32), Value::U32(i as u32 + 1)], Some(*p))
+        let id = session
+            .add_fact(
+                "edge",
+                &[Value::U32(i as u32), Value::U32(i as u32 + 1)],
+                Some(*p),
+            )
             .unwrap();
         ids.push(id);
     }
-    ctx.add_fact("is_endpoint", &[Value::U32(0)], None).unwrap();
-    ctx.add_fact("is_endpoint", &[Value::U32(3)], None).unwrap();
-    let base = ctx.run().unwrap();
+    session
+        .add_fact("is_endpoint", &[Value::U32(0)], None)
+        .unwrap();
+    session
+        .add_fact("is_endpoint", &[Value::U32(3)], None)
+        .unwrap();
+    let base = session.run().unwrap();
     let p0 = base.probability("endpoints_connected", &[]);
-    let grad: std::collections::HashMap<_, _> =
-        base.gradient("endpoints_connected", &[]).into_iter().collect();
+    let grad: std::collections::HashMap<_, _> = base
+        .gradient("endpoints_connected", &[])
+        .into_iter()
+        .collect();
     let eps = 1e-5;
     for (k, id) in ids.iter().enumerate() {
-        ctx.set_fact_probability(*id, probs[k] + eps);
-        let p_plus = ctx.run().unwrap().probability("endpoints_connected", &[]);
-        ctx.set_fact_probability(*id, probs[k]);
+        session.set_fact_probability(*id, probs[k] + eps);
+        let p_plus = session
+            .run()
+            .unwrap()
+            .probability("endpoints_connected", &[]);
+        session.set_fact_probability(*id, probs[k]);
         let numeric = (p_plus - p0) / eps;
         let analytic = grad.get(id).copied().unwrap_or(0.0);
         assert!(

@@ -1,15 +1,16 @@
-//! Quickstart: compile a Datalog program, feed it probabilistic facts, and
-//! read back probabilities and gradients.
+//! Quickstart: compile a Datalog program once, open a session per request,
+//! and read back probabilities and gradients — including selecting the
+//! reasoning mode at run time from configuration.
 //!
 //! Run with `cargo run -p lobster --example quickstart`.
 
-use lobster::{LobsterContext, Value};
+use lobster::{DiffTop1Proof, DynProgram, Lobster, ProvenanceKind, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The symbolic program: graph reachability (the paper's running
     //    example). Facts for `edge` will come from "a neural network" — here
     //    we just make them up.
-    let program = "
+    let source = "
         type edge(x: u32, y: u32)
         type is_endpoint(x: u32)
         rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
@@ -18,21 +19,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         query endpoints_connected
     ";
 
-    // 2. Pick a reasoning mode by picking a provenance. `diff_top1` is the
-    //    differentiable provenance used by the paper's training benchmarks.
-    let mut ctx = LobsterContext::diff_top1(program)?;
+    // 2. Compile ONCE. The reasoning mode is the provenance semiring;
+    //    `DiffTop1Proof` is the differentiable provenance used by the
+    //    paper's training benchmarks. The resulting `Program` is immutable
+    //    and Arc-shared: clone it freely across threads and requests.
+    let program = Lobster::builder(source).compile_typed::<DiffTop1Proof>()?;
 
-    // 3. Add probabilistic input facts (these would be network outputs).
+    // 3. Open a cheap per-request session and add probabilistic input facts
+    //    (these would be network outputs).
+    let mut session = program.session();
     let chain = [(0u32, 1u32, 0.95), (1, 2, 0.9), (2, 3, 0.8)];
-    let mut fact_ids = Vec::new();
     for (a, b, p) in chain {
-        fact_ids.push(ctx.add_fact("edge", &[Value::U32(a), Value::U32(b)], Some(p))?);
+        session.add_fact("edge", &[Value::U32(a), Value::U32(b)], Some(p))?;
     }
-    ctx.add_fact("is_endpoint", &[Value::U32(0)], None)?;
-    ctx.add_fact("is_endpoint", &[Value::U32(3)], None)?;
+    session.add_fact("is_endpoint", &[Value::U32(0)], None)?;
+    session.add_fact("is_endpoint", &[Value::U32(3)], None)?;
 
     // 4. Run the program on the (simulated) GPU.
-    let result = ctx.run()?;
+    let result = session.run()?;
 
     println!("derived {} path facts", result.len("path"));
     let connected = result.probability("endpoints_connected", &[]);
@@ -47,6 +51,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "symbolic execution: {} iterations, {} kernel launches, {:?}",
         result.stats.iterations, result.stats.kernel_launches, result.stats.elapsed
+    );
+
+    // 6. Runtime provenance selection: a server reads the reasoning mode
+    //    from configuration instead of baking it into the binary. Parsing a
+    //    `ProvenanceKind` from a string yields a provenance-erased
+    //    `DynProgram` with the same session API.
+    let config_provenance =
+        std::env::var("LOBSTER_PROVENANCE").unwrap_or_else(|_| "diff-top-1-proofs".to_string());
+    let kind: ProvenanceKind = config_provenance.parse()?;
+    let dyn_program: DynProgram = Lobster::builder(source).provenance(kind).compile()?;
+    let mut dyn_session = dyn_program.session();
+    for (a, b, p) in chain {
+        dyn_session.add_fact("edge", &[Value::U32(a), Value::U32(b)], Some(p))?;
+    }
+    dyn_session.add_fact("is_endpoint", &[Value::U32(0)], None)?;
+    dyn_session.add_fact("is_endpoint", &[Value::U32(3)], None)?;
+    let dyn_result = dyn_session.run()?;
+    println!(
+        "[{kind}] P(endpoints connected) = {:.4}  (selected at runtime via LOBSTER_PROVENANCE)",
+        dyn_result.probability("endpoints_connected", &[])
     );
     Ok(())
 }

@@ -1,253 +1,117 @@
-//! The user-facing Lobster context: compile once, add facts, run, read back
-//! probabilities and gradients.
+//! The deprecated pre-0.2 `LobsterContext` API, kept for one release as a
+//! thin shim over [`Program`] + [`Session`].
+//!
+//! `LobsterContext` fused the compiled program, the fact state, and the
+//! execution configuration into one value, which meant a server could not
+//! share one compiled program across requests. The replacement splits those
+//! concerns; this module maps the old surface onto the new types so existing
+//! callers keep compiling (with deprecation warnings) while they migrate:
+//!
+//! | old | new |
+//! |---|---|
+//! | `LobsterContext::diff_top1(src)?` | `Lobster::builder(src).compile_typed::<DiffTop1Proof>()?.session()` |
+//! | `LobsterContext::with_provenance(src, p)?` | `Lobster::builder(src).compile_typed()?.session_with(p, registry)` |
+//! | `ctx.add_fact(..)` / `ctx.run()` | `session.add_fact(..)` / `session.run()` |
+//! | `ctx.run_batch(&samples)` | `program.run_batch(&samples)` |
 
 use crate::error::LobsterError;
-use crate::scheduler::plan_offload;
-use lobster_apm::{
-    batch_transform, compile_stratum, Database, ExecutionStats, Executor, RuntimeOptions,
-};
-use lobster_datalog::CompiledProgram;
-use lobster_gpu::{Device, TransferDirection};
-use lobster_provenance::{InputFactId, InputFactRegistry, Output, Provenance};
-use lobster_ram::{RamProgram, SymbolTable, Tuple, Value};
-use std::collections::BTreeMap;
+use crate::program::{Lobster, Program};
+use crate::session::{FactSet, RunResult, Session};
+use lobster_apm::RuntimeOptions;
+use lobster_gpu::Device;
+use lobster_provenance::{InputFactId, InputFactRegistry, Provenance, SessionProvenance};
+use lobster_ram::{RamProgram, Value};
 
-/// A set of input facts for one sample.
-#[derive(Debug, Clone, Default)]
-pub struct FactSet {
-    facts: Vec<(String, Vec<Value>, Option<f64>, Option<u32>)>,
-}
-
-impl FactSet {
-    /// An empty fact set.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds a fact with an optional probability.
-    pub fn add(&mut self, relation: impl Into<String>, values: &[Value], prob: Option<f64>) {
-        self.facts.push((relation.into(), values.to_vec(), prob, None));
-    }
-
-    /// Adds a fact belonging to a mutual-exclusion group (e.g. the ten
-    /// classifications of one digit image).
-    pub fn add_with_exclusion(
-        &mut self,
-        relation: impl Into<String>,
-        values: &[Value],
-        prob: Option<f64>,
-        exclusion: u32,
-    ) {
-        self.facts.push((relation.into(), values.to_vec(), prob, Some(exclusion)));
-    }
-
-    /// Number of facts.
-    pub fn len(&self) -> usize {
-        self.facts.len()
-    }
-
-    /// `true` when no facts have been added.
-    pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
-    }
-
-    fn iter(&self) -> impl Iterator<Item = &(String, Vec<Value>, Option<f64>, Option<u32>)> {
-        self.facts.iter()
-    }
-}
-
-/// One registered input fact inside a context.
-#[derive(Debug, Clone)]
-struct RegisteredFact {
-    relation: String,
-    values: Vec<Value>,
-    id: InputFactId,
-    probabilistic: bool,
-}
-
-/// The result of one Lobster run: for every queried relation, the derived
-/// tuples with their output probability and gradient.
-#[derive(Debug, Clone)]
-pub struct RunResult<P: Provenance> {
-    outputs: BTreeMap<String, Vec<(Tuple, Output)>>,
-    /// Execution statistics (iterations, kernels, elapsed time).
-    pub stats: ExecutionStats,
-    symbols: SymbolTable,
-    _marker: std::marker::PhantomData<P>,
-}
-
-impl<P: Provenance> RunResult<P> {
-    /// Names of the relations captured in this result.
-    pub fn relations(&self) -> Vec<&str> {
-        self.outputs.keys().map(String::as_str).collect()
-    }
-
-    /// The derived tuples of a relation with their outputs.
-    pub fn relation(&self, name: &str) -> &[(Tuple, Output)] {
-        self.outputs.get(name).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Number of derived tuples in a relation.
-    pub fn len(&self, name: &str) -> usize {
-        self.relation(name).len()
-    }
-
-    /// `true` when the relation derived no tuples.
-    pub fn is_empty(&self, name: &str) -> bool {
-        self.relation(name).is_empty()
-    }
-
-    /// Whether a specific tuple was derived.
-    pub fn contains(&self, name: &str, tuple: &[Value]) -> bool {
-        self.relation(name).iter().any(|(t, _)| t.as_slice() == tuple)
-    }
-
-    /// The probability of a derived tuple (0 when it was not derived).
-    pub fn probability(&self, name: &str, tuple: &[Value]) -> f64 {
-        self.relation(name)
-            .iter()
-            .find(|(t, _)| t.as_slice() == tuple)
-            .map(|(_, o)| o.probability)
-            .unwrap_or(0.0)
-    }
-
-    /// The gradient of a derived tuple's probability with respect to input
-    /// facts (empty when the tuple was not derived or the provenance is not
-    /// differentiable).
-    pub fn gradient(&self, name: &str, tuple: &[Value]) -> Vec<(InputFactId, f64)> {
-        self.relation(name)
-            .iter()
-            .find(|(t, _)| t.as_slice() == tuple)
-            .map(|(_, o)| o.gradient.clone())
-            .unwrap_or_default()
-    }
-
-    /// Resolves an interned symbol id back to its string.
-    pub fn resolve_symbol(&self, value: &Value) -> Option<String> {
-        match value {
-            Value::Symbol(id) => self.symbols.resolve(*id),
-            _ => None,
-        }
-    }
-}
-
-/// A compiled Lobster program plus its provenance, device, and input facts.
+/// A compiled Lobster program fused with its fact state.
 ///
-/// See the crate-level documentation for the intended workflow.
+/// Deprecated: hold an `Arc`-shareable [`Program`] (compiled once) and open
+/// a cheap [`Session`] per request instead. See the crate-level docs.
 #[derive(Debug, Clone)]
 pub struct LobsterContext<P: Provenance> {
-    compiled: CompiledProgram,
-    provenance: P,
-    registry: InputFactRegistry,
-    device: Device,
-    options: RuntimeOptions,
-    stratum_scheduling: bool,
-    facts: Vec<RegisteredFact>,
+    session: Session<P>,
 }
 
-impl<P: Provenance> LobsterContext<P> {
+impl<P: SessionProvenance> LobsterContext<P> {
     /// Compiles a program with an explicit provenance and fact registry.
-    ///
-    /// Use this constructor when the provenance was built over a registry you
-    /// want to keep (e.g. [`lobster_provenance::DiffTop1Proof`]); the
-    /// convenience constructors below cover the common cases.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not parse
-    /// or compile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Program` with `Lobster::builder(..).compile_typed()` and open a \
+                session with `Program::session_with`"
+    )]
     pub fn with_provenance_and_registry(
         source: &str,
         provenance: P,
         registry: InputFactRegistry,
     ) -> Result<Self, LobsterError> {
-        let compiled = lobster_datalog::parse(source)?;
-        let mut ctx = LobsterContext {
-            compiled,
-            provenance,
-            registry,
-            device: Device::default(),
-            options: RuntimeOptions::default(),
-            stratum_scheduling: true,
-            facts: Vec::new(),
-        };
-        // Facts declared inline in the program become regular input facts.
-        let inline: Vec<(String, Tuple, Option<f64>)> = ctx
-            .compiled
-            .facts
-            .iter()
-            .map(|f| (f.relation.clone(), f.values.clone(), f.probability))
-            .collect();
-        for (relation, values, probability) in inline {
-            ctx.add_fact(&relation, &values, probability)?;
-        }
-        Ok(ctx)
+        let program = Lobster::builder(source).compile_typed::<P>()?;
+        Ok(LobsterContext {
+            session: program.session_with(provenance, registry),
+        })
     }
 
     /// Compiles a program with an explicit provenance and a fresh registry.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not parse
-    /// or compile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Program` with `Lobster::builder(..).compile_typed()` and open a \
+                session with `Program::session_with`"
+    )]
     pub fn with_provenance(source: &str, provenance: P) -> Result<Self, LobsterError> {
+        #[allow(deprecated)]
         Self::with_provenance_and_registry(source, provenance, InputFactRegistry::new())
     }
 
     /// Replaces the device (e.g. to set a memory budget or parallelism).
     pub fn with_device(mut self, device: Device) -> Self {
-        self.device = device;
+        self.session.program.device = device;
         self
     }
 
     /// Replaces the runtime options (optimization toggles, timeout).
     pub fn with_options(mut self, options: RuntimeOptions) -> Self {
-        self.options = options;
+        self.session.program.options = options;
         self
     }
 
     /// Enables or disables the stratum-offloading scheduler (Section 5.3).
     pub fn with_stratum_scheduling(mut self, enabled: bool) -> Self {
-        self.stratum_scheduling = enabled;
+        self.session.program.stratum_scheduling = enabled;
         self
     }
 
     /// The device used for execution.
     pub fn device(&self) -> &Device {
-        &self.device
+        self.session.program().device()
     }
 
     /// The runtime options in effect.
     pub fn options(&self) -> &RuntimeOptions {
-        &self.options
+        self.session.program().options()
     }
 
-    /// The input-fact registry (probabilities can be updated between runs via
-    /// [`InputFactRegistry::set_prob`], which is how a training loop feeds
-    /// new network outputs to the same symbolic program).
+    /// The input-fact registry.
     pub fn registry(&self) -> &InputFactRegistry {
-        &self.registry
+        self.session.registry()
     }
 
     /// The provenance context.
     pub fn provenance(&self) -> &P {
-        &self.provenance
+        self.session.provenance()
     }
 
     /// The compiled RAM program.
     pub fn ram(&self) -> &RamProgram {
-        &self.compiled.ram
+        self.session.program().ram()
     }
 
     /// The relations named in `query` declarations.
     pub fn queries(&self) -> &[String] {
-        &self.compiled.queries
+        self.session.program().queries()
     }
 
     /// Interns a string constant, producing a `Value::Symbol` usable in
     /// facts.
     pub fn symbol(&self, name: &str) -> Value {
-        Value::Symbol(self.compiled.symbols.intern(name))
+        self.session.program().symbol(name)
     }
 
     /// Registers an input fact.
@@ -262,7 +126,7 @@ impl<P: Provenance> LobsterContext<P> {
         values: &[Value],
         prob: Option<f64>,
     ) -> Result<InputFactId, LobsterError> {
-        self.add_fact_with_exclusion(relation, values, prob, None)
+        self.session.add_fact(relation, values, prob)
     }
 
     /// Registers an input fact belonging to a mutual-exclusion group.
@@ -278,105 +142,24 @@ impl<P: Provenance> LobsterContext<P> {
         prob: Option<f64>,
         exclusion: Option<u32>,
     ) -> Result<InputFactId, LobsterError> {
-        let schema = self.compiled.ram.schema(relation).ok_or_else(|| LobsterError::BadFact {
-            message: format!("unknown relation `{relation}`"),
-        })?;
-        if schema.arity() != values.len() {
-            return Err(LobsterError::BadFact {
-                message: format!(
-                    "fact for `{relation}` has arity {}, expected {}",
-                    values.len(),
-                    schema.arity()
-                ),
-            });
-        }
-        let id = self.registry.register(prob, exclusion);
-        self.facts.push(RegisteredFact {
-            relation: relation.to_string(),
-            values: values.to_vec(),
-            id,
-            probabilistic: prob.is_some(),
-        });
-        Ok(id)
+        self.session
+            .add_fact_with_exclusion(relation, values, prob, exclusion)
     }
 
-    /// Updates the probability of an already registered fact (used between
-    /// training iterations).
+    /// Updates the probability of an already registered fact.
     pub fn set_fact_probability(&self, id: InputFactId, prob: f64) {
-        self.registry.set_prob(id, prob);
+        self.session.set_fact_probability(id, prob);
     }
 
     /// Removes all registered facts (inline program facts included) and
     /// clears the registry.
     pub fn clear_facts(&mut self) {
-        self.facts.clear();
-        self.registry.clear();
+        self.session.clear_facts();
     }
 
     /// Number of registered facts.
     pub fn fact_count(&self) -> usize {
-        self.facts.len()
-    }
-
-    fn collect_outputs(&self, db: &Database<P>, drop_sample_column: bool) -> BTreeMap<String, Vec<(Tuple, Output)>> {
-        let mut outputs = BTreeMap::new();
-        for relation in &self.compiled.ram.outputs {
-            let rows = db
-                .rows(relation)
-                .into_iter()
-                .map(|(mut tuple, tag)| {
-                    if drop_sample_column && !tuple.is_empty() {
-                        tuple.remove(0);
-                    }
-                    let out = self.provenance.output(&tag);
-                    (tuple, out)
-                })
-                .collect();
-            outputs.insert(relation.clone(), rows);
-        }
-        outputs
-    }
-
-    /// Simulates the host↔device transfer of the current database contents at
-    /// a GPU-region boundary: the byte volume is recorded on the device and a
-    /// proportional copy is performed to model the bandwidth cost.
-    fn simulate_transfer(&self, db: &Database<P>, direction: TransferDirection) {
-        let bytes = db.size_bytes();
-        self.device.record_transfer(direction, bytes);
-        // Touch the memory to model PCIe bandwidth: a volatile-ish copy whose
-        // result is observed by the length check below.
-        let staging: Vec<u8> = vec![0u8; bytes.min(1 << 26)];
-        assert_eq!(staging.len(), bytes.min(1 << 26));
-    }
-
-    fn execute(&self, db: &mut Database<P>, ram: &RamProgram) -> Result<ExecutionStats, LobsterError> {
-        let executor = Executor::new(self.device.clone(), self.provenance.clone(), self.options.clone());
-        let plan = plan_offload(ram, self.stratum_scheduling);
-        let mut stats = ExecutionStats::default();
-        let mut previously_on_gpu = false;
-        for (i, stratum) in ram.strata.iter().enumerate() {
-            let on_gpu = plan.is_gpu(i);
-            if on_gpu && !previously_on_gpu {
-                self.simulate_transfer(db, TransferDirection::HostToDevice);
-            }
-            if !on_gpu && previously_on_gpu {
-                self.simulate_transfer(db, TransferDirection::DeviceToHost);
-            }
-            previously_on_gpu = on_gpu;
-            let compiled = compile_stratum(stratum, ram);
-            let stratum_stats = executor.run_stratum(db, &compiled)?;
-            stats.merge(&stratum_stats);
-            // Without the scheduling optimization every stratum transfers its
-            // results back immediately.
-            if !self.stratum_scheduling && on_gpu {
-                self.simulate_transfer(db, TransferDirection::DeviceToHost);
-                previously_on_gpu = false;
-            }
-        }
-        if previously_on_gpu {
-            self.simulate_transfer(db, TransferDirection::DeviceToHost);
-        }
-        Ok(stats)
+        self.session.fact_count()
     }
 
     /// Runs the program against the currently registered facts.
@@ -384,190 +167,82 @@ impl<P: Provenance> LobsterContext<P> {
     /// # Errors
     ///
     /// Returns a [`LobsterError::Execution`] on device OOM or timeout.
-    pub fn run(&self) -> Result<RunResult<P>, LobsterError> {
-        let ram = &self.compiled.ram;
-        let mut db = Database::new(ram.schemas.clone(), self.provenance.clone());
-        for fact in &self.facts {
-            let prob = fact.probabilistic.then(|| self.registry.prob(fact.id));
-            let tag = self.provenance.input_tag(fact.id, prob);
-            db.insert(&fact.relation, &fact.values, tag);
-        }
-        db.seal(&self.device);
-        let stats = self.execute(&mut db, ram)?;
-        Ok(RunResult {
-            outputs: self.collect_outputs(&db, false),
-            stats,
-            symbols: self.compiled.symbols.clone(),
-            _marker: std::marker::PhantomData,
-        })
+    pub fn run(&self) -> Result<RunResult, LobsterError> {
+        self.session.run()
     }
 
-    /// Runs a whole batch of samples in a single execution using the batched
-    /// evaluation of Section 4.3: a sample-id column is prepended to every
-    /// relation so all samples share one database and one fix-point run.
+    /// Runs a whole batch of samples in a single execution.
     ///
-    /// Returns one [`RunResult`] per sample, in order. Each result carries the
-    /// statistics of the shared batched execution.
+    /// Unlike the pre-0.2 implementation, registration of the per-sample
+    /// facts is scoped to this call (the registry is forked), so repeated
+    /// batches no longer grow the context's registry.
     ///
     /// # Errors
     ///
     /// Returns a [`LobsterError`] on bad facts or execution failure.
-    pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult<P>>, LobsterError> {
-        let batched = batch_transform(&self.compiled.ram);
-        let mut db = Database::new(batched.schemas.clone(), self.provenance.clone());
-        // Facts registered on the context (e.g. inline program facts) are
-        // shared by every sample.
-        for (sample, facts) in samples.iter().enumerate() {
-            for fact in &self.facts {
-                let prob = fact.probabilistic.then(|| self.registry.prob(fact.id));
-                let tag = self.provenance.input_tag(fact.id, prob);
-                let mut row = vec![Value::U32(sample as u32)];
-                row.extend(fact.values.iter().copied());
-                db.insert(&fact.relation, &row, tag);
-            }
-            for (relation, values, prob, exclusion) in facts.iter() {
-                let schema = batched.schema(relation).ok_or_else(|| LobsterError::BadFact {
-                    message: format!("unknown relation `{relation}`"),
-                })?;
-                if schema.arity() != values.len() + 1 {
-                    return Err(LobsterError::BadFact {
-                        message: format!(
-                            "fact for `{relation}` has arity {}, expected {}",
-                            values.len(),
-                            schema.arity() - 1
-                        ),
-                    });
-                }
-                let id = self.registry.register(*prob, *exclusion);
-                let tag = self.provenance.input_tag(id, *prob);
-                let mut row = vec![Value::U32(sample as u32)];
-                row.extend(values.iter().copied());
-                db.insert(relation, &row, tag);
-            }
-        }
-        db.seal(&self.device);
-        let stats = self.execute(&mut db, &batched)?;
-
-        // Split the batched outputs back into per-sample results.
-        let mut per_sample: Vec<BTreeMap<String, Vec<(Tuple, Output)>>> =
-            vec![BTreeMap::new(); samples.len()];
-        for relation in &batched.outputs {
-            for sample_outputs in per_sample.iter_mut() {
-                sample_outputs.entry(relation.clone()).or_default();
-            }
-            for (tuple, tag) in db.rows(relation) {
-                let Some(Value::U32(sample)) = tuple.first().copied() else { continue };
-                let sample = sample as usize;
-                if sample >= per_sample.len() {
-                    continue;
-                }
-                let mut rest = tuple;
-                rest.remove(0);
-                let out = self.provenance.output(&tag);
-                per_sample[sample]
-                    .get_mut(relation)
-                    .expect("entry initialized above")
-                    .push((rest, out));
-            }
-        }
-        Ok(per_sample
-            .into_iter()
-            .map(|outputs| RunResult {
-                outputs,
-                stats: stats.clone(),
-                symbols: self.compiled.symbols.clone(),
-                _marker: std::marker::PhantomData,
-            })
-            .collect())
+    pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
+        self.session.run_batch(samples)
     }
 }
 
-impl LobsterContext<lobster_provenance::Unit> {
+macro_rules! deprecated_constructor {
+    ($(#[$doc:meta])* $name:ident, $prov:ty) => {
+        impl LobsterContext<$prov> {
+            $(#[$doc])*
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError::Frontend`] when the program does not
+            /// compile.
+            #[deprecated(
+                since = "0.2.0",
+                note = "use `Lobster::builder(source).compile_typed()` (or \
+                        `.provenance(kind).compile()` for runtime selection) and open a session"
+            )]
+            pub fn $name(source: &str) -> Result<Self, LobsterError> {
+                let program: Program<$prov> = Lobster::builder(source).compile_typed()?;
+                Ok(LobsterContext { session: program.session() })
+            }
+        }
+    };
+}
+
+deprecated_constructor!(
     /// Discrete reasoning with the `unit` provenance.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not compile.
-    pub fn discrete(source: &str) -> Result<Self, LobsterError> {
-        Self::with_provenance(source, lobster_provenance::Unit::new())
-    }
-}
-
-impl LobsterContext<lobster_provenance::MaxMinProb> {
+    discrete, lobster_provenance::Unit
+);
+deprecated_constructor!(
     /// Probabilistic reasoning with the `minmaxprob` provenance.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not compile.
-    pub fn minmaxprob(source: &str) -> Result<Self, LobsterError> {
-        Self::with_provenance(source, lobster_provenance::MaxMinProb::new())
-    }
-}
-
-impl LobsterContext<lobster_provenance::AddMultProb> {
+    minmaxprob, lobster_provenance::MaxMinProb
+);
+deprecated_constructor!(
     /// Probabilistic reasoning with the `addmultprob` provenance.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not compile.
-    pub fn addmultprob(source: &str) -> Result<Self, LobsterError> {
-        Self::with_provenance(source, lobster_provenance::AddMultProb::new())
-    }
-}
-
-impl LobsterContext<lobster_provenance::Top1Proof> {
+    addmultprob, lobster_provenance::AddMultProb
+);
+deprecated_constructor!(
     /// Probabilistic reasoning with the `prob-top-1-proofs` provenance.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not compile.
-    pub fn top1(source: &str) -> Result<Self, LobsterError> {
-        let registry = InputFactRegistry::new();
-        let provenance = lobster_provenance::Top1Proof::new(registry.clone());
-        Self::with_provenance_and_registry(source, provenance, registry)
-    }
-}
-
-impl LobsterContext<lobster_provenance::DiffMaxMinProb> {
+    top1, lobster_provenance::Top1Proof
+);
+deprecated_constructor!(
     /// Differentiable reasoning with the `diff-minmaxprob` provenance.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not compile.
-    pub fn diff_minmaxprob(source: &str) -> Result<Self, LobsterError> {
-        Self::with_provenance(source, lobster_provenance::DiffMaxMinProb::new())
-    }
-}
-
-impl LobsterContext<lobster_provenance::DiffAddMultProb> {
+    diff_minmaxprob, lobster_provenance::DiffMaxMinProb
+);
+deprecated_constructor!(
     /// Differentiable reasoning with the `diff-addmultprob` provenance.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not compile.
-    pub fn diff_addmultprob(source: &str) -> Result<Self, LobsterError> {
-        Self::with_provenance(source, lobster_provenance::DiffAddMultProb::new())
-    }
-}
-
-impl LobsterContext<lobster_provenance::DiffTop1Proof> {
+    diff_addmultprob, lobster_provenance::DiffAddMultProb
+);
+deprecated_constructor!(
     /// Differentiable reasoning with the `diff-top-1-proofs` provenance (the
     /// provenance used by all four differentiable benchmarks in the paper).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`LobsterError::Frontend`] when the program does not compile.
-    pub fn diff_top1(source: &str) -> Result<Self, LobsterError> {
-        let registry = InputFactRegistry::new();
-        let provenance = lobster_provenance::DiffTop1Proof::new(registry.clone());
-        Self::with_provenance_and_registry(source, provenance, registry)
-    }
-}
+    diff_top1, lobster_provenance::DiffTop1Proof
+);
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use lobster_provenance::Unit;
+    use std::collections::BTreeMap;
 
     const TC: &str = "type edge(x: u32, y: u32)
         rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
@@ -577,37 +252,34 @@ mod tests {
     fn discrete_transitive_closure() {
         let mut ctx = LobsterContext::discrete(TC).unwrap();
         for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
-            ctx.add_fact("edge", &[Value::U32(a), Value::U32(b)], None).unwrap();
+            ctx.add_fact("edge", &[Value::U32(a), Value::U32(b)], None)
+                .unwrap();
         }
         let result = ctx.run().unwrap();
         assert_eq!(result.len("path"), 6);
         assert!(result.contains("path", &[Value::U32(0), Value::U32(3)]));
         assert!(!result.contains("path", &[Value::U32(3), Value::U32(0)]));
-        assert_eq!(result.probability("path", &[Value::U32(0), Value::U32(3)]), 1.0);
+        assert_eq!(
+            result.probability("path", &[Value::U32(0), Value::U32(3)]),
+            1.0
+        );
     }
 
     #[test]
     fn differentiable_gradients_flow_to_inputs() {
         let mut ctx = LobsterContext::diff_top1(TC).unwrap();
-        let e01 = ctx.add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.9)).unwrap();
-        let e12 = ctx.add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.5)).unwrap();
+        let e01 = ctx
+            .add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.9))
+            .unwrap();
+        let e12 = ctx
+            .add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.5))
+            .unwrap();
         let result = ctx.run().unwrap();
         let target = [Value::U32(0), Value::U32(2)];
         assert!((result.probability("path", &target) - 0.45).abs() < 1e-9);
         let grad: BTreeMap<_, _> = result.gradient("path", &target).into_iter().collect();
         assert!((grad[&e01] - 0.5).abs() < 1e-9);
         assert!((grad[&e12] - 0.9).abs() < 1e-9);
-    }
-
-    #[test]
-    fn probabilities_can_be_updated_between_runs() {
-        let mut ctx = LobsterContext::diff_top1(TC).unwrap();
-        let e01 = ctx.add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.5)).unwrap();
-        let before = ctx.run().unwrap().probability("path", &[Value::U32(0), Value::U32(1)]);
-        ctx.set_fact_probability(e01, 0.25);
-        let after = ctx.run().unwrap().probability("path", &[Value::U32(0), Value::U32(1)]);
-        assert!((before - 0.5).abs() < 1e-9);
-        assert!((after - 0.25).abs() < 1e-9);
     }
 
     #[test]
@@ -625,32 +297,24 @@ mod tests {
     }
 
     #[test]
-    fn bad_facts_are_rejected() {
-        let mut ctx = LobsterContext::discrete(TC).unwrap();
-        assert!(matches!(
-            ctx.add_fact("ghost", &[Value::U32(0)], None),
-            Err(LobsterError::BadFact { .. })
-        ));
-        assert!(matches!(
-            ctx.add_fact("edge", &[Value::U32(0)], None),
-            Err(LobsterError::BadFact { .. })
-        ));
-    }
-
-    #[test]
-    fn run_batch_keeps_samples_separate() {
+    fn run_batch_keeps_samples_separate_and_does_not_leak_registrations() {
         let ctx = LobsterContext::with_provenance(TC, Unit::new()).unwrap();
         let mut s0 = FactSet::new();
         s0.add("edge", &[Value::U32(0), Value::U32(1)], None);
         s0.add("edge", &[Value::U32(1), Value::U32(2)], None);
         let mut s1 = FactSet::new();
         s1.add("edge", &[Value::U32(5), Value::U32(6)], None);
-        let results = ctx.run_batch(&[s0, s1]).unwrap();
+        let results = ctx.run_batch(&[s0.clone(), s1.clone()]).unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].len("path"), 3);
         assert_eq!(results[1].len("path"), 1);
         assert!(results[0].contains("path", &[Value::U32(0), Value::U32(2)]));
         assert!(!results[1].contains("path", &[Value::U32(0), Value::U32(2)]));
+        // The registry-scoping fix: the context registry is not grown by
+        // batch runs (the seed implementation leaked 3 ids per call here).
+        let before = ctx.registry().len();
+        ctx.run_batch(&[s0, s1]).unwrap();
+        assert_eq!(ctx.registry().len(), before);
     }
 
     #[test]
@@ -661,17 +325,8 @@ mod tests {
         assert_eq!(ctx.fact_count(), 0);
         let sym = ctx.symbol("hello");
         assert!(matches!(sym, Value::Symbol(_)));
-    }
-
-    #[test]
-    fn clear_facts_resets_the_context() {
-        let mut ctx = LobsterContext::discrete(TC).unwrap();
-        ctx.add_fact("edge", &[Value::U32(0), Value::U32(1)], None).unwrap();
-        ctx.clear_facts();
-        assert_eq!(ctx.fact_count(), 0);
-        let result = ctx.run().unwrap();
-        assert_eq!(result.len("path"), 0);
-        assert!(result.is_empty("path"));
+        assert_eq!(ctx.provenance().name(), "unit");
+        assert_eq!(ctx.registry().len(), 0);
     }
 
     #[test]
@@ -687,7 +342,8 @@ mod tests {
                 .with_stratum_scheduling(scheduling)
                 .with_device(Device::sequential());
             for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
-                ctx.add_fact("edge", &[Value::U32(a), Value::U32(b)], None).unwrap();
+                ctx.add_fact("edge", &[Value::U32(a), Value::U32(b)], None)
+                    .unwrap();
             }
             ctx.add_fact("is_endpoint", &[Value::U32(0)], None).unwrap();
             ctx.add_fact("is_endpoint", &[Value::U32(3)], None).unwrap();

@@ -1,0 +1,302 @@
+//! Runtime-selectable provenance: [`DynProgram`] and [`DynSession`].
+//!
+//! [`Program`] is generic over its provenance semiring, which gives
+//! zero-cost dispatch but forces the reasoning mode to be a compile-time
+//! choice at every call site. A server that reads the mode from
+//! configuration (`provenance = "diff-top-1-proofs"`) instead builds a
+//! [`DynProgram`]: an enum over the statically-typed programs for each of
+//! the built-in semirings. Dispatch is one `match` per API call —
+//! negligible next to a fix-point execution — and results come back as the
+//! provenance-erased [`RunResult`](crate::RunResult) either way.
+
+use crate::error::LobsterError;
+use crate::program::{LobsterBuilder, Program};
+use crate::session::{FactSet, RunResult, Session};
+use lobster_provenance::{
+    AddMultProb, Boolean, DiffAddMultProb, DiffMaxMinProb, DiffTop1Proof, InputFactId, MaxMinProb,
+    ProvenanceKind, Top1Proof, Unit,
+};
+use lobster_ram::{RamProgram, Value};
+
+/// Expands once per provenance kind: `variant, semiring type, kind`.
+macro_rules! for_each_provenance {
+    ($macro:ident) => {
+        $macro! {
+            (Unit, Unit, ProvenanceKind::Unit),
+            (Boolean, Boolean, ProvenanceKind::Boolean),
+            (MaxMinProb, MaxMinProb, ProvenanceKind::MaxMinProb),
+            (AddMultProb, AddMultProb, ProvenanceKind::AddMultProb),
+            (Top1Proof, Top1Proof, ProvenanceKind::Top1Proof),
+            (DiffMaxMinProb, DiffMaxMinProb, ProvenanceKind::DiffMaxMinProb),
+            (DiffAddMultProb, DiffAddMultProb, ProvenanceKind::DiffAddMultProb),
+            (DiffTop1Proof, DiffTop1Proof, ProvenanceKind::DiffTop1Proof),
+        }
+    };
+}
+
+macro_rules! define_dyn_program {
+    ($(($variant:ident, $prov:ty, $kind:path)),* $(,)?) => {
+        /// A compiled program whose provenance semiring was chosen at run
+        /// time from a [`ProvenanceKind`].
+        ///
+        /// Build with [`DynProgram::compile`] or
+        /// [`Lobster::builder(..).provenance(kind).compile()`].
+        ///
+        /// [`Lobster::builder(..).provenance(kind).compile()`]: crate::LobsterBuilder::compile
+        #[derive(Debug, Clone)]
+        pub enum DynProgram {
+            $(
+                #[doc = concat!("A program over the `", stringify!($prov), "` semiring.")]
+                $variant(Program<$prov>),
+            )*
+        }
+
+        /// A session over a [`DynProgram`].
+        #[derive(Debug, Clone)]
+        pub enum DynSession {
+            $(
+                #[doc = concat!("A session over the `", stringify!($prov), "` semiring.")]
+                $variant(Session<$prov>),
+            )*
+        }
+
+        impl DynProgram {
+            pub(crate) fn from_builder(
+                builder: LobsterBuilder,
+                kind: ProvenanceKind,
+            ) -> Result<Self, LobsterError> {
+                Ok(match kind {
+                    $( $kind => DynProgram::$variant(builder.compile_typed::<$prov>()?), )*
+                })
+            }
+
+            /// The provenance kind this program was compiled for.
+            pub fn kind(&self) -> ProvenanceKind {
+                match self {
+                    $( DynProgram::$variant(_) => $kind, )*
+                }
+            }
+
+            /// Opens a per-request session.
+            pub fn session(&self) -> DynSession {
+                match self {
+                    $( DynProgram::$variant(p) => DynSession::$variant(p.session()), )*
+                }
+            }
+
+            /// Runs a batch of samples in one fix-point; see
+            /// [`Program::run_batch`].
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError`] on bad facts or execution failure.
+            pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
+                match self {
+                    $( DynProgram::$variant(p) => p.run_batch(samples), )*
+                }
+            }
+
+            /// The compiled RAM program.
+            pub fn ram(&self) -> &RamProgram {
+                match self {
+                    $( DynProgram::$variant(p) => p.ram(), )*
+                }
+            }
+
+            /// The relations named in `query` declarations.
+            pub fn queries(&self) -> &[String] {
+                match self {
+                    $( DynProgram::$variant(p) => p.queries(), )*
+                }
+            }
+
+            /// Interns a string constant into a `Value::Symbol`.
+            pub fn symbol(&self, name: &str) -> Value {
+                match self {
+                    $( DynProgram::$variant(p) => p.symbol(name), )*
+                }
+            }
+        }
+
+        impl DynSession {
+            /// The provenance kind of the underlying session.
+            pub fn kind(&self) -> ProvenanceKind {
+                match self {
+                    $( DynSession::$variant(_) => $kind, )*
+                }
+            }
+
+            /// Registers an input fact; see [`Session::add_fact`].
+            ///
+            /// # Errors
+            ///
+            /// Returns [`LobsterError::BadFact`] for unknown relations or
+            /// arity mismatches.
+            pub fn add_fact(
+                &mut self,
+                relation: &str,
+                values: &[Value],
+                prob: Option<f64>,
+            ) -> Result<InputFactId, LobsterError> {
+                match self {
+                    $( DynSession::$variant(s) => s.add_fact(relation, values, prob), )*
+                }
+            }
+
+            /// Registers an input fact in a mutual-exclusion group; see
+            /// [`Session::add_fact_with_exclusion`].
+            ///
+            /// # Errors
+            ///
+            /// Returns [`LobsterError::BadFact`] for unknown relations or
+            /// arity mismatches.
+            pub fn add_fact_with_exclusion(
+                &mut self,
+                relation: &str,
+                values: &[Value],
+                prob: Option<f64>,
+                exclusion: Option<u32>,
+            ) -> Result<InputFactId, LobsterError> {
+                match self {
+                    $( DynSession::$variant(s) => {
+                        s.add_fact_with_exclusion(relation, values, prob, exclusion)
+                    } )*
+                }
+            }
+
+            /// Updates the probability of a registered fact.
+            pub fn set_fact_probability(&self, id: InputFactId, prob: f64) {
+                match self {
+                    $( DynSession::$variant(s) => s.set_fact_probability(id, prob), )*
+                }
+            }
+
+            /// Removes all registered facts and clears the registry.
+            pub fn clear_facts(&mut self) {
+                match self {
+                    $( DynSession::$variant(s) => s.clear_facts(), )*
+                }
+            }
+
+            /// Number of registered facts.
+            pub fn fact_count(&self) -> usize {
+                match self {
+                    $( DynSession::$variant(s) => s.fact_count(), )*
+                }
+            }
+
+            /// Runs the program against this session's facts; see
+            /// [`Session::run`].
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError::Execution`] on device OOM or
+            /// timeout.
+            pub fn run(&self) -> Result<RunResult, LobsterError> {
+                match self {
+                    $( DynSession::$variant(s) => s.run(), )*
+                }
+            }
+
+            /// Runs a batch of samples in one fix-point; see
+            /// [`Session::run_batch`].
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError`] on bad facts or execution failure.
+            pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
+                match self {
+                    $( DynSession::$variant(s) => s.run_batch(samples), )*
+                }
+            }
+        }
+    };
+}
+
+for_each_provenance!(define_dyn_program);
+
+impl DynProgram {
+    /// Compiles `source` for the given provenance kind with default device
+    /// and options. Use [`Lobster::builder`](crate::Lobster::builder) with
+    /// [`provenance`](crate::LobsterBuilder::provenance) for full control.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LobsterError::Frontend`] when the program does not parse
+    /// or compile.
+    pub fn compile(source: &str, kind: ProvenanceKind) -> Result<Self, LobsterError> {
+        crate::Lobster::builder(source).provenance(kind).compile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lobster;
+
+    const TC: &str = "type edge(x: u32, y: u32)
+        rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+        query path";
+
+    #[test]
+    fn every_kind_compiles_and_runs() {
+        for kind in ProvenanceKind::ALL {
+            let program = DynProgram::compile(TC, kind).unwrap();
+            assert_eq!(program.kind(), kind);
+            let mut session = program.session();
+            assert_eq!(session.kind(), kind);
+            session
+                .add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.5))
+                .unwrap();
+            session
+                .add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.5))
+                .unwrap();
+            let result = session.run().unwrap();
+            assert_eq!(result.len("path"), 3, "kind {kind}");
+            let p = result.probability("path", &[Value::U32(0), Value::U32(2)]);
+            if kind.is_probabilistic() {
+                assert!(
+                    (p - 0.25).abs() < 1e-9 || (p - 0.5).abs() < 1e-9,
+                    "kind {kind}: {p}"
+                );
+            } else {
+                assert_eq!(p, 1.0, "kind {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_parsed_from_a_string_selects_the_semiring() {
+        let kind: ProvenanceKind = "diff-top-1-proofs".parse().unwrap();
+        let program = Lobster::builder(TC).provenance(kind).compile().unwrap();
+        let mut session = program.session();
+        let e01 = session
+            .add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.9))
+            .unwrap();
+        session
+            .add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.5))
+            .unwrap();
+        let result = session.run().unwrap();
+        let target = [Value::U32(0), Value::U32(2)];
+        assert!((result.probability("path", &target) - 0.45).abs() < 1e-9);
+        // Gradients flow through the erased API too.
+        let grad = result.gradient("path", &target);
+        assert!(grad
+            .iter()
+            .any(|(id, g)| *id == e01 && (*g - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn dyn_batches_are_scoped_like_typed_ones() {
+        let program = DynProgram::compile(TC, ProvenanceKind::AddMultProb).unwrap();
+        let mut sample = FactSet::new();
+        sample.add("edge", &[Value::U32(0), Value::U32(1)], Some(0.5));
+        let results = program.run_batch(&[sample.clone(), sample]).unwrap();
+        assert_eq!(results.len(), 2);
+        for result in &results {
+            assert!(
+                (result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.5).abs() < 1e-9
+            );
+        }
+    }
+}

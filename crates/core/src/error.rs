@@ -14,6 +14,12 @@ pub enum LobsterError {
         /// Description of the problem.
         message: String,
     },
+    /// The builder was misconfigured (e.g. `compile()` without a provenance
+    /// kind).
+    Config {
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for LobsterError {
@@ -22,6 +28,7 @@ impl fmt::Display for LobsterError {
             LobsterError::Frontend(e) => write!(f, "{e}"),
             LobsterError::Execution(e) => write!(f, "{e}"),
             LobsterError::BadFact { message } => write!(f, "{message}"),
+            LobsterError::Config { message } => write!(f, "{message}"),
         }
     }
 }
@@ -46,10 +53,11 @@ mod tests {
 
     #[test]
     fn errors_display_their_cause() {
-        let e: LobsterError =
-            lobster_datalog::parse("rel x(").unwrap_err().into();
+        let e: LobsterError = lobster_datalog::parse("rel x(").unwrap_err().into();
         assert!(e.to_string().contains("syntax error"));
-        let e = LobsterError::BadFact { message: "unknown relation `foo`".into() };
+        let e = LobsterError::BadFact {
+            message: "unknown relation `foo`".into(),
+        };
         assert!(e.to_string().contains("foo"));
     }
 }

@@ -4,56 +4,124 @@
 //! together the Datalog front-end (`lobster-datalog`), the RAM and APM
 //! intermediate representations (`lobster-ram`, `lobster-apm`), the simulated
 //! GPU device (`lobster-gpu`), and the provenance semiring library
-//! (`lobster-provenance`) into a single entry point: [`LobsterContext`].
+//! (`lobster-provenance`) around a compile-once / session-per-request split:
 //!
-//! A neurosymbolic pipeline uses Lobster like this:
+//! * [`Program`] — the immutable compiled artifact: parsed, stratified,
+//!   RAM-compiled, and batch-transformed exactly once. Programs are
+//!   `Arc`-shared internally, so cloning one (or sending clones to worker
+//!   threads) costs a pointer copy. Build one with [`Lobster::builder`].
+//! * [`Session`] — cheap per-request state: the request's input facts and
+//!   the registry that issues their ids. Open one per sample/request with
+//!   [`Program::session`]; nothing a session does is visible to any other
+//!   session of the same program.
+//! * [`DynProgram`] — a provenance-erased program whose reasoning mode was
+//!   picked at *run time* from a [`ProvenanceKind`] (e.g. parsed from a
+//!   config file), for servers that must not hard-code the semiring.
 //!
-//! 1. Compile a Datalog program once with one of the
-//!    [`LobsterContext`] constructors, selecting the reasoning mode by
-//!    choosing a provenance semiring (discrete, probabilistic, or
-//!    differentiable).
-//! 2. For every sample, add the (probabilistic) facts produced by the neural
-//!    network with [`LobsterContext::add_fact`].
-//! 3. Call [`LobsterContext::run`] (or [`LobsterContext::run_batch`] for a
-//!    whole mini-batch) and read back output probabilities and, for
-//!    differentiable provenances, the gradient of every output with respect
-//!    to every input fact — which is what lets the upstream network train
-//!    end-to-end.
+//! # Typed usage
 //!
-//! # Example
+//! Pick the reasoning mode at compile time by choosing a provenance type:
 //!
 //! ```
-//! use lobster::LobsterContext;
-//! use lobster_ram::Value;
+//! use lobster::{Lobster, Value};
+//! use lobster_provenance::DiffTop1Proof;
 //!
-//! let mut ctx = LobsterContext::diff_top1(
+//! // Compile once...
+//! let program = Lobster::builder(
 //!     "type edge(x: u32, y: u32)
 //!      rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
 //!      query path",
-//! ).unwrap();
-//! ctx.add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.9));
-//! ctx.add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.8));
-//! let result = ctx.run().unwrap();
+//! )
+//! .compile_typed::<DiffTop1Proof>()
+//! .unwrap();
+//!
+//! // ...then open a cheap session per sample.
+//! let mut session = program.session();
+//! session.add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.9)).unwrap();
+//! session.add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.8)).unwrap();
+//! let result = session.run().unwrap();
 //! let p = result.probability("path", &[Value::U32(0), Value::U32(2)]);
 //! assert!((p - 0.72).abs() < 1e-9);
 //! ```
+//!
+//! # Runtime provenance selection
+//!
+//! A server reading the reasoning mode from configuration parses a
+//! [`ProvenanceKind`] and gets a [`DynProgram`]; the rest of the API is
+//! identical:
+//!
+//! ```
+//! use lobster::{Lobster, ProvenanceKind, Value};
+//!
+//! let kind: ProvenanceKind = "addmultprob".parse().unwrap();
+//! let program = Lobster::builder(
+//!     "type edge(x: u32, y: u32)
+//!      rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+//!      query path",
+//! )
+//! .provenance(kind)
+//! .compile()
+//! .unwrap();
+//! let mut session = program.session();
+//! session.add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.5)).unwrap();
+//! let p = session.run().unwrap().probability("path", &[Value::U32(0), Value::U32(1)]);
+//! assert!((p - 0.5).abs() < 1e-9);
+//! ```
+//!
+//! # Batched execution
+//!
+//! [`Program::run_batch`] runs a whole mini-batch of independent samples in
+//! one fix-point (paper Section 4.3). All fact registration is scoped to the
+//! call — repeated batches never accumulate state:
+//!
+//! ```
+//! use lobster::{FactSet, Lobster, Value};
+//! use lobster_provenance::Unit;
+//!
+//! let program = Lobster::builder(
+//!     "type edge(x: u32, y: u32)
+//!      rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+//!      query path",
+//! )
+//! .compile_typed::<Unit>()
+//! .unwrap();
+//! let mut sample = FactSet::new();
+//! sample.add("edge", &[Value::U32(0), Value::U32(1)], None);
+//! let results = program.run_batch(&[sample.clone(), sample]).unwrap();
+//! assert_eq!(results.len(), 2);
+//! ```
+//!
+//! For differentiable provenances, [`RunResult::gradient`] exposes the
+//! gradient of every output probability with respect to every input fact —
+//! which is what lets an upstream network train end-to-end.
+//!
+//! The pre-0.2 [`LobsterContext`] API remains available as a deprecated shim
+//! over these types; see [`context`](LobsterContext) for the migration
+//! table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod context;
+mod dynamic;
 mod error;
+mod program;
 mod scheduler;
+mod session;
 
-pub use context::{FactSet, LobsterContext, RunResult};
+pub use context::LobsterContext;
+pub use dynamic::{DynProgram, DynSession};
 pub use error::LobsterError;
+pub use program::{Lobster, LobsterBuilder, Program};
 pub use scheduler::{plan_offload, OffloadPlan};
+pub use session::{FactSet, RunResult, Session};
 
-// Re-export the pieces users routinely need alongside the context.
+// Re-export the pieces users routinely need alongside the program/session.
 pub use lobster_apm::{ExecutionStats, RuntimeOptions};
 pub use lobster_gpu::{Device, DeviceConfig, DeviceStats};
 pub use lobster_provenance::{
     AddMultProb, Boolean, DiffAddMultProb, DiffMaxMinProb, DiffTop1Proof, InputFactId,
-    InputFactRegistry, MaxMinProb, Output, Provenance, ProvenanceKind, Top1Proof, Unit,
+    InputFactRegistry, MaxMinProb, Output, Provenance, ProvenanceKind, SessionProvenance,
+    Top1Proof, Unit,
 };
 pub use lobster_ram::{Value, ValueType};

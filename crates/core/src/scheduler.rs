@@ -54,12 +54,18 @@ impl OffloadPlan {
 pub fn plan_offload(program: &RamProgram, scheduling_enabled: bool) -> OffloadPlan {
     let n = program.strata.len();
     if n == 0 {
-        return OffloadPlan { on_gpu: Vec::new(), transfer_points: 0 };
+        return OffloadPlan {
+            on_gpu: Vec::new(),
+            transfer_points: 0,
+        };
     }
     let mut on_gpu = vec![true; n];
     if !scheduling_enabled {
         // Every stratum is its own region: 2 transfers each.
-        return OffloadPlan { on_gpu, transfer_points: 2 * n };
+        return OffloadPlan {
+            on_gpu,
+            transfer_points: 2 * n,
+        };
     }
 
     // Heuristic seed: the stratum with the most recursive joins.
@@ -74,8 +80,11 @@ pub fn plan_offload(program: &RamProgram, scheduling_enabled: bool) -> OffloadPl
     // Expand forwards and backwards while adjacent strata exchange data with
     // the current region (shared relations), so the region boundary falls
     // where little data crosses it.
-    let analyses: Vec<StratumAnalysis> =
-        program.strata.iter().map(StratumAnalysis::analyze).collect();
+    let analyses: Vec<StratumAnalysis> = program
+        .strata
+        .iter()
+        .map(StratumAnalysis::analyze)
+        .collect();
     let mut lo = seed;
     let mut hi = seed;
     while lo > 0 {
@@ -107,7 +116,10 @@ pub fn plan_offload(program: &RamProgram, scheduling_enabled: bool) -> OffloadPl
     for (i, slot) in on_gpu.iter_mut().enumerate() {
         *slot = i >= lo && i <= hi;
     }
-    let plan = OffloadPlan { on_gpu, transfer_points: 2 };
+    let plan = OffloadPlan {
+        on_gpu,
+        transfer_points: 2,
+    };
     debug_assert_eq!(plan.regions(), 1);
     plan
 }

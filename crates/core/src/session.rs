@@ -1,0 +1,577 @@
+//! The per-request half of the Lobster API: [`Session`], [`FactSet`], and
+//! [`RunResult`].
+//!
+//! A [`Session`] is cheap to open ([`Program::session`]) and owns everything
+//! that varies between requests: the registered input facts and the
+//! [`InputFactRegistry`] that issues their ids. Dropping the session drops
+//! that state; the shared [`Program`] is untouched. Batched runs fork the
+//! session registry, so even `run_batch` leaves no trace behind — fixing the
+//! seed design where every batch leaked fresh fact ids into a shared,
+//! ever-growing registry.
+
+use crate::error::LobsterError;
+use crate::program::Program;
+use lobster_apm::{Database, ExecutionStats};
+use lobster_provenance::{InputFactId, InputFactRegistry, Output, Provenance, SessionProvenance};
+use lobster_ram::{SymbolTable, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// One raw fact of a [`FactSet`]: relation, tuple, optional probability,
+/// optional mutual-exclusion group.
+type RawFact = (String, Vec<Value>, Option<f64>, Option<u32>);
+
+/// A set of input facts for one sample, used by batched execution.
+#[derive(Debug, Clone, Default)]
+pub struct FactSet {
+    facts: Vec<RawFact>,
+}
+
+impl FactSet {
+    /// An empty fact set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fact with an optional probability.
+    pub fn add(&mut self, relation: impl Into<String>, values: &[Value], prob: Option<f64>) {
+        self.facts
+            .push((relation.into(), values.to_vec(), prob, None));
+    }
+
+    /// Adds a fact belonging to a mutual-exclusion group (e.g. the ten
+    /// classifications of one digit image).
+    pub fn add_with_exclusion(
+        &mut self,
+        relation: impl Into<String>,
+        values: &[Value],
+        prob: Option<f64>,
+        exclusion: u32,
+    ) {
+        self.facts
+            .push((relation.into(), values.to_vec(), prob, Some(exclusion)));
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// `true` when no facts have been added.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &RawFact> {
+        self.facts.iter()
+    }
+}
+
+/// One registered input fact inside a session.
+#[derive(Debug, Clone)]
+struct RegisteredFact {
+    relation: String,
+    values: Vec<Value>,
+    id: InputFactId,
+    probabilistic: bool,
+}
+
+/// The result of one Lobster run: for every queried relation, the derived
+/// tuples with their output probability and gradient.
+///
+/// `RunResult` is provenance-erased — outputs are plain probabilities and
+/// sparse gradients whatever semiring produced them — so the same type is
+/// returned by typed sessions, batched runs, and [`DynSession`].
+///
+/// [`DynSession`]: crate::DynSession
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    outputs: BTreeMap<String, Vec<(Tuple, Output)>>,
+    /// Execution statistics (iterations, kernels, elapsed time).
+    pub stats: ExecutionStats,
+    symbols: SymbolTable,
+}
+
+impl RunResult {
+    /// Names of the relations captured in this result.
+    pub fn relations(&self) -> Vec<&str> {
+        self.outputs.keys().map(String::as_str).collect()
+    }
+
+    /// The derived tuples of a relation with their outputs.
+    pub fn relation(&self, name: &str) -> &[(Tuple, Output)] {
+        self.outputs.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of derived tuples in a relation.
+    pub fn len(&self, name: &str) -> usize {
+        self.relation(name).len()
+    }
+
+    /// `true` when the relation derived no tuples.
+    pub fn is_empty(&self, name: &str) -> bool {
+        self.relation(name).is_empty()
+    }
+
+    /// Whether a specific tuple was derived.
+    pub fn contains(&self, name: &str, tuple: &[Value]) -> bool {
+        self.relation(name)
+            .iter()
+            .any(|(t, _)| t.as_slice() == tuple)
+    }
+
+    /// The probability of a derived tuple (0 when it was not derived).
+    pub fn probability(&self, name: &str, tuple: &[Value]) -> f64 {
+        self.relation(name)
+            .iter()
+            .find(|(t, _)| t.as_slice() == tuple)
+            .map(|(_, o)| o.probability)
+            .unwrap_or(0.0)
+    }
+
+    /// The gradient of a derived tuple's probability with respect to input
+    /// facts (empty when the tuple was not derived or the provenance is not
+    /// differentiable).
+    pub fn gradient(&self, name: &str, tuple: &[Value]) -> Vec<(InputFactId, f64)> {
+        self.relation(name)
+            .iter()
+            .find(|(t, _)| t.as_slice() == tuple)
+            .map(|(_, o)| o.gradient.clone())
+            .unwrap_or_default()
+    }
+
+    /// Resolves an interned symbol id back to its string.
+    pub fn resolve_symbol(&self, value: &Value) -> Option<String> {
+        match value {
+            Value::Symbol(id) => self.symbols.resolve(*id),
+            _ => None,
+        }
+    }
+}
+
+/// Cheap per-request state over a shared [`Program`]: this request's input
+/// facts and their registry.
+///
+/// Open with [`Program::session`], feed facts with [`Session::add_fact`],
+/// execute with [`Session::run`] (or [`Session::run_batch`] for a
+/// mini-batch). Probabilities of registered facts can be updated between
+/// runs with [`Session::set_fact_probability`], which is how a training loop
+/// feeds new network outputs to the same symbolic program.
+#[derive(Debug, Clone)]
+pub struct Session<P: Provenance> {
+    pub(crate) program: Program<P>,
+    provenance: P,
+    registry: InputFactRegistry,
+    facts: Vec<RegisteredFact>,
+}
+
+impl<P: Provenance> Session<P> {
+    /// Creates a session and pre-registers the program's inline facts (which
+    /// were validated at compile time).
+    pub(crate) fn new(program: Program<P>, provenance: P, registry: InputFactRegistry) -> Self {
+        let mut session = Session {
+            program,
+            provenance,
+            registry,
+            facts: Vec::new(),
+        };
+        session.register_inline_facts();
+        session
+    }
+
+    fn register_inline_facts(&mut self) {
+        let inline: Vec<(String, Tuple, Option<f64>)> = self
+            .program
+            .artifact
+            .compiled
+            .facts
+            .iter()
+            .map(|f| (f.relation.clone(), f.values.clone(), f.probability))
+            .collect();
+        for (relation, values, probability) in inline {
+            let id = self.registry.register(probability, None);
+            self.facts.push(RegisteredFact {
+                relation,
+                values,
+                id,
+                probabilistic: probability.is_some(),
+            });
+        }
+    }
+
+    /// The program this session runs.
+    pub fn program(&self) -> &Program<P> {
+        &self.program
+    }
+
+    /// The provenance instance bound to this session's registry.
+    pub fn provenance(&self) -> &P {
+        &self.provenance
+    }
+
+    /// This session's input-fact registry.
+    pub fn registry(&self) -> &InputFactRegistry {
+        &self.registry
+    }
+
+    /// Registers an input fact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LobsterError::BadFact`] for unknown relations or arity
+    /// mismatches.
+    pub fn add_fact(
+        &mut self,
+        relation: &str,
+        values: &[Value],
+        prob: Option<f64>,
+    ) -> Result<InputFactId, LobsterError> {
+        self.add_fact_with_exclusion(relation, values, prob, None)
+    }
+
+    /// Registers an input fact belonging to a mutual-exclusion group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LobsterError::BadFact`] for unknown relations or arity
+    /// mismatches.
+    pub fn add_fact_with_exclusion(
+        &mut self,
+        relation: &str,
+        values: &[Value],
+        prob: Option<f64>,
+        exclusion: Option<u32>,
+    ) -> Result<InputFactId, LobsterError> {
+        let schema = self
+            .program
+            .ram()
+            .schema(relation)
+            .ok_or_else(|| LobsterError::BadFact {
+                message: format!("unknown relation `{relation}`"),
+            })?;
+        if schema.arity() != values.len() {
+            return Err(LobsterError::BadFact {
+                message: format!(
+                    "fact for `{relation}` has arity {}, expected {}",
+                    values.len(),
+                    schema.arity()
+                ),
+            });
+        }
+        let id = self.registry.register(prob, exclusion);
+        self.facts.push(RegisteredFact {
+            relation: relation.to_string(),
+            values: values.to_vec(),
+            id,
+            probabilistic: prob.is_some(),
+        });
+        Ok(id)
+    }
+
+    /// Updates the probability of an already registered fact (used between
+    /// training iterations).
+    pub fn set_fact_probability(&self, id: InputFactId, prob: f64) {
+        self.registry.set_prob(id, prob);
+    }
+
+    /// Removes all registered facts (inline program facts included) and
+    /// clears the registry.
+    pub fn clear_facts(&mut self) {
+        self.facts.clear();
+        self.registry.clear();
+    }
+
+    /// Number of registered facts.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    fn collect_outputs(
+        &self,
+        provenance: &P,
+        db: &Database<P>,
+        outputs_of: &[String],
+    ) -> BTreeMap<String, Vec<(Tuple, Output)>> {
+        let mut outputs = BTreeMap::new();
+        for relation in outputs_of {
+            let rows = db
+                .rows(relation)
+                .into_iter()
+                .map(|(tuple, tag)| (tuple, provenance.output(&tag)))
+                .collect();
+            outputs.insert(relation.clone(), rows);
+        }
+        outputs
+    }
+
+    /// Runs the program against this session's facts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LobsterError::Execution`] on device OOM or timeout.
+    pub fn run(&self) -> Result<RunResult, LobsterError> {
+        let ram = self.program.ram();
+        let mut db = Database::new(ram.schemas.clone(), self.provenance.clone());
+        for fact in &self.facts {
+            let prob = fact.probabilistic.then(|| self.registry.prob(fact.id));
+            let tag = self.provenance.input_tag(fact.id, prob);
+            db.insert(&fact.relation, &fact.values, tag);
+        }
+        db.seal(&self.program.device);
+        let stats = self.program.execute(&self.provenance, &mut db, ram)?;
+        Ok(RunResult {
+            outputs: self.collect_outputs(&self.provenance, &db, &ram.outputs),
+            stats,
+            symbols: self.program.artifact.compiled.symbols.clone(),
+        })
+    }
+}
+
+impl<P: SessionProvenance> Session<P> {
+    /// Runs a whole batch of samples in a single execution using the batched
+    /// evaluation of Section 4.3: a sample-id column is prepended to every
+    /// relation so all samples share one database and one fix-point run.
+    ///
+    /// The session's own facts (inline program facts included) are shared by
+    /// every sample. Registration of the per-sample facts is scoped to this
+    /// call: the session registry is *forked*, the samples' facts are
+    /// registered on the fork in order (sample 0's facts first, then sample
+    /// 1's, …), and the fork is dropped with the call — repeated batches
+    /// never grow the session registry.
+    ///
+    /// Returns one [`RunResult`] per sample, in order. Each result carries
+    /// the statistics of the shared batched execution; gradient entries
+    /// refer to fact ids in the order described above.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LobsterError`] on bad facts or execution failure.
+    pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
+        let batched = &self.program.artifact.batched;
+        // Scope all registration to this run: per-sample facts go into a
+        // fork of the session registry, visible to a provenance instance
+        // rebound to that fork.
+        let registry = self.registry.fork();
+        let provenance = self.provenance.rebind(registry.clone());
+        let mut db = Database::new(batched.schemas.clone(), provenance.clone());
+        for (sample, facts) in samples.iter().enumerate() {
+            for fact in &self.facts {
+                let prob = fact.probabilistic.then(|| registry.prob(fact.id));
+                let tag = provenance.input_tag(fact.id, prob);
+                let mut row = vec![Value::U32(sample as u32)];
+                row.extend(fact.values.iter().copied());
+                db.insert(&fact.relation, &row, tag);
+            }
+            for (relation, values, prob, exclusion) in facts.iter() {
+                let schema = batched
+                    .schema(relation)
+                    .ok_or_else(|| LobsterError::BadFact {
+                        message: format!("unknown relation `{relation}`"),
+                    })?;
+                if schema.arity() != values.len() + 1 {
+                    return Err(LobsterError::BadFact {
+                        message: format!(
+                            "fact for `{relation}` has arity {}, expected {}",
+                            values.len(),
+                            schema.arity() - 1
+                        ),
+                    });
+                }
+                let id = registry.register(*prob, *exclusion);
+                let tag = provenance.input_tag(id, *prob);
+                let mut row = vec![Value::U32(sample as u32)];
+                row.extend(values.iter().copied());
+                db.insert(relation, &row, tag);
+            }
+        }
+        db.seal(&self.program.device);
+        let stats = self.program.execute(&provenance, &mut db, batched)?;
+
+        // Split the batched outputs back into per-sample results.
+        let mut per_sample: Vec<BTreeMap<String, Vec<(Tuple, Output)>>> =
+            vec![BTreeMap::new(); samples.len()];
+        for relation in &batched.outputs {
+            for sample_outputs in per_sample.iter_mut() {
+                sample_outputs.entry(relation.clone()).or_default();
+            }
+            for (tuple, tag) in db.rows(relation) {
+                let Some(Value::U32(sample)) = tuple.first().copied() else {
+                    continue;
+                };
+                let sample = sample as usize;
+                if sample >= per_sample.len() {
+                    continue;
+                }
+                let mut rest = tuple;
+                rest.remove(0);
+                let out = provenance.output(&tag);
+                per_sample[sample]
+                    .get_mut(relation)
+                    .expect("entry initialized above")
+                    .push((rest, out));
+            }
+        }
+        Ok(per_sample
+            .into_iter()
+            .map(|outputs| RunResult {
+                outputs,
+                stats: stats.clone(),
+                symbols: self.program.artifact.compiled.symbols.clone(),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Lobster;
+    use lobster_provenance::{DiffTop1Proof, Unit};
+
+    const TC: &str = "type edge(x: u32, y: u32)
+        rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+        query path";
+
+    #[test]
+    fn one_program_serves_many_independent_sessions() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let mut a = program.session();
+        let mut b = program.session();
+        a.add_fact("edge", &[Value::U32(0), Value::U32(1)], None)
+            .unwrap();
+        a.add_fact("edge", &[Value::U32(1), Value::U32(2)], None)
+            .unwrap();
+        b.add_fact("edge", &[Value::U32(7), Value::U32(8)], None)
+            .unwrap();
+        let ra = a.run().unwrap();
+        let rb = b.run().unwrap();
+        assert_eq!(ra.len("path"), 3);
+        assert_eq!(rb.len("path"), 1);
+        // Sessions do not share registries: both start their ids at 0.
+        assert_eq!(a.registry().len(), 2);
+        assert_eq!(b.registry().len(), 1);
+    }
+
+    #[test]
+    fn repeated_batches_do_not_grow_the_session_registry() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffTop1Proof>()
+            .unwrap();
+        let session = program.session();
+        let mut sample = FactSet::new();
+        sample.add("edge", &[Value::U32(0), Value::U32(1)], Some(0.5));
+        let before = session.registry().len();
+        for _ in 0..10 {
+            session.run_batch(std::slice::from_ref(&sample)).unwrap();
+        }
+        // The seed design registered one fresh id per sample per call into
+        // the shared registry; the session-scoped design registers into a
+        // per-call fork.
+        assert_eq!(session.registry().len(), before);
+    }
+
+    #[test]
+    fn sessions_over_shared_programs_compute_gradients() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffTop1Proof>()
+            .unwrap();
+        let mut session = program.session();
+        let e01 = session
+            .add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.9))
+            .unwrap();
+        let e12 = session
+            .add_fact("edge", &[Value::U32(1), Value::U32(2)], Some(0.5))
+            .unwrap();
+        let result = session.run().unwrap();
+        let target = [Value::U32(0), Value::U32(2)];
+        assert!((result.probability("path", &target) - 0.45).abs() < 1e-9);
+        let grad: BTreeMap<_, _> = result.gradient("path", &target).into_iter().collect();
+        assert!((grad[&e01] - 0.5).abs() < 1e-9);
+        assert!((grad[&e12] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_update_between_runs() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffTop1Proof>()
+            .unwrap();
+        let mut session = program.session();
+        let e01 = session
+            .add_fact("edge", &[Value::U32(0), Value::U32(1)], Some(0.5))
+            .unwrap();
+        let before = session
+            .run()
+            .unwrap()
+            .probability("path", &[Value::U32(0), Value::U32(1)]);
+        session.set_fact_probability(e01, 0.25);
+        let after = session
+            .run()
+            .unwrap()
+            .probability("path", &[Value::U32(0), Value::U32(1)]);
+        assert!((before - 0.5).abs() < 1e-9);
+        assert!((after - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sessions_can_run_concurrently_from_threads() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let program = program.clone();
+                std::thread::spawn(move || {
+                    let mut session = program.session();
+                    session
+                        .add_fact("edge", &[Value::U32(i), Value::U32(i + 1)], None)
+                        .unwrap();
+                    session.run().unwrap().len("path")
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn bad_facts_are_rejected() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let mut session = program.session();
+        assert!(matches!(
+            session.add_fact("ghost", &[Value::U32(0)], None),
+            Err(LobsterError::BadFact { .. })
+        ));
+        assert!(matches!(
+            session.add_fact("edge", &[Value::U32(0)], None),
+            Err(LobsterError::BadFact { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_facts_resets_the_session() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let mut session = program.session();
+        session
+            .add_fact("edge", &[Value::U32(0), Value::U32(1)], None)
+            .unwrap();
+        session.clear_facts();
+        assert_eq!(session.fact_count(), 0);
+        let result = session.run().unwrap();
+        assert!(result.is_empty("path"));
+    }
+
+    #[test]
+    fn inline_facts_are_preregistered() {
+        let program = Lobster::builder(
+            "type edge(x: u32, y: u32)
+             rel edge = {(0, 1), 0.5::(1, 2)}
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             query path",
+        )
+        .compile_typed::<lobster_provenance::AddMultProb>()
+        .unwrap();
+        let session = program.session();
+        assert_eq!(session.fact_count(), 2);
+        let result = session.run().unwrap();
+        assert_eq!(result.len("path"), 3);
+        assert!((result.probability("path", &[Value::U32(0), Value::U32(2)]) - 0.5).abs() < 1e-9);
+    }
+}

@@ -143,11 +143,8 @@ impl Expr {
     /// order, into `out` (duplicates skipped).
     pub fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
-            }
+            Expr::Var(v) if !out.contains(v) => out.push(v.clone()),
+            Expr::Var(_) => {}
             Expr::Binary(_, a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
@@ -208,7 +205,10 @@ mod tests {
     use super::*;
 
     fn atom(name: &str) -> Body {
-        Body::Atom(Atom { name: name.into(), args: vec![] })
+        Body::Atom(Atom {
+            name: name.into(),
+            args: vec![],
+        })
     }
 
     #[test]

@@ -46,13 +46,20 @@ pub fn compile(items: &[Item]) -> Result<CompiledProgram, DatalogError> {
 
     let mut schemas: BTreeMap<String, RelationSchema> = BTreeMap::new();
     for (name, types) in &inferred {
-        schemas.insert(name.clone(), RelationSchema::new(name.clone(), types.clone()));
+        schemas.insert(
+            name.clone(),
+            RelationSchema::new(name.clone(), types.clone()),
+        );
     }
 
     // Inline facts.
     let mut facts = Vec::new();
     for item in items {
-        if let Item::Facts { name, facts: literals } = item {
+        if let Item::Facts {
+            name,
+            facts: literals,
+        } = item
+        {
             let schema = schemas
                 .get(name)
                 .ok_or_else(|| DatalogError::semantic(format!("unknown relation `{name}`")))?
@@ -90,7 +97,9 @@ pub fn compile(items: &[Item]) -> Result<CompiledProgram, DatalogError> {
         .collect();
     for q in &queries {
         if !schemas.contains_key(q) {
-            return Err(DatalogError::semantic(format!("query of unknown relation `{q}`")));
+            return Err(DatalogError::semantic(format!(
+                "query of unknown relation `{q}`"
+            )));
         }
     }
 
@@ -122,9 +131,19 @@ pub fn compile(items: &[Item]) -> Result<CompiledProgram, DatalogError> {
         queries.clone()
     };
 
-    let ram = RamProgram { schemas, strata, outputs };
-    ram.validate().map_err(|e| DatalogError::semantic(e.to_string()))?;
-    Ok(CompiledProgram { ram, symbols, facts, queries })
+    let ram = RamProgram {
+        schemas,
+        strata,
+        outputs,
+    };
+    ram.validate()
+        .map_err(|e| DatalogError::semantic(e.to_string()))?;
+    Ok(CompiledProgram {
+        ram,
+        symbols,
+        facts,
+        queries,
+    })
 }
 
 /// Evaluates a constant expression into a [`Value`] of the expected type.
@@ -137,9 +156,11 @@ fn const_value(
         const_value(e, ValueType::F64, symbols).map(|v| v.as_f64())
     };
     Ok(match (expr, expected) {
-        (Expr::Int(v), ValueType::U32) => Value::U32(u32::try_from(*v).map_err(|_| {
-            DatalogError::semantic(format!("constant {v} out of range for u32"))
-        })?),
+        (Expr::Int(v), ValueType::U32) => {
+            Value::U32(u32::try_from(*v).map_err(|_| {
+                DatalogError::semantic(format!("constant {v} out of range for u32"))
+            })?)
+        }
         (Expr::Int(v), ValueType::I64) => Value::I64(*v),
         (Expr::Int(v), ValueType::F64) => Value::F64(*v as f64),
         (Expr::Float(v), ValueType::F64) => Value::F64(*v),
@@ -197,12 +218,16 @@ impl<'a> RuleBuilder<'a> {
 
     /// Converts a surface expression over bound variables into a typed
     /// [`ScalarExpr`] over the current columns.
-    fn to_scalar(&self, expr: &Expr, expected: Option<ValueType>) -> Result<ScalarExpr, DatalogError> {
+    fn to_scalar(
+        &self,
+        expr: &Expr,
+        expected: Option<ValueType>,
+    ) -> Result<ScalarExpr, DatalogError> {
         match expr {
             Expr::Var(v) => {
-                let col = self.column_of(v).ok_or_else(|| {
-                    DatalogError::semantic(format!("unbound variable `{v}`"))
-                })?;
+                let col = self
+                    .column_of(v)
+                    .ok_or_else(|| DatalogError::semantic(format!("unbound variable `{v}`")))?;
                 Ok(ScalarExpr::Col(col))
             }
             Expr::Wildcard => Err(DatalogError::semantic(
@@ -225,9 +250,14 @@ impl<'a> RuleBuilder<'a> {
                 ))
             }
             Expr::Binary(op, a, b) => {
-                let operand_ty = unify(expr_type(a, &self.var_types), expr_type(b, &self.var_types))
-                    .or(if op_is_comparison(*op) { None } else { expected })
-                    .unwrap_or(ValueType::U32);
+                let operand_ty =
+                    unify(expr_type(a, &self.var_types), expr_type(b, &self.var_types))
+                        .or(if op_is_comparison(*op) {
+                            None
+                        } else {
+                            expected
+                        })
+                        .unwrap_or(ValueType::U32);
                 let ram_op = convert_op(*op);
                 Ok(ScalarExpr::binary(
                     ram_op,
@@ -293,16 +323,22 @@ impl<'a> RuleBuilder<'a> {
             }
         }
 
-        let filter = filters.into_iter().reduce(|a, b| {
-            ScalarExpr::binary(BinaryOp::And, ValueType::Bool, a, b)
-        });
+        let filter = filters
+            .into_iter()
+            .reduce(|a, b| ScalarExpr::binary(BinaryOp::And, ValueType::Bool, a, b));
         let needs_projection = filter.is_some()
             || atom_vars.len() != schema.arity()
-            || atom_vars.iter().enumerate().any(|(k, (_, col, _))| k != *col);
+            || atom_vars
+                .iter()
+                .enumerate()
+                .any(|(k, (_, col, _))| k != *col);
         let mut atom_expr = RamExpr::relation(&atom.name);
         if needs_projection {
             atom_expr = atom_expr.project(RowProjection::new(
-                atom_vars.iter().map(|(_, col, _)| ScalarExpr::Col(*col)).collect(),
+                atom_vars
+                    .iter()
+                    .map(|(_, col, _)| ScalarExpr::Col(*col))
+                    .collect(),
                 filter,
             ));
         }
@@ -330,8 +366,12 @@ impl<'a> RuleBuilder<'a> {
                     bound.extend(atom_var_names);
                     self.bound = bound;
                 } else {
-                    let left_rest: Vec<String> =
-                        self.bound.iter().filter(|v| !shared.contains(v)).cloned().collect();
+                    let left_rest: Vec<String> = self
+                        .bound
+                        .iter()
+                        .filter(|v| !shared.contains(v))
+                        .cloned()
+                        .collect();
                     let right_rest: Vec<String> = atom_var_names
                         .iter()
                         .filter(|v| !shared.contains(v))
@@ -345,7 +385,12 @@ impl<'a> RuleBuilder<'a> {
                     let right_order: Vec<usize> = shared
                         .iter()
                         .chain(&right_rest)
-                        .map(|v| atom_var_names.iter().position(|a| a == v).expect("atom variable"))
+                        .map(|v| {
+                            atom_var_names
+                                .iter()
+                                .position(|a| a == v)
+                                .expect("atom variable")
+                        })
                         .collect();
                     let left = reorder(current, &left_order);
                     let right = reorder(atom_expr, &right_order);
@@ -364,8 +409,7 @@ impl<'a> RuleBuilder<'a> {
     /// column.
     fn add_binding(&mut self, var: &str, value: &Expr) -> Result<(), DatalogError> {
         let ty = expr_type(value, &self.var_types).unwrap_or(ValueType::U32);
-        let mut outputs: Vec<ScalarExpr> =
-            (0..self.bound.len()).map(ScalarExpr::Col).collect();
+        let mut outputs: Vec<ScalarExpr> = (0..self.bound.len()).map(ScalarExpr::Col).collect();
         outputs.push(self.to_scalar(value, Some(ty))?);
         let current = self.expr.take().ok_or_else(|| {
             DatalogError::semantic("rule body must contain at least one relation atom")
@@ -388,7 +432,10 @@ impl<'a> RuleBuilder<'a> {
 }
 
 fn op_is_comparison(op: BinOp) -> bool {
-    matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    )
 }
 
 fn convert_op(op: BinOp) -> BinaryOp {
@@ -423,7 +470,10 @@ fn reorder(expr: RamExpr, order: &[usize]) -> RamExpr {
             return expr;
         }
     }
-    expr.project(RowProjection::new(order.iter().map(|&c| ScalarExpr::Col(c)).collect(), None))
+    expr.project(RowProjection::new(
+        order.iter().map(|&c| ScalarExpr::Col(c)).collect(),
+        None,
+    ))
 }
 
 /// Compiles one conjunctive body into a RAM rule.
@@ -542,7 +592,10 @@ fn compile_conjunct(
         .expect("expression present after atoms")
         .project(RowProjection::new(outputs, None));
 
-    Ok(RamRule { target: head.name.clone(), expr })
+    Ok(RamRule {
+        target: head.name.clone(),
+        expr,
+    })
 }
 
 #[cfg(test)]

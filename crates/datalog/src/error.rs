@@ -30,7 +30,9 @@ pub enum DatalogError {
 impl DatalogError {
     /// Creates a semantic error.
     pub fn semantic(message: impl Into<String>) -> Self {
-        DatalogError::Semantic { message: message.into() }
+        DatalogError::Semantic {
+            message: message.into(),
+        }
     }
 }
 
@@ -56,7 +58,10 @@ mod tests {
 
     #[test]
     fn errors_format_usefully() {
-        let e = DatalogError::Lex { position: 3, message: "bad char".into() };
+        let e = DatalogError::Lex {
+            position: 3,
+            message: "bad char".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
         let e = DatalogError::semantic("unknown relation `foo`");
         assert!(e.to_string().contains("foo"));

@@ -40,9 +40,7 @@ fn literal_type(expr: &Expr) -> Option<ValueType> {
 }
 
 /// Collects the type aliases declared in a program.
-pub(crate) fn collect_aliases(
-    items: &[Item],
-) -> Result<BTreeMap<String, ValueType>, DatalogError> {
+pub(crate) fn collect_aliases(items: &[Item]) -> Result<BTreeMap<String, ValueType>, DatalogError> {
     let mut aliases: BTreeMap<String, ValueType> = BTreeMap::new();
     for item in items {
         if let Item::TypeAlias { name, ty } = item {
@@ -65,8 +63,8 @@ pub fn infer_schemas(items: &[Item]) -> Result<BTreeMap<String, Vec<ValueType>>,
     let mut schemas: BTreeMap<String, Vec<Option<ValueType>>> = BTreeMap::new();
 
     let set_schema = |schemas: &mut BTreeMap<String, Vec<Option<ValueType>>>,
-                          name: &str,
-                          types: Vec<Option<ValueType>>|
+                      name: &str,
+                      types: Vec<Option<ValueType>>|
      -> Result<bool, DatalogError> {
         match schemas.get_mut(name) {
             None => {
@@ -135,7 +133,9 @@ pub fn infer_schemas(items: &[Item]) -> Result<BTreeMap<String, Vec<ValueType>>,
                             schemas.insert(atom.name.clone(), vec![None; atom.args.len()]);
                             changed = true;
                         }
-                        let Some(schema) = schemas.get(&atom.name).cloned() else { continue };
+                        let Some(schema) = schemas.get(&atom.name).cloned() else {
+                            continue;
+                        };
                         if schema.len() != atom.args.len() {
                             return Err(DatalogError::semantic(format!(
                                 "relation `{}` used with arity {} but declared with arity {}",
@@ -191,16 +191,19 @@ pub fn infer_schemas(items: &[Item]) -> Result<BTreeMap<String, Vec<ValueType>>,
     Ok(schemas
         .into_iter()
         .map(|(name, types)| {
-            (name, types.into_iter().map(|t| t.unwrap_or(ValueType::U32)).collect())
+            (
+                name,
+                types
+                    .into_iter()
+                    .map(|t| t.unwrap_or(ValueType::U32))
+                    .collect(),
+            )
         })
         .collect())
 }
 
 /// The type of an expression given variable types (None when undetermined).
-pub(crate) fn expr_type(
-    expr: &Expr,
-    var_types: &BTreeMap<String, ValueType>,
-) -> Option<ValueType> {
+pub(crate) fn expr_type(expr: &Expr, var_types: &BTreeMap<String, ValueType>) -> Option<ValueType> {
     match expr {
         Expr::Var(v) => var_types.get(v).copied(),
         Expr::Wildcard => None,
@@ -258,10 +261,9 @@ mod tests {
 
     #[test]
     fn float_types_propagate_through_arithmetic() {
-        let items = parse_items(
-            "type val(i: u32, v: f64)  rel doubled(i, w) = val(i, v), w == v * 2.0",
-        )
-        .unwrap();
+        let items =
+            parse_items("type val(i: u32, v: f64)  rel doubled(i, w) = val(i, v), w == v * 2.0")
+                .unwrap();
         let schemas = infer_schemas(&items).unwrap();
         assert_eq!(schemas["doubled"], vec![ValueType::U32, ValueType::F64]);
     }

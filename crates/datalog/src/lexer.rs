@@ -96,7 +96,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, DatalogError> {
         }
         let start = i;
         let push = |out: &mut Vec<Spanned>, token: Token, pos: usize| {
-            out.push(Spanned { token, position: pos })
+            out.push(Spanned {
+                token,
+                position: pos,
+            })
         };
         match c {
             '(' => {
@@ -219,7 +222,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, DatalogError> {
                 while j < bytes.len()
                     && ((bytes[j] as char).is_ascii_digit()
                         || (bytes[j] == b'.'
-                            && bytes.get(j + 1).map(|&b| (b as char).is_ascii_digit()).unwrap_or(false)
+                            && bytes
+                                .get(j + 1)
+                                .map(|&b| (b as char).is_ascii_digit())
+                                .unwrap_or(false)
                             && !is_float))
                 {
                     if bytes[j] == b'.' {
@@ -245,8 +251,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, DatalogError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut j = i;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
                 {
                     j += 1;
                 }
@@ -269,7 +274,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -318,7 +327,13 @@ mod tests {
 
     #[test]
     fn reports_bad_characters() {
-        assert!(matches!(tokenize("rel a() = $"), Err(DatalogError::Lex { .. })));
-        assert!(matches!(tokenize("\"unterminated"), Err(DatalogError::Lex { .. })));
+        assert!(matches!(
+            tokenize("rel a() = $"),
+            Err(DatalogError::Lex { .. })
+        ));
+        assert!(matches!(
+            tokenize("\"unterminated"),
+            Err(DatalogError::Lex { .. })
+        ));
     }
 }

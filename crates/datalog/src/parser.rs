@@ -38,13 +38,17 @@ impl Parser {
     }
 
     fn position(&self) -> usize {
-        self.tokens.get(self.pos).map(|s| s.position).unwrap_or_else(|| {
-            self.tokens.last().map(|s| s.position + 1).unwrap_or(0)
-        })
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.position)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.position + 1).unwrap_or(0))
     }
 
     fn error(&self, message: impl Into<String>) -> DatalogError {
-        DatalogError::Parse { position: self.position(), message: message.into() }
+        DatalogError::Parse {
+            position: self.position(),
+            message: message.into(),
+        }
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -168,7 +172,10 @@ impl Parser {
             other => return Err(self.error(format!("expected `=` or `:-`, found {other:?}"))),
         }
         let body = self.disjunction()?;
-        Ok(Item::Rule { head: Atom { name, args }, body })
+        Ok(Item::Rule {
+            head: Atom { name, args },
+            body,
+        })
     }
 
     fn fact_list(&mut self) -> Result<Vec<FactLiteral>, DatalogError> {
@@ -218,7 +225,10 @@ impl Parser {
         } else {
             values.push(self.arith_expr()?);
         }
-        Ok(FactLiteral { probability, values })
+        Ok(FactLiteral {
+            probability,
+            values,
+        })
     }
 
     fn disjunction(&mut self) -> Result<Body, DatalogError> {
@@ -365,7 +375,9 @@ mod tests {
         let items = parse_items("type Cell = u32  type edge(x: Cell, y: Cell)").unwrap();
         assert_eq!(items.len(), 2);
         assert!(matches!(&items[0], Item::TypeAlias { name, ty: TypeName::U32 } if name == "Cell"));
-        assert!(matches!(&items[1], Item::RelationDecl { name, params } if name == "edge" && params.len() == 2));
+        assert!(
+            matches!(&items[1], Item::RelationDecl { name, params } if name == "edge" && params.len() == 2)
+        );
     }
 
     #[test]
@@ -384,10 +396,9 @@ mod tests {
 
     #[test]
     fn parses_constraints_and_turnstile() {
-        let items = parse_items(
-            "rel connected() :- is_endpoint(x), is_endpoint(y), path(x, y), x != y",
-        )
-        .unwrap();
+        let items =
+            parse_items("rel connected() :- is_endpoint(x), is_endpoint(y), path(x, y), x != y")
+                .unwrap();
         match &items[0] {
             Item::Rule { body, .. } => {
                 let conj = body.to_dnf();

@@ -33,7 +33,11 @@ pub fn stratify(items: &[Item]) -> Vec<Vec<String>> {
 
     // Tarjan-style SCC via iterative Kosaraju (two DFS passes).
     let nodes: Vec<String> = heads.iter().cloned().collect();
-    let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let index: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
     let n = nodes.len();
     let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n]; // dep -> head
     let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -118,7 +122,9 @@ pub fn stratify(items: &[Item]) -> Vec<Vec<String>> {
             dependents[d].push(c);
         }
     }
-    let mut queue: Vec<usize> = (0..components.len()).filter(|&c| indegree[c] == 0).collect();
+    let mut queue: Vec<usize> = (0..components.len())
+        .filter(|&c| indegree[c] == 0)
+        .collect();
     queue.sort_unstable();
     let mut topo: Vec<usize> = Vec::with_capacity(components.len());
     while let Some(c) = queue.pop() {
@@ -134,8 +140,7 @@ pub fn stratify(items: &[Item]) -> Vec<Vec<String>> {
 
     topo.into_iter()
         .map(|c| {
-            let mut names: Vec<String> =
-                components[c].iter().map(|&i| nodes[i].clone()).collect();
+            let mut names: Vec<String> = components[c].iter().map(|&i| nodes[i].clone()).collect();
             names.sort();
             names
         })
@@ -176,12 +181,16 @@ mod tests {
 
     #[test]
     fn linear_chain_of_strata() {
-        let items = parse_items(
-            "rel b(x) = a(x)  rel c(x) = b(x)  rel d(x) = c(x)",
-        )
-        .unwrap();
+        let items = parse_items("rel b(x) = a(x)  rel c(x) = b(x)  rel d(x) = c(x)").unwrap();
         let strata = stratify(&items);
-        assert_eq!(strata, vec![vec!["b".to_string()], vec!["c".to_string()], vec!["d".to_string()]]);
+        assert_eq!(
+            strata,
+            vec![
+                vec!["b".to_string()],
+                vec!["c".to_string()],
+                vec!["d".to_string()]
+            ]
+        );
     }
 
     #[test]
@@ -216,8 +225,14 @@ mod tests {
         )
         .unwrap();
         let strata = stratify(&items);
-        let tc_pos = strata.iter().position(|s| s.contains(&"tc".to_string())).unwrap();
-        let qr_pos = strata.iter().position(|s| s.contains(&"query_result".to_string())).unwrap();
+        let tc_pos = strata
+            .iter()
+            .position(|s| s.contains(&"tc".to_string()))
+            .unwrap();
+        let qr_pos = strata
+            .iter()
+            .position(|s| s.contains(&"query_result".to_string()))
+            .unwrap();
         assert!(tc_pos < qr_pos);
     }
 }

@@ -34,7 +34,11 @@ impl Arena {
     /// which models the unoptimized configuration of the paper's Figure 10
     /// ablation.
     pub fn new(reuse: bool) -> Self {
-        Arena { free: HashMap::new(), reuse, bytes_in_flight: 0 }
+        Arena {
+            free: HashMap::new(),
+            reuse,
+            bytes_in_flight: 0,
+        }
     }
 
     /// Whether buffer reuse is enabled.
@@ -49,7 +53,12 @@ impl Arena {
     ///
     /// Returns [`DeviceError::OutOfMemory`] when the device memory budget
     /// would be exceeded.
-    pub fn alloc(&mut self, device: &Device, site: usize, len: usize) -> Result<Column, DeviceError> {
+    pub fn alloc(
+        &mut self,
+        device: &Device,
+        site: usize,
+        len: usize,
+    ) -> Result<Column, DeviceError> {
         let bytes = len * std::mem::size_of::<u64>();
         device.try_alloc(bytes)?;
         self.bytes_in_flight += bytes;
@@ -133,9 +142,15 @@ mod tests {
 
     #[test]
     fn arena_respects_device_memory_budget() {
-        let dev = Device::new(DeviceConfig { memory_limit: Some(64), ..DeviceConfig::default() });
+        let dev = Device::new(DeviceConfig {
+            memory_limit: Some(64),
+            ..DeviceConfig::default()
+        });
         let mut arena = Arena::new(true);
         assert!(arena.alloc(&dev, 0, 4).is_ok());
-        assert!(matches!(arena.alloc(&dev, 1, 100), Err(DeviceError::OutOfMemory { .. })));
+        assert!(matches!(
+            arena.alloc(&dev, 1, 100),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
     }
 }

@@ -1,9 +1,8 @@
 //! The simulated device: configuration, memory accounting, and statistics.
 
-use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Direction of a simulated host↔device transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +34,9 @@ pub struct DeviceConfig {
 impl Default for DeviceConfig {
     fn default() -> Self {
         DeviceConfig {
-            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             memory_limit: None,
             hash_table_expansion: 2,
             min_parallel_rows: 4096,
@@ -117,13 +118,19 @@ impl Default for Device {
 impl Device {
     /// Creates a device with the given configuration.
     pub fn new(config: DeviceConfig) -> Self {
-        Device { config, inner: Arc::new(DeviceInner::default()) }
+        Device {
+            config,
+            inner: Arc::new(DeviceInner::default()),
+        }
     }
 
     /// Creates a single-threaded device with no memory budget; convenient for
     /// tests.
     pub fn sequential() -> Self {
-        Device::new(DeviceConfig { parallelism: 1, ..DeviceConfig::default() })
+        Device::new(DeviceConfig {
+            parallelism: 1,
+            ..DeviceConfig::default()
+        })
     }
 
     /// The device configuration.
@@ -143,7 +150,11 @@ impl Device {
 
     /// Records a kernel launch (used by every kernel in [`crate::kernels`]).
     pub fn record_kernel(&self) {
-        self.inner.stats.lock().kernel_launches += 1;
+        self.inner
+            .stats
+            .lock()
+            .expect("device stats poisoned")
+            .kernel_launches += 1;
     }
 
     /// Accounts for a device allocation of `bytes`, failing if the memory
@@ -158,10 +169,14 @@ impl Device {
         if let Some(limit) = self.config.memory_limit {
             if live > limit {
                 self.inner.live_bytes.fetch_sub(bytes, Ordering::SeqCst);
-                return Err(DeviceError::OutOfMemory { requested: bytes, live: live - bytes, limit });
+                return Err(DeviceError::OutOfMemory {
+                    requested: bytes,
+                    live: live - bytes,
+                    limit,
+                });
             }
         }
-        let mut stats = self.inner.stats.lock();
+        let mut stats = self.inner.stats.lock().expect("device stats poisoned");
         stats.allocations += 1;
         stats.allocated_bytes += bytes;
         stats.live_bytes = live;
@@ -173,7 +188,11 @@ impl Device {
     pub fn free(&self, bytes: usize) {
         let prev = self.inner.live_bytes.fetch_sub(bytes, Ordering::SeqCst);
         let live = prev.saturating_sub(bytes);
-        self.inner.stats.lock().live_bytes = live;
+        self.inner
+            .stats
+            .lock()
+            .expect("device stats poisoned")
+            .live_bytes = live;
     }
 
     /// Bytes currently accounted as live on the device.
@@ -183,7 +202,7 @@ impl Device {
 
     /// Records a host↔device transfer of `bytes`.
     pub fn record_transfer(&self, direction: TransferDirection, bytes: usize) {
-        let mut stats = self.inner.stats.lock();
+        let mut stats = self.inner.stats.lock().expect("device stats poisoned");
         stats.transfers += 1;
         match direction {
             TransferDirection::HostToDevice => stats.bytes_to_device += bytes,
@@ -193,14 +212,22 @@ impl Device {
 
     /// A snapshot of the device statistics.
     pub fn stats(&self) -> DeviceStats {
-        self.inner.stats.lock().clone()
+        self.inner
+            .stats
+            .lock()
+            .expect("device stats poisoned")
+            .clone()
     }
 
     /// Resets all statistics (but not live-memory accounting).
     pub fn reset_stats(&self) {
         let live = self.live_bytes();
-        let mut stats = self.inner.stats.lock();
-        *stats = DeviceStats { live_bytes: live, peak_bytes: live, ..DeviceStats::default() };
+        let mut stats = self.inner.stats.lock().expect("device stats poisoned");
+        *stats = DeviceStats {
+            live_bytes: live,
+            peak_bytes: live,
+            ..DeviceStats::default()
+        };
     }
 }
 
@@ -223,11 +250,18 @@ mod tests {
 
     #[test]
     fn memory_budget_produces_oom() {
-        let dev = Device::new(DeviceConfig { memory_limit: Some(128), ..DeviceConfig::default() });
+        let dev = Device::new(DeviceConfig {
+            memory_limit: Some(128),
+            ..DeviceConfig::default()
+        });
         dev.try_alloc(100).unwrap();
         let err = dev.try_alloc(100).unwrap_err();
         match err {
-            DeviceError::OutOfMemory { requested, live, limit } => {
+            DeviceError::OutOfMemory {
+                requested,
+                live,
+                limit,
+            } => {
                 assert_eq!(requested, 100);
                 assert_eq!(live, 100);
                 assert_eq!(limit, 128);

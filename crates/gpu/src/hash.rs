@@ -45,7 +45,10 @@ impl HashIndex {
     pub fn build(device: &Device, key_columns: &[&[u64]], expansion: usize) -> Self {
         device.record_kernel();
         let rows = key_columns.first().map(|c| c.len()).unwrap_or(0);
-        debug_assert!(key_columns.iter().all(|c| c.len() == rows), "ragged key columns");
+        debug_assert!(
+            key_columns.iter().all(|c| c.len() == rows),
+            "ragged key columns"
+        );
         let capacity = (rows.max(1) * expansion.max(1)).next_power_of_two().max(8);
         let mask = capacity as u64 - 1;
         let mut slots = vec![0u64; capacity];
@@ -61,7 +64,12 @@ impl HashIndex {
             }
             slots[slot] = row as u64 + 1;
         }
-        HashIndex { slots, mask, keys, rows }
+        HashIndex {
+            slots,
+            mask,
+            keys,
+            rows,
+        }
     }
 
     /// Number of rows indexed.
@@ -171,13 +179,8 @@ mod tests {
     #[test]
     fn heavy_collision_load_still_finds_everything() {
         // Many distinct keys plus many duplicates of one key.
-        let mut col = Vec::new();
-        for i in 0..1000u64 {
-            col.push(i);
-        }
-        for _ in 0..100 {
-            col.push(7);
-        }
+        let mut col: Vec<u64> = (0..1000u64).collect();
+        col.extend(std::iter::repeat_n(7u64, 100));
         let idx = index_of(&[col]);
         assert_eq!(idx.count(&[7]), 101);
         for i in 0..1000u64 {

@@ -65,8 +65,12 @@ pub fn gather(device: &Device, indices: &[u64], column: &[u64]) -> Column {
 pub fn gather_tags<T: Clone + Send + Sync>(device: &Device, indices: &[u64], tags: &[T]) -> Vec<T> {
     device.record_kernel();
     let mut out: Vec<Option<T>> = vec![None; indices.len()];
-    par_map_into(device, &mut out, |k| Some(tags[indices[k] as usize].clone()));
-    out.into_iter().map(|t| t.expect("gather_tags produced a hole")).collect()
+    par_map_into(device, &mut out, |k| {
+        Some(tags[indices[k] as usize].clone())
+    });
+    out.into_iter()
+        .map(|t| t.expect("gather_tags produced a hole"))
+        .collect()
 }
 
 /// `gather⟨⊗⟩([i_l, i_r], [t_l, t_r])`: gathers a tag from each side of a
@@ -91,7 +95,9 @@ where
         let r = &right_tags[right_indices[k] as usize];
         Some(mul(l, r))
     });
-    out.into_iter().map(|t| t.expect("gather_mul_tags produced a hole")).collect()
+    out.into_iter()
+        .map(|t| t.expect("gather_mul_tags produced a hole"))
+        .collect()
 }
 
 /// `scan(s)`: exclusive prefix sum. Returns the offsets and the total.
@@ -130,12 +136,7 @@ pub fn apply_permutation<T: Clone + Send + Sync>(
 
 /// `unique⟨⊕⟩(s̄)`: merges adjacent duplicate rows of a sorted table,
 /// combining their tags with the semiring disjunction.
-pub fn unique<T, F>(
-    device: &Device,
-    columns: &[&[u64]],
-    tags: &[T],
-    or: F,
-) -> (Columns, Vec<T>)
+pub fn unique<T, F>(device: &Device, columns: &[&[u64]], tags: &[T], or: F) -> (Columns, Vec<T>)
 where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T,
@@ -280,7 +281,10 @@ pub fn hash_join(
             let key: Vec<u64> = probe_key_cols.iter().map(|c| c[i]).collect();
             let mut matches = Vec::with_capacity(counts[i] as usize);
             index.for_each_match(&key, |build_row| matches.push(build_row as u64));
-            piece.push((offsets[i], matches.into_iter().map(|b| (b << 32) | i as u64).collect()));
+            piece.push((
+                offsets[i],
+                matches.into_iter().map(|b| (b << 32) | i as u64).collect(),
+            ));
         }
         piece
     });
@@ -333,7 +337,7 @@ mod tests {
     #[test]
     fn eval_projects_and_filters() {
         let d = dev();
-        let col = vec![1u64, 2, 3, 4, 5];
+        let col = [1u64, 2, 3, 4, 5];
         let (cols, src) = eval(&d, col.len(), 1, |i| {
             let v = col[i];
             if v % 2 == 1 {
@@ -424,8 +428,8 @@ mod tests {
     fn hash_join_produces_all_pairs() {
         let d = dev();
         // Build side: edge(z, y) keyed on z; probe side: path(x, z) keyed on z.
-        let build = vec![vec![1u64, 1, 2], vec![10u64, 11, 12]];
-        let probe = vec![vec![0u64, 5], vec![1u64, 1]]; // path(0,1), path(5,1)
+        let build = [vec![1u64, 1, 2], vec![10u64, 11, 12]];
+        let probe = [vec![0u64, 5], vec![1u64, 1]]; // path(0,1), path(5,1)
         let index = HashIndex::build(&d, &[&build[0]], 2);
         let probe_key = [probe[1].as_slice()];
         let counts = count_matches(&d, &index, &probe_key);
@@ -463,7 +467,11 @@ mod tests {
     fn parallel_and_sequential_join_agree() {
         use crate::DeviceConfig;
         let seq = Device::sequential();
-        let par = Device::new(DeviceConfig { parallelism: 8, min_parallel_rows: 16, ..DeviceConfig::default() });
+        let par = Device::new(DeviceConfig {
+            parallelism: 8,
+            min_parallel_rows: 16,
+            ..DeviceConfig::default()
+        });
         // Random-ish graph join.
         let n = 5000u64;
         let from: Vec<u64> = (0..n).map(|i| i % 97).collect();

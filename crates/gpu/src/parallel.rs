@@ -79,7 +79,11 @@ mod tests {
     #[test]
     fn par_map_matches_sequential() {
         let seq = Device::sequential();
-        let par = Device::new(DeviceConfig { parallelism: 8, min_parallel_rows: 1, ..DeviceConfig::default() });
+        let par = Device::new(DeviceConfig {
+            parallelism: 8,
+            min_parallel_rows: 1,
+            ..DeviceConfig::default()
+        });
         let n = 10_000;
         let mut a = vec![0u64; n];
         let mut b = vec![0u64; n];
@@ -90,7 +94,11 @@ mod tests {
 
     #[test]
     fn par_collect_preserves_order() {
-        let par = Device::new(DeviceConfig { parallelism: 4, min_parallel_rows: 1, ..DeviceConfig::default() });
+        let par = Device::new(DeviceConfig {
+            parallelism: 4,
+            min_parallel_rows: 1,
+            ..DeviceConfig::default()
+        });
         let out = par_collect_chunks(&par, 1000, |range| range.map(|i| i as u64).collect());
         assert_eq!(out, (0..1000u64).collect::<Vec<_>>());
     }

@@ -60,7 +60,10 @@ mod tests {
             }
             last_loss = total / data.len() as f32;
         }
-        assert!(last_loss < 0.35, "training did not converge: loss {last_loss}");
+        assert!(
+            last_loss < 0.35,
+            "training did not converge: loss {last_loss}"
+        );
         // Check a couple of predictions.
         assert!(model.forward(&[0.9, 0.1])[0] > 0.6);
         assert!(model.forward(&[0.1, 0.9])[0] < 0.4);

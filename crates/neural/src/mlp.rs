@@ -59,7 +59,9 @@ impl Layer {
     /// Creates a layer with Xavier-style random initialization.
     pub fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut impl Rng) -> Self {
         let scale = (2.0 / (inputs + outputs) as f32).sqrt();
-        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-scale..scale)).collect();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         Layer {
             weights,
             bias: vec![0.0; outputs],
@@ -97,13 +99,13 @@ impl Layer {
     fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
         debug_assert_eq!(grad_output.len(), self.outputs);
         let mut grad_input = vec![0.0; self.inputs];
-        for o in 0..self.outputs {
-            let dz = grad_output[o] * self.activation.backward(self.last_output[o]);
+        for (o, &g_out) in grad_output.iter().enumerate() {
+            let dz = g_out * self.activation.backward(self.last_output[o]);
             self.grad_bias[o] += dz;
             let row_start = o * self.inputs;
-            for i in 0..self.inputs {
+            for (i, g_in) in grad_input.iter_mut().enumerate() {
                 self.grad_weights[row_start + i] += dz * self.last_input[i];
-                grad_input[i] += dz * self.weights[row_start + i];
+                *g_in += dz * self.weights[row_start + i];
             }
         }
         grad_input
@@ -127,11 +129,17 @@ impl Mlp {
     /// Creates an MLP with the given layer sizes; hidden layers use ReLU and
     /// the output layer uses `output_activation`.
     pub fn new(sizes: &[usize], output_activation: Activation, rng: &mut impl Rng) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least an input and an output size"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
-            let activation =
-                if i + 2 == sizes.len() { output_activation } else { Activation::Relu };
+            let activation = if i + 2 == sizes.len() {
+                output_activation
+            } else {
+                Activation::Relu
+            };
             layers.push(Layer::new(sizes[i], sizes[i + 1], activation, rng));
         }
         Mlp { layers }

@@ -48,7 +48,13 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the usual defaults.
     pub fn new(learning_rate: f32) -> Self {
-        Adam { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, state: HashMap::new() }
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            state: HashMap::new(),
+        }
     }
 }
 

@@ -1,0 +1,119 @@
+//! Binding provenances to a per-session fact registry.
+//!
+//! Most semirings are stateless, but the proof-based provenances
+//! ([`Top1Proof`], [`DiffTop1Proof`]) consult an [`InputFactRegistry`] to
+//! rank proofs and compute gradients. A compiled program that wants to be
+//! shared across many sessions therefore cannot hold a provenance *instance*
+//! — it holds a provenance *type*, and every session binds a fresh instance
+//! to its own registry through [`SessionProvenance`].
+
+use crate::{
+    AddMultProb, Boolean, DiffAddMultProb, DiffMaxMinProb, DiffTop1Proof, InputFactRegistry,
+    MaxMinProb, Provenance, Top1Proof, Unit,
+};
+
+/// A provenance semiring that can be instantiated over a session's fact
+/// registry.
+///
+/// Implemented by all of Lobster's built-in semirings. Registry-free
+/// semirings ignore the registry in [`SessionProvenance::bind`]; the
+/// proof-based ones store it.
+pub trait SessionProvenance: Provenance {
+    /// Creates an instance bound to the given registry, with default
+    /// configuration.
+    fn bind(registry: InputFactRegistry) -> Self;
+
+    /// Creates an instance bound to a *different* registry while preserving
+    /// this instance's configuration (e.g. a custom proof-size limit).
+    ///
+    /// Used by batched execution, which forks the session registry so that
+    /// per-sample facts never leak into the session.
+    fn rebind(&self, registry: InputFactRegistry) -> Self;
+}
+
+macro_rules! registry_free {
+    ($($ty:ty),* $(,)?) => {$(
+        impl SessionProvenance for $ty {
+            fn bind(_registry: InputFactRegistry) -> Self {
+                <$ty>::new()
+            }
+
+            fn rebind(&self, _registry: InputFactRegistry) -> Self {
+                self.clone()
+            }
+        }
+    )*};
+}
+
+registry_free!(
+    Unit,
+    Boolean,
+    MaxMinProb,
+    AddMultProb,
+    DiffMaxMinProb,
+    DiffAddMultProb
+);
+
+impl SessionProvenance for Top1Proof {
+    fn bind(registry: InputFactRegistry) -> Self {
+        Top1Proof::new(registry)
+    }
+
+    fn rebind(&self, registry: InputFactRegistry) -> Self {
+        Top1Proof::with_max_proof_size(registry, self.max_proof_size())
+    }
+}
+
+impl SessionProvenance for DiffTop1Proof {
+    fn bind(registry: InputFactRegistry) -> Self {
+        DiffTop1Proof::new(registry)
+    }
+
+    fn rebind(&self, registry: InputFactRegistry) -> Self {
+        DiffTop1Proof::with_max_proof_size(registry, self.max_proof_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputFactId;
+
+    #[test]
+    fn bind_ties_proof_provenances_to_the_registry() {
+        let registry = InputFactRegistry::new();
+        let fact = registry.register(Some(0.25), None);
+        let prov = Top1Proof::bind(registry);
+        let tag = prov.input_tag(fact, Some(0.25));
+        assert!((prov.weight(&tag) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebind_preserves_configuration() {
+        let a = InputFactRegistry::new();
+        let prov = DiffTop1Proof::with_max_proof_size(a, 7);
+        let rebound = prov.rebind(InputFactRegistry::new());
+        assert_eq!(rebound.max_proof_size(), 7);
+    }
+
+    #[test]
+    fn rebound_instances_read_the_new_registry() {
+        let a = InputFactRegistry::new();
+        let fact = a.register(Some(0.5), None);
+        let prov = Top1Proof::bind(a.clone());
+        let fork = a.fork();
+        fork.set_prob(fact, 0.125);
+        let rebound = prov.rebind(fork);
+        let tag = rebound.input_tag(fact, None);
+        assert!((rebound.weight(&tag) - 0.125).abs() < 1e-12);
+        assert!((prov.weight(&prov.input_tag(fact, None)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_free_semirings_ignore_the_registry() {
+        let prov = DiffAddMultProb::bind(InputFactRegistry::new());
+        let tag = prov.input_tag(InputFactId(0), Some(0.5));
+        assert!((prov.weight(&tag) - 0.5).abs() < 1e-12);
+        let _ = prov.rebind(InputFactRegistry::new());
+    }
+}

@@ -22,13 +22,19 @@ pub struct Dual {
 impl Dual {
     /// A constant dual number (zero gradient).
     pub fn constant(value: f64) -> Self {
-        Dual { value, grad: SparseGradient::zero() }
+        Dual {
+            value,
+            grad: SparseGradient::zero(),
+        }
     }
 
     /// The dual number of an input fact: value `p`, derivative 1 w.r.t.
     /// itself.
     pub fn variable(fact: InputFactId, value: f64) -> Self {
-        Dual { value, grad: SparseGradient::singleton(fact, 1.0) }
+        Dual {
+            value,
+            grad: SparseGradient::singleton(fact, 1.0),
+        }
     }
 }
 
@@ -65,11 +71,17 @@ impl Provenance for DiffMaxMinProb {
     }
 
     fn zero(&self) -> Self::Tag {
-        MaxMinTag { prob: 0.0, critical: None }
+        MaxMinTag {
+            prob: 0.0,
+            critical: None,
+        }
     }
 
     fn one(&self) -> Self::Tag {
-        MaxMinTag { prob: 1.0, critical: None }
+        MaxMinTag {
+            prob: 1.0,
+            critical: None,
+        }
     }
 
     fn add(&self, a: &Self::Tag, b: &Self::Tag) -> Self::Tag {
@@ -89,7 +101,10 @@ impl Provenance for DiffMaxMinProb {
     }
 
     fn input_tag(&self, fact: InputFactId, prob: Option<f64>) -> Self::Tag {
-        MaxMinTag { prob: prob.unwrap_or(1.0).clamp(0.0, 1.0), critical: Some(fact) }
+        MaxMinTag {
+            prob: prob.unwrap_or(1.0).clamp(0.0, 1.0),
+            critical: Some(fact),
+        }
     }
 
     fn accept(&self, tag: &Self::Tag) -> bool {
@@ -105,7 +120,10 @@ impl Provenance for DiffMaxMinProb {
             Some(fact) => vec![(fact, 1.0)],
             None => Vec::new(),
         };
-        Output { probability: tag.prob, gradient }
+        Output {
+            probability: tag.prob,
+            gradient,
+        }
     }
 }
 
@@ -143,9 +161,15 @@ impl Provenance for DiffAddMultProb {
         // min(a + b, 1).
         let raw = a.value + b.value;
         if raw >= 1.0 {
-            Dual { value: 1.0, grad: SparseGradient::zero() }
+            Dual {
+                value: 1.0,
+                grad: SparseGradient::zero(),
+            }
         } else {
-            Dual { value: raw, grad: a.grad.add(&b.grad) }
+            Dual {
+                value: raw,
+                grad: a.grad.add(&b.grad),
+            }
         }
     }
 
@@ -172,7 +196,10 @@ impl Provenance for DiffAddMultProb {
     }
 
     fn output(&self, tag: &Self::Tag) -> Output {
-        Output { probability: self.weight(tag), gradient: tag.grad.clone().into_entries() }
+        Output {
+            probability: self.weight(tag),
+            gradient: tag.grad.clone().into_entries(),
+        }
     }
 
     fn is_idempotent(&self) -> bool {
@@ -196,12 +223,16 @@ impl DiffTop1Proof {
     /// Creates the provenance over a fact registry with the default
     /// proof-size limit.
     pub fn new(registry: InputFactRegistry) -> Self {
-        DiffTop1Proof { inner: Top1Proof::new(registry) }
+        DiffTop1Proof {
+            inner: Top1Proof::new(registry),
+        }
     }
 
     /// Creates the provenance with an explicit proof-size limit.
     pub fn with_max_proof_size(registry: InputFactRegistry, max_proof_size: usize) -> Self {
-        DiffTop1Proof { inner: Top1Proof::with_max_proof_size(registry, max_proof_size) }
+        DiffTop1Proof {
+            inner: Top1Proof::with_max_proof_size(registry, max_proof_size),
+        }
     }
 
     /// The fact registry backing this provenance.
@@ -273,7 +304,10 @@ impl Provenance for DiffTop1Proof {
                         .product();
                     gradient.push((fact, others));
                 }
-                Output { probability, gradient }
+                Output {
+                    probability,
+                    gradient,
+                }
             }
         }
     }
@@ -350,7 +384,10 @@ mod tests {
         let b = reg.register(Some(0.4), None);
         let c = reg.register(Some(0.8), None);
         let p = DiffTop1Proof::new(reg);
-        let t = p.mul(&p.mul(&p.input_tag(a, None), &p.input_tag(b, None)), &p.input_tag(c, None));
+        let t = p.mul(
+            &p.mul(&p.input_tag(a, None), &p.input_tag(b, None)),
+            &p.input_tag(c, None),
+        );
         let out = p.output(&t);
         assert!((out.probability - 0.16).abs() < 1e-12);
         let grad: std::collections::HashMap<_, _> = out.gradient.into_iter().collect();

@@ -59,7 +59,11 @@ impl InputFactRegistry {
 
     /// Number of facts registered so far.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("fact registry poisoned").probs.len()
+        self.inner
+            .read()
+            .expect("fact registry poisoned")
+            .probs
+            .len()
     }
 
     /// `true` when no facts have been registered.
@@ -98,6 +102,24 @@ impl InputFactRegistry {
             .get(fact.0 as usize)
             .copied()
             .flatten()
+    }
+
+    /// Creates an *independent* copy of the registry: the fork starts with
+    /// the same facts and probabilities, but facts registered (or
+    /// probabilities updated) afterwards are not shared in either direction.
+    ///
+    /// This is how a batched run scopes the facts of its samples: ids already
+    /// issued by the parent registry stay valid in the fork, while the
+    /// per-sample facts the run registers on top never leak back into the
+    /// parent. (Contrast with [`Clone`], which shares state.)
+    pub fn fork(&self) -> InputFactRegistry {
+        let inner = self.inner.read().expect("fact registry poisoned");
+        InputFactRegistry {
+            inner: Arc::new(RwLock::new(RegistryInner {
+                probs: inner.probs.clone(),
+                exclusions: inner.exclusions.clone(),
+            })),
+        }
     }
 
     /// Removes every registered fact. Used when re-running a program on a
@@ -147,6 +169,22 @@ mod tests {
         let b = reg.register(Some(0.5), None);
         assert_eq!(reg.exclusion(a), Some(3));
         assert_eq!(reg.exclusion(b), None);
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let reg = InputFactRegistry::new();
+        let a = reg.register(Some(0.4), None);
+        let fork = reg.fork();
+        // The fork sees facts registered before the fork point...
+        assert_eq!(fork.prob(a), 0.4);
+        // ...but registrations and updates after it are not shared.
+        let b = fork.register(Some(0.9), Some(3));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(fork.len(), 2);
+        assert_eq!(fork.exclusion(b), Some(3));
+        fork.set_prob(a, 0.1);
+        assert_eq!(reg.prob(a), 0.4);
     }
 
     #[test]

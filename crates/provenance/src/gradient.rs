@@ -20,7 +20,9 @@ impl SparseGradient {
 
     /// A gradient with a single non-zero entry.
     pub fn singleton(fact: InputFactId, value: f64) -> Self {
-        SparseGradient { entries: vec![(fact, value)] }
+        SparseGradient {
+            entries: vec![(fact, value)],
+        }
     }
 
     /// Builds a gradient from arbitrary entries (sorted and merged).
@@ -85,7 +87,9 @@ impl SparseGradient {
 
     /// Scalar multiplication `self * k`.
     pub fn scale(&self, k: f64) -> SparseGradient {
-        SparseGradient { entries: self.entries.iter().map(|&(f, v)| (f, v * k)).collect() }
+        SparseGradient {
+            entries: self.entries.iter().map(|&(f, v)| (f, v * k)).collect(),
+        }
     }
 
     /// Consumes the gradient into its entry list.

@@ -130,6 +130,9 @@ mod tests {
 
     #[test]
     fn display_matches_name() {
-        assert_eq!(ProvenanceKind::DiffTop1Proof.to_string(), "diff-top-1-proofs");
+        assert_eq!(
+            ProvenanceKind::DiffTop1Proof.to_string(),
+            "diff-top-1-proofs"
+        );
     }
 }

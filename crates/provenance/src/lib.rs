@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod addmult;
+mod bind;
 mod boolean;
 mod diff;
 mod fact;
@@ -51,6 +52,7 @@ mod top1;
 mod unit;
 
 pub use addmult::AddMultProb;
+pub use bind::SessionProvenance;
 pub use boolean::Boolean;
 pub use diff::{DiffAddMultProb, DiffMaxMinProb, DiffTop1Proof, Dual};
 pub use fact::{InputFactId, InputFactRegistry};
@@ -80,7 +82,10 @@ pub struct Output {
 impl Output {
     /// An output with the given probability and no gradient.
     pub fn scalar(probability: f64) -> Self {
-        Output { probability, gradient: Vec::new() }
+        Output {
+            probability,
+            gradient: Vec::new(),
+        }
     }
 }
 
@@ -151,8 +156,14 @@ mod tests {
     ) {
         // 0 is the additive identity, 1 the multiplicative identity.
         for t in tags {
-            assert!(approx(&prov.add(t, &prov.zero()), t), "0 must be additive identity");
-            assert!(approx(&prov.mul(t, &prov.one()), t), "1 must be multiplicative identity");
+            assert!(
+                approx(&prov.add(t, &prov.zero()), t),
+                "0 must be additive identity"
+            );
+            assert!(
+                approx(&prov.mul(t, &prov.one()), t),
+                "1 must be multiplicative identity"
+            );
         }
         // Associativity and commutativity of ⊕ (up to the approximation).
         for a in tags {

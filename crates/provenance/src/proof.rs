@@ -176,8 +176,17 @@ mod tests {
         let p1 = Proof::singleton(digit_is_3);
         let p2 = Proof::singleton(digit_is_7);
         let p3 = Proof::singleton(other);
-        assert!(p1.union(&p2, 10, &reg).is_none(), "same exclusion group must conflict");
-        assert!(p1.union(&p3, 10, &reg).is_some(), "different groups must not conflict");
-        assert!(p1.union(&p1, 10, &reg).is_some(), "a fact never conflicts with itself");
+        assert!(
+            p1.union(&p2, 10, &reg).is_none(),
+            "same exclusion group must conflict"
+        );
+        assert!(
+            p1.union(&p3, 10, &reg).is_some(),
+            "different groups must not conflict"
+        );
+        assert!(
+            p1.union(&p1, 10, &reg).is_some(),
+            "a fact never conflicts with itself"
+        );
     }
 }

@@ -35,7 +35,10 @@ impl Top1Proof {
 
     /// Creates a top-1-proof provenance with an explicit proof-size limit.
     pub fn with_max_proof_size(registry: InputFactRegistry, max_proof_size: usize) -> Self {
-        Top1Proof { registry, max_proof_size }
+        Top1Proof {
+            registry,
+            max_proof_size,
+        }
     }
 
     /// The fact registry used to look up probabilities and exclusions.

@@ -92,14 +92,22 @@ mod tests {
 
     fn linear_stratum() -> Stratum {
         // path(x,y) :- path(x,z), edge(z,y): one recursive input per join.
-        let path_zx = RamExpr::relation("path")
-            .project(RowProjection::new(vec![ScalarExpr::Col(1), ScalarExpr::Col(0)], None));
+        let path_zx = RamExpr::relation("path").project(RowProjection::new(
+            vec![ScalarExpr::Col(1), ScalarExpr::Col(0)],
+            None,
+        ));
         let expr = path_zx
             .join(RamExpr::relation("edge"), 1)
-            .project(RowProjection::new(vec![ScalarExpr::Col(1), ScalarExpr::Col(2)], None));
+            .project(RowProjection::new(
+                vec![ScalarExpr::Col(1), ScalarExpr::Col(2)],
+                None,
+            ));
         Stratum {
             relations: vec!["path".into()],
-            rules: vec![RamRule { target: "path".into(), expr }],
+            rules: vec![RamRule {
+                target: "path".into(),
+                expr,
+            }],
             recursive: true,
         }
     }
@@ -109,7 +117,10 @@ mod tests {
         let expr = RamExpr::relation("path").join(RamExpr::relation("path"), 1);
         Stratum {
             relations: vec!["path".into()],
-            rules: vec![RamRule { target: "path".into(), expr }],
+            rules: vec![RamRule {
+                target: "path".into(),
+                expr,
+            }],
             recursive: true,
         }
     }

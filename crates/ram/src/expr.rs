@@ -92,12 +92,21 @@ pub enum ScalarExpr {
 impl ScalarExpr {
     /// Convenience constructor for a typed binary expression.
     pub fn binary(op: BinaryOp, ty: ValueType, lhs: ScalarExpr, rhs: ScalarExpr) -> Self {
-        ScalarExpr::Binary { op, ty, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        ScalarExpr::Binary {
+            op,
+            ty,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Convenience constructor for a typed unary expression.
     pub fn unary(op: UnaryOp, ty: ValueType, expr: ScalarExpr) -> Self {
-        ScalarExpr::Unary { op, ty, expr: Box::new(expr) }
+        ScalarExpr::Unary {
+            op,
+            ty,
+            expr: Box::new(expr),
+        }
     }
 
     /// Compiles the expression to bytecode.

@@ -16,7 +16,10 @@ pub struct RelationSchema {
 impl RelationSchema {
     /// Creates a schema.
     pub fn new(name: impl Into<String>, arg_types: Vec<ValueType>) -> Self {
-        RelationSchema { name: name.into(), arg_types }
+        RelationSchema {
+            name: name.into(),
+            arg_types,
+        }
     }
 
     /// Number of columns.
@@ -70,17 +73,27 @@ impl RamExpr {
 
     /// Wraps the expression in a projection.
     pub fn project(self, proj: RowProjection) -> Self {
-        RamExpr::Project { input: Box::new(self), proj }
+        RamExpr::Project {
+            input: Box::new(self),
+            proj,
+        }
     }
 
     /// Wraps the expression in a selection.
     pub fn select(self, cond: ScalarExpr) -> Self {
-        RamExpr::Select { input: Box::new(self), cond }
+        RamExpr::Select {
+            input: Box::new(self),
+            cond,
+        }
     }
 
     /// Joins two expressions on their first `width` columns.
     pub fn join(self, other: RamExpr, width: usize) -> Self {
-        RamExpr::Join { left: Box::new(self), right: Box::new(other), width }
+        RamExpr::Join {
+            left: Box::new(self),
+            right: Box::new(other),
+            width,
+        }
     }
 
     /// The arity of the expression given a lookup of relation arities.
@@ -95,9 +108,7 @@ impl RamExpr {
                 Some(l + r - width)
             }
             RamExpr::Union(l, _) | RamExpr::Intersect(l, _) => l.arity(relation_arity),
-            RamExpr::Product(l, r) => {
-                Some(l.arity(relation_arity)? + r.arity(relation_arity)?)
-            }
+            RamExpr::Product(l, r) => Some(l.arity(relation_arity)? + r.arity(relation_arity)?),
         }
     }
 
@@ -194,11 +205,21 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
-            ValidationError::ArityMismatch { context, expected, actual } => {
-                write!(f, "arity mismatch in {context}: expected {expected}, found {actual}")
+            ValidationError::ArityMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch in {context}: expected {expected}, found {actual}"
+                )
             }
             ValidationError::BadJoinWidth { target, width } => {
-                write!(f, "join width {width} exceeds input arity in rule for `{target}`")
+                write!(
+                    f,
+                    "join width {width} exceeds input arity in rule for `{target}`"
+                )
             }
         }
     }
@@ -225,7 +246,11 @@ impl RamProgram {
             .iter()
             .flat_map(|s| s.rules.iter().map(|r| r.target.as_str()))
             .collect();
-        self.schemas.keys().filter(|name| !idb.contains(name.as_str())).cloned().collect()
+        self.schemas
+            .keys()
+            .filter(|name| !idb.contains(name.as_str()))
+            .cloned()
+            .collect()
     }
 
     /// Checks structural well-formedness of the program.
@@ -263,9 +288,10 @@ impl RamProgram {
                 if let Some(err) = join_error {
                     return Err(err);
                 }
-                let actual = rule.expr.arity(&lookup).ok_or_else(|| {
-                    ValidationError::UnknownRelation(rule.target.clone())
-                })?;
+                let actual = rule
+                    .expr
+                    .arity(&lookup)
+                    .ok_or_else(|| ValidationError::UnknownRelation(rule.target.clone()))?;
                 if actual != target_arity {
                     return Err(ValidationError::ArityMismatch {
                         context: format!("rule for `{}`", rule.target),
@@ -295,16 +321,23 @@ mod tests {
             "path".to_string(),
             RelationSchema::new("path", vec![ValueType::U32, ValueType::U32]),
         );
-        let base = RamRule { target: "path".into(), expr: RamExpr::relation("edge") };
+        let base = RamRule {
+            target: "path".into(),
+            expr: RamExpr::relation("edge"),
+        };
         // path(x,z) joined with edge(z,y) on z: reorder path to (z, x).
-        let path_zx = RamExpr::relation("path")
-            .project(RowProjection::new(vec![ScalarExpr::Col(1), ScalarExpr::Col(0)], None));
+        let path_zx = RamExpr::relation("path").project(RowProjection::new(
+            vec![ScalarExpr::Col(1), ScalarExpr::Col(0)],
+            None,
+        ));
         let joined = path_zx.join(RamExpr::relation("edge"), 1);
         // joined columns: (z, x, y) -> project to (x, y).
         let rec = RamRule {
             target: "path".into(),
-            expr: joined
-                .project(RowProjection::new(vec![ScalarExpr::Col(1), ScalarExpr::Col(2)], None)),
+            expr: joined.project(RowProjection::new(
+                vec![ScalarExpr::Col(1), ScalarExpr::Col(2)],
+                None,
+            )),
         };
         RamProgram {
             schemas,
@@ -344,7 +377,10 @@ mod tests {
             target: "path".into(),
             expr: RamExpr::relation("ghost"),
         });
-        assert_eq!(prog.validate(), Err(ValidationError::UnknownRelation("ghost".into())));
+        assert_eq!(
+            prog.validate(),
+            Err(ValidationError::UnknownRelation("ghost".into()))
+        );
     }
 
     #[test]
@@ -355,7 +391,10 @@ mod tests {
             expr: RamExpr::relation("edge")
                 .project(RowProjection::new(vec![ScalarExpr::Col(0)], None)),
         });
-        assert!(matches!(prog.validate(), Err(ValidationError::ArityMismatch { .. })));
+        assert!(matches!(
+            prog.validate(),
+            Err(ValidationError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -365,19 +404,22 @@ mod tests {
             target: "path".into(),
             expr: RamExpr::relation("edge").join(RamExpr::relation("edge"), 3),
         });
-        assert!(matches!(prog.validate(), Err(ValidationError::BadJoinWidth { .. })));
+        assert!(matches!(
+            prog.validate(),
+            Err(ValidationError::BadJoinWidth { .. })
+        ));
     }
 
     #[test]
     fn referenced_relations_are_collected() {
-        let expr = RamExpr::relation("a").join(RamExpr::relation("b"), 1).select(
-            ScalarExpr::binary(
+        let expr = RamExpr::relation("a")
+            .join(RamExpr::relation("b"), 1)
+            .select(ScalarExpr::binary(
                 crate::BinaryOp::Ne,
                 ValueType::U32,
                 ScalarExpr::Col(0),
                 ScalarExpr::Col(1),
-            ),
-        );
+            ));
         let mut refs = Vec::new();
         expr.referenced_relations(&mut refs);
         assert_eq!(refs, vec!["a".to_string(), "b".to_string()]);

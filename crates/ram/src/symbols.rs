@@ -47,17 +47,31 @@ impl SymbolTable {
 
     /// Looks up an already interned symbol without interning it.
     pub fn lookup(&self, name: &str) -> Option<u32> {
-        self.inner.read().expect("symbol table poisoned").by_name.get(name).copied()
+        self.inner
+            .read()
+            .expect("symbol table poisoned")
+            .by_name
+            .get(name)
+            .copied()
     }
 
     /// Resolves an id back to its string, if known.
     pub fn resolve(&self, id: u32) -> Option<String> {
-        self.inner.read().expect("symbol table poisoned").by_id.get(id as usize).cloned()
+        self.inner
+            .read()
+            .expect("symbol table poisoned")
+            .by_id
+            .get(id as usize)
+            .cloned()
     }
 
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("symbol table poisoned").by_id.len()
+        self.inner
+            .read()
+            .expect("symbol table poisoned")
+            .by_id
+            .len()
     }
 
     /// `true` when no symbols have been interned.

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// The logical type of a relation column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// Unsigned 32-bit integers (the paper's `u32` / `Cell` type).
     U32,

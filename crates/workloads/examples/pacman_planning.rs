@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p lobster-workloads --example pacman_planning`.
 
-use lobster::LobsterContext;
+use lobster::Lobster;
 use lobster_workloads::pacman;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,11 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample.grid_size, sample.grid_size, sample.actor, sample.goal
     );
 
-    let mut ctx = LobsterContext::diff_top1(pacman::PROGRAM)?;
-    sample.facts().add_to_context(&mut ctx)?;
-    let result = ctx.run()?;
+    let program = Lobster::builder(pacman::PROGRAM).compile_typed::<lobster::DiffTop1Proof>()?;
+    let mut session = program.session();
+    sample.facts().add_to_session(&mut session)?;
+    let result = session.run()?;
 
-    println!("P(maze solvable) = {:.4}", result.probability("solvable", &[]));
+    println!(
+        "P(maze solvable) = {:.4}",
+        result.probability("solvable", &[])
+    );
     let mut actions: Vec<(f64, u32)> = result
         .relation("action")
         .iter()
@@ -33,8 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (p, action) in &actions {
         println!("  [{p:.3}] {}", ACTION_NAMES[*action as usize]);
     }
-    let optimal: Vec<&str> =
-        sample.optimal_actions.iter().map(|&a| ACTION_NAMES[a as usize]).collect();
+    let optimal: Vec<&str> = sample
+        .optimal_actions
+        .iter()
+        .map(|&a| ACTION_NAMES[a as usize])
+        .collect();
     println!("ground-truth optimal first moves: {optimal:?}");
     println!(
         "symbolic execution: {} iterations, {} kernel launches, {:?}",

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run -p lobster-workloads --example pathfinder`.
 
-use lobster::LobsterContext;
+use lobster::Lobster;
 use lobster_workloads::pathfinder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,9 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2026);
     for (label, positive) in [("positive", true), ("negative", false)] {
         let sample = pathfinder::generate(8, positive, &mut rng);
-        let mut ctx = LobsterContext::diff_top1(pathfinder::PROGRAM)?;
-        sample.facts().add_to_context(&mut ctx)?;
-        let result = ctx.run()?;
+        let program =
+            Lobster::builder(pathfinder::PROGRAM).compile_typed::<lobster::DiffTop1Proof>()?;
+        let mut session = program.session();
+        sample.facts().add_to_session(&mut session)?;
+        let result = session.run()?;
         let p = result.probability("endpoints_connected", &[]);
         println!(
             "{label} sample: grid {}x{}, {} predicted edges, P(connected) = {p:.4} (truth: {})",

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p lobster-workloads --example rna_folding`.
 
-use lobster::LobsterContext;
+use lobster::Lobster;
 use lobster_workloads::rna;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,23 +13,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sample = rna::generate(60, &mut rng);
     let sequence: String = sample.sequence.iter().collect();
     println!("sequence ({} nt): {sequence}", sample.len());
-    println!("{} candidate base pairs from the pairing model", sample.pairings.len());
+    println!(
+        "{} candidate base pairs from the pairing model",
+        sample.pairings.len()
+    );
 
-    let mut ctx = LobsterContext::top1(rna::PROGRAM)?;
-    sample.facts().add_to_context(&mut ctx)?;
-    let result = ctx.run()?;
+    let program = Lobster::builder(rna::PROGRAM).compile_typed::<lobster::Top1Proof>()?;
+    let mut session = program.session();
+    sample.facts().add_to_session(&mut session)?;
+    let result = session.run()?;
 
     let mut spans: Vec<(f64, u32, u32)> = result
         .relation("fold")
         .iter()
-        .map(|(t, o)| (o.probability, t[0].as_u32().unwrap_or(0), t[1].as_u32().unwrap_or(0)))
+        .map(|(t, o)| {
+            (
+                o.probability,
+                t[0].as_u32().unwrap_or(0),
+                t[1].as_u32().unwrap_or(0),
+            )
+        })
         .collect();
     spans.sort_by(|a, b| b.0.total_cmp(&a.0));
     println!("{} folded spans; the 8 most likely:", spans.len());
     for (p, i, j) in spans.iter().take(8) {
         println!("  [{p:.3}] ({i}, {j}) width {}", j - i + 1);
     }
-    println!("P(whole sequence folds) = {:.4}", result.probability("folded", &[]));
+    println!(
+        "P(whole sequence folds) = {:.4}",
+        result.probability("folded", &[])
+    );
     println!(
         "symbolic execution: {} iterations, {} kernel launches, {:?}",
         result.stats.iterations, result.stats.kernel_launches, result.stats.elapsed

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p lobster-workloads --example static_analysis`.
 
-use lobster::LobsterContext;
+use lobster::Lobster;
 use lobster_workloads::psa;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,16 +11,26 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
     let sample = psa::generate("sunflow-core", 250, 3, &mut rng);
-    println!("analyzing `{}`: {} extracted facts", sample.name, sample.facts.len());
+    println!(
+        "analyzing `{}`: {} extracted facts",
+        sample.name,
+        sample.facts.len()
+    );
 
-    let mut ctx = LobsterContext::minmaxprob(psa::PROGRAM)?;
-    sample.facts.add_to_context(&mut ctx)?;
-    let result = ctx.run()?;
+    let program = Lobster::builder(psa::PROGRAM).compile_typed::<lobster::MaxMinProb>()?;
+    let mut session = program.session();
+    sample.facts.add_to_session(&mut session)?;
+    let result = session.run()?;
 
     let mut alarms: Vec<(f64, String)> = result
         .relation("alarm")
         .iter()
-        .map(|(tuple, out)| (out.probability, format!("source {} -> sink {}", tuple[0], tuple[1])))
+        .map(|(tuple, out)| {
+            (
+                out.probability,
+                format!("source {} -> sink {}", tuple[0], tuple[1]),
+            )
+        })
         .collect();
     alarms.sort_by(|a, b| b.0.total_cmp(&a.0));
 

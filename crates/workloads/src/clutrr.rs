@@ -88,7 +88,11 @@ impl ClutrrSample {
     pub fn facts(&self) -> WorkloadFacts {
         let mut facts = WorkloadFacts::new();
         for &(r, a, b, p) in &self.stated {
-            facts.push("kinship", vec![Value::U32(r), Value::U32(a), Value::U32(b)], Some(p));
+            facts.push(
+                "kinship",
+                vec![Value::U32(r), Value::U32(a), Value::U32(b)],
+                Some(p),
+            );
         }
         for (r1, r2, r3) in composition_table() {
             facts.push(
@@ -97,7 +101,11 @@ impl ClutrrSample {
                 None,
             );
         }
-        facts.push("target", vec![Value::U32(self.target.0), Value::U32(self.target.1)], None);
+        facts.push(
+            "target",
+            vec![Value::U32(self.target.0), Value::U32(self.target.1)],
+            None,
+        );
         facts
     }
 }
@@ -110,16 +118,22 @@ pub fn generate(chain_length: usize, rng: &mut impl Rng) -> ClutrrSample {
     let mut stated = Vec::new();
     // Person 0 .. chain_length form a chain; derive the composed relation
     // between person 0 and the last person when the table allows it.
+    // `relation_so_far` is the composed relation between person 0 and the
+    // current chain end. Some compositions dead-end (e.g. nothing composes
+    // after `grandmother`); from then on the chain has no derivable answer
+    // and `relation_so_far` must stay `None` — re-seeding it from a later
+    // link would claim a whole-chain answer that only covers that link.
     let mut relation_so_far: Option<u32> = None;
     for link in 0..chain_length {
         let (a, b) = (link as u32, link as u32 + 1);
-        let r = match relation_so_far {
-            None => {
+        let r = match (link, relation_so_far) {
+            (0, _) => {
                 let r = rng.gen_range(0..relations::COUNT);
                 relation_so_far = Some(r);
                 r
             }
-            Some(prev) => {
+            (_, None) => rng.gen_range(0..relations::COUNT),
+            (_, Some(prev)) => {
                 // Prefer a link that composes with what we have so far.
                 let candidates: Vec<u32> = table
                     .iter()
@@ -143,14 +157,23 @@ pub fn generate(chain_length: usize, rng: &mut impl Rng) -> ClutrrSample {
         let distractor = (r + 1 + rng.gen_range(0..relations::COUNT - 1)) % relations::COUNT;
         stated.push((distractor, a, b, rng.gen_range(0.02..0.2)));
     }
-    let answer = if chain_length == 1 { Some(stated[0].0) } else { relation_so_far };
-    ClutrrSample { stated, target: (0, chain_length as u32), answer, chain_length }
+    let answer = if chain_length == 1 {
+        Some(stated[0].0)
+    } else {
+        relation_so_far
+    };
+    ClutrrSample {
+        stated,
+        target: (0, chain_length as u32),
+        answer,
+        chain_length,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lobster::LobsterContext;
+    use lobster::Lobster;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -173,10 +196,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for length in [2usize, 3, 4] {
             let sample = generate(length, &mut rng);
-            let Some(answer) = sample.answer else { continue };
-            let mut ctx = LobsterContext::diff_top1(PROGRAM).unwrap();
-            sample.facts().add_to_context(&mut ctx).unwrap();
-            let result = ctx.run().unwrap();
+            let Some(answer) = sample.answer else {
+                continue;
+            };
+            let program = Lobster::builder(PROGRAM)
+                .compile_typed::<lobster::DiffTop1Proof>()
+                .unwrap();
+            let mut session = program.session();
+            sample.facts().add_to_session(&mut session).unwrap();
+            let result = session.run().unwrap();
             let best = result
                 .relation("answer")
                 .iter()

@@ -65,13 +65,16 @@ pub fn generate(name: &str, vars: u32, degree: u32, rng: &mut impl Rng) -> CspaS
             facts.push("dereference", vec![Value::U32(p), Value::U32(v)], None);
         }
     }
-    CspaSample { name: name.to_string(), facts }
+    CspaSample {
+        name: name.to_string(),
+        facts,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lobster::LobsterContext;
+    use lobster::Lobster;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -86,9 +89,12 @@ mod tests {
     fn analysis_runs_on_a_small_input() {
         let mut rng = StdRng::seed_from_u64(8);
         let sample = generate("httpd", 60, 2, &mut rng);
-        let mut ctx = LobsterContext::discrete(PROGRAM).unwrap();
-        sample.facts.add_to_context(&mut ctx).unwrap();
-        let result = ctx.run().unwrap();
+        let program = Lobster::builder(PROGRAM)
+            .compile_typed::<lobster::Unit>()
+            .unwrap();
+        let mut session = program.session();
+        sample.facts.add_to_session(&mut session).unwrap();
+        let result = session.run().unwrap();
         assert!(!result.relation("value_flow").is_empty());
         // Reflexive value flows exist for every assigned variable.
         assert!(result.len("value_flow") >= 60);
@@ -96,10 +102,17 @@ mod tests {
 
     #[test]
     fn value_alias_is_symmetric() {
-        let mut ctx = LobsterContext::discrete(PROGRAM).unwrap();
-        ctx.add_fact("assign", &[Value::U32(1), Value::U32(0)], None).unwrap();
-        ctx.add_fact("assign", &[Value::U32(2), Value::U32(0)], None).unwrap();
-        let result = ctx.run().unwrap();
+        let program = Lobster::builder(PROGRAM)
+            .compile_typed::<lobster::Unit>()
+            .unwrap();
+        let mut session = program.session();
+        session
+            .add_fact("assign", &[Value::U32(1), Value::U32(0)], None)
+            .unwrap();
+        session
+            .add_fact("assign", &[Value::U32(2), Value::U32(0)], None)
+            .unwrap();
+        let result = session.run().unwrap();
         assert!(result.contains("value_alias", &[Value::U32(1), Value::U32(2)]));
         assert!(result.contains("value_alias", &[Value::U32(2), Value::U32(1)]));
     }

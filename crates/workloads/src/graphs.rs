@@ -46,33 +46,148 @@ pub struct NamedGraph {
 
 /// The graphs of Figure 13 (transitive closure vs Soufflé / FVLog).
 pub const FIG13_GRAPHS: [NamedGraph; 12] = [
-    NamedGraph { name: "Gnu31", kind: GraphKind::ScaleFree, nodes: 900, degree: 3 },
-    NamedGraph { name: "p2p-Gnu24", kind: GraphKind::ScaleFree, nodes: 800, degree: 3 },
-    NamedGraph { name: "com-dblp", kind: GraphKind::ScaleFree, nodes: 1200, degree: 4 },
-    NamedGraph { name: "p2p-Gnu25", kind: GraphKind::ScaleFree, nodes: 700, degree: 3 },
-    NamedGraph { name: "loc-Brightkite", kind: GraphKind::ScaleFree, nodes: 1000, degree: 4 },
-    NamedGraph { name: "cit-HepTh", kind: GraphKind::ScaleFree, nodes: 900, degree: 5 },
-    NamedGraph { name: "cit-HepPh", kind: GraphKind::ScaleFree, nodes: 1000, degree: 5 },
-    NamedGraph { name: "usroad", kind: GraphKind::Mesh, nodes: 1600, degree: 2 },
-    NamedGraph { name: "p2p-Gnu30", kind: GraphKind::ScaleFree, nodes: 850, degree: 3 },
-    NamedGraph { name: "vsp-finan", kind: GraphKind::Mesh, nodes: 1400, degree: 3 },
-    NamedGraph { name: "SF.cedge", kind: GraphKind::Mesh, nodes: 1500, degree: 2 },
-    NamedGraph { name: "fe-body", kind: GraphKind::Mesh, nodes: 1200, degree: 3 },
+    NamedGraph {
+        name: "Gnu31",
+        kind: GraphKind::ScaleFree,
+        nodes: 900,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "p2p-Gnu24",
+        kind: GraphKind::ScaleFree,
+        nodes: 800,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "com-dblp",
+        kind: GraphKind::ScaleFree,
+        nodes: 1200,
+        degree: 4,
+    },
+    NamedGraph {
+        name: "p2p-Gnu25",
+        kind: GraphKind::ScaleFree,
+        nodes: 700,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "loc-Brightkite",
+        kind: GraphKind::ScaleFree,
+        nodes: 1000,
+        degree: 4,
+    },
+    NamedGraph {
+        name: "cit-HepTh",
+        kind: GraphKind::ScaleFree,
+        nodes: 900,
+        degree: 5,
+    },
+    NamedGraph {
+        name: "cit-HepPh",
+        kind: GraphKind::ScaleFree,
+        nodes: 1000,
+        degree: 5,
+    },
+    NamedGraph {
+        name: "usroad",
+        kind: GraphKind::Mesh,
+        nodes: 1600,
+        degree: 2,
+    },
+    NamedGraph {
+        name: "p2p-Gnu30",
+        kind: GraphKind::ScaleFree,
+        nodes: 850,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "vsp-finan",
+        kind: GraphKind::Mesh,
+        nodes: 1400,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "SF.cedge",
+        kind: GraphKind::Mesh,
+        nodes: 1500,
+        degree: 2,
+    },
+    NamedGraph {
+        name: "fe-body",
+        kind: GraphKind::Mesh,
+        nodes: 1200,
+        degree: 3,
+    },
 ];
 
 /// The graphs of Table 3 (same generation vs FVLog).
 pub const TABLE3_GRAPHS: [NamedGraph; 11] = [
-    NamedGraph { name: "fe-sphere", kind: GraphKind::Mesh, nodes: 700, degree: 3 },
-    NamedGraph { name: "CA-HepTH", kind: GraphKind::ScaleFree, nodes: 500, degree: 3 },
-    NamedGraph { name: "ego-Facebook", kind: GraphKind::ScaleFree, nodes: 400, degree: 5 },
-    NamedGraph { name: "Gnu31", kind: GraphKind::ScaleFree, nodes: 900, degree: 3 },
-    NamedGraph { name: "fe_body", kind: GraphKind::Tree, nodes: 700, degree: 2 },
-    NamedGraph { name: "loc-Brightkite", kind: GraphKind::ScaleFree, nodes: 450, degree: 4 },
-    NamedGraph { name: "SF.cedge", kind: GraphKind::Tree, nodes: 800, degree: 2 },
-    NamedGraph { name: "com-dblp", kind: GraphKind::ScaleFree, nodes: 1000, degree: 4 },
-    NamedGraph { name: "usroad", kind: GraphKind::Tree, nodes: 900, degree: 2 },
-    NamedGraph { name: "fc_ocean", kind: GraphKind::Mesh, nodes: 600, degree: 2 },
-    NamedGraph { name: "vsp_finan", kind: GraphKind::Mesh, nodes: 750, degree: 3 },
+    NamedGraph {
+        name: "fe-sphere",
+        kind: GraphKind::Mesh,
+        nodes: 700,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "CA-HepTH",
+        kind: GraphKind::ScaleFree,
+        nodes: 500,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "ego-Facebook",
+        kind: GraphKind::ScaleFree,
+        nodes: 400,
+        degree: 5,
+    },
+    NamedGraph {
+        name: "Gnu31",
+        kind: GraphKind::ScaleFree,
+        nodes: 900,
+        degree: 3,
+    },
+    NamedGraph {
+        name: "fe_body",
+        kind: GraphKind::Tree,
+        nodes: 700,
+        degree: 2,
+    },
+    NamedGraph {
+        name: "loc-Brightkite",
+        kind: GraphKind::ScaleFree,
+        nodes: 450,
+        degree: 4,
+    },
+    NamedGraph {
+        name: "SF.cedge",
+        kind: GraphKind::Tree,
+        nodes: 800,
+        degree: 2,
+    },
+    NamedGraph {
+        name: "com-dblp",
+        kind: GraphKind::ScaleFree,
+        nodes: 1000,
+        degree: 4,
+    },
+    NamedGraph {
+        name: "usroad",
+        kind: GraphKind::Tree,
+        nodes: 900,
+        degree: 2,
+    },
+    NamedGraph {
+        name: "fc_ocean",
+        kind: GraphKind::Mesh,
+        nodes: 600,
+        degree: 2,
+    },
+    NamedGraph {
+        name: "vsp_finan",
+        kind: GraphKind::Mesh,
+        nodes: 750,
+        degree: 3,
+    },
 ];
 
 impl NamedGraph {
@@ -158,7 +273,9 @@ mod tests {
         for graph in FIG13_GRAPHS {
             let edges = graph.edges(&mut rng);
             assert!(!edges.is_empty(), "{} generated no edges", graph.name);
-            assert!(edges.iter().all(|&(a, b)| a < graph.nodes && b < graph.nodes));
+            assert!(edges
+                .iter()
+                .all(|&(a, b)| a < graph.nodes && b < graph.nodes));
         }
     }
 

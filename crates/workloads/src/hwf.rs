@@ -63,7 +63,10 @@ impl HwfSample {
                 if symbol.is_ascii_digit() {
                     facts.push(
                         "digit",
-                        vec![Value::U32(*pos), Value::F64(f64::from(symbol.to_digit(10).unwrap()))],
+                        vec![
+                            Value::U32(*pos),
+                            Value::F64(f64::from(symbol.to_digit(10).unwrap())),
+                        ],
                         Some(*prob),
                     );
                 } else {
@@ -124,7 +127,11 @@ pub fn generate(digits: usize, rng: &mut impl Rng) -> HwfSample {
             };
             let mut rest = 1.0 - correct;
             for k in 0..2usize.min(alternatives.len()) {
-                let share = if k == 1 { rest } else { rest * rng.gen_range(0.4..0.7) };
+                let share = if k == 1 {
+                    rest
+                } else {
+                    rest * rng.gen_range(0.4..0.7)
+                };
                 let alt = alternatives[rng.gen_range(0..alternatives.len())];
                 if candidates.iter().all(|(c, _)| *c != alt) {
                     candidates.push((alt, share));
@@ -134,13 +141,17 @@ pub fn generate(digits: usize, rng: &mut impl Rng) -> HwfSample {
             (pos as u32, candidates)
         })
         .collect();
-    HwfSample { symbols, expected, predictions }
+    HwfSample {
+        symbols,
+        expected,
+        predictions,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lobster::LobsterContext;
+    use lobster::Lobster;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -165,9 +176,12 @@ mod tests {
     fn symbolic_evaluation_recovers_the_expected_value() {
         let mut rng = StdRng::seed_from_u64(6);
         let sample = generate(3, &mut rng);
-        let mut ctx = LobsterContext::diff_top1(PROGRAM).unwrap();
-        sample.facts().add_to_context(&mut ctx).unwrap();
-        let result = ctx.run().unwrap();
+        let program = Lobster::builder(PROGRAM)
+            .compile_typed::<lobster::DiffTop1Proof>()
+            .unwrap();
+        let mut session = program.session();
+        sample.facts().add_to_session(&mut session).unwrap();
+        let result = session.run().unwrap();
         // The most likely result value should be the ground-truth value.
         let best = result
             .relation("result")

@@ -36,7 +36,7 @@ pub mod psa;
 pub mod rna;
 pub mod suite;
 
-use lobster::{FactSet, LobsterContext, LobsterError, Provenance, Value};
+use lobster::{FactSet, LobsterContext, LobsterError, Provenance, Session, Value};
 
 /// A set of generated facts in a neutral form usable by both Lobster and the
 /// baseline engines.
@@ -68,7 +68,8 @@ impl WorkloadFacts {
         self.facts.is_empty()
     }
 
-    /// Converts to a [`FactSet`] for [`LobsterContext::run_batch`].
+    /// Converts to a [`FactSet`] for
+    /// [`Program::run_batch`](lobster::Program::run_batch).
     pub fn to_fact_set(&self) -> FactSet {
         let mut set = FactSet::new();
         for (rel, values, prob) in &self.facts {
@@ -77,12 +78,31 @@ impl WorkloadFacts {
         set
     }
 
-    /// Registers every fact on a Lobster context.
+    /// Registers every fact on a Lobster session.
     ///
     /// # Errors
     ///
     /// Propagates [`LobsterError::BadFact`] for malformed facts.
-    pub fn add_to_context<P: Provenance>(
+    pub fn add_to_session<P: Provenance>(
+        &self,
+        session: &mut Session<P>,
+    ) -> Result<(), LobsterError> {
+        for (rel, values, prob) in &self.facts {
+            session.add_fact(rel, values, *prob)?;
+        }
+        Ok(())
+    }
+
+    /// Registers every fact on a deprecated Lobster context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LobsterError::BadFact`] for malformed facts.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `add_to_session` with a `Program` session"
+    )]
+    pub fn add_to_context<P: lobster::SessionProvenance>(
         &self,
         ctx: &mut LobsterContext<P>,
     ) -> Result<(), LobsterError> {
@@ -98,7 +118,11 @@ impl WorkloadFacts {
         self.facts
             .iter()
             .map(|(rel, values, prob)| {
-                (rel.clone(), values.iter().map(Value::encode).collect(), prob.unwrap_or(1.0))
+                (
+                    rel.clone(),
+                    values.iter().map(Value::encode).collect(),
+                    prob.unwrap_or(1.0),
+                )
             })
             .collect()
     }

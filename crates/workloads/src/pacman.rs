@@ -70,8 +70,16 @@ impl PacmanSample {
                 }
             }
         }
-        facts.push("actor", vec![Value::U32(self.actor.0), Value::U32(self.actor.1)], None);
-        facts.push("goal", vec![Value::U32(self.goal.0), Value::U32(self.goal.1)], None);
+        facts.push(
+            "actor",
+            vec![Value::U32(self.actor.0), Value::U32(self.actor.1)],
+            None,
+        );
+        facts.push(
+            "goal",
+            vec![Value::U32(self.goal.0), Value::U32(self.goal.1)],
+            None,
+        );
         facts
     }
 }
@@ -107,7 +115,13 @@ pub fn generate(grid_size: u32, rng: &mut impl Rng) -> PacmanSample {
 
     // Ground-truth optimal actions via BFS over truly safe cells.
     let optimal_actions = optimal_first_moves(grid_size, &enemy, actor, goal);
-    PacmanSample { grid_size, safety, actor, goal, optimal_actions }
+    PacmanSample {
+        grid_size,
+        safety,
+        actor,
+        goal,
+        optimal_actions,
+    }
 }
 
 /// BFS distances from the goal over safe cells; returns the first moves from
@@ -167,7 +181,7 @@ fn optimal_first_moves(grid: u32, enemy: &[bool], actor: (u32, u32), goal: (u32,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lobster::LobsterContext;
+    use lobster::Lobster;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -175,17 +189,26 @@ mod tests {
     fn program_compiles_with_fourteen_rules() {
         let compiled = lobster_datalog::parse(PROGRAM).unwrap();
         let rules: usize = compiled.ram.strata.iter().map(|s| s.rules.len()).sum();
-        assert!(rules >= 14, "expected at least 14 compiled rules, got {rules}");
+        assert!(
+            rules >= 14,
+            "expected at least 14 compiled rules, got {rules}"
+        );
     }
 
     #[test]
     fn generated_maze_is_solvable_and_the_planner_agrees() {
         let mut rng = StdRng::seed_from_u64(42);
         let sample = generate(5, &mut rng);
-        assert!(!sample.optimal_actions.is_empty(), "the corridor guarantees solvability");
-        let mut ctx = LobsterContext::diff_top1(PROGRAM).unwrap();
-        sample.facts().add_to_context(&mut ctx).unwrap();
-        let result = ctx.run().unwrap();
+        assert!(
+            !sample.optimal_actions.is_empty(),
+            "the corridor guarantees solvability"
+        );
+        let program = Lobster::builder(PROGRAM)
+            .compile_typed::<lobster::DiffTop1Proof>()
+            .unwrap();
+        let mut session = program.session();
+        sample.facts().add_to_session(&mut session).unwrap();
+        let result = session.run().unwrap();
         assert!(result.probability("solvable", &[]) > 0.2);
         // The planner's best-scoring action should be one of the ground-truth
         // optimal first moves.

@@ -42,8 +42,16 @@ impl PathfinderSample {
         for &(a, b, p) in &self.edges {
             facts.push("edge", vec![Value::U32(a), Value::U32(b)], Some(p));
         }
-        facts.push("is_endpoint", vec![Value::U32(self.endpoints.0)], Some(0.99));
-        facts.push("is_endpoint", vec![Value::U32(self.endpoints.1)], Some(0.99));
+        facts.push(
+            "is_endpoint",
+            vec![Value::U32(self.endpoints.0)],
+            Some(0.99),
+        );
+        facts.push(
+            "is_endpoint",
+            vec![Value::U32(self.endpoints.1)],
+            Some(0.99),
+        );
         facts
     }
 }
@@ -99,21 +107,36 @@ pub fn generate(grid_size: u32, positive: bool, rng: &mut impl Rng) -> Pathfinde
         for cx in 0..grid_size {
             if cx + 1 < grid_size && rng.gen_bool(0.25) {
                 let p = rng.gen_range(0.01..0.2);
-                push_both(&mut edges, cell(grid_size, cx, cy), cell(grid_size, cx + 1, cy), p);
+                push_both(
+                    &mut edges,
+                    cell(grid_size, cx, cy),
+                    cell(grid_size, cx + 1, cy),
+                    p,
+                );
             }
             if cy + 1 < grid_size && rng.gen_bool(0.25) {
                 let p = rng.gen_range(0.01..0.2);
-                push_both(&mut edges, cell(grid_size, cx, cy), cell(grid_size, cx, cy + 1), p);
+                push_both(
+                    &mut edges,
+                    cell(grid_size, cx, cy),
+                    cell(grid_size, cx, cy + 1),
+                    p,
+                );
             }
         }
     }
-    PathfinderSample { grid_size, edges, endpoints, label: positive }
+    PathfinderSample {
+        grid_size,
+        edges,
+        endpoints,
+        label: positive,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lobster::LobsterContext;
+    use lobster::Lobster;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -133,14 +156,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for positive in [true, false] {
             let sample = generate(5, positive, &mut rng);
-            let mut ctx = LobsterContext::diff_top1(PROGRAM).unwrap();
-            sample.facts().add_to_context(&mut ctx).unwrap();
-            let result = ctx.run().unwrap();
+            let program = Lobster::builder(PROGRAM)
+                .compile_typed::<lobster::DiffTop1Proof>()
+                .unwrap();
+            let mut session = program.session();
+            sample.facts().add_to_session(&mut session).unwrap();
+            let result = session.run().unwrap();
             let p = result.probability("endpoints_connected", &[]);
             if positive {
-                assert!(p > 0.3, "positive sample should be likely connected, got {p}");
+                assert!(
+                    p > 0.3,
+                    "positive sample should be likely connected, got {p}"
+                );
             } else {
-                assert!(p < 0.2, "negative sample should be unlikely connected, got {p}");
+                assert!(
+                    p < 0.2,
+                    "negative sample should be unlikely connected, got {p}"
+                );
             }
         }
     }

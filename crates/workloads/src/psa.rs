@@ -68,11 +68,19 @@ pub fn generate(name: &str, nodes: u32, degree: u32, rng: &mut impl Rng) -> PsaS
     // Dataflow edges: mostly local (forward) with a few long jumps.
     for v in 0..nodes {
         for _ in 0..degree {
-            let span = if rng.gen_bool(0.8) { rng.gen_range(1..8) } else { rng.gen_range(8..64) };
+            let span = if rng.gen_bool(0.8) {
+                rng.gen_range(1..8)
+            } else {
+                rng.gen_range(8..64)
+            };
             let t = (v + span).min(nodes - 1);
             if t != v {
                 let confidence = rng.gen_range(0.55..0.99);
-                facts.push("flow_edge", vec![Value::U32(v), Value::U32(t)], Some(confidence));
+                facts.push(
+                    "flow_edge",
+                    vec![Value::U32(v), Value::U32(t)],
+                    Some(confidence),
+                );
             }
         }
     }
@@ -89,7 +97,10 @@ pub fn generate(name: &str, nodes: u32, degree: u32, rng: &mut impl Rng) -> PsaS
             );
             facts.push(
                 "ret_edge",
-                vec![Value::U32(callee), Value::U32(caller.saturating_add(1).min(nodes - 1))],
+                vec![
+                    Value::U32(callee),
+                    Value::U32(caller.saturating_add(1).min(nodes - 1)),
+                ],
                 Some(rng.gen_range(0.7..0.99)),
             );
         }
@@ -114,13 +125,17 @@ pub fn generate(name: &str, nodes: u32, degree: u32, rng: &mut impl Rng) -> PsaS
             Some(rng.gen_range(0.5..0.9)),
         );
     }
-    PsaSample { name: name.to_string(), nodes, facts }
+    PsaSample {
+        name: name.to_string(),
+        nodes,
+        facts,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lobster::LobsterContext;
+    use lobster::Lobster;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -129,9 +144,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sample = generate("sunflow-core", 120, 3, &mut rng);
         assert!(sample.facts.len() > 100);
-        let mut ctx = LobsterContext::minmaxprob(PROGRAM).unwrap();
-        sample.facts.add_to_context(&mut ctx).unwrap();
-        let result = ctx.run().unwrap();
+        let program = Lobster::builder(PROGRAM)
+            .compile_typed::<lobster::MaxMinProb>()
+            .unwrap();
+        let mut session = program.session();
+        sample.facts.add_to_session(&mut session).unwrap();
+        let result = session.run().unwrap();
         // Alarms exist and their severities are valid probabilities.
         assert!(!result.relation("alarm").is_empty());
         assert!(result
@@ -142,11 +160,20 @@ mod tests {
 
     #[test]
     fn alarm_severity_is_bounded_by_the_weakest_link() {
-        let mut ctx = LobsterContext::minmaxprob(PROGRAM).unwrap();
-        ctx.add_fact("source", &[Value::U32(0)], Some(0.9)).unwrap();
-        ctx.add_fact("flow_edge", &[Value::U32(0), Value::U32(1)], Some(0.3)).unwrap();
-        ctx.add_fact("sink", &[Value::U32(1)], Some(0.8)).unwrap();
-        let result = ctx.run().unwrap();
+        let program = Lobster::builder(PROGRAM)
+            .compile_typed::<lobster::MaxMinProb>()
+            .unwrap();
+        let mut session = program.session();
+        session
+            .add_fact("source", &[Value::U32(0)], Some(0.9))
+            .unwrap();
+        session
+            .add_fact("flow_edge", &[Value::U32(0), Value::U32(1)], Some(0.3))
+            .unwrap();
+        session
+            .add_fact("sink", &[Value::U32(1)], Some(0.8))
+            .unwrap();
+        let result = session.run().unwrap();
         let severity = result.probability("alarm", &[Value::U32(0), Value::U32(1)]);
         assert!((severity - 0.3).abs() < 1e-9);
     }
@@ -154,6 +181,8 @@ mod tests {
     #[test]
     fn fig11_program_list_is_complete() {
         assert_eq!(FIG11_PROGRAMS.len(), 7);
-        assert!(FIG11_PROGRAMS.iter().all(|(_, nodes, degree)| *nodes > 0 && *degree > 0));
+        assert!(FIG11_PROGRAMS
+            .iter()
+            .all(|(_, nodes, degree)| *nodes > 0 && *degree > 0));
     }
 }

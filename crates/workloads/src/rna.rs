@@ -63,13 +63,19 @@ impl RnaSample {
 }
 
 fn complementary(a: char, b: char) -> bool {
-    matches!((a, b), ('A', 'U') | ('U', 'A') | ('G', 'C') | ('C', 'G') | ('G', 'U') | ('U', 'G'))
+    matches!(
+        (a, b),
+        ('A', 'U') | ('U', 'A') | ('G', 'C') | ('C', 'G') | ('G', 'U') | ('U', 'G')
+    )
 }
 
 /// Generates a sequence of the given length together with base-pairing
 /// probabilities from a simulated pairing model.
 pub fn generate(length: usize, rng: &mut impl Rng) -> RnaSample {
-    assert!(length >= 8, "sequences shorter than 8 nt are not interesting");
+    assert!(
+        length >= 8,
+        "sequences shorter than 8 nt are not interesting"
+    );
     let sequence: Vec<char> = (0..length).map(|_| BASES[rng.gen_range(0..4)]).collect();
     let mut pairings = Vec::new();
     for i in 0..length {
@@ -94,7 +100,7 @@ pub fn generate(length: usize, rng: &mut impl Rng) -> RnaSample {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lobster::LobsterContext;
+    use lobster::Lobster;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -106,7 +112,10 @@ mod tests {
         assert!(!sample.is_empty());
         for &(i, j, p) in &sample.pairings {
             assert!(j >= i + 4);
-            assert!(complementary(sample.sequence[i as usize], sample.sequence[j as usize]));
+            assert!(complementary(
+                sample.sequence[i as usize],
+                sample.sequence[j as usize]
+            ));
             assert!(p > 0.0 && p < 1.0);
         }
     }
@@ -115,9 +124,12 @@ mod tests {
     fn folding_program_runs_on_short_sequences() {
         let mut rng = StdRng::seed_from_u64(4);
         let sample = generate(28, &mut rng);
-        let mut ctx = LobsterContext::top1(PROGRAM).unwrap();
-        sample.facts().add_to_context(&mut ctx).unwrap();
-        let result = ctx.run().unwrap();
+        let program = Lobster::builder(PROGRAM)
+            .compile_typed::<lobster::Top1Proof>()
+            .unwrap();
+        let mut session = program.session();
+        sample.facts().add_to_session(&mut session).unwrap();
+        let result = session.run().unwrap();
         // Folded spans exist whenever any pairing was predicted.
         if !sample.pairings.is_empty() {
             assert!(!result.relation("fold").is_empty());
@@ -129,6 +141,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let short = generate(30, &mut rng).pairings.len();
         let long = generate(150, &mut rng).pairings.len();
-        assert!(long > short * 4, "long sequences should have many more candidate pairs");
+        assert!(
+            long > short * 4,
+            "long sequences should have many more candidate pairs"
+        );
     }
 }

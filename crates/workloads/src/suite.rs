@@ -146,9 +146,18 @@ mod tests {
     #[test]
     fn kinds_match_the_paper() {
         let suite = table2();
-        let diff = suite.iter().filter(|i| i.kind == TaskKind::Differentiable).count();
-        let prob = suite.iter().filter(|i| i.kind == TaskKind::Probabilistic).count();
-        let disc = suite.iter().filter(|i| i.kind == TaskKind::Discrete).count();
+        let diff = suite
+            .iter()
+            .filter(|i| i.kind == TaskKind::Differentiable)
+            .count();
+        let prob = suite
+            .iter()
+            .filter(|i| i.kind == TaskKind::Probabilistic)
+            .count();
+        let disc = suite
+            .iter()
+            .filter(|i| i.kind == TaskKind::Discrete)
+            .count();
         assert_eq!((diff, prob, disc), (4, 2, 3));
         assert_eq!(TaskKind::Differentiable.to_string(), "Diff.");
     }
