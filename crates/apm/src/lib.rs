@@ -30,7 +30,7 @@ mod isa;
 
 pub use batch::batch_transform;
 pub use compiler::{compile_stratum, CompiledStratum};
-pub use config::RuntimeOptions;
+pub use config::{fnv1a, fnv1a_extend, RuntimeOptions};
 pub use database::{Database, SortedTable};
 pub use executor::{ExecError, ExecutionStats, Executor};
 pub use isa::{ApmProgram, DbPart, Instr, RegId};

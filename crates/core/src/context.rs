@@ -13,6 +13,11 @@
 //! | `LobsterContext::with_provenance(src, p)?` | `Lobster::builder(src).compile_typed()?.session_with(p, registry)` |
 //! | `ctx.add_fact(..)` / `ctx.run()` | `session.add_fact(..)` / `session.run()` |
 //! | `ctx.run_batch(&samples)` | `program.run_batch(&samples)` |
+//!
+//! Every shim constructor routes through `Lobster::builder` — the same
+//! compile-once path the serving layer's program cache keys on (the built
+//! artifact records its [`Program::source_hash`]) — and emits a single
+//! once-per-process runtime deprecation note rather than one per call site.
 
 use crate::error::LobsterError;
 use crate::program::{Lobster, Program};
@@ -21,6 +26,24 @@ use lobster_apm::RuntimeOptions;
 use lobster_gpu::Device;
 use lobster_provenance::{InputFactId, InputFactRegistry, Provenance, SessionProvenance};
 use lobster_ram::{RamProgram, Value};
+use std::sync::Once;
+
+/// Prints the migration hint the first time *any* `LobsterContext`
+/// constructor runs — once per process, not once per call site, so a test
+/// suite exercising the shims produces a single note instead of a page of
+/// them. (The compile-time `#[deprecated]` warnings at each call site are
+/// unaffected; this is the runtime counterpart for binaries built with
+/// warnings suppressed.)
+fn deprecation_note() {
+    static NOTE: Once = Once::new();
+    NOTE.call_once(|| {
+        eprintln!(
+            "note: `LobsterContext` is deprecated; compile once with \
+             `Lobster::builder(..)` (or share artifacts via \
+             `lobster_serve::ProgramCache`) and open a `Session` per request"
+        );
+    });
+}
 
 /// A compiled Lobster program fused with its fact state.
 ///
@@ -43,6 +66,7 @@ impl<P: SessionProvenance> LobsterContext<P> {
         provenance: P,
         registry: InputFactRegistry,
     ) -> Result<Self, LobsterError> {
+        deprecation_note();
         let program = Lobster::builder(source).compile_typed::<P>()?;
         Ok(LobsterContext {
             session: program.session_with(provenance, registry),
@@ -200,6 +224,7 @@ macro_rules! deprecated_constructor {
                         `.provenance(kind).compile()` for runtime selection) and open a session"
             )]
             pub fn $name(source: &str) -> Result<Self, LobsterError> {
+                deprecation_note();
                 let program: Program<$prov> = Lobster::builder(source).compile_typed()?;
                 Ok(LobsterContext { session: program.session() })
             }

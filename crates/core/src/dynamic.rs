@@ -103,6 +103,29 @@ macro_rules! define_dyn_program {
                 }
             }
 
+            /// The stable hash of the source this program was compiled from;
+            /// see [`Program::source_hash`].
+            pub fn source_hash(&self) -> u64 {
+                match self {
+                    $( DynProgram::$variant(p) => p.source_hash(), )*
+                }
+            }
+
+            /// A deterministic estimate of the compiled artifact's resident
+            /// size in bytes; see [`Program::compiled_size_bytes`].
+            pub fn compiled_size_bytes(&self) -> usize {
+                match self {
+                    $( DynProgram::$variant(p) => p.compiled_size_bytes(), )*
+                }
+            }
+
+            /// The runtime options this program was compiled with.
+            pub fn options(&self) -> &lobster_apm::RuntimeOptions {
+                match self {
+                    $( DynProgram::$variant(p) => p.options(), )*
+                }
+            }
+
             /// The relations named in `query` declarations.
             pub fn queries(&self) -> &[String] {
                 match self {
@@ -114,6 +137,19 @@ macro_rules! define_dyn_program {
             pub fn symbol(&self, name: &str) -> Value {
                 match self {
                     $( DynProgram::$variant(p) => p.symbol(name), )*
+                }
+            }
+
+            /// Checks a request's facts against the program's schemas; see
+            /// [`Program::validate_facts`].
+            ///
+            /// # Errors
+            ///
+            /// Returns [`LobsterError::BadFact`] for the first offending
+            /// fact.
+            pub fn validate_facts(&self, facts: &FactSet) -> Result<(), LobsterError> {
+                match self {
+                    $( DynProgram::$variant(p) => p.validate_facts(facts), )*
                 }
             }
         }

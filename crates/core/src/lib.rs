@@ -95,6 +95,28 @@
 //! gradient of every output probability with respect to every input fact —
 //! which is what lets an upstream network train end-to-end.
 //!
+//! # Serving
+//!
+//! A server builds on two properties of this API: a [`Program`] is an
+//! immutable, `Arc`-shared artifact (compile once, share across every
+//! request thread), and [`Program::run_batch`] pays one fix-point for a
+//! whole mini-batch of independent requests. The `lobster-serve` crate
+//! packages both:
+//!
+//! * `ProgramCache` — a keyed cache `(source hash, provenance kind, options
+//!   fingerprint) → Arc<DynProgram>` with LRU eviction by compiled size, so
+//!   each distinct program compiles once per process no matter how many
+//!   threads race for it. The key ingredients live here:
+//!   [`Lobster::source_hash`] / [`Program::source_hash`] identify what was
+//!   compiled, [`RuntimeOptions::fingerprint`] identifies how, and
+//!   [`Program::compiled_size_bytes`] weighs the artifact for eviction.
+//! * `BatchScheduler` — accumulates per-request [`FactSet`]s into
+//!   mini-batches and drives [`DynProgram::run_batch`] with
+//!   `max_batch_size` / `max_queue_delay` knobs, routing each result back
+//!   to its caller.
+//!
+//! See the `serve` example in `lobster-serve` for the end-to-end flow.
+//!
 //! The pre-0.2 [`LobsterContext`] API remains available as a deprecated shim
 //! over these types; see [`context`](LobsterContext) for the migration
 //! table.

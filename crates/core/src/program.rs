@@ -41,6 +41,15 @@ impl Lobster {
             provenance: None,
         }
     }
+
+    /// A stable 64-bit hash (FNV-1a) of Datalog source text. Compiled
+    /// programs record this hash ([`Program::source_hash`]), so a serving
+    /// layer can key a cache of compiled artifacts by
+    /// `(source hash, provenance kind, options fingerprint)` without keeping
+    /// the source around.
+    pub fn source_hash(source: &str) -> u64 {
+        lobster_apm::fnv1a(source.as_bytes())
+    }
 }
 
 /// Configures and compiles a Lobster program.
@@ -139,8 +148,13 @@ impl LobsterBuilder {
             }
         }
         let batched = batch_transform(&compiled.ram);
+        let source_hash = Lobster::source_hash(&self.source);
         Ok(Program {
-            artifact: Arc::new(ProgramArtifact { compiled, batched }),
+            artifact: Arc::new(ProgramArtifact {
+                compiled,
+                batched,
+                source_hash,
+            }),
             device: self.device,
             options: self.options,
             stratum_scheduling: self.stratum_scheduling,
@@ -157,6 +171,8 @@ pub(crate) struct ProgramArtifact {
     /// The batch-transformed RAM program (Section 4.3), computed once at
     /// compile time instead of on every `run_batch` call.
     pub(crate) batched: RamProgram,
+    /// Stable hash of the source text this artifact was compiled from.
+    pub(crate) source_hash: u64,
 }
 
 /// An immutable compiled Lobster program, generic over its provenance
@@ -221,11 +237,56 @@ impl<P: Provenance> Program<P> {
         &self.artifact.compiled.queries
     }
 
+    /// The stable hash of the source this program was compiled from; equals
+    /// [`Lobster::source_hash`] of the original source text.
+    pub fn source_hash(&self) -> u64 {
+        self.artifact.source_hash
+    }
+
+    /// A deterministic estimate of the compiled artifact's resident size in
+    /// bytes (the plain RAM program plus its batch-transformed variant).
+    /// Serving-layer caches use this as the eviction weight.
+    pub fn compiled_size_bytes(&self) -> usize {
+        self.artifact.compiled.ram.size_estimate() + self.artifact.batched.size_estimate()
+    }
+
     /// Interns a string constant, producing a `Value::Symbol` usable in
     /// facts. The interner is shared (and append-only) across all clones of
     /// this program and their sessions.
     pub fn symbol(&self, name: &str) -> Value {
         Value::Symbol(self.artifact.compiled.symbols.intern(name))
+    }
+
+    /// Checks every fact of `facts` against this program's relation schemas
+    /// — the same unknown-relation and arity rules [`Session::add_fact`] and
+    /// [`Program::run_batch`] enforce, exposed so a serving layer can reject
+    /// a malformed request at submission instead of failing the batch it
+    /// would have landed in.
+    ///
+    /// [`Session::add_fact`]: crate::Session::add_fact
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LobsterError::BadFact`] for the first offending fact.
+    pub fn validate_facts(&self, facts: &crate::FactSet) -> Result<(), LobsterError> {
+        for (relation, values, _, _) in facts.facts() {
+            let schema = self
+                .ram()
+                .schema(relation)
+                .ok_or_else(|| LobsterError::BadFact {
+                    message: format!("unknown relation `{relation}`"),
+                })?;
+            if schema.arity() != values.len() {
+                return Err(LobsterError::BadFact {
+                    message: format!(
+                        "fact for `{relation}` has arity {}, expected {}",
+                        values.len(),
+                        schema.arity()
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Simulates the host↔device transfer of the current database contents
@@ -355,6 +416,27 @@ mod tests {
             .unwrap();
         assert_eq!(program.device().parallelism(), 1);
         assert!(!program.stratum_scheduling());
+    }
+
+    #[test]
+    fn source_hash_and_size_support_cache_keys() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        assert_eq!(program.source_hash(), Lobster::source_hash(TC));
+        // Different sources hash differently (the cache key discriminates).
+        assert_ne!(
+            Lobster::source_hash(TC),
+            Lobster::source_hash("type edge(x: u32, y: u32)\nquery edge")
+        );
+        // The size estimate is stable and monotone: the batched variant adds
+        // a sample column, so the combined estimate exceeds the plain RAM's.
+        assert_eq!(
+            program.compiled_size_bytes(),
+            Lobster::builder(TC)
+                .compile_typed::<Unit>()
+                .unwrap()
+                .compiled_size_bytes()
+        );
+        assert!(program.compiled_size_bytes() > program.ram().size_estimate());
     }
 
     #[test]

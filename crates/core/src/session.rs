@@ -64,6 +64,18 @@ impl FactSet {
     pub(crate) fn iter(&self) -> impl Iterator<Item = &RawFact> {
         self.facts.iter()
     }
+
+    /// The facts in insertion order:
+    /// `(relation, values, probability, exclusion group)`. The position of a
+    /// fact in this iteration is its request-local index — the id a serving
+    /// layer reports gradients against.
+    pub fn facts(&self) -> impl Iterator<Item = (&str, &[Value], Option<f64>, Option<u32>)> {
+        self.facts
+            .iter()
+            .map(|(relation, values, prob, exclusion)| {
+                (relation.as_str(), values.as_slice(), *prob, *exclusion)
+            })
+    }
 }
 
 /// One registered input fact inside a session.
@@ -144,6 +156,25 @@ impl RunResult {
         match value {
             Value::Symbol(id) => self.symbols.resolve(*id),
             _ => None,
+        }
+    }
+
+    /// Rewrites the id of every gradient entry through `f`, dropping entries
+    /// for which `f` returns `None`.
+    ///
+    /// Batched execution registers all samples' facts on one shared
+    /// registry, so raw gradient ids are batch-relative; a serving layer
+    /// that knows where each request's facts landed uses this to translate
+    /// them into request-local ids (and to drop entries that point at other
+    /// requests' facts).
+    pub fn map_gradient_ids(&mut self, mut f: impl FnMut(InputFactId) -> Option<InputFactId>) {
+        for rows in self.outputs.values_mut() {
+            for (_, output) in rows.iter_mut() {
+                output.gradient = std::mem::take(&mut output.gradient)
+                    .into_iter()
+                    .filter_map(|(id, g)| f(id).map(|id| (id, g)))
+                    .collect();
+            }
         }
     }
 }
@@ -347,6 +378,12 @@ impl<P: SessionProvenance> Session<P> {
     /// Returns a [`LobsterError`] on bad facts or execution failure.
     pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
         let batched = &self.program.artifact.batched;
+        // Validate everything up front (one shared rule set with
+        // `Program::validate_facts` and `Session::add_fact`) so no sample
+        // registers anything for a batch that then aborts half-built.
+        for facts in samples {
+            self.program.validate_facts(facts)?;
+        }
         // Scope all registration to this run: per-sample facts go into a
         // fork of the session registry, visible to a provenance instance
         // rebound to that fork.
@@ -362,20 +399,6 @@ impl<P: SessionProvenance> Session<P> {
                 db.insert(&fact.relation, &row, tag);
             }
             for (relation, values, prob, exclusion) in facts.iter() {
-                let schema = batched
-                    .schema(relation)
-                    .ok_or_else(|| LobsterError::BadFact {
-                        message: format!("unknown relation `{relation}`"),
-                    })?;
-                if schema.arity() != values.len() + 1 {
-                    return Err(LobsterError::BadFact {
-                        message: format!(
-                            "fact for `{relation}` has arity {}, expected {}",
-                            values.len(),
-                            schema.arity() - 1
-                        ),
-                    });
-                }
                 let id = registry.register(*prob, *exclusion);
                 let tag = provenance.input_tag(id, *prob);
                 let mut row = vec![Value::U32(sample as u32)];

@@ -14,7 +14,7 @@
 //! * [`kernels::eval`] — per-row projection/selection (row-level parallelism),
 //! * [`kernels::gather`] / [`kernels::gather_mul_tags`] — index gathers,
 //! * [`kernels::scan`] — exclusive prefix sum,
-//! * [`kernels::sort_rows`], [`kernels::unique`], [`kernels::merge`],
+//! * [`kernels::sort_permutation`], [`kernels::unique`], [`kernels::merge`],
 //!   [`kernels::difference`] — sorted-table maintenance for semi-naive
 //!   evaluation,
 //! * [`HashIndex`] with [`kernels::count_matches`] and [`kernels::hash_join`]

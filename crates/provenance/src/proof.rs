@@ -6,7 +6,7 @@ use crate::{InputFactId, InputFactRegistry};
 ///
 /// The paper (Section 3.5) fixes the proof-size limit to 300, which is
 /// sufficient for all evaluated benchmarks; the limit is configurable via
-/// [`Proof::with_capacity`]-style constructors on the provenances.
+/// `with_capacity`-style constructors on the provenances.
 pub const DEFAULT_MAX_PROOF_SIZE: usize = 300;
 
 /// A single proof: a conjunction of input facts, stored as a sorted,

@@ -129,6 +129,13 @@ impl RamExpr {
         }
     }
 
+    /// Number of operator nodes in the expression tree.
+    pub fn node_count(&self) -> usize {
+        let mut count = 0;
+        self.visit(&mut |_| count += 1);
+        count
+    }
+
     /// Visits every sub-expression, outermost first.
     pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a RamExpr)) {
         f(self);
@@ -251,6 +258,34 @@ impl RamProgram {
             .filter(|name| !idb.contains(name.as_str()))
             .cloned()
             .collect()
+    }
+
+    /// A deterministic estimate of the compiled program's resident size in
+    /// bytes: relation schemas plus every operator node of every rule at a
+    /// fixed per-node cost. Serving-layer caches use this as the LRU weight
+    /// when budgeting how many compiled programs stay resident, so the exact
+    /// constants matter less than the estimate being stable across runs and
+    /// monotone in program complexity.
+    pub fn size_estimate(&self) -> usize {
+        // Costs approximate the in-memory footprint of the corresponding
+        // structures (strings, boxed enum nodes, vectors) on a 64-bit target.
+        const PER_SCHEMA: usize = 64;
+        const PER_COLUMN: usize = 16;
+        const PER_RULE: usize = 64;
+        const PER_EXPR_NODE: usize = 96;
+        let schemas: usize = self
+            .schemas
+            .values()
+            .map(|s| PER_SCHEMA + s.name.len() + s.arg_types.len() * PER_COLUMN)
+            .sum();
+        let rules: usize = self
+            .strata
+            .iter()
+            .flat_map(|stratum| stratum.rules.iter())
+            .map(|rule| PER_RULE + rule.target.len() + rule.expr.node_count() * PER_EXPR_NODE)
+            .sum();
+        let outputs: usize = self.outputs.iter().map(|name| 24 + name.len()).sum();
+        schemas + rules + outputs
     }
 
     /// Checks structural well-formedness of the program.

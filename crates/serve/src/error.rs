@@ -1,0 +1,46 @@
+//! Error type of the serving layer.
+
+use lobster::LobsterError;
+use std::fmt;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Compiling or executing the program failed. When a batched execution
+    /// fails, every request in the batch receives the same error.
+    Lobster(LobsterError),
+    /// The scheduler was shut down before the request was served.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Lobster(e) => write!(f, "{e}"),
+            ServeError::ShutDown => write!(f, "scheduler shut down before the request was served"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<LobsterError> for ServeError {
+    fn from(e: LobsterError) -> Self {
+        ServeError::Lobster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e: ServeError = LobsterError::Config {
+            message: "no provenance".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("no provenance"));
+        assert!(ServeError::ShutDown.to_string().contains("shut down"));
+    }
+}

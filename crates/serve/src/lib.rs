@@ -1,0 +1,71 @@
+//! Serving layer for Lobster: an Arc-shared compiled-program cache and a
+//! batching request scheduler.
+//!
+//! The paper's headline win is amortizing one fix-point over many batched
+//! samples (Section 4.3); the PR 1 API split made the compiled [`Program`]
+//! an immutable, `Arc`-shareable artifact. This crate turns those two
+//! properties into a server runtime:
+//!
+//! * [`ProgramCache`] — a keyed cache `(source hash, provenance kind,
+//!   options fingerprint) → Arc<DynProgram>` so each distinct program
+//!   compiles **once per process** and every request/thread shares the
+//!   artifact. Eviction is LRU over the compiled artifact's estimated
+//!   resident size ([`DynProgram::compiled_size_bytes`]), bounded by a
+//!   configurable byte budget. Concurrent requests for the same key are
+//!   coalesced: exactly one thread compiles, the rest block on the result.
+//! * [`BatchScheduler`] — accumulates per-request [`FactSet`]s into
+//!   mini-batches and drives [`DynProgram::run_batch`], paying one fix-point
+//!   per batch instead of one per request. Latency/throughput trade-off is
+//!   controlled by [`SchedulerConfig::max_batch_size`] and
+//!   [`SchedulerConfig::max_queue_delay`]; results are routed back to each
+//!   caller over a per-request channel. Plain `std` threads and `mpsc` —
+//!   no async runtime dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use lobster::{FactSet, ProvenanceKind, Value};
+//! use lobster_serve::{BatchScheduler, ProgramCache, SchedulerConfig};
+//! use std::time::Duration;
+//!
+//! const SRC: &str = "type edge(x: u32, y: u32)
+//!     rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+//!     query path";
+//!
+//! // Compile once per process, share everywhere.
+//! let cache = ProgramCache::new();
+//! let program = cache.get_or_compile(SRC, ProvenanceKind::AddMultProb).unwrap();
+//! assert_eq!(cache.stats().compiles, 1);
+//! // A second request for the same program is a cache hit.
+//! let again = cache.get_or_compile(SRC, ProvenanceKind::AddMultProb).unwrap();
+//! assert_eq!(cache.stats().hits, 1);
+//!
+//! // Serve requests through a batching scheduler: one fix-point per batch.
+//! let scheduler = BatchScheduler::new(
+//!     program,
+//!     SchedulerConfig::default()
+//!         .with_max_batch_size(8)
+//!         .with_max_queue_delay(Duration::from_millis(1)),
+//! );
+//! let mut request = FactSet::new();
+//! request.add("edge", &[Value::U32(0), Value::U32(1)], Some(0.9));
+//! let result = scheduler.submit(request).wait().unwrap();
+//! assert!((result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.9).abs() < 1e-9);
+//! # drop(again);
+//! ```
+//!
+//! [`Program`]: lobster::Program
+//! [`DynProgram::run_batch`]: lobster::DynProgram::run_batch
+//! [`DynProgram::compiled_size_bytes`]: lobster::DynProgram::compiled_size_bytes
+//! [`FactSet`]: lobster::FactSet
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod scheduler;
+
+pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use error::ServeError;
+pub use scheduler::{BatchScheduler, SchedulerConfig, SchedulerStats, Ticket};

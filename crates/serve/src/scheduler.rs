@@ -1,0 +1,521 @@
+//! The batching request scheduler.
+
+use crate::error::ServeError;
+use lobster::{DynProgram, FactSet, InputFactId, RunResult};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs trading per-request latency against batched throughput.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// A batch is flushed as soon as it holds this many requests.
+    pub max_batch_size: usize,
+    /// A batch is flushed this long after its *first* request arrived, even
+    /// if it is not full — bounding the queueing latency a request can pay.
+    pub max_queue_delay: Duration,
+    /// Number of worker threads draining the queue. Each worker runs whole
+    /// batches, so more workers overlap fix-points of *different* batches.
+    pub workers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch_size: 32,
+            max_queue_delay: Duration::from_millis(2),
+            workers: 1,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Builder-style setter for [`SchedulerConfig::max_batch_size`].
+    pub fn with_max_batch_size(mut self, n: usize) -> Self {
+        self.max_batch_size = n.max(1);
+        self
+    }
+
+    /// Builder-style setter for [`SchedulerConfig::max_queue_delay`].
+    pub fn with_max_queue_delay(mut self, delay: Duration) -> Self {
+        self.max_queue_delay = delay;
+        self
+    }
+
+    /// Builder-style setter for [`SchedulerConfig::workers`].
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+}
+
+/// Counters describing the batches a scheduler has run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Batches executed (fix-points paid).
+    pub batches: u64,
+    /// Requests served across all batches.
+    pub samples: u64,
+    /// Batches flushed because they reached `max_batch_size`.
+    pub full_flushes: u64,
+    /// Batches flushed by the `max_queue_delay` timer (or shutdown drain).
+    pub timer_flushes: u64,
+    /// Largest batch executed so far.
+    pub largest_batch: usize,
+}
+
+struct Request {
+    facts: FactSet,
+    reply: mpsc::Sender<Result<RunResult, ServeError>>,
+    /// When the request entered the queue; the flush timer of a batch runs
+    /// from its *oldest* request, so queueing latency is bounded by
+    /// `max_queue_delay` even when workers were busy while it waited.
+    enqueued: Instant,
+}
+
+struct Shared {
+    program: Arc<DynProgram>,
+    /// Number of inline program facts a session pre-registers; batched
+    /// execution hands out per-request fact ids starting after these.
+    inline_facts: u32,
+    config: SchedulerConfig,
+    queue: Mutex<VecDeque<Request>>,
+    /// Signalled on submit and on shutdown.
+    arrivals: Condvar,
+    shutdown: AtomicBool,
+    batches: AtomicU64,
+    samples: AtomicU64,
+    full_flushes: AtomicU64,
+    timer_flushes: AtomicU64,
+    largest_batch: AtomicUsize,
+}
+
+/// A pending request's handle: redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<RunResult, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the batch containing this request has run and returns
+    /// this request's result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Lobster`] when the batch failed to execute
+    /// (every request of the failing batch receives the same error), or
+    /// [`ServeError::ShutDown`] when the scheduler was dropped before the
+    /// request was served.
+    pub fn wait(self) -> Result<RunResult, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShutDown))
+    }
+
+    /// Non-blocking probe: `Some(result)` once the batch has run.
+    pub fn try_wait(&self) -> Option<Result<RunResult, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Accumulates per-request [`FactSet`]s into mini-batches and drives
+/// [`DynProgram::run_batch`] — one fix-point per batch instead of one per
+/// request (the paper's batched evaluation, applied to serving).
+///
+/// Requests are submitted with [`BatchScheduler::submit`], which returns a
+/// [`Ticket`] immediately; worker threads flush the queue whenever a batch
+/// fills up ([`SchedulerConfig::max_batch_size`]) or the oldest queued
+/// request has waited [`SchedulerConfig::max_queue_delay`]. Derived tuples
+/// and probabilities are identical to running the same requests in one
+/// [`DynProgram::run_batch`] call: samples are isolated by the sample-id
+/// column, whatever batch each request lands in. Gradient entries are
+/// rewritten to *request-local* fact ids — `InputFactId(i)` is the `i`-th
+/// fact added to the submitted [`FactSet`] — with entries for other
+/// requests' and inline program facts dropped, so they too are independent
+/// of batch placement.
+///
+/// Dropping the scheduler drains the queue (every queued request still runs)
+/// and joins the workers.
+pub struct BatchScheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field("config", &self.shared.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl BatchScheduler {
+    /// Spawns the worker threads for `program` with the given knobs.
+    pub fn new(program: Arc<DynProgram>, config: SchedulerConfig) -> Self {
+        let inline_facts = program.session().fact_count() as u32;
+        let shared = Arc::new(Shared {
+            program,
+            inline_facts,
+            config: config.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            arrivals: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batches: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            full_flushes: AtomicU64::new(0),
+            timer_flushes: AtomicU64::new(0),
+            largest_batch: AtomicUsize::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lobster-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        BatchScheduler { shared, workers }
+    }
+
+    /// The program this scheduler serves.
+    pub fn program(&self) -> &Arc<DynProgram> {
+        &self.shared.program
+    }
+
+    /// Enqueues one request and returns its [`Ticket`] without blocking.
+    ///
+    /// Malformed requests (unknown relation, wrong arity) are rejected here,
+    /// before they can reach a batch: the returned ticket yields the
+    /// [`LobsterError::BadFact`](lobster::LobsterError::BadFact) immediately,
+    /// and the requests they would have been co-batched with are unaffected.
+    pub fn submit(&self, facts: FactSet) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        if let Err(e) = self.shared.program.validate_facts(&facts) {
+            let _ = tx.send(Err(ServeError::Lobster(e)));
+            return Ticket { rx };
+        }
+        let queued = {
+            let mut queue = self.shared.queue.lock().expect("scheduler lock poisoned");
+            queue.push_back(Request {
+                facts,
+                reply: tx,
+                enqueued: Instant::now(),
+            });
+            queue.len()
+        };
+        // Wake workers only on the transitions they act on — the first
+        // request of a batch (a phase-1 sleeper must start its timer) and a
+        // full batch (a phase-2 collector can flush early). Notifying on
+        // every submit instead turns a hot submission stream into a wakeup
+        // storm in which the collector rechecks a not-yet-full queue once
+        // per request; in-between requests are picked up at flush time
+        // regardless.
+        if queued == 1 || queued >= self.shared.config.max_batch_size {
+            self.shared.arrivals.notify_all();
+        }
+        Ticket { rx }
+    }
+
+    /// Convenience: submit one request and block for its result.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ticket::wait`].
+    pub fn run_one(&self, facts: FactSet) -> Result<RunResult, ServeError> {
+        self.submit(facts).wait()
+    }
+
+    /// A snapshot of the scheduler counters.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            samples: self.shared.samples.load(Ordering::Relaxed),
+            full_flushes: self.shared.full_flushes.load(Ordering::Relaxed),
+            timer_flushes: self.shared.timer_flushes.load(Ordering::Relaxed),
+            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.arrivals.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Collects the next batch off the queue, honouring `max_batch_size` and
+/// `max_queue_delay`, or returns `None` when shut down with an empty queue.
+fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let config = &shared.config;
+    let mut queue = shared.queue.lock().expect("scheduler lock poisoned");
+    'restart: loop {
+        // Phase 1: wait for the first request (or shutdown).
+        loop {
+            if !queue.is_empty() {
+                break;
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = shared
+                .arrivals
+                .wait(queue)
+                .expect("scheduler lock poisoned");
+        }
+        // Phase 2: give the batch until `max_queue_delay` after its *oldest*
+        // request arrived to fill up. Shutdown flushes immediately — the
+        // drain must not dawdle. The lock is released while waiting, so a
+        // sibling worker may drain the queue under us: the deadline is
+        // re-derived from the *current* front each iteration, and an emptied
+        // queue sends us back to phase 1 rather than flushing a phantom
+        // batch (or punishing a fresh request with a dead request's expired
+        // deadline).
+        let mut timed_out = false;
+        while queue.len() < config.max_batch_size && !shared.shutdown.load(Ordering::SeqCst) {
+            let Some(front) = queue.front() else {
+                continue 'restart;
+            };
+            let deadline = front.enqueued + config.max_queue_delay;
+            let now = Instant::now();
+            if now >= deadline {
+                timed_out = true;
+                break;
+            }
+            // The wait result is deliberately ignored: whether this wake was
+            // a timeout or a notify, the loop top re-derives the deadline
+            // from the *current* front and only declares a timeout when that
+            // deadline has genuinely passed. Trusting `timed_out()` here
+            // would flush a request that arrived during the wait against a
+            // drained request's expired deadline.
+            let (guard, _) = shared
+                .arrivals
+                .wait_timeout(queue, deadline - now)
+                .expect("scheduler lock poisoned");
+            queue = guard;
+            if queue.is_empty() {
+                continue 'restart;
+            }
+        }
+        if queue.is_empty() {
+            // A sibling drained the queue between our last wake and here.
+            continue 'restart;
+        }
+        if queue.len() >= config.max_batch_size {
+            shared.full_flushes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Timer expiry or shutdown drain.
+            debug_assert!(timed_out || shared.shutdown.load(Ordering::SeqCst));
+            shared.timer_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = queue.len().min(config.max_batch_size);
+        return Some(queue.drain(..n).collect());
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(batch) = next_batch(shared) {
+        if batch.is_empty() {
+            continue;
+        }
+        // Move the fact sets out of the requests rather than cloning them:
+        // request payloads are in the hot path of every batch.
+        let (facts, replies): (Vec<FactSet>, Vec<_>) =
+            batch.into_iter().map(|r| (r.facts, r.reply)).unzip();
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .samples
+            .fetch_add(facts.len() as u64, Ordering::Relaxed);
+        shared
+            .largest_batch
+            .fetch_max(facts.len(), Ordering::Relaxed);
+        match shared.program.run_batch(&facts) {
+            Ok(mut results) => {
+                // Raw gradient ids are batch-relative (all samples share one
+                // forked registry, ids handed out in batch order after the
+                // inline program facts). Translate each result's ids into
+                // request-local indices — the position of the fact in the
+                // submitted `FactSet` — and drop entries pointing at other
+                // requests' or inline facts, so a client's gradients mean
+                // the same thing whatever batch its request landed in.
+                let mut next_id = shared.inline_facts;
+                for (result, request_facts) in results.iter_mut().zip(&facts) {
+                    let start = next_id;
+                    let len = request_facts.len() as u32;
+                    next_id += len;
+                    result.map_gradient_ids(|id| {
+                        id.0.checked_sub(start)
+                            .filter(|local| *local < len)
+                            .map(InputFactId)
+                    });
+                }
+                for (reply, result) in replies.into_iter().zip(results) {
+                    // A dropped ticket just discards the result.
+                    let _ = reply.send(Ok(result));
+                }
+            }
+            Err(e) => {
+                for reply in replies {
+                    let _ = reply.send(Err(ServeError::Lobster(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobster::{ProvenanceKind, Value};
+
+    const TC: &str = "type edge(x: u32, y: u32)
+        rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+        query path";
+
+    fn edge_request(a: u32, b: u32, p: f64) -> FactSet {
+        let mut facts = FactSet::new();
+        facts.add("edge", &[Value::U32(a), Value::U32(b)], Some(p));
+        facts
+    }
+
+    fn program() -> Arc<DynProgram> {
+        Arc::new(DynProgram::compile(TC, ProvenanceKind::AddMultProb).unwrap())
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let scheduler = BatchScheduler::new(program(), SchedulerConfig::default());
+        let result = scheduler.run_one(edge_request(0, 1, 0.75)).unwrap();
+        assert!((result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.75).abs() < 1e-9);
+        let stats = scheduler.stats();
+        assert_eq!((stats.batches, stats.samples), (1, 1));
+    }
+
+    #[test]
+    fn a_full_batch_flushes_without_waiting_for_the_timer() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(4)
+                // A timer long enough that a timer flush would hang the test.
+                .with_max_queue_delay(Duration::from_secs(30)),
+        );
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| scheduler.submit(edge_request(i, i + 1, 0.5)))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let result = ticket.wait().unwrap();
+            let (a, b) = (i as u32, i as u32 + 1);
+            assert!(
+                (result.probability("path", &[Value::U32(a), Value::U32(b)]) - 0.5).abs() < 1e-9
+            );
+        }
+        assert!(scheduler.stats().full_flushes >= 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_requests() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(64)
+                .with_max_queue_delay(Duration::from_secs(30)),
+        );
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| scheduler.submit(edge_request(i, i + 1, 0.5)))
+            .collect();
+        drop(scheduler);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn trickled_requests_with_two_workers_are_all_served_without_phantom_batches() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(4)
+                .with_max_queue_delay(Duration::from_micros(200))
+                .with_workers(2),
+        );
+        // Trickle requests so timer flushes race both workers against the
+        // queue (the stale-deadline case: one worker drains while the other
+        // still holds the old front's expired deadline).
+        let mut tickets = Vec::new();
+        for i in 0..20u32 {
+            tickets.push(scheduler.submit(edge_request(i, i + 1, 0.5)));
+            if i % 3 == 0 {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        }
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.samples, 20);
+        // Every counted flush carried at least one request.
+        assert!(stats.batches <= 20, "stats: {stats:?}");
+        assert_eq!(stats.full_flushes + stats.timer_flushes, stats.batches);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_at_submit_without_harming_the_batch() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(2)
+                .with_max_queue_delay(Duration::from_millis(20)),
+        );
+        let good = scheduler.submit(edge_request(0, 1, 0.5));
+        let mut unknown = FactSet::new();
+        unknown.add("ghost", &[Value::U32(0)], None);
+        let mut wrong_arity = FactSet::new();
+        wrong_arity.add("edge", &[Value::U32(0)], None);
+        // Both malformed requests fail immediately (no queueing), each with
+        // its own BadFact...
+        for bad in [scheduler.submit(unknown), scheduler.submit(wrong_arity)] {
+            match bad.wait() {
+                Err(ServeError::Lobster(lobster::LobsterError::BadFact { .. })) => {}
+                other => panic!("expected BadFact, got {other:?}"),
+            }
+        }
+        // ...while the co-submitted good request is served normally.
+        let result = good.wait().unwrap();
+        assert!((result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execution_failures_reach_every_request_in_the_batch() {
+        // A device with a absurdly small memory budget makes every run OOM —
+        // an execution error `submit` cannot screen out, so the whole batch
+        // reports it.
+        let program = Arc::new(
+            lobster::Lobster::builder(TC)
+                .device(lobster::Device::new(lobster::DeviceConfig {
+                    parallelism: 1,
+                    memory_limit: Some(8),
+                    hash_table_expansion: 2,
+                    min_parallel_rows: 4096,
+                }))
+                .provenance(ProvenanceKind::AddMultProb)
+                .compile()
+                .unwrap(),
+        );
+        let scheduler = BatchScheduler::new(
+            program,
+            SchedulerConfig::default()
+                .with_max_batch_size(2)
+                .with_max_queue_delay(Duration::from_secs(30)),
+        );
+        let a = scheduler.submit(edge_request(0, 1, 0.5));
+        let b = scheduler.submit(edge_request(1, 2, 0.5));
+        assert!(matches!(a.wait(), Err(ServeError::Lobster(_))));
+        assert!(matches!(b.wait(), Err(ServeError::Lobster(_))));
+    }
+}
