@@ -10,6 +10,12 @@
 //! itself is visible. Reported per configuration: wall time, samples/sec,
 //! and p50/p99 request latency.
 //!
+//! A `sharded` mode is also measured: the same scheduler with each pooled
+//! batch fanned out across shard devices
+//! (`SchedulerConfig::num_shards`, backed by
+//! `DynProgram::run_batch_sharded`), recorded next to its single-device
+//! counterpart so the cost/win of multi-device execution is visible.
+//!
 //! Run with `cargo run -p lobster-bench --release --bin serve_throughput`.
 //! Knobs:
 //!
@@ -19,6 +25,12 @@
 //!   size reaches at least the sequential throughput (the CI gate).
 //! * `--assert-speedup X` — exit non-zero unless the largest batch size
 //!   reaches `X ×` the sequential throughput.
+//! * `--assert-sharded-factor X` — exit non-zero unless 2-way sharding
+//!   reaches `X ×` the single-device throughput at the same batch size
+//!   (the CI gate uses `0.9`). Shard devices execute on threads, so on a
+//!   machine with a single CPU the shards of a batch cannot overlap at all;
+//!   the gate is only enforced when at least 2 CPUs are available (the
+//!   factor is still measured and recorded either way).
 
 use lobster::ProvenanceKind;
 use lobster_bench::{print_header, quick_mode, scaled};
@@ -32,6 +44,8 @@ use std::time::{Duration, Instant};
 struct Measurement {
     label: String,
     batch_size: usize,
+    /// Shard devices each batch fans out across (1 = single device).
+    num_shards: usize,
     wall: Duration,
     latencies_ms: Vec<f64>,
     fixpoints: u64,
@@ -54,11 +68,13 @@ impl Measurement {
 
     fn json(&self, sequential_sps: f64) -> String {
         format!(
-            "{{\"label\": \"{}\", \"batch_size\": {}, \"wall_s\": {:.6}, \
+            "{{\"label\": \"{}\", \"batch_size\": {}, \"num_shards\": {}, \
+             \"wall_s\": {:.6}, \
              \"samples_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
              \"fixpoints\": {}, \"speedup_vs_sequential\": {:.3}}}",
             self.label,
             self.batch_size,
+            self.num_shards,
             self.wall.as_secs_f64(),
             self.samples_per_sec(),
             self.percentile_ms(50.0),
@@ -88,27 +104,33 @@ fn run_direct(
     Measurement {
         label: "direct-loop".to_string(),
         batch_size: 1,
+        num_shards: 1,
         wall: start.elapsed(),
         latencies_ms: latencies,
         fixpoints: requests.len() as u64,
     }
 }
 
-/// The batching scheduler at a given `max_batch_size`: requests are
-/// submitted open-loop (all at once, as a loaded server's queue would look)
-/// and awaited in submission order; each latency spans submit → result read.
+/// The batching scheduler at a given `max_batch_size` and shard count:
+/// requests are submitted open-loop (all at once, as a loaded server's queue
+/// would look) and awaited in submission order; each latency spans
+/// submit → result read.
 fn run_batched(
     program: &std::sync::Arc<lobster::DynProgram>,
     requests: &[lobster::FactSet],
     batch_size: usize,
+    num_shards: usize,
 ) -> Measurement {
     let scheduler = BatchScheduler::new(
         std::sync::Arc::clone(program),
         SchedulerConfig::default()
             .with_max_batch_size(batch_size)
-            .with_max_queue_delay(Duration::from_millis(2)),
+            .with_max_queue_delay(Duration::from_millis(2))
+            .with_num_shards(num_shards),
     );
-    let label = if batch_size == 1 {
+    let label = if num_shards > 1 {
+        format!("sharded-{batch_size}x{num_shards}")
+    } else if batch_size == 1 {
         "sequential".to_string()
     } else {
         format!("batched-{batch_size}")
@@ -129,10 +151,18 @@ fn run_batched(
         })
         .collect();
     let wall = start.elapsed();
-    let fixpoints = scheduler.stats().batches;
+    // A sharded batch pays one fix-point per *chunk*; the scheduler counts
+    // the chunks its sharded batches actually executed (spills included).
+    let stats = scheduler.stats();
+    let fixpoints = if num_shards > 1 {
+        stats.sharded_chunks
+    } else {
+        stats.batches
+    };
     Measurement {
         label,
         batch_size,
+        num_shards,
         wall,
         latencies_ms: latencies,
         fixpoints,
@@ -166,6 +196,8 @@ fn main() {
     let assert_not_slower = args.iter().any(|a| a == "--assert-batched-not-slower");
     let assert_speedup: Option<f64> = arg_value(&args, "--assert-speedup")
         .map(|v| v.parse().expect("--assert-speedup takes a number"));
+    let assert_sharded_factor: Option<f64> = arg_value(&args, "--assert-sharded-factor")
+        .map(|v| v.parse().expect("--assert-sharded-factor takes a number"));
 
     print_header(
         "Serving throughput — batched scheduler vs one-request-at-a-time",
@@ -206,7 +238,7 @@ fn main() {
             .expect("at least one repeat")
     };
     let direct = best_of(&|| run_direct(&program, &requests));
-    let sequential = best_of(&|| run_batched(&program, &requests, 1));
+    let sequential = best_of(&|| run_batched(&program, &requests, 1, 1));
     let batch_sizes: Vec<usize> = [4usize, 8, 16, 32]
         .iter()
         .copied()
@@ -214,7 +246,15 @@ fn main() {
         .collect();
     let batched: Vec<Measurement> = batch_sizes
         .iter()
-        .map(|b| best_of(&|| run_batched(&program, &requests, *b)))
+        .map(|b| best_of(&|| run_batched(&program, &requests, *b, 1)))
+        .collect();
+    // Sharded serving at the largest batch size: every pooled batch fans out
+    // across 2 and 4 shard devices. Compared against the single-device run
+    // of the same batch size (its "single-device counterpart").
+    let largest_batch = *batch_sizes.last().expect("at least one batch size");
+    let sharded: Vec<Measurement> = [2usize, 4]
+        .iter()
+        .map(|s| best_of(&|| run_batched(&program, &requests, largest_batch, *s)))
         .collect();
 
     let seq_sps = sequential.samples_per_sec();
@@ -222,7 +262,11 @@ fn main() {
         "{:<14} {:>10} {:>14} {:>10} {:>10} {:>10} {:>9}",
         "config", "fixpoints", "samples/sec", "p50 (ms)", "p99 (ms)", "wall (s)", "speedup"
     );
-    for m in [&direct, &sequential].into_iter().chain(&batched) {
+    for m in [&direct, &sequential]
+        .into_iter()
+        .chain(&batched)
+        .chain(&sharded)
+    {
         println!(
             "{:<14} {:>10} {:>14.1} {:>10.2} {:>10.2} {:>10.3} {:>8.2}x",
             m.label,
@@ -239,14 +283,22 @@ fn main() {
     let json = format!(
         "{{\n  \"workload\": \"clutrr\",\n  \"provenance\": \"{}\",\n  \
          \"requests\": {},\n  \"chain_length\": {},\n  \"quick_mode\": {},\n  \
-         \"direct_loop\": {},\n  \"sequential\": {},\n  \"batched\": [\n    {}\n  ]\n}}\n",
+         \"cpus\": {},\n  \
+         \"direct_loop\": {},\n  \"sequential\": {},\n  \"batched\": [\n    {}\n  ],\n  \
+         \"sharded\": [\n    {}\n  ]\n}}\n",
         ProvenanceKind::DiffTop1Proof,
         requests_n,
         chain_length,
         quick_mode(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         direct.json(seq_sps),
         sequential.json(seq_sps),
         batched
+            .iter()
+            .map(|m| m.json(seq_sps))
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        sharded
             .iter()
             .map(|m| m.json(seq_sps))
             .collect::<Vec<_>>()
@@ -272,6 +324,41 @@ fn main() {
                 largest.batch_size,
             );
             std::process::exit(1);
+        }
+    }
+    if let Some(required) = assert_sharded_factor {
+        // Gate on 2-way sharding against its single-device counterpart (the
+        // same batch size, one device): sharding must not tax throughput by
+        // more than the allowed factor, and ideally wins.
+        let two_way = sharded
+            .iter()
+            .find(|m| m.num_shards == 2)
+            .expect("2-way sharded configuration measured");
+        let factor = two_way.samples_per_sec() / largest.samples_per_sec().max(1e-12);
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cpus < 2 {
+            // Shards run on threads: with one CPU the two halves of every
+            // batch serialize, so the factor only reflects the machine, not
+            // the executor. Record it, but don't gate on it.
+            println!(
+                "sharded(2) vs single-device at batch {}: {factor:.2}x — gate skipped \
+                 ({cpus} CPU available, shards cannot overlap)",
+                largest.batch_size
+            );
+        } else if factor < required {
+            eprintln!(
+                "FAIL: sharded(2) throughput {:.1}/s is {factor:.2}x single-device \
+                 {:.1}/s at batch {}, below required {required:.2}x",
+                two_way.samples_per_sec(),
+                largest.samples_per_sec(),
+                largest.batch_size,
+            );
+            std::process::exit(1);
+        } else {
+            println!(
+                "sharded(2) vs single-device at batch {}: {factor:.2}x (required ≥ {required:.2}x)",
+                largest.batch_size
+            );
         }
     }
 }

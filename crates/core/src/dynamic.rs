@@ -96,6 +96,40 @@ macro_rules! define_dyn_program {
                 }
             }
 
+            /// Runs a batch partitioned across `num_shards` devices; see
+            /// [`Program::run_batch_sharded`].
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError`] on bad facts or execution failure.
+            pub fn run_batch_sharded(
+                &self,
+                samples: &[FactSet],
+                num_shards: usize,
+            ) -> Result<Vec<RunResult>, LobsterError> {
+                match self {
+                    $( DynProgram::$variant(p) => p.run_batch_sharded(samples, num_shards), )*
+                }
+            }
+
+            /// Runs a sharded batch and reports the partition/shard
+            /// statistics; see [`Program::run_batch_sharded_with_stats`].
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError`] on bad facts or execution failure.
+            pub fn run_batch_sharded_with_stats(
+                &self,
+                samples: &[FactSet],
+                num_shards: usize,
+            ) -> Result<(Vec<RunResult>, crate::ShardRunStats), LobsterError> {
+                match self {
+                    $( DynProgram::$variant(p) => {
+                        p.run_batch_sharded_with_stats(samples, num_shards)
+                    } )*
+                }
+            }
+
             /// The compiled RAM program.
             pub fn ram(&self) -> &RamProgram {
                 match self {

@@ -117,6 +117,42 @@
 //!
 //! See the `serve` example in `lobster-serve` for the end-to-end flow.
 //!
+//! ## Multi-device sharding
+//!
+//! Because the sample-id column isolates every sample of a batch, a batch
+//! can also be partitioned *across devices*: [`Program::run_batch_sharded`]
+//! (and the [`ShardedExecutor`] behind it) splits the samples over `N`
+//! shard devices derived from the program's device, runs one fix-point per
+//! shard slice, and merges the per-shard results back into the caller's
+//! order — with tuples, probabilities, and gradients identical to the
+//! single-device [`Program::run_batch`]. The batching scheduler exposes the
+//! same knob as `SchedulerConfig::num_shards`, so pooled batches fan out
+//! without any change to clients.
+//!
+//! *When to shard.* Sharding pays off when a single batch's fix-point is
+//! the bottleneck and spare devices (or cores — shard devices execute on
+//! threads) are idle: large batches, deep recursions, or a latency target
+//! the full-batch fix-point misses. For small batches the extra fix-points
+//! per batch cost more than the overlap wins — measure with the
+//! `serve_throughput` bench, which records sharded rows next to their
+//! single-device counterparts.
+//!
+//! *Budget knobs.* Shard devices are derived with
+//! [`Device::split_shards`](lobster_gpu::Device::split_shards): the parent
+//! memory budget and kernel workers are divided `N` ways, so an `N`-shard
+//! executor stays within its program's memory envelope, and within its
+//! worker envelope as long as `N` does not exceed the device's parallelism
+//! (each shard keeps at least one worker, so more shards than workers
+//! oversubscribes). A chunk that overflows its shard's budget is split in
+//! half and retried ([`ShardConfig::max_spill_depth`] bounds how often), so
+//! batches that fit the aggregate budget still complete.
+//!
+//! *Skew behavior.* Samples are bin-packed over shards by fact count
+//! (largest first). A pathologically large sample — beyond
+//! [`ShardConfig::skew_factor`] × the ideal per-shard share — becomes its
+//! own work unit, and idle shards steal pending work units, so one monster
+//! sample delays only itself, not the whole batch.
+//!
 //! The pre-0.2 [`LobsterContext`] API remains available as a deprecated shim
 //! over these types; see [`context`](LobsterContext) for the migration
 //! table.
@@ -130,6 +166,7 @@ mod error;
 mod program;
 mod scheduler;
 mod session;
+mod sharded;
 
 pub use context::LobsterContext;
 pub use dynamic::{DynProgram, DynSession};
@@ -137,6 +174,7 @@ pub use error::LobsterError;
 pub use program::{Lobster, LobsterBuilder, Program};
 pub use scheduler::{plan_offload, OffloadPlan};
 pub use session::{FactSet, RunResult, Session};
+pub use sharded::{ShardConfig, ShardRunStats, ShardedExecutor};
 
 // Re-export the pieces users routinely need alongside the program/session.
 pub use lobster_apm::{ExecutionStats, RuntimeOptions};

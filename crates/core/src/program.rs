@@ -217,6 +217,20 @@ impl<P: Provenance> Program<P> {
         &self.options
     }
 
+    /// A clone of this program bound to a different execution device. The
+    /// compiled artifact is shared (`Arc`), so this is how one compilation
+    /// is fanned out across several devices — see
+    /// [`ShardedExecutor`](crate::ShardedExecutor).
+    pub fn with_device(&self, device: Device) -> Program<P> {
+        Program {
+            artifact: Arc::clone(&self.artifact),
+            device,
+            options: self.options.clone(),
+            stratum_scheduling: self.stratum_scheduling,
+            _marker: PhantomData,
+        }
+    }
+
     /// Whether the stratum-offloading scheduler is enabled.
     pub fn stratum_scheduling(&self) -> bool {
         self.stratum_scheduling
@@ -376,6 +390,47 @@ impl<P: SessionProvenance> Program<P> {
         samples: &[crate::FactSet],
     ) -> Result<Vec<crate::RunResult>, LobsterError> {
         self.session().run_batch(samples)
+    }
+
+    /// Runs a batch partitioned across `num_shards` devices derived from
+    /// this program's device ([`lobster_gpu::Device::split_shards`]), each
+    /// shard paying its own fix-point over its slice of the samples.
+    /// Results are merged back into the caller's order and are identical to
+    /// [`Program::run_batch`] — same tuples, probabilities, and (globally
+    /// remapped) gradients. A convenience wrapper over
+    /// [`ShardedExecutor`](crate::ShardedExecutor); construct one directly
+    /// to reuse shard devices across batches or to tune skew/spill knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LobsterError`] on bad facts or execution failure.
+    pub fn run_batch_sharded(
+        &self,
+        samples: &[crate::FactSet],
+        num_shards: usize,
+    ) -> Result<Vec<crate::RunResult>, LobsterError> {
+        self.run_batch_sharded_with_stats(samples, num_shards)
+            .map(|(results, _)| results)
+    }
+
+    /// Like [`Program::run_batch_sharded`], additionally reporting how the
+    /// batch was partitioned and what each shard did
+    /// ([`ShardRunStats`](crate::ShardRunStats) — chunk counts, steals,
+    /// spills, per-shard device deltas).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LobsterError`] on bad facts or execution failure.
+    pub fn run_batch_sharded_with_stats(
+        &self,
+        samples: &[crate::FactSet],
+        num_shards: usize,
+    ) -> Result<(Vec<crate::RunResult>, crate::ShardRunStats), LobsterError> {
+        crate::ShardedExecutor::new(
+            self.clone(),
+            crate::ShardConfig::default().with_num_shards(num_shards),
+        )
+        .run_batch_with_stats(samples)
     }
 }
 

@@ -377,13 +377,28 @@ impl<P: SessionProvenance> Session<P> {
     ///
     /// Returns a [`LobsterError`] on bad facts or execution failure.
     pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
-        let batched = &self.program.artifact.batched;
         // Validate everything up front (one shared rule set with
         // `Program::validate_facts` and `Session::add_fact`) so no sample
         // registers anything for a batch that then aborts half-built.
         for facts in samples {
             self.program.validate_facts(facts)?;
         }
+        self.run_batch_refs_prevalidated(&samples.iter().collect::<Vec<_>>())
+    }
+
+    /// [`Session::run_batch`] over borrowed, **already validated** samples —
+    /// lets the sharded executor, which validates the whole batch once up
+    /// front, run each (possibly non-contiguous, possibly retried) chunk
+    /// without cloning any fact set or re-walking the schema checks.
+    ///
+    /// Unknown relations or arity mismatches in `samples` panic inside the
+    /// database layer instead of surfacing as [`LobsterError::BadFact`]; the
+    /// caller owns the validation.
+    pub(crate) fn run_batch_refs_prevalidated(
+        &self,
+        samples: &[&FactSet],
+    ) -> Result<Vec<RunResult>, LobsterError> {
+        let batched = &self.program.artifact.batched;
         // Scope all registration to this run: per-sample facts go into a
         // fork of the session registry, visible to a provenance instance
         // rebound to that fork.

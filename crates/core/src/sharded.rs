@@ -1,0 +1,751 @@
+//! Multi-device sharded batch execution: [`ShardedExecutor`],
+//! [`ShardConfig`], and [`ShardRunStats`].
+//!
+//! [`Program::run_batch`] isolates samples with a leading sample-id column,
+//! which makes the sample the natural unit of *horizontal* partitioning: a
+//! batch can be split across several [`Device`] instances, each shard running
+//! its own fix-point over its slice of the samples, and the per-shard results
+//! merged back into the caller's order. The executor here does exactly that:
+//!
+//! * **Partitioning** is cost-aware: samples are greedily bin-packed over the
+//!   shards by descending fact count (longest-processing-time order), so a
+//!   mix of large and small samples still balances. A pathologically large
+//!   sample — one whose cost exceeds [`ShardConfig::skew_factor`] × the ideal
+//!   per-shard share — is carved out as its own work unit instead of pinning
+//!   a whole shard's plan to it.
+//! * **Execution** is work-stealing: planned chunks go into a shared pool and
+//!   each shard thread takes the largest remaining chunk whenever it is idle,
+//!   so a shard that finishes early steals the work a skewed plan would have
+//!   left stranded.
+//! * **Memory budgets** are per shard: shard devices are derived with
+//!   [`Device::split_shards`], dividing the parent budget `n` ways. A chunk
+//!   that overflows its shard's budget is *spilled* — split in half and
+//!   requeued — so a batch that fits the aggregate budget still completes,
+//!   it just pays extra fix-points.
+//! * **Results agree bit-for-bit with the unsharded path.** Samples never
+//!   interact (the sample-id column keys every join), tables are kept in
+//!   sorted order, and gradient ids are remapped from shard-local to global
+//!   registration order, so `run_batch_sharded` returns exactly what
+//!   [`Program::run_batch`] would have — whatever the shard count, plan, or
+//!   steal schedule. The per-result [`ExecutionStats`] are the one exception:
+//!   they describe the chunk that actually ran.
+//!
+//! [`ExecutionStats`]: lobster_apm::ExecutionStats
+
+use crate::error::LobsterError;
+use crate::program::Program;
+use crate::session::{FactSet, RunResult};
+use lobster_apm::ExecError;
+use lobster_gpu::{Device, DeviceError, DeviceStats};
+use lobster_provenance::{InputFactId, SessionProvenance};
+use std::sync::{Condvar, Mutex};
+
+/// Knobs of the sharded executor.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shard devices the batch is partitioned across.
+    pub num_shards: usize,
+    /// A sample whose cost exceeds `skew_factor ×` the ideal per-shard share
+    /// (total cost / shards) is planned as its own work unit, eligible for
+    /// stealing, instead of anchoring one shard's whole plan.
+    pub skew_factor: f64,
+    /// How many times a chunk may be split in half after a device
+    /// out-of-memory before the error is reported. Each split halves the
+    /// working-set a shard must hold at once.
+    pub max_spill_depth: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            num_shards: 1,
+            skew_factor: 2.0,
+            max_spill_depth: 4,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Builder-style setter for [`ShardConfig::num_shards`].
+    pub fn with_num_shards(mut self, n: usize) -> Self {
+        self.num_shards = n.max(1);
+        self
+    }
+
+    /// Builder-style setter for [`ShardConfig::skew_factor`].
+    pub fn with_skew_factor(mut self, factor: f64) -> Self {
+        self.skew_factor = factor.max(1.0);
+        self
+    }
+
+    /// Builder-style setter for [`ShardConfig::max_spill_depth`].
+    pub fn with_max_spill_depth(mut self, depth: u32) -> Self {
+        self.max_spill_depth = depth;
+        self
+    }
+}
+
+/// What one sharded run did: how the batch was cut, how the shards shared
+/// the work, and what each device paid.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRunStats {
+    /// Work units the plan produced (bins plus carved-out skewed samples).
+    pub planned_chunks: usize,
+    /// Work units actually executed (spills add chunks beyond the plan).
+    pub executed_chunks: usize,
+    /// Chunks executed by a shard other than the one the plan assigned
+    /// (carved-out skew chunks are unassigned and never count as steals).
+    pub steals: usize,
+    /// Chunk splits forced by a shard running out of device memory.
+    pub spills: usize,
+    /// Samples executed by each shard, indexed by shard.
+    pub per_shard_samples: Vec<usize>,
+    /// Device counters of each shard for *this run* (deltas against the
+    /// counters at run start, so reusing the executor across batches does
+    /// not accumulate; `live_bytes`/`peak_bytes` are the device's current
+    /// and high-water gauges), indexed by shard. Attribution assumes runs on
+    /// one executor do not overlap — concurrent `run_batch` calls share
+    /// devices and blur each other's deltas.
+    pub device_stats: Vec<DeviceStats>,
+}
+
+impl ShardRunStats {
+    /// The per-shard device counters folded into one aggregate record.
+    pub fn merged_device_stats(&self) -> DeviceStats {
+        let mut merged = DeviceStats::default();
+        for stats in &self.device_stats {
+            merged.merge(stats);
+        }
+        merged
+    }
+}
+
+/// One schedulable unit of work: a set of samples (global indices, ascending)
+/// that one shard runs as a single `run_batch` fix-point.
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// Global sample indices, ascending.
+    samples: Vec<usize>,
+    /// Total cost of the samples (fact counts).
+    cost: u64,
+    /// The shard the packing plan assigned this chunk to; `None` for
+    /// carved-out skewed samples, which belong to whoever grabs them.
+    planned_shard: Option<usize>,
+    /// How many out-of-memory splits produced this chunk.
+    spill_depth: u32,
+}
+
+/// Greedy cost-aware partition of `costs` into at most `num_shards` bins,
+/// with samples above the skew threshold carved out as their own chunks.
+fn plan_chunks(costs: &[u64], num_shards: usize, skew_factor: f64) -> Vec<Chunk> {
+    let total: u64 = costs.iter().sum();
+    let ideal = total as f64 / num_shards.max(1) as f64;
+    let threshold = skew_factor * ideal;
+
+    let mut chunks = Vec::new();
+    let mut packable: Vec<usize> = Vec::new();
+    for (i, &cost) in costs.iter().enumerate() {
+        // Only a sample that dominates the ideal share is carved out; when
+        // every sample is equally huge (ideal ≈ cost) packing stays even.
+        if num_shards > 1 && cost as f64 > threshold {
+            chunks.push(Chunk {
+                samples: vec![i],
+                cost,
+                planned_shard: None,
+                spill_depth: 0,
+            });
+        } else {
+            packable.push(i);
+        }
+    }
+
+    // Longest-processing-time greedy packing of the rest: place each sample,
+    // largest first, on the currently lightest bin. Ties break on the lower
+    // index so the plan is deterministic.
+    packable.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut bins: Vec<(u64, Vec<usize>)> = vec![(0, Vec::new()); num_shards.max(1)];
+    for i in packable {
+        let lightest = bins
+            .iter()
+            .enumerate()
+            .min_by_key(|(b, (load, _))| (*load, *b))
+            .map(|(b, _)| b)
+            .expect("at least one bin");
+        bins[lightest].0 += costs[i];
+        bins[lightest].1.push(i);
+    }
+    for (b, (cost, mut samples)) in bins.into_iter().enumerate() {
+        if samples.is_empty() {
+            continue;
+        }
+        samples.sort_unstable();
+        chunks.push(Chunk {
+            samples,
+            cost,
+            planned_shard: Some(b),
+            spill_depth: 0,
+        });
+    }
+    chunks
+}
+
+/// The chunk pool of one run: pending chunks plus the number of chunks
+/// whose work is not finished yet (queued *or* executing). A thread must
+/// not retire while unfinished chunks remain — an executing chunk may spill
+/// and requeue halves that an already-departed thread could have stolen.
+struct ChunkPool {
+    pending: Vec<Chunk>,
+    /// Chunks taken or queued but not yet completed; `0` means the run is
+    /// drained and waiting threads can retire.
+    outstanding: usize,
+}
+
+/// State the shard threads share during one run.
+struct RunState {
+    pool: Mutex<ChunkPool>,
+    /// Signalled whenever the pool changes: new (spilled) chunks, a chunk
+    /// completing, or a failure.
+    work: Condvar,
+    /// Merged results in caller order, filled in as chunks complete.
+    results: Mutex<Vec<Option<RunResult>>>,
+    /// First unrecoverable error; set once, stops every thread.
+    error: Mutex<Option<LobsterError>>,
+    /// Counters (steals, spills, executed chunks, per-shard samples).
+    counters: Mutex<(usize, usize, usize, Vec<usize>)>,
+}
+
+impl RunState {
+    /// Takes the most expensive pending chunk (ties: lowest leading sample
+    /// index, so the drain order is deterministic). Blocks while the pool is
+    /// empty but chunks are still executing — they may spill and requeue
+    /// work. Returns `None` once every chunk has completed (or on failure).
+    fn take_chunk(&self) -> Option<Chunk> {
+        let mut pool = self.pool.lock().expect("shard pool poisoned");
+        loop {
+            if self.failed() {
+                return None;
+            }
+            let best = pool
+                .pending
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| (c.cost, std::cmp::Reverse(c.samples[0])))
+                .map(|(i, _)| i);
+            if let Some(best) = best {
+                return Some(pool.pending.swap_remove(best));
+            }
+            if pool.outstanding == 0 {
+                return None;
+            }
+            pool = self.work.wait(pool).expect("shard pool poisoned");
+        }
+    }
+
+    /// Marks one taken chunk as finished for good (completed or failed —
+    /// anything that will not requeue work).
+    fn finish_chunk(&self) {
+        let mut pool = self.pool.lock().expect("shard pool poisoned");
+        pool.outstanding -= 1;
+        if pool.outstanding == 0 {
+            self.work.notify_all();
+        }
+    }
+
+    /// Requeues the spill halves of a taken chunk. Both halves enter the
+    /// outstanding count; the original is retired separately with
+    /// [`RunState::finish_chunk`] (call `requeue` first so the count never
+    /// dips to zero mid-spill).
+    fn requeue(&self, halves: [Chunk; 2]) {
+        let mut pool = self.pool.lock().expect("shard pool poisoned");
+        pool.outstanding += halves.len();
+        pool.pending.extend(halves);
+        self.work.notify_all();
+    }
+
+    fn fail(&self, e: LobsterError) {
+        let mut error = self.error.lock().expect("shard error poisoned");
+        error.get_or_insert(e);
+        drop(error);
+        // Wake every sleeper so the run winds down promptly. The failing
+        // thread never retires its chunk (`outstanding` stays positive), so
+        // this is the *only* wake-up a waiter will get: take the pool lock
+        // first to serialize with `take_chunk`'s check-then-wait — a thread
+        // that read `failed() == false` under the pool lock is guaranteed to
+        // be inside `wait` (lock released) before this notification fires.
+        let _pool = self.pool.lock().expect("shard pool poisoned");
+        self.work.notify_all();
+    }
+
+    fn failed(&self) -> bool {
+        self.error.lock().expect("shard error poisoned").is_some()
+    }
+}
+
+/// Runs batches of one compiled [`Program`] across several shard devices.
+///
+/// Construction derives the shard devices from the program's own device with
+/// [`Device::split_shards`] (dividing its memory budget and kernel workers),
+/// so the executor respects whatever envelope the program was compiled for.
+/// [`ShardedExecutor::run_batch`] then plans (cost-aware bin-packing with
+/// skew carve-outs), executes (work-stealing chunk pool, out-of-memory
+/// spills), and merges (caller order, global gradient ids) — see the
+/// "Multi-device sharding" section of the crate docs; the convenience wrappers
+/// [`Program::run_batch_sharded`] and `DynProgram::run_batch_sharded` build a
+/// throwaway executor per call.
+#[derive(Debug)]
+pub struct ShardedExecutor<P: SessionProvenance> {
+    /// One program clone per shard, bound to that shard's device.
+    shards: Vec<Program<P>>,
+    config: ShardConfig,
+    /// Fact ids `0..inline_facts` are the program's inline facts, identical
+    /// in every shard and in the global order.
+    inline_facts: u32,
+}
+
+impl<P: SessionProvenance> ShardedExecutor<P> {
+    /// Creates an executor over `config.num_shards` devices derived from the
+    /// program's device.
+    pub fn new(program: Program<P>, config: ShardConfig) -> Self {
+        let devices = program.device().split_shards(config.num_shards.max(1));
+        Self::with_devices(program, devices, config)
+    }
+
+    /// Creates an executor over explicit shard devices (overriding
+    /// [`Device::split_shards`]-derived budgets — e.g. heterogeneous
+    /// devices). `config.num_shards` is ignored in favour of `devices.len()`.
+    pub fn with_devices(program: Program<P>, devices: Vec<Device>, config: ShardConfig) -> Self {
+        assert!(!devices.is_empty(), "at least one shard device");
+        // A fresh session pre-registers exactly the program's inline facts,
+        // so their count comes straight off the compiled artifact — no need
+        // to build (and throw away) a session with its registry here.
+        let inline_facts = program.artifact.compiled.facts.len() as u32;
+        let shards = devices
+            .into_iter()
+            .map(|device| program.with_device(device))
+            .collect::<Vec<_>>();
+        let config = ShardConfig {
+            num_shards: shards.len(),
+            ..config
+        };
+        ShardedExecutor {
+            shards,
+            config,
+            inline_facts,
+        }
+    }
+
+    /// Number of shard devices.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// The shard devices, indexed by shard.
+    pub fn shard_devices(&self) -> Vec<&Device> {
+        self.shards.iter().map(|p| p.device()).collect()
+    }
+
+    /// Runs `samples` across the shards and returns one [`RunResult`] per
+    /// sample in the caller's order — exactly the results
+    /// [`Program::run_batch`] would produce on one device.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LobsterError`] on bad facts, or on execution failure of
+    /// any chunk (an out-of-memory chunk is first split up to
+    /// [`ShardConfig::max_spill_depth`] times).
+    pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
+        self.run_batch_with_stats(samples)
+            .map(|(results, _)| results)
+    }
+
+    /// Like [`ShardedExecutor::run_batch`], additionally reporting how the
+    /// batch was partitioned and what each shard did.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedExecutor::run_batch`].
+    pub fn run_batch_with_stats(
+        &self,
+        samples: &[FactSet],
+    ) -> Result<(Vec<RunResult>, ShardRunStats), LobsterError> {
+        let num_shards = self.shards.len();
+        // Snapshot every shard's counters up front so the reported device
+        // stats are this run's *deltas*, not the executor's lifetime
+        // accumulation (the executor is meant to be reused across batches).
+        let before: Vec<DeviceStats> = self.shards.iter().map(|p| p.device().stats()).collect();
+        let device_deltas = |shards: &[Program<P>]| {
+            shards
+                .iter()
+                .zip(&before)
+                .map(|(p, b)| p.device().stats().delta_since(b))
+                .collect::<Vec<_>>()
+        };
+        let mut stats = ShardRunStats {
+            per_shard_samples: vec![0; num_shards],
+            device_stats: Vec::new(),
+            ..ShardRunStats::default()
+        };
+        if samples.is_empty() {
+            stats.device_stats = device_deltas(&self.shards);
+            return Ok((Vec::new(), stats));
+        }
+        // Validate every sample up front — the same rule set as `run_batch`
+        // — so no shard starts a fix-point for a batch that is going to be
+        // rejected.
+        for facts in samples {
+            self.shards[0].validate_facts(facts)?;
+        }
+
+        // Global registration order: `run_batch` hands out ids inline facts
+        // first, then sample 0's facts, sample 1's, … Gradient remapping
+        // needs each sample's global offset into that order.
+        let mut global_offsets = Vec::with_capacity(samples.len());
+        let mut offset = 0u32;
+        for sample in samples {
+            global_offsets.push(offset);
+            offset += sample.len() as u32;
+        }
+
+        let costs: Vec<u64> = samples.iter().map(|s| s.len().max(1) as u64).collect();
+        let chunks = plan_chunks(&costs, num_shards, self.config.skew_factor);
+        stats.planned_chunks = chunks.len();
+
+        let state = RunState {
+            pool: Mutex::new(ChunkPool {
+                outstanding: chunks.len(),
+                pending: chunks,
+            }),
+            work: Condvar::new(),
+            results: Mutex::new(vec![None; samples.len()]),
+            error: Mutex::new(None),
+            counters: Mutex::new((0, 0, 0, vec![0; num_shards])),
+        };
+
+        std::thread::scope(|scope| {
+            for (shard_idx, shard) in self.shards.iter().enumerate() {
+                let state = &state;
+                let global_offsets = &global_offsets;
+                scope.spawn(move || {
+                    self.shard_loop(shard_idx, shard, samples, global_offsets, state)
+                });
+            }
+        });
+
+        if let Some(e) = state.error.lock().expect("shard error poisoned").take() {
+            return Err(e);
+        }
+        let results = state
+            .results
+            .lock()
+            .expect("shard results poisoned")
+            .drain(..)
+            .map(|r| r.expect("every sample ran"))
+            .collect();
+        let (steals, spills, executed, per_shard) =
+            std::mem::take(&mut *state.counters.lock().expect("shard counters poisoned"));
+        stats.steals = steals;
+        stats.spills = spills;
+        stats.executed_chunks = executed;
+        stats.per_shard_samples = per_shard;
+        stats.device_stats = device_deltas(&self.shards);
+        Ok((results, stats))
+    }
+
+    /// One shard thread: drain the chunk pool, spilling on OOM.
+    fn shard_loop(
+        &self,
+        shard_idx: usize,
+        shard: &Program<P>,
+        samples: &[FactSet],
+        global_offsets: &[u32],
+        state: &RunState,
+    ) {
+        while !state.failed() {
+            let Some(chunk) = state.take_chunk() else {
+                return;
+            };
+            // Borrow the chunk's samples out of the caller's batch — a chunk
+            // execution (and any spill retry) copies no fact payloads and
+            // repeats no validation (the whole batch was validated once in
+            // `run_batch_with_stats`).
+            let chunk_samples: Vec<&FactSet> = chunk.samples.iter().map(|&g| &samples[g]).collect();
+            match shard.session().run_batch_refs_prevalidated(&chunk_samples) {
+                Ok(chunk_results) => {
+                    let mut results = state.results.lock().expect("shard results poisoned");
+                    let mut local_offset = 0u32;
+                    for (local, result) in chunk.samples.iter().zip(chunk_results) {
+                        let global = *local;
+                        let mut result = result;
+                        remap_gradients(
+                            &mut result,
+                            self.inline_facts,
+                            local_offset,
+                            samples[global].len() as u32,
+                            global_offsets[global],
+                        );
+                        results[global] = Some(result);
+                        local_offset += samples[global].len() as u32;
+                    }
+                    drop(results);
+                    let mut counters = state.counters.lock().expect("shard counters poisoned");
+                    counters.2 += 1;
+                    counters.3[shard_idx] += chunk.samples.len();
+                    if chunk
+                        .planned_shard
+                        .is_some_and(|planned| planned != shard_idx)
+                    {
+                        counters.0 += 1;
+                    }
+                    drop(counters);
+                    state.finish_chunk();
+                }
+                Err(e) if is_oom(&e) && chunk.samples.len() > 1 => {
+                    if chunk.spill_depth >= self.config.max_spill_depth {
+                        state.fail(e);
+                        return;
+                    }
+                    // Spill: halve the working set and requeue both halves
+                    // (for any idle shard to pick up). The halves preserve
+                    // ascending sample order, so merged results — and the
+                    // gradient remap — are unaffected.
+                    let mid = chunk.samples.len() / 2;
+                    let (left, right) = chunk.samples.split_at(mid);
+                    let half = |indices: &[usize]| Chunk {
+                        cost: indices.iter().map(|&g| costs_of(samples, g)).sum(),
+                        samples: indices.to_vec(),
+                        planned_shard: Some(shard_idx),
+                        spill_depth: chunk.spill_depth + 1,
+                    };
+                    // Requeue before finishing the original so the pool's
+                    // outstanding count never dips to zero mid-spill (a
+                    // sibling observing zero would retire with work left).
+                    state.requeue([half(left), half(right)]);
+                    state.finish_chunk();
+                    state.counters.lock().expect("shard counters poisoned").1 += 1;
+                }
+                Err(e) => {
+                    state.fail(e);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The cost of one sample (its fact count, at least 1 so empty samples still
+/// occupy a slot in the plan).
+fn costs_of(samples: &[FactSet], g: usize) -> u64 {
+    samples[g].len().max(1) as u64
+}
+
+/// `true` for the device out-of-memory error the spill path can recover from
+/// by shrinking the working set.
+fn is_oom(e: &LobsterError) -> bool {
+    matches!(
+        e,
+        LobsterError::Execution(ExecError::Device(DeviceError::OutOfMemory { .. }))
+    )
+}
+
+/// Rewrites one chunk-local result's gradient ids into the global
+/// registration order of the unsharded batch: inline-fact ids (`0..inline`)
+/// are shared and unchanged; the sample's own facts move from the chunk's
+/// offset to the sample's global offset. Sample isolation guarantees no
+/// other ids can occur; any that do are dropped rather than silently pointed
+/// at another sample's facts.
+fn remap_gradients(
+    result: &mut RunResult,
+    inline: u32,
+    local_offset: u32,
+    sample_len: u32,
+    global_offset: u32,
+) {
+    result.map_gradient_ids(|id| {
+        if id.0 < inline {
+            return Some(id);
+        }
+        let local = id.0 - inline;
+        local
+            .checked_sub(local_offset)
+            .filter(|rel| *rel < sample_len)
+            .map(|rel| InputFactId(inline + global_offset + rel))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Lobster;
+    use lobster_provenance::{DiffAddMultProb, Unit};
+    use lobster_ram::Value;
+
+    const TC: &str = "type edge(x: u32, y: u32)
+        rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+        query path";
+
+    fn chain(len: u32, base: u32) -> FactSet {
+        let mut facts = FactSet::new();
+        for i in 0..len {
+            facts.add(
+                "edge",
+                &[Value::U32(base + i), Value::U32(base + i + 1)],
+                Some(0.9),
+            );
+        }
+        facts
+    }
+
+    #[test]
+    fn plan_balances_uniform_costs() {
+        let chunks = plan_chunks(&[3, 3, 3, 3, 3, 3], 3, 2.0);
+        assert_eq!(chunks.len(), 3);
+        for chunk in &chunks {
+            assert_eq!(chunk.cost, 6);
+            assert_eq!(chunk.samples.len(), 2);
+            assert!(chunk.planned_shard.is_some());
+        }
+        // Every sample appears exactly once.
+        let mut all: Vec<usize> = chunks.iter().flat_map(|c| c.samples.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn plan_carves_out_skewed_samples() {
+        // Sample 2 holds 60 of 70 facts: far beyond 2× the ideal share
+        // (70/2 = 35), so it becomes its own unassigned chunk.
+        let chunks = plan_chunks(&[5, 5, 60], 2, 1.5);
+        let skewed: Vec<&Chunk> = chunks
+            .iter()
+            .filter(|c| c.planned_shard.is_none())
+            .collect();
+        assert_eq!(skewed.len(), 1);
+        assert_eq!(skewed[0].samples, vec![2]);
+        // The remaining samples are packed over the two shards.
+        let packed: u64 = chunks
+            .iter()
+            .filter(|c| c.planned_shard.is_some())
+            .map(|c| c.cost)
+            .sum();
+        assert_eq!(packed, 10);
+    }
+
+    #[test]
+    fn plan_with_fewer_samples_than_shards_skips_empty_bins() {
+        let chunks = plan_chunks(&[2, 4], 4, 2.0);
+        assert_eq!(chunks.len(), 2);
+        for chunk in &chunks {
+            assert_eq!(chunk.samples.len(), 1);
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_results() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffAddMultProb>()
+            .unwrap();
+        let samples: Vec<FactSet> = (0..7).map(|i| chain(2 + i % 3, i * 10)).collect();
+        let reference = program.run_batch(&samples).unwrap();
+        for shards in 1..=4 {
+            let executor = ShardedExecutor::new(
+                program.clone(),
+                ShardConfig::default().with_num_shards(shards),
+            );
+            let (results, stats) = executor.run_batch_with_stats(&samples).unwrap();
+            assert_eq!(results.len(), reference.len());
+            assert_eq!(stats.per_shard_samples.iter().sum::<usize>(), samples.len());
+            for (got, want) in results.iter().zip(&reference) {
+                assert_eq!(got.relations(), want.relations());
+                for rel in want.relations() {
+                    assert_eq!(got.relation(rel), want.relation(rel), "shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_an_empty_result() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(3));
+        let (results, stats) = executor.run_batch_with_stats(&[]).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.planned_chunks, 0);
+        assert_eq!(stats.executed_chunks, 0);
+    }
+
+    #[test]
+    fn bad_facts_are_rejected_before_any_shard_runs() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(2));
+        let mut bad = FactSet::new();
+        bad.add("ghost", &[Value::U32(0)], None);
+        let err = executor.run_batch(&[chain(2, 0), bad]).unwrap_err();
+        assert!(matches!(err, LobsterError::BadFact { .. }));
+        // No shard device saw any work.
+        for device in executor.shard_devices() {
+            assert_eq!(device.stats().kernel_launches, 0);
+        }
+    }
+
+    #[test]
+    fn failures_with_sleeping_siblings_never_hang_the_run() {
+        use lobster_gpu::DeviceConfig;
+        // Three single-sample chunks over two shards with a budget no split
+        // can satisfy: one thread fails while the other may be anywhere in
+        // its take-chunk/wait cycle. Repeat to give the lost-wakeup window
+        // (fail() racing a sibling between its failed() check and its wait)
+        // many chances — the run must error out, never deadlock.
+        let program = Lobster::builder(TC)
+            .device(lobster_gpu::Device::new(DeviceConfig {
+                parallelism: 1,
+                memory_limit: Some(32),
+                ..DeviceConfig::default()
+            }))
+            .compile_typed::<Unit>()
+            .unwrap();
+        let samples: Vec<FactSet> = (0..3).map(|i| chain(3, i * 100)).collect();
+        let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(2));
+        for _ in 0..20 {
+            let err = executor.run_batch(&samples).unwrap_err();
+            assert!(matches!(err, LobsterError::Execution(_)));
+        }
+    }
+
+    #[test]
+    fn reused_executors_report_per_run_device_stats_not_lifetime_totals() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(2));
+        let samples: Vec<FactSet> = (0..4).map(|i| chain(3, i * 10)).collect();
+        let (_, first) = executor.run_batch_with_stats(&samples).unwrap();
+        let (_, second) = executor.run_batch_with_stats(&samples).unwrap();
+        let (a, b) = (
+            first.merged_device_stats().kernel_launches,
+            second.merged_device_stats().kernel_launches,
+        );
+        assert!(a > 0);
+        // Identical work → identical per-run counters; a cumulative snapshot
+        // would have doubled on the second run.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn executor_reports_shard_devices_and_config() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let executor = ShardedExecutor::new(
+            program,
+            ShardConfig::default()
+                .with_num_shards(3)
+                .with_skew_factor(1.5)
+                .with_max_spill_depth(2),
+        );
+        assert_eq!(executor.num_shards(), 3);
+        assert_eq!(executor.shard_devices().len(), 3);
+        assert!((executor.config().skew_factor - 1.5).abs() < 1e-12);
+        assert_eq!(executor.config().max_spill_depth, 2);
+    }
+}

@@ -160,6 +160,21 @@ impl ProgramCache {
         options: RuntimeOptions,
     ) -> Result<Arc<DynProgram>, LobsterError> {
         let key = CacheKey::new(source, kind, &options);
+        self.get_or_compile_keyed(key, source, kind, options)
+    }
+
+    /// The keyed lookup behind [`ProgramCache::get_or_compile_with`]. Taking
+    /// the key explicitly keeps the collision branch honestly testable: a
+    /// 64-bit FNV-1a collision cannot be manufactured from real sources, but
+    /// a test can pass a key that belongs to a *different* source and must
+    /// observe exactly what a genuine collision would produce.
+    fn get_or_compile_keyed(
+        &self,
+        key: CacheKey,
+        source: &str,
+        kind: ProvenanceKind,
+        options: RuntimeOptions,
+    ) -> Result<Arc<DynProgram>, LobsterError> {
         let slot = {
             let mut state = self.state.lock().expect("cache lock poisoned");
             state.tick += 1;
@@ -369,6 +384,63 @@ mod tests {
             .get_or_compile("rel x(", ProvenanceKind::Unit)
             .is_err());
         assert_eq!(cache.stats().compiles, 2);
+    }
+
+    #[test]
+    fn forced_key_collision_compiles_uncached_and_preserves_the_original() {
+        // A disconnected-edge program: `path` derives exactly one tuple per
+        // edge fact, distinguishing it from TC's three-tuple closure below.
+        const OTHER: &str = "type edge(x: u32, y: u32)
+            rel path(x, y) = edge(x, y)
+            query path";
+
+        let cache = ProgramCache::new();
+        let original = cache.get_or_compile(TC, ProvenanceKind::Unit).unwrap();
+
+        // Deterministic forced collision: request OTHER under TC's key, as
+        // if both sources hashed to the same 64 bits.
+        let options = RuntimeOptions::default();
+        let colliding_key = CacheKey::new(TC, ProvenanceKind::Unit, &options);
+        let collided = cache
+            .get_or_compile_keyed(colliding_key, OTHER, ProvenanceKind::Unit, options.clone())
+            .unwrap();
+
+        // The mismatch was detected and served by an uncached compile: the
+        // collision stat ticks, a second compile happened, and the caller
+        // got OTHER's semantics, not the resident artifact.
+        let stats = cache.stats();
+        assert_eq!(stats.collisions, 1, "stats: {stats:?}");
+        assert_eq!(stats.compiles, 2);
+        assert!(!Arc::ptr_eq(&original, &collided));
+        let mut chain = lobster::FactSet::new();
+        chain.add(
+            "edge",
+            &[lobster::Value::U32(0), lobster::Value::U32(1)],
+            None,
+        );
+        chain.add(
+            "edge",
+            &[lobster::Value::U32(1), lobster::Value::U32(2)],
+            None,
+        );
+        assert_eq!(
+            collided.run_batch(std::slice::from_ref(&chain)).unwrap()[0].len("path"),
+            2
+        );
+
+        // The colliding request neither evicted nor corrupted the resident
+        // entry: the original key still hits and still serves TC (closure of
+        // the 2-chain has 3 tuples).
+        let again = cache.get_or_compile(TC, ProvenanceKind::Unit).unwrap();
+        assert!(Arc::ptr_eq(&original, &again));
+        assert_eq!(
+            again.run_batch(std::slice::from_ref(&chain)).unwrap()[0].len("path"),
+            3
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "stats: {stats:?}");
+        assert_eq!(stats.compiles, 2, "the hit must not recompile");
+        assert_eq!(stats.resident_programs, 1);
     }
 
     #[test]

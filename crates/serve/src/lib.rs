@@ -19,7 +19,10 @@
 //!   controlled by [`SchedulerConfig::max_batch_size`] and
 //!   [`SchedulerConfig::max_queue_delay`]; results are routed back to each
 //!   caller over a per-request channel. Plain `std` threads and `mpsc` —
-//!   no async runtime dependency.
+//!   no async runtime dependency. With [`SchedulerConfig::num_shards`]
+//!   above 1, every pooled batch additionally fans out across shard
+//!   devices (`DynProgram::run_batch_sharded`) with identical results —
+//!   see the "Multi-device sharding" section of the `lobster` crate docs.
 //!
 //! # Example
 //!

@@ -19,6 +19,18 @@ pub struct SchedulerConfig {
     /// Number of worker threads draining the queue. Each worker runs whole
     /// batches, so more workers overlap fix-points of *different* batches.
     pub workers: usize,
+    /// Number of shard devices each batch is partitioned across
+    /// ([`DynProgram::run_batch_sharded`]). `1` (the default) runs every
+    /// batch on the program's own device; above 1, pooled batches fan out
+    /// over devices derived with `Device::split_shards`, overlapping
+    /// fix-points of *slices of the same batch*. Results — tuples,
+    /// probabilities, request-local gradient ids — are identical either way.
+    ///
+    /// Each batch execution derives its own budget split, so with
+    /// `workers > 1` every concurrently executing batch gets the full
+    /// per-device memory envelope: size the program device's `memory_limit`
+    /// for `workers ×` that envelope when combining both knobs.
+    pub num_shards: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -27,6 +39,7 @@ impl Default for SchedulerConfig {
             max_batch_size: 32,
             max_queue_delay: Duration::from_millis(2),
             workers: 1,
+            num_shards: 1,
         }
     }
 }
@@ -49,13 +62,24 @@ impl SchedulerConfig {
         self.workers = n.max(1);
         self
     }
+
+    /// Builder-style setter for [`SchedulerConfig::num_shards`].
+    pub fn with_num_shards(mut self, n: usize) -> Self {
+        self.num_shards = n.max(1);
+        self
+    }
 }
 
 /// Counters describing the batches a scheduler has run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
-    /// Batches executed (fix-points paid).
+    /// Batches executed. Without sharding every batch costs one fix-point;
+    /// with [`SchedulerConfig::num_shards`] above 1 see
+    /// [`SchedulerStats::sharded_chunks`] for the fix-points actually paid.
     pub batches: u64,
+    /// Shard chunks executed across all sharded batches — each chunk is one
+    /// fix-point (spills included). `0` when `num_shards` is 1.
+    pub sharded_chunks: u64,
     /// Requests served across all batches.
     pub samples: u64,
     /// Batches flushed because they reached `max_batch_size`.
@@ -86,6 +110,7 @@ struct Shared {
     arrivals: Condvar,
     shutdown: AtomicBool,
     batches: AtomicU64,
+    sharded_chunks: AtomicU64,
     samples: AtomicU64,
     full_flushes: AtomicU64,
     timer_flushes: AtomicU64,
@@ -162,6 +187,7 @@ impl BatchScheduler {
             arrivals: Condvar::new(),
             shutdown: AtomicBool::new(false),
             batches: AtomicU64::new(0),
+            sharded_chunks: AtomicU64::new(0),
             samples: AtomicU64::new(0),
             full_flushes: AtomicU64::new(0),
             timer_flushes: AtomicU64::new(0),
@@ -231,6 +257,7 @@ impl BatchScheduler {
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats {
             batches: self.shared.batches.load(Ordering::Relaxed),
+            sharded_chunks: self.shared.sharded_chunks.load(Ordering::Relaxed),
             samples: self.shared.samples.load(Ordering::Relaxed),
             full_flushes: self.shared.full_flushes.load(Ordering::Relaxed),
             timer_flushes: self.shared.timer_flushes.load(Ordering::Relaxed),
@@ -334,7 +361,27 @@ fn worker_loop(shared: &Shared) {
         shared
             .largest_batch
             .fetch_max(facts.len(), Ordering::Relaxed);
-        match shared.program.run_batch(&facts) {
+        // With `num_shards > 1` the batch fans out across shard devices; the
+        // sharded path merges results back into submission order and keeps
+        // the same global fact-id layout, so the request-local gradient
+        // remap below is shard-agnostic. The per-batch executor behind this
+        // call is a handful of Arc clones, device handles, and shard-thread
+        // spawns — cheap next to any fix-point — so nothing is cached across
+        // batches.
+        let outcome = if shared.config.num_shards > 1 {
+            shared
+                .program
+                .run_batch_sharded_with_stats(&facts, shared.config.num_shards)
+                .map(|(results, stats)| {
+                    shared
+                        .sharded_chunks
+                        .fetch_add(stats.executed_chunks as u64, Ordering::Relaxed);
+                    results
+                })
+        } else {
+            shared.program.run_batch(&facts)
+        };
+        match outcome {
             Ok(mut results) => {
                 // Raw gradient ids are batch-relative (all samples share one
                 // forked registry, ids handed out in batch order after the
@@ -416,6 +463,35 @@ mod tests {
             );
         }
         assert!(scheduler.stats().full_flushes >= 1);
+    }
+
+    #[test]
+    fn sharded_batches_round_trip_with_correct_results() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(4)
+                .with_max_queue_delay(Duration::from_secs(30))
+                .with_num_shards(2),
+        );
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| scheduler.submit(edge_request(i * 10, i * 10 + 1, 0.25 + 0.1 * f64::from(i))))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let result = ticket.wait().unwrap();
+            let (a, b) = (i as u32 * 10, i as u32 * 10 + 1);
+            let expected = 0.25 + 0.1 * i as f64;
+            assert!(
+                (result.probability("path", &[Value::U32(a), Value::U32(b)]) - expected).abs()
+                    < 1e-9
+            );
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.samples, 4);
+        // One full batch of 4 over 2 shards executes exactly 2 chunks (one
+        // fix-point each) — the counter measures, it does not model.
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.sharded_chunks, 2);
     }
 
     #[test]
