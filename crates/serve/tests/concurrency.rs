@@ -188,21 +188,27 @@ fn assert_same_outputs(a: &lobster::RunResult, b: &lobster::RunResult, what: &st
     }
 }
 
-#[test]
-fn scheduler_results_agree_with_one_shot_run_batch_across_flush_boundaries() {
+/// Serves 10 requests through a scheduler cutting the set at several flush
+/// boundaries (max_batch_size 4) with the given shard count, and asserts
+/// every served result agrees with the whole set run as one `run_batch`
+/// fix-point.
+fn assert_flush_boundary_agreement(num_shards: usize) {
     let program = Arc::new(DynProgram::compile(TC, ProvenanceKind::AddMultProb).unwrap());
     let requests: Vec<FactSet> = (0..10).map(request).collect();
 
-    // Ground truth: the whole set in one fix-point.
+    // Ground truth: the whole set in one fix-point on one device.
     let reference = program.run_batch(&requests).unwrap();
 
     // The scheduler must split these 10 requests across at least 3 batches
-    // (max_batch_size 4), so several flush boundaries cut the set.
+    // (max_batch_size 4), so several flush boundaries cut the set — and with
+    // `num_shards > 1` each of those batches is additionally cut across
+    // shard devices.
     let scheduler = BatchScheduler::new(
         Arc::clone(&program),
         SchedulerConfig::default()
             .with_max_batch_size(4)
-            .with_max_queue_delay(Duration::from_millis(1)),
+            .with_max_queue_delay(Duration::from_millis(1))
+            .with_num_shards(num_shards),
     );
     let tickets: Vec<_> = requests
         .iter()
@@ -217,8 +223,72 @@ fn scheduler_results_agree_with_one_shot_run_batch_across_flush_boundaries() {
     assert!(stats.batches >= 3, "stats: {stats:?}");
 
     for (i, (batched, one_shot)) in served.iter().zip(&reference).enumerate() {
-        assert_same_outputs(batched, one_shot, &format!("request {i}"));
+        assert_same_outputs(
+            batched,
+            one_shot,
+            &format!("request {i} (shards {num_shards})"),
+        );
     }
+}
+
+#[test]
+fn scheduler_results_agree_with_one_shot_run_batch_across_flush_boundaries() {
+    assert_flush_boundary_agreement(1);
+}
+
+#[test]
+fn sharded_scheduler_results_agree_with_one_shot_run_batch_across_flush_boundaries() {
+    // Every pooled batch additionally fans out across 2 and 3 shard devices;
+    // flush boundaries and shard boundaries together must stay invisible.
+    assert_flush_boundary_agreement(2);
+    assert_flush_boundary_agreement(3);
+}
+
+#[test]
+fn sharded_scheduler_gradients_stay_request_local() {
+    use lobster::InputFactId;
+
+    // Requests with *different* fact counts forced into one sharded batch:
+    // the gradient remap must hold whichever shard a request's sample lands
+    // on.
+    let program = Arc::new(DynProgram::compile(TC, ProvenanceKind::DiffAddMultProb).unwrap());
+    let requests: Vec<FactSet> = (0..6).map(request).collect();
+    let mut small = FactSet::new();
+    small.add("edge", &[Value::U32(90), Value::U32(91)], Some(0.7));
+
+    let scheduler = BatchScheduler::new(
+        Arc::clone(&program),
+        SchedulerConfig::default()
+            .with_max_batch_size(7)
+            .with_max_queue_delay(Duration::from_secs(30))
+            .with_num_shards(3),
+    );
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|r| scheduler.submit(r.clone()))
+        .collect();
+    let t_small = scheduler.submit(small.clone());
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.wait().expect("served");
+        let reference = &program
+            .run_batch(std::slice::from_ref(&requests[i]))
+            .unwrap()[0];
+        let target = [Value::U32(i as u32), Value::U32(i as u32 + 2)];
+        let got: std::collections::BTreeMap<_, _> =
+            result.gradient("path", &target).into_iter().collect();
+        let want: std::collections::BTreeMap<_, _> =
+            reference.gradient("path", &target).into_iter().collect();
+        assert_eq!(got.len(), want.len(), "request {i}");
+        for (id, g) in &want {
+            assert!(id.0 < requests[i].len() as u32, "request-local id {id}");
+            assert!((got[id] - g).abs() < 1e-9, "request {i} fact {id}");
+        }
+    }
+    let result = t_small.wait().expect("served");
+    let grad = result.gradient("path", &[Value::U32(90), Value::U32(91)]);
+    assert_eq!(grad.len(), 1);
+    assert_eq!(grad[0].0, InputFactId(0));
+    assert_eq!(scheduler.stats().batches, 1, "requests must share a batch");
 }
 
 #[test]
