@@ -83,6 +83,30 @@ fn sharded_is_bit_identical_to_single_device_across_kinds_and_shard_counts() {
 }
 
 #[test]
+fn a_persistent_executor_stays_bit_identical_across_many_reused_batches() {
+    // The persistent worker pool changes *when* work runs (long-lived
+    // threads, shared queue, recycled sessions and fork registries) but may
+    // never change *what* it computes: one executor serving a stream of
+    // differently-shaped random batches must agree bit-for-bit with the
+    // single-device reference on every one of them.
+    for kind in KINDS {
+        let program = DynProgram::compile(clutrr::PROGRAM, kind).unwrap();
+        let executor = program.sharded_executor(ShardConfig::default().with_num_shards(3));
+        for case in 0..CASES * 3 {
+            let seed = 0xC0FFEE + case;
+            let samples = random_clutrr_batch(seed);
+            let reference = program.run_batch(&samples).unwrap();
+            let sharded = executor.run_batch(&samples).unwrap();
+            assert_batches_identical(
+                &sharded,
+                &reference,
+                &format!("kind {kind}, seed {seed:#x}, persistent batch {case}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn empty_batch_agrees_for_every_shard_count() {
     let program = DynProgram::compile(clutrr::PROGRAM, ProvenanceKind::DiffTop1Proof).unwrap();
     let reference = program.run_batch(&[]).unwrap();

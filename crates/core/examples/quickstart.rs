@@ -3,6 +3,12 @@
 //! reasoning mode at run time from configuration.
 //!
 //! Run with `cargo run -p lobster --example quickstart`.
+//!
+//! Serving this at scale is the `lobster-serve` crate: a compiled-program
+//! cache plus a batching scheduler on a persistent runtime (long-lived
+//! shard workers, recycled sessions — nothing is rebuilt per batch). See
+//! `docs/ARCHITECTURE.md` for the request lifecycle and knobs, and the
+//! `serve` example in `lobster-serve` for the runnable version.
 
 use lobster::{DiffTop1Proof, DynProgram, Lobster, ProvenanceKind, Value};
 

@@ -60,6 +60,68 @@ macro_rules! define_dyn_program {
             )*
         }
 
+        /// A persistent sharded executor over a [`DynProgram`] — the
+        /// provenance-erased face of
+        /// [`ShardedExecutor`](crate::ShardedExecutor), built with
+        /// [`DynProgram::sharded_executor`]. Its shard worker threads are
+        /// spawned once (at construction) and fed every batch over
+        /// channels; dropping the executor tears them down. A serving
+        /// layer holds **one** of these for a program's whole lifetime
+        /// instead of paying thread spawn/join per batch.
+        #[derive(Debug)]
+        pub enum DynShardedExecutor {
+            $(
+                #[doc = concat!(
+                    "An executor over the `", stringify!($prov), "` semiring."
+                )]
+                $variant(crate::ShardedExecutor<$prov>),
+            )*
+        }
+
+        impl DynShardedExecutor {
+            /// Number of shard devices.
+            pub fn num_shards(&self) -> usize {
+                match self {
+                    $( DynShardedExecutor::$variant(e) => e.num_shards(), )*
+                }
+            }
+
+            /// The configuration in effect.
+            pub fn config(&self) -> &crate::ShardConfig {
+                match self {
+                    $( DynShardedExecutor::$variant(e) => e.config(), )*
+                }
+            }
+
+            /// Runs a borrowed batch across the shards; see
+            /// [`ShardedExecutor::run_batch`](crate::ShardedExecutor::run_batch).
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError`] on bad facts or execution failure.
+            pub fn run_batch(&self, samples: &[FactSet]) -> Result<Vec<RunResult>, LobsterError> {
+                match self {
+                    $( DynShardedExecutor::$variant(e) => e.run_batch(samples), )*
+                }
+            }
+
+            /// Runs an owned batch across the shards without copying any
+            /// fact payload, reporting partition/shard statistics; see
+            /// [`ShardedExecutor::run_batch_owned`](crate::ShardedExecutor::run_batch_owned).
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError`] on bad facts or execution failure.
+            pub fn run_batch_owned(
+                &self,
+                samples: Vec<FactSet>,
+            ) -> Result<(Vec<RunResult>, crate::ShardRunStats), LobsterError> {
+                match self {
+                    $( DynShardedExecutor::$variant(e) => e.run_batch_owned(samples), )*
+                }
+            }
+        }
+
         impl DynProgram {
             pub(crate) fn from_builder(
                 builder: LobsterBuilder,
@@ -81,6 +143,24 @@ macro_rules! define_dyn_program {
             pub fn session(&self) -> DynSession {
                 match self {
                     $( DynProgram::$variant(p) => DynSession::$variant(p.session()), )*
+                }
+            }
+
+            /// A pool recycling this program's sessions across requests; see
+            /// [`DynSessionPool`](crate::DynSessionPool).
+            pub fn session_pool(&self) -> crate::DynSessionPool {
+                crate::DynSessionPool::new(self.clone())
+            }
+
+            /// A persistent sharded executor over this program: shard worker
+            /// threads are spawned once and reused by every
+            /// [`DynShardedExecutor::run_batch`] call; see
+            /// [`ShardedExecutor`](crate::ShardedExecutor).
+            pub fn sharded_executor(&self, config: crate::ShardConfig) -> DynShardedExecutor {
+                match self {
+                    $( DynProgram::$variant(p) => DynShardedExecutor::$variant(
+                        crate::ShardedExecutor::new(p.clone(), config),
+                    ), )*
                 }
             }
 
@@ -245,6 +325,15 @@ macro_rules! define_dyn_program {
             pub fn clear_facts(&mut self) {
                 match self {
                     $( DynSession::$variant(s) => s.clear_facts(), )*
+                }
+            }
+
+            /// Returns the session to its freshly-opened state (inline
+            /// facts only, original probabilities), retaining allocations;
+            /// see [`Session::reset`].
+            pub fn reset(&mut self) {
+                match self {
+                    $( DynSession::$variant(s) => s.reset(), )*
                 }
             }
 

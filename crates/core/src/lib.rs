@@ -101,7 +101,9 @@
 //! immutable, `Arc`-shared artifact (compile once, share across every
 //! request thread), and [`Program::run_batch`] pays one fix-point for a
 //! whole mini-batch of independent requests. The `lobster-serve` crate
-//! packages both:
+//! packages both behind a **persistent runtime** — everything structural is
+//! built once and recycled, so a warm request pays only validation,
+//! queueing, and its share of a fix-point:
 //!
 //! * `ProgramCache` — a keyed cache `(source hash, provenance kind, options
 //!   fingerprint) → Arc<DynProgram>` with LRU eviction by compiled size, so
@@ -111,23 +113,42 @@
 //!   compiled, [`RuntimeOptions::fingerprint`] identifies how, and
 //!   [`Program::compiled_size_bytes`] weighs the artifact for eviction.
 //! * `BatchScheduler` — accumulates per-request [`FactSet`]s into
-//!   mini-batches and drives [`DynProgram::run_batch`] with
-//!   `max_batch_size` / `max_queue_delay` knobs, routing each result back
-//!   to its caller.
+//!   mini-batches (one fix-point per batch) with `max_batch_size` /
+//!   `max_queue_delay` knobs, routing each result back to its caller.
+//!   Single-device batches run on sessions recycled through a
+//!   [`SessionPool`]; with `num_shards > 1` the scheduler holds **one**
+//!   long-lived [`DynShardedExecutor`] whose shard workers serve every
+//!   batch it ever runs.
 //!
-//! See the `serve` example in `lobster-serve` for the end-to-end flow.
+//! See `docs/ARCHITECTURE.md` for the full request lifecycle (diagram, knob
+//! reference, shard-vs-batch guidance) and the `serve` example in
+//! `lobster-serve` for the end-to-end flow.
+//!
+//! ## Session pooling
+//!
+//! Per-request state is recyclable: [`Session::reset`] returns a session to
+//! its freshly-opened state (inline facts only, original probabilities)
+//! while keeping its allocations, and [`SessionPool`] /
+//! [`DynSessionPool`] automate the borrow-reset-return cycle
+//! ([`Program::session_pool`], [`DynProgram::session_pool`]). Batched runs
+//! recycle their fork registries the same way, so steady-state serving
+//! allocates no fresh registry per batch.
 //!
 //! ## Multi-device sharding
 //!
 //! Because the sample-id column isolates every sample of a batch, a batch
-//! can also be partitioned *across devices*: [`Program::run_batch_sharded`]
-//! (and the [`ShardedExecutor`] behind it) splits the samples over `N`
-//! shard devices derived from the program's device, runs one fix-point per
-//! shard slice, and merges the per-shard results back into the caller's
-//! order — with tuples, probabilities, and gradients identical to the
-//! single-device [`Program::run_batch`]. The batching scheduler exposes the
-//! same knob as `SchedulerConfig::num_shards`, so pooled batches fan out
-//! without any change to clients.
+//! can also be partitioned *across devices*: a [`ShardedExecutor`] spawns
+//! one persistent worker thread per shard device (derived from the
+//! program's device) at construction, feeds every batch to those workers
+//! over a shared queue, runs one fix-point per shard slice, and merges the
+//! per-shard results back into the caller's order — with tuples,
+//! probabilities, and gradients identical to the single-device
+//! [`Program::run_batch`]. The batching scheduler exposes the same knob as
+//! `SchedulerConfig::num_shards`, holding one executor for all its batches,
+//! so pooled batches fan out without any change to clients.
+//! [`Program::run_batch_sharded`] remains as a one-off convenience that
+//! builds and tears down a throwaway executor per call — hold an executor
+//! (or let a scheduler hold one) whenever more than one batch will run.
 //!
 //! *When to shard.* Sharding pays off when a single batch's fix-point is
 //! the bottleneck and spare devices (or cores — shard devices execute on
@@ -135,7 +156,8 @@
 //! the full-batch fix-point misses. For small batches the extra fix-points
 //! per batch cost more than the overlap wins — measure with the
 //! `serve_throughput` bench, which records sharded rows next to their
-//! single-device counterparts.
+//! single-device counterparts (and the persistent-executor vs.
+//! spawn-per-batch pair that isolates the worker-pool win itself).
 //!
 //! *Budget knobs.* Shard devices are derived with
 //! [`Device::split_shards`](lobster_gpu::Device::split_shards): the parent
@@ -143,9 +165,11 @@
 //! executor stays within its program's memory envelope, and within its
 //! worker envelope as long as `N` does not exceed the device's parallelism
 //! (each shard keeps at least one worker, so more shards than workers
-//! oversubscribes). A chunk that overflows its shard's budget is split in
-//! half and retried ([`ShardConfig::max_spill_depth`] bounds how often), so
-//! batches that fit the aggregate budget still complete.
+//! oversubscribes). Because the executor is persistent and shared, that
+//! envelope spans every concurrent `run_batch` caller. A chunk that
+//! overflows its shard's budget is split in half and retried
+//! ([`ShardConfig::max_spill_depth`] bounds how often), so batches that fit
+//! the aggregate budget still complete.
 //!
 //! *Skew behavior.* Samples are bin-packed over shards by fact count
 //! (largest first). A pathologically large sample — beyond
@@ -163,14 +187,16 @@
 mod context;
 mod dynamic;
 mod error;
+mod pool;
 mod program;
 mod scheduler;
 mod session;
 mod sharded;
 
 pub use context::LobsterContext;
-pub use dynamic::{DynProgram, DynSession};
+pub use dynamic::{DynProgram, DynSession, DynShardedExecutor};
 pub use error::LobsterError;
+pub use pool::{DynSessionPool, PoolableProgram, PooledSession, SessionPool, SessionPoolStats};
 pub use program::{Lobster, LobsterBuilder, Program};
 pub use scheduler::{plan_offload, OffloadPlan};
 pub use session::{FactSet, RunResult, Session};

@@ -374,6 +374,13 @@ impl<P: SessionProvenance> Program<P> {
         Session::new(self.clone(), provenance, registry)
     }
 
+    /// A pool recycling this program's sessions across requests — acquired
+    /// sessions are [`reset`](Session::reset) and returned on drop; see
+    /// [`SessionPool`](crate::SessionPool).
+    pub fn session_pool(&self) -> crate::SessionPool<Program<P>> {
+        crate::SessionPool::new(self.clone())
+    }
+
     /// Runs a whole batch of independent samples in a single fix-point using
     /// the batched evaluation of Section 4.3 (a sample-id column is prepended
     /// to every relation so all samples share one database and one run).
@@ -397,9 +404,14 @@ impl<P: SessionProvenance> Program<P> {
     /// shard paying its own fix-point over its slice of the samples.
     /// Results are merged back into the caller's order and are identical to
     /// [`Program::run_batch`] — same tuples, probabilities, and (globally
-    /// remapped) gradients. A convenience wrapper over
-    /// [`ShardedExecutor`](crate::ShardedExecutor); construct one directly
-    /// to reuse shard devices across batches or to tune skew/spill knobs.
+    /// remapped) gradients.
+    ///
+    /// This is a one-off convenience: it builds a throwaway
+    /// [`ShardedExecutor`](crate::ShardedExecutor) — persistent worker pool
+    /// included — and tears it down before returning, so every call pays
+    /// shard-thread spawn and join. When more than one batch will run, hold
+    /// an executor (its workers then serve every batch) or tune skew/spill
+    /// knobs through [`ShardConfig`](crate::ShardConfig) on it directly.
     ///
     /// # Errors
     ///

@@ -15,6 +15,7 @@ use lobster_apm::{Database, ExecutionStats};
 use lobster_provenance::{InputFactId, InputFactRegistry, Output, Provenance, SessionProvenance};
 use lobster_ram::{SymbolTable, Tuple, Value};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// One raw fact of a [`FactSet`]: relation, tuple, optional probability,
 /// optional mutual-exclusion group.
@@ -187,12 +188,38 @@ impl RunResult {
 /// mini-batch). Probabilities of registered facts can be updated between
 /// runs with [`Session::set_fact_probability`], which is how a training loop
 /// feeds new network outputs to the same symbolic program.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Session<P: Provenance> {
     pub(crate) program: Program<P>,
     provenance: P,
     registry: InputFactRegistry,
     facts: Vec<RegisteredFact>,
+    /// `true` while `facts[..inline_count]` are exactly the program's inline
+    /// facts in registration order — the invariant [`Session::reset`] relies
+    /// on to reset by truncation instead of re-registration. Only
+    /// [`Session::clear_facts`] breaks it.
+    inline_prefix_intact: bool,
+    /// Recycled fork registries for [`Session::run_batch`]: each batched run
+    /// forks the session registry, and reusing a previous run's fork turns
+    /// that per-batch allocation into an in-place copy. A small pool (rather
+    /// than one slot) because `run_batch` takes `&self` and may run
+    /// concurrently from several threads.
+    batch_forks: Mutex<Vec<InputFactRegistry>>,
+}
+
+impl<P: Provenance> Clone for Session<P> {
+    fn clone(&self) -> Self {
+        Session {
+            program: self.program.clone(),
+            provenance: self.provenance.clone(),
+            registry: self.registry.clone(),
+            facts: self.facts.clone(),
+            inline_prefix_intact: self.inline_prefix_intact,
+            // Scratch registries are per-instance recycling state, not
+            // session state — the clone starts with none.
+            batch_forks: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl<P: Provenance> Session<P> {
@@ -204,6 +231,8 @@ impl<P: Provenance> Session<P> {
             provenance,
             registry,
             facts: Vec::new(),
+            inline_prefix_intact: true,
+            batch_forks: Mutex::new(Vec::new()),
         };
         session.register_inline_facts();
         session
@@ -309,6 +338,41 @@ impl<P: Provenance> Session<P> {
     pub fn clear_facts(&mut self) {
         self.facts.clear();
         self.registry.clear();
+        self.inline_prefix_intact = false;
+    }
+
+    /// Returns the session to its freshly-opened state — only the program's
+    /// inline facts registered, at their original probabilities — while
+    /// keeping the allocations (fact vector, registry storage, batch-fork
+    /// scratch) for reuse.
+    ///
+    /// This is what makes a recycled session indistinguishable from
+    /// [`Program::session`]'s output: facts added with [`Session::add_fact`]
+    /// are dropped, probabilities changed with
+    /// [`Session::set_fact_probability`] are restored, and ids issued to a
+    /// previous request are re-issued from the same starting point. Used by
+    /// [`SessionPool`](crate::SessionPool) on release; callers running a
+    /// session per request in a hand-rolled loop can call it directly.
+    pub fn reset(&mut self) {
+        let inline = self.program.artifact.compiled.facts.len();
+        if self.inline_prefix_intact {
+            // The inline facts are still the registration prefix: drop
+            // everything after them in place and restore their original
+            // probabilities (set_fact_probability may have changed them).
+            self.facts.truncate(inline);
+            self.registry.truncate(inline);
+            for (i, fact) in self.program.artifact.compiled.facts.iter().enumerate() {
+                self.registry
+                    .set_prob(InputFactId(i as u32), fact.probability.unwrap_or(1.0));
+            }
+        } else {
+            // `clear_facts` wiped the inline prefix; rebuild it. The vectors
+            // keep their capacity, so this still avoids fresh allocations.
+            self.facts.clear();
+            self.registry.clear();
+            self.register_inline_facts();
+            self.inline_prefix_intact = true;
+        }
     }
 
     /// Number of registered facts.
@@ -401,8 +465,16 @@ impl<P: SessionProvenance> Session<P> {
         let batched = &self.program.artifact.batched;
         // Scope all registration to this run: per-sample facts go into a
         // fork of the session registry, visible to a provenance instance
-        // rebound to that fork.
-        let registry = self.registry.fork();
+        // rebound to that fork. The fork itself is recycled — a previous
+        // run's fork registry is reforked in place when one is idle — so
+        // steady-state batches allocate no fresh registry.
+        let registry = self
+            .batch_forks
+            .lock()
+            .expect("session fork pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        registry.refork_from(&self.registry);
         let provenance = self.provenance.rebind(registry.clone());
         let mut db = Database::new(batched.schemas.clone(), provenance.clone());
         for (sample, facts) in samples.iter().enumerate() {
@@ -422,40 +494,53 @@ impl<P: SessionProvenance> Session<P> {
             }
         }
         db.seal(&self.program.device);
-        let stats = self.program.execute(&provenance, &mut db, batched)?;
-
-        // Split the batched outputs back into per-sample results.
-        let mut per_sample: Vec<BTreeMap<String, Vec<(Tuple, Output)>>> =
-            vec![BTreeMap::new(); samples.len()];
-        for relation in &batched.outputs {
-            for sample_outputs in per_sample.iter_mut() {
-                sample_outputs.entry(relation.clone()).or_default();
-            }
-            for (tuple, tag) in db.rows(relation) {
-                let Some(Value::U32(sample)) = tuple.first().copied() else {
-                    continue;
-                };
-                let sample = sample as usize;
-                if sample >= per_sample.len() {
-                    continue;
+        let outcome = match self.program.execute(&provenance, &mut db, batched) {
+            Ok(stats) => {
+                // Split the batched outputs back into per-sample results.
+                let mut per_sample: Vec<BTreeMap<String, Vec<(Tuple, Output)>>> =
+                    vec![BTreeMap::new(); samples.len()];
+                for relation in &batched.outputs {
+                    for sample_outputs in per_sample.iter_mut() {
+                        sample_outputs.entry(relation.clone()).or_default();
+                    }
+                    for (tuple, tag) in db.rows(relation) {
+                        let Some(Value::U32(sample)) = tuple.first().copied() else {
+                            continue;
+                        };
+                        let sample = sample as usize;
+                        if sample >= per_sample.len() {
+                            continue;
+                        }
+                        let mut rest = tuple;
+                        rest.remove(0);
+                        let out = provenance.output(&tag);
+                        per_sample[sample]
+                            .get_mut(relation)
+                            .expect("entry initialized above")
+                            .push((rest, out));
+                    }
                 }
-                let mut rest = tuple;
-                rest.remove(0);
-                let out = provenance.output(&tag);
-                per_sample[sample]
-                    .get_mut(relation)
-                    .expect("entry initialized above")
-                    .push((rest, out));
+                Ok(per_sample
+                    .into_iter()
+                    .map(|outputs| RunResult {
+                        outputs,
+                        stats: stats.clone(),
+                        symbols: self.program.artifact.compiled.symbols.clone(),
+                    })
+                    .collect())
             }
-        }
-        Ok(per_sample
-            .into_iter()
-            .map(|outputs| RunResult {
-                outputs,
-                stats: stats.clone(),
-                symbols: self.program.artifact.compiled.symbols.clone(),
-            })
-            .collect())
+            Err(e) => Err(e),
+        };
+        // Results are registry-free (plain probabilities and gradients), so
+        // once the database and the rebound provenance are gone the fork has
+        // no other owner and can be recycled for the next batch.
+        drop(db);
+        drop(provenance);
+        self.batch_forks
+            .lock()
+            .expect("session fork pool poisoned")
+            .push(registry);
+        outcome
     }
 }
 
@@ -594,6 +679,86 @@ mod tests {
         assert_eq!(session.fact_count(), 0);
         let result = session.run().unwrap();
         assert!(result.is_empty("path"));
+    }
+
+    #[test]
+    fn reset_restores_the_freshly_opened_state() {
+        let program = Lobster::builder(
+            "type edge(x: u32, y: u32)
+             rel edge = {0.5::(1, 2)}
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             query path",
+        )
+        .compile_typed::<lobster_provenance::AddMultProb>()
+        .unwrap();
+        let mut session = program.session();
+        // Dirty every axis reset must undo: extra facts, a changed inline
+        // probability.
+        session
+            .add_fact("edge", &[Value::U32(7), Value::U32(8)], Some(0.9))
+            .unwrap();
+        session.set_fact_probability(InputFactId(0), 0.125);
+        session.reset();
+        assert_eq!(session.fact_count(), 1);
+        assert_eq!(session.registry().len(), 1);
+        let result = session.run().unwrap();
+        assert_eq!(result.len("path"), 1);
+        assert!((result.probability("path", &[Value::U32(1), Value::U32(2)]) - 0.5).abs() < 1e-9);
+        // Ids are re-issued from the same starting point a fresh session
+        // would use.
+        let id = session
+            .add_fact("edge", &[Value::U32(3), Value::U32(4)], None)
+            .unwrap();
+        assert_eq!(id, InputFactId(1));
+    }
+
+    #[test]
+    fn reset_after_clear_facts_rebuilds_the_inline_facts() {
+        let program = Lobster::builder(
+            "type edge(x: u32, y: u32)
+             rel edge = {(0, 1)}
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             query path",
+        )
+        .compile_typed::<Unit>()
+        .unwrap();
+        let mut session = program.session();
+        session.clear_facts();
+        session
+            .add_fact("edge", &[Value::U32(5), Value::U32(6)], None)
+            .unwrap();
+        session.reset();
+        assert_eq!(session.fact_count(), 1);
+        let result = session.run().unwrap();
+        assert!(result.contains("path", &[Value::U32(0), Value::U32(1)]));
+        assert!(!result.contains("path", &[Value::U32(5), Value::U32(6)]));
+    }
+
+    #[test]
+    fn concurrent_batches_on_one_session_each_get_their_own_fork() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffTop1Proof>()
+            .unwrap();
+        let session = std::sync::Arc::new(program.session());
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let session = std::sync::Arc::clone(&session);
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        let mut sample = FactSet::new();
+                        sample.add("edge", &[Value::U32(t), Value::U32(t + 1)], Some(0.5));
+                        let results = session.run_batch(std::slice::from_ref(&sample)).unwrap();
+                        let p = results[0].probability("path", &[Value::U32(t), Value::U32(t + 1)]);
+                        assert!((p - 0.5).abs() < 1e-9);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // The recycled forks never leak registrations back into the session.
+        assert_eq!(session.registry().len(), 0);
     }
 
     #[test]

@@ -7,16 +7,25 @@
 //! its own fix-point over its slice of the samples, and the per-shard results
 //! merged back into the caller's order. The executor here does exactly that:
 //!
+//! * **Workers are persistent.** Constructing an executor spawns one worker
+//!   thread per shard device; every batch is fed to those same threads over
+//!   a shared work queue, and the threads are only torn down when the
+//!   executor is dropped. Each worker keeps a long-lived [`Session`] on its
+//!   shard, so a batch pays neither thread spawn/join nor session setup —
+//!   the steady-state overheads a serving layer cares about at high request
+//!   rates. Several threads may call [`ShardedExecutor::run_batch`]
+//!   concurrently; their chunks interleave in the shared queue and each
+//!   caller gets exactly its own results.
 //! * **Partitioning** is cost-aware: samples are greedily bin-packed over the
 //!   shards by descending fact count (longest-processing-time order), so a
 //!   mix of large and small samples still balances. A pathologically large
 //!   sample — one whose cost exceeds [`ShardConfig::skew_factor`] × the ideal
 //!   per-shard share — is carved out as its own work unit instead of pinning
 //!   a whole shard's plan to it.
-//! * **Execution** is work-stealing: planned chunks go into a shared pool and
-//!   each shard thread takes the largest remaining chunk whenever it is idle,
-//!   so a shard that finishes early steals the work a skewed plan would have
-//!   left stranded.
+//! * **Execution** is work-stealing: planned chunks go into the shared pool
+//!   and each worker takes the most expensive pending chunk whenever it is
+//!   idle, so a shard that finishes early steals the work a skewed plan
+//!   would have left stranded.
 //! * **Memory budgets** are per shard: shard devices are derived with
 //!   [`Device::split_shards`], dividing the parent budget `n` ways. A chunk
 //!   that overflows its shard's budget is *spilled* — split in half and
@@ -25,20 +34,54 @@
 //! * **Results agree bit-for-bit with the unsharded path.** Samples never
 //!   interact (the sample-id column keys every join), tables are kept in
 //!   sorted order, and gradient ids are remapped from shard-local to global
-//!   registration order, so `run_batch_sharded` returns exactly what
-//!   [`Program::run_batch`] would have — whatever the shard count, plan, or
-//!   steal schedule. The per-result [`ExecutionStats`] are the one exception:
-//!   they describe the chunk that actually ran.
+//!   registration order, so `run_batch` returns exactly what
+//!   [`Program::run_batch`] would have — whatever the shard count, plan,
+//!   steal schedule, or batch interleaving. The per-result
+//!   [`ExecutionStats`] are the one exception: they describe the chunk that
+//!   actually ran.
+//!
+//! # Example: one executor, many batches
+//!
+//! ```
+//! use lobster::{FactSet, Lobster, ShardConfig, ShardedExecutor, Value};
+//! use lobster_provenance::AddMultProb;
+//!
+//! let program = Lobster::builder(
+//!     "type edge(x: u32, y: u32)
+//!      rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+//!      query path",
+//! )
+//! .compile_typed::<AddMultProb>()
+//! .unwrap();
+//!
+//! // Spawns the two shard workers once...
+//! let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(2));
+//! // ...and reuses them for every batch. No per-batch spawn/join.
+//! for round in 0..10u32 {
+//!     let mut sample = FactSet::new();
+//!     sample.add("edge", &[Value::U32(round), Value::U32(round + 1)], Some(0.5));
+//!     let results = executor.run_batch(&[sample.clone(), sample]).unwrap();
+//!     assert_eq!(results.len(), 2);
+//! }
+//! // Dropping the executor joins the workers.
+//! drop(executor);
+//! ```
+//!
+//! On a hot path that owns its batch (a serving scheduler moving request
+//! payloads), [`ShardedExecutor::run_batch_owned`] hands the samples to the
+//! workers without copying a single fact.
 //!
 //! [`ExecutionStats`]: lobster_apm::ExecutionStats
 
 use crate::error::LobsterError;
 use crate::program::Program;
-use crate::session::{FactSet, RunResult};
+use crate::session::{FactSet, RunResult, Session};
 use lobster_apm::ExecError;
 use lobster_gpu::{Device, DeviceError, DeviceStats};
 use lobster_provenance::{InputFactId, SessionProvenance};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Knobs of the sharded executor.
 #[derive(Debug, Clone)]
@@ -105,7 +148,8 @@ pub struct ShardRunStats {
     /// not accumulate; `live_bytes`/`peak_bytes` are the device's current
     /// and high-water gauges), indexed by shard. Attribution assumes runs on
     /// one executor do not overlap — concurrent `run_batch` calls share
-    /// devices and blur each other's deltas.
+    /// devices and blur each other's deltas (the results themselves are
+    /// unaffected).
     pub device_stats: Vec<DeviceStats>,
 }
 
@@ -189,122 +233,218 @@ fn plan_chunks(costs: &[u64], num_shards: usize, skew_factor: f64) -> Vec<Chunk>
     chunks
 }
 
-/// The chunk pool of one run: pending chunks plus the number of chunks
-/// whose work is not finished yet (queued *or* executing). A thread must
-/// not retire while unfinished chunks remain — an executing chunk may spill
-/// and requeue halves that an already-departed thread could have stolen.
-struct ChunkPool {
-    pending: Vec<Chunk>,
-    /// Chunks taken or queued but not yet completed; `0` means the run is
-    /// drained and waiting threads can retire.
-    outstanding: usize,
-}
-
-/// State the shard threads share during one run.
-struct RunState {
-    pool: Mutex<ChunkPool>,
-    /// Signalled whenever the pool changes: new (spilled) chunks, a chunk
-    /// completing, or a failure.
-    work: Condvar,
+/// The mutable half of one run's shared state, guarded by
+/// [`RunShared::progress`].
+#[derive(Debug)]
+struct RunProgress {
+    /// Chunks of this run that are queued or executing. The submitting
+    /// thread sleeps until this reaches zero; spills raise it, completions
+    /// (and failure drains) lower it.
+    remaining: usize,
     /// Merged results in caller order, filled in as chunks complete.
-    results: Mutex<Vec<Option<RunResult>>>,
-    /// First unrecoverable error; set once, stops every thread.
-    error: Mutex<Option<LobsterError>>,
-    /// Counters (steals, spills, executed chunks, per-shard samples).
-    counters: Mutex<(usize, usize, usize, Vec<usize>)>,
+    results: Vec<Option<RunResult>>,
+    /// First unrecoverable error. Once set, the run's still-pending chunks
+    /// are drained without executing.
+    error: Option<LobsterError>,
+    /// Chunks executed by a shard other than the planned one.
+    steals: usize,
+    /// Out-of-memory chunk splits.
+    spills: usize,
+    /// Chunks executed (spill halves included).
+    executed: usize,
+    /// Samples executed by each shard.
+    per_shard_samples: Vec<usize>,
 }
 
-impl RunState {
-    /// Takes the most expensive pending chunk (ties: lowest leading sample
-    /// index, so the drain order is deterministic). Blocks while the pool is
-    /// empty but chunks are still executing — they may spill and requeue
-    /// work. Returns `None` once every chunk has completed (or on failure).
-    fn take_chunk(&self) -> Option<Chunk> {
-        let mut pool = self.pool.lock().expect("shard pool poisoned");
-        loop {
-            if self.failed() {
-                return None;
-            }
-            let best = pool
-                .pending
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, c)| (c.cost, std::cmp::Reverse(c.samples[0])))
-                .map(|(i, _)| i);
-            if let Some(best) = best {
-                return Some(pool.pending.swap_remove(best));
-            }
-            if pool.outstanding == 0 {
-                return None;
-            }
-            pool = self.work.wait(pool).expect("shard pool poisoned");
+/// One batch in flight: the owned samples, the gradient-remap layout, and
+/// the progress the workers update. Shared between the submitting thread and
+/// every worker holding one of the run's chunks.
+#[derive(Debug)]
+struct RunShared {
+    /// The batch, owned for the duration of the run — workers are long-lived
+    /// threads and cannot borrow from the submitting stack frame.
+    samples: Vec<FactSet>,
+    /// Each sample's offset into the global (unsharded) fact registration
+    /// order.
+    global_offsets: Vec<u32>,
+    /// Fact ids `0..inline_facts` are the program's inline facts, identical
+    /// in every shard and in the global order.
+    inline_facts: u32,
+    /// Spill ceiling, copied from [`ShardConfig::max_spill_depth`].
+    max_spill_depth: u32,
+    /// Submission sequence number — a deterministic tie-breaker when chunks
+    /// of several concurrent runs have equal cost.
+    seq: u64,
+    progress: Mutex<RunProgress>,
+    /// Signalled when `remaining` reaches zero.
+    done: Condvar,
+}
+
+/// Locks a mutex, recovering from poison. The persistent runtime must keep
+/// serving after a worker panic (the panic is converted into a run error by
+/// [`ChunkPanicGuard`]), and every critical section here leaves its state
+/// usable even when a caller-supplied closure panicked mid-update: a failed
+/// run's partial results are discarded wholesale, and the queue mutations
+/// themselves (`extend`, `swap_remove`) cannot unwind half-done.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl RunShared {
+    /// Retires one chunk of this run, waking the submitter when it was the
+    /// last. `update` is applied to the progress under the same lock.
+    ///
+    /// Poison-tolerant: if a previous holder panicked before its decrement
+    /// (the only panic window — `update` runs first), the count still
+    /// reflects that un-retired chunk, and its [`ChunkPanicGuard`] performs
+    /// the missing retirement through this same path.
+    fn retire_chunk(&self, update: impl FnOnce(&mut RunProgress)) {
+        let mut progress = lock_recover(&self.progress);
+        update(&mut progress);
+        progress.remaining -= 1;
+        let finished = progress.remaining == 0;
+        drop(progress);
+        if finished {
+            self.done.notify_all();
         }
-    }
-
-    /// Marks one taken chunk as finished for good (completed or failed —
-    /// anything that will not requeue work).
-    fn finish_chunk(&self) {
-        let mut pool = self.pool.lock().expect("shard pool poisoned");
-        pool.outstanding -= 1;
-        if pool.outstanding == 0 {
-            self.work.notify_all();
-        }
-    }
-
-    /// Requeues the spill halves of a taken chunk. Both halves enter the
-    /// outstanding count; the original is retired separately with
-    /// [`RunState::finish_chunk`] (call `requeue` first so the count never
-    /// dips to zero mid-spill).
-    fn requeue(&self, halves: [Chunk; 2]) {
-        let mut pool = self.pool.lock().expect("shard pool poisoned");
-        pool.outstanding += halves.len();
-        pool.pending.extend(halves);
-        self.work.notify_all();
-    }
-
-    fn fail(&self, e: LobsterError) {
-        let mut error = self.error.lock().expect("shard error poisoned");
-        error.get_or_insert(e);
-        drop(error);
-        // Wake every sleeper so the run winds down promptly. The failing
-        // thread never retires its chunk (`outstanding` stays positive), so
-        // this is the *only* wake-up a waiter will get: take the pool lock
-        // first to serialize with `take_chunk`'s check-then-wait — a thread
-        // that read `failed() == false` under the pool lock is guaranteed to
-        // be inside `wait` (lock released) before this notification fires.
-        let _pool = self.pool.lock().expect("shard pool poisoned");
-        self.work.notify_all();
     }
 
     fn failed(&self) -> bool {
-        self.error.lock().expect("shard error poisoned").is_some()
+        lock_recover(&self.progress).error.is_some()
     }
 }
 
-/// Runs batches of one compiled [`Program`] across several shard devices.
+/// One entry of the worker pool's queue: a chunk plus the run it belongs to.
+#[derive(Debug)]
+struct WorkItem {
+    run: Arc<RunShared>,
+    chunk: Chunk,
+}
+
+/// State shared between the executor handle and its persistent workers.
+#[derive(Debug)]
+struct PoolShared {
+    /// Pending chunks across all in-flight runs.
+    queue: Mutex<Vec<WorkItem>>,
+    /// Signalled when work arrives or shutdown begins.
+    work: Condvar,
+    /// Set (under the queue lock) by [`ShardedExecutor::drop`]; workers exit
+    /// once the queue is empty.
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    /// Takes the most expensive pending chunk (ties: oldest run, then lowest
+    /// leading sample index, so the drain order is deterministic), blocking
+    /// while the queue is empty. Returns `None` on shutdown.
+    fn take_item(&self) -> Option<WorkItem> {
+        let mut queue = lock_recover(&self.queue);
+        loop {
+            let best = queue
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, item)| {
+                    (
+                        item.chunk.cost,
+                        std::cmp::Reverse(item.run.seq),
+                        std::cmp::Reverse(item.chunk.samples[0]),
+                    )
+                })
+                .map(|(i, _)| i);
+            if let Some(best) = best {
+                return Some(queue.swap_remove(best));
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self
+                .work
+                .wait(queue)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Enqueues items and wakes idle workers. Waking all of them is
+    /// deliberate: a fresh run usually carries one chunk per shard.
+    fn submit(&self, items: impl IntoIterator<Item = WorkItem>) {
+        let mut queue = lock_recover(&self.queue);
+        queue.extend(items);
+        drop(queue);
+        self.work.notify_all();
+    }
+}
+
+/// While armed, marks the chunk's run as failed if the worker unwinds
+/// mid-execution — so a panicking worker turns into a run error for the
+/// submitter instead of a hang.
+struct ChunkPanicGuard {
+    run: Arc<RunShared>,
+    armed: bool,
+}
+
+impl Drop for ChunkPanicGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.run.retire_chunk(|progress| {
+            progress.error.get_or_insert(LobsterError::Internal {
+                message: "shard worker panicked while executing a chunk".to_string(),
+            });
+        });
+    }
+}
+
+/// Runs batches of one compiled [`Program`] across several shard devices,
+/// over a pool of worker threads that live as long as the executor.
 ///
 /// Construction derives the shard devices from the program's own device with
-/// [`Device::split_shards`] (dividing its memory budget and kernel workers),
-/// so the executor respects whatever envelope the program was compiled for.
-/// [`ShardedExecutor::run_batch`] then plans (cost-aware bin-packing with
-/// skew carve-outs), executes (work-stealing chunk pool, out-of-memory
-/// spills), and merges (caller order, global gradient ids) — see the
-/// "Multi-device sharding" section of the crate docs; the convenience wrappers
-/// [`Program::run_batch_sharded`] and `DynProgram::run_batch_sharded` build a
-/// throwaway executor per call.
-#[derive(Debug)]
+/// [`Device::split_shards`] (dividing its memory budget and kernel workers)
+/// and spawns one worker thread per shard — each holding a persistent
+/// [`Session`] on its shard, so repeated batches re-pay neither thread
+/// spawn/join nor session setup. [`ShardedExecutor::run_batch`] plans
+/// (cost-aware bin-packing with skew carve-outs), executes (work-stealing
+/// shared queue, out-of-memory spills), and merges (caller order, global
+/// gradient ids) — see the "Multi-device sharding" section of the crate docs
+/// and the module docs above for a worked example. Dropping the executor
+/// joins the workers.
+///
+/// The convenience wrappers [`Program::run_batch_sharded`] and
+/// `DynProgram::run_batch_sharded` build a throwaway executor per call —
+/// pool spawn and teardown included — so hold an executor (or a
+/// `BatchScheduler` with `num_shards > 1`, which holds one for you) whenever
+/// more than one batch will run.
 pub struct ShardedExecutor<P: SessionProvenance> {
-    /// One program clone per shard, bound to that shard's device.
-    shards: Vec<Program<P>>,
+    /// The parent program (unsharded device) — used for validation and
+    /// planning; workers hold their own shard-bound clones.
+    program: Program<P>,
+    /// The shard devices, in worker order — retained for per-run stat deltas
+    /// and [`ShardedExecutor::shard_devices`].
+    shard_devices: Vec<Device>,
+    pool: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
     config: ShardConfig,
     /// Fact ids `0..inline_facts` are the program's inline facts, identical
     /// in every shard and in the global order.
     inline_facts: u32,
+    /// Issues [`RunShared::seq`] numbers.
+    run_seq: AtomicU64,
+}
+
+impl<P: SessionProvenance> std::fmt::Debug for ShardedExecutor<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedExecutor")
+            .field("num_shards", &self.shard_devices.len())
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 impl<P: SessionProvenance> ShardedExecutor<P> {
     /// Creates an executor over `config.num_shards` devices derived from the
-    /// program's device.
+    /// program's device, spawning one persistent worker thread per shard.
     pub fn new(program: Program<P>, config: ShardConfig) -> Self {
         let devices = program.device().split_shards(config.num_shards.max(1));
         Self::with_devices(program, devices, config)
@@ -319,24 +459,41 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
         // so their count comes straight off the compiled artifact — no need
         // to build (and throw away) a session with its registry here.
         let inline_facts = program.artifact.compiled.facts.len() as u32;
-        let shards = devices
-            .into_iter()
-            .map(|device| program.with_device(device))
-            .collect::<Vec<_>>();
         let config = ShardConfig {
-            num_shards: shards.len(),
+            num_shards: devices.len(),
             ..config
         };
+        let pool = Arc::new(PoolShared {
+            queue: Mutex::new(Vec::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = devices
+            .iter()
+            .enumerate()
+            .map(|(shard_idx, device)| {
+                let shard_program = program.with_device(device.clone());
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("lobster-shard-{shard_idx}"))
+                    .spawn(move || worker_loop(shard_idx, &shard_program, &pool))
+                    .expect("spawn shard worker")
+            })
+            .collect();
         ShardedExecutor {
-            shards,
+            program,
+            shard_devices: devices,
+            pool,
+            workers,
             config,
             inline_facts,
+            run_seq: AtomicU64::new(0),
         }
     }
 
-    /// Number of shard devices.
+    /// Number of shard devices (and persistent worker threads).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.shard_devices.len()
     }
 
     /// The configuration in effect.
@@ -346,12 +503,17 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
 
     /// The shard devices, indexed by shard.
     pub fn shard_devices(&self) -> Vec<&Device> {
-        self.shards.iter().map(|p| p.device()).collect()
+        self.shard_devices.iter().collect()
     }
 
     /// Runs `samples` across the shards and returns one [`RunResult`] per
     /// sample in the caller's order — exactly the results
     /// [`Program::run_batch`] would produce on one device.
+    ///
+    /// The borrowed samples are copied once into the run (workers are
+    /// long-lived threads and cannot borrow from this stack frame); a caller
+    /// that owns its batch avoids the copy with
+    /// [`ShardedExecutor::run_batch_owned`].
     ///
     /// # Errors
     ///
@@ -373,16 +535,31 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
         &self,
         samples: &[FactSet],
     ) -> Result<(Vec<RunResult>, ShardRunStats), LobsterError> {
-        let num_shards = self.shards.len();
+        self.run_batch_owned(samples.to_vec())
+    }
+
+    /// Runs an owned batch across the shards — the zero-copy variant of
+    /// [`ShardedExecutor::run_batch`] for callers that already own their
+    /// samples (a serving scheduler moving request payloads): the fact sets
+    /// are handed to the workers as-is, nothing is cloned.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedExecutor::run_batch`].
+    pub fn run_batch_owned(
+        &self,
+        samples: Vec<FactSet>,
+    ) -> Result<(Vec<RunResult>, ShardRunStats), LobsterError> {
+        let num_shards = self.shard_devices.len();
         // Snapshot every shard's counters up front so the reported device
         // stats are this run's *deltas*, not the executor's lifetime
         // accumulation (the executor is meant to be reused across batches).
-        let before: Vec<DeviceStats> = self.shards.iter().map(|p| p.device().stats()).collect();
-        let device_deltas = |shards: &[Program<P>]| {
-            shards
+        let before: Vec<DeviceStats> = self.shard_devices.iter().map(Device::stats).collect();
+        let device_deltas = |devices: &[Device]| {
+            devices
                 .iter()
                 .zip(&before)
-                .map(|(p, b)| p.device().stats().delta_since(b))
+                .map(|(d, b)| d.stats().delta_since(b))
                 .collect::<Vec<_>>()
         };
         let mut stats = ShardRunStats {
@@ -391,14 +568,14 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
             ..ShardRunStats::default()
         };
         if samples.is_empty() {
-            stats.device_stats = device_deltas(&self.shards);
+            stats.device_stats = device_deltas(&self.shard_devices);
             return Ok((Vec::new(), stats));
         }
         // Validate every sample up front — the same rule set as `run_batch`
         // — so no shard starts a fix-point for a batch that is going to be
         // rejected.
-        for facts in samples {
-            self.shards[0].validate_facts(facts)?;
+        for facts in &samples {
+            self.program.validate_facts(facts)?;
         }
 
         // Global registration order: `run_batch` hands out ids inline facts
@@ -406,141 +583,216 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
         // needs each sample's global offset into that order.
         let mut global_offsets = Vec::with_capacity(samples.len());
         let mut offset = 0u32;
-        for sample in samples {
+        for sample in &samples {
             global_offsets.push(offset);
             offset += sample.len() as u32;
         }
 
-        let costs: Vec<u64> = samples.iter().map(|s| s.len().max(1) as u64).collect();
+        let costs: Vec<u64> = samples.iter().map(sample_cost).collect();
         let chunks = plan_chunks(&costs, num_shards, self.config.skew_factor);
         stats.planned_chunks = chunks.len();
 
-        let state = RunState {
-            pool: Mutex::new(ChunkPool {
-                outstanding: chunks.len(),
-                pending: chunks,
+        let run = Arc::new(RunShared {
+            global_offsets,
+            inline_facts: self.inline_facts,
+            max_spill_depth: self.config.max_spill_depth,
+            seq: self.run_seq.fetch_add(1, Ordering::Relaxed),
+            progress: Mutex::new(RunProgress {
+                remaining: chunks.len(),
+                results: vec![None; samples.len()],
+                error: None,
+                steals: 0,
+                spills: 0,
+                executed: 0,
+                per_shard_samples: vec![0; num_shards],
             }),
-            work: Condvar::new(),
-            results: Mutex::new(vec![None; samples.len()]),
-            error: Mutex::new(None),
-            counters: Mutex::new((0, 0, 0, vec![0; num_shards])),
-        };
-
-        std::thread::scope(|scope| {
-            for (shard_idx, shard) in self.shards.iter().enumerate() {
-                let state = &state;
-                let global_offsets = &global_offsets;
-                scope.spawn(move || {
-                    self.shard_loop(shard_idx, shard, samples, global_offsets, state)
-                });
-            }
+            done: Condvar::new(),
+            samples,
         });
+        self.pool.submit(chunks.into_iter().map(|chunk| WorkItem {
+            run: Arc::clone(&run),
+            chunk,
+        }));
 
-        if let Some(e) = state.error.lock().expect("shard error poisoned").take() {
+        // Sleep until the workers have retired every chunk (completed,
+        // spilled into retired halves, or drained after a failure).
+        // Poison-tolerant like the workers: a panicked chunk surfaces as the
+        // run's `error`, not as a poisoned-lock panic here.
+        let mut progress = lock_recover(&run.progress);
+        while progress.remaining > 0 {
+            progress = run
+                .done
+                .wait(progress)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if let Some(e) = progress.error.take() {
             return Err(e);
         }
-        let results = state
+        let results = progress
             .results
-            .lock()
-            .expect("shard results poisoned")
             .drain(..)
             .map(|r| r.expect("every sample ran"))
             .collect();
-        let (steals, spills, executed, per_shard) =
-            std::mem::take(&mut *state.counters.lock().expect("shard counters poisoned"));
-        stats.steals = steals;
-        stats.spills = spills;
-        stats.executed_chunks = executed;
-        stats.per_shard_samples = per_shard;
-        stats.device_stats = device_deltas(&self.shards);
+        stats.steals = progress.steals;
+        stats.spills = progress.spills;
+        stats.executed_chunks = progress.executed;
+        stats.per_shard_samples = std::mem::take(&mut progress.per_shard_samples);
+        drop(progress);
+        stats.device_stats = device_deltas(&self.shard_devices);
         Ok((results, stats))
     }
+}
 
-    /// One shard thread: drain the chunk pool, spilling on OOM.
-    fn shard_loop(
-        &self,
-        shard_idx: usize,
-        shard: &Program<P>,
-        samples: &[FactSet],
-        global_offsets: &[u32],
-        state: &RunState,
-    ) {
-        while !state.failed() {
-            let Some(chunk) = state.take_chunk() else {
-                return;
-            };
-            // Borrow the chunk's samples out of the caller's batch — a chunk
-            // execution (and any spill retry) copies no fact payloads and
-            // repeats no validation (the whole batch was validated once in
-            // `run_batch_with_stats`).
-            let chunk_samples: Vec<&FactSet> = chunk.samples.iter().map(|&g| &samples[g]).collect();
-            match shard.session().run_batch_refs_prevalidated(&chunk_samples) {
-                Ok(chunk_results) => {
-                    let mut results = state.results.lock().expect("shard results poisoned");
-                    let mut local_offset = 0u32;
-                    for (local, result) in chunk.samples.iter().zip(chunk_results) {
-                        let global = *local;
-                        let mut result = result;
-                        remap_gradients(
-                            &mut result,
-                            self.inline_facts,
-                            local_offset,
-                            samples[global].len() as u32,
-                            global_offsets[global],
-                        );
-                        results[global] = Some(result);
-                        local_offset += samples[global].len() as u32;
-                    }
-                    drop(results);
-                    let mut counters = state.counters.lock().expect("shard counters poisoned");
-                    counters.2 += 1;
-                    counters.3[shard_idx] += chunk.samples.len();
-                    if chunk
-                        .planned_shard
-                        .is_some_and(|planned| planned != shard_idx)
-                    {
-                        counters.0 += 1;
-                    }
-                    drop(counters);
-                    state.finish_chunk();
-                }
-                Err(e) if is_oom(&e) && chunk.samples.len() > 1 => {
-                    if chunk.spill_depth >= self.config.max_spill_depth {
-                        state.fail(e);
-                        return;
-                    }
-                    // Spill: halve the working set and requeue both halves
-                    // (for any idle shard to pick up). The halves preserve
-                    // ascending sample order, so merged results — and the
-                    // gradient remap — are unaffected.
-                    let mid = chunk.samples.len() / 2;
-                    let (left, right) = chunk.samples.split_at(mid);
-                    let half = |indices: &[usize]| Chunk {
-                        cost: indices.iter().map(|&g| costs_of(samples, g)).sum(),
-                        samples: indices.to_vec(),
-                        planned_shard: Some(shard_idx),
-                        spill_depth: chunk.spill_depth + 1,
-                    };
-                    // Requeue before finishing the original so the pool's
-                    // outstanding count never dips to zero mid-spill (a
-                    // sibling observing zero would retire with work left).
-                    state.requeue([half(left), half(right)]);
-                    state.finish_chunk();
-                    state.counters.lock().expect("shard counters poisoned").1 += 1;
-                }
-                Err(e) => {
-                    state.fail(e);
-                    return;
-                }
-            }
+impl<P: SessionProvenance> Drop for ShardedExecutor<P> {
+    fn drop(&mut self) {
+        // `&mut self` proves no `run_batch` borrow is alive, so the queue is
+        // empty: every chunk a run submitted was retired before that run
+        // returned. Setting the flag under the queue lock serializes with
+        // `take_item`'s check-then-wait — a worker that read
+        // `shutdown == false` is guaranteed to be inside `wait` (lock
+        // released) before the notification fires.
+        {
+            let _queue = lock_recover(&self.pool.queue);
+            self.pool.shutdown.store(true, Ordering::SeqCst);
+        }
+        self.pool.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
 
-/// The cost of one sample (its fact count, at least 1 so empty samples still
-/// occupy a slot in the plan).
-fn costs_of(samples: &[FactSet], g: usize) -> u64 {
-    samples[g].len().max(1) as u64
+/// One persistent shard worker: drain the shared queue until shutdown. The
+/// session — registry, inline facts, batch-fork scratch — is built once and
+/// reused by every chunk this worker executes.
+///
+/// The worker must outlive any single chunk: a panic inside a chunk (a bug —
+/// well-formed batches return errors instead) is caught, the chunk's run is
+/// failed by its [`ChunkPanicGuard`], and the worker rebuilds its session
+/// (whose internal state the unwind may have poisoned) and keeps serving.
+/// Letting the unwind kill the thread instead would silently shrink a
+/// persistent executor until, with every worker dead, `run_batch` callers
+/// block forever on a queue nobody drains.
+fn worker_loop<P: SessionProvenance>(shard_idx: usize, program: &Program<P>, pool: &PoolShared) {
+    let mut session = program.session();
+    while let Some(item) = pool.take_item() {
+        // `AssertUnwindSafe` is sound here: the only state crossing the
+        // catch boundary is the session (rebuilt below on panic) and the
+        // item's run (failed by the guard; its submitter sees the error).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_item(shard_idx, &session, item, pool);
+        }));
+        if outcome.is_err() {
+            session = program.session();
+        }
+    }
+}
+
+/// Executes (or retires) one queued chunk on this worker's shard.
+fn execute_item<P: SessionProvenance>(
+    shard_idx: usize,
+    session: &Session<P>,
+    item: WorkItem,
+    pool: &PoolShared,
+) {
+    let WorkItem { run, chunk } = item;
+    // A failed run's remaining chunks are drained without executing, so the
+    // submitter wakes as soon as every in-flight chunk has been retired.
+    if run.failed() {
+        run.retire_chunk(|_| {});
+        return;
+    }
+    let mut guard = ChunkPanicGuard {
+        run: Arc::clone(&run),
+        armed: true,
+    };
+    // Borrow the chunk's samples out of the run — a chunk execution (and any
+    // spill retry) copies no fact payloads and repeats no validation (the
+    // whole batch was validated once at submission).
+    let chunk_samples: Vec<&FactSet> = chunk.samples.iter().map(|&g| &run.samples[g]).collect();
+    match session.run_batch_refs_prevalidated(&chunk_samples) {
+        Ok(chunk_results) => {
+            // The guard stays armed through retirement: if the merge below
+            // panics, the decrement never ran, and the guard performs the
+            // missing retirement (failing the run) through the
+            // poison-tolerant lock — the submitter neither hangs on a
+            // never-retired chunk nor double-counts a retired one.
+            run.retire_chunk(|progress| {
+                let mut local_offset = 0u32;
+                for (&global, mut result) in chunk.samples.iter().zip(chunk_results) {
+                    let sample_len = run.samples[global].len() as u32;
+                    remap_gradients(
+                        &mut result,
+                        run.inline_facts,
+                        local_offset,
+                        sample_len,
+                        run.global_offsets[global],
+                    );
+                    progress.results[global] = Some(result);
+                    local_offset += sample_len;
+                }
+                progress.executed += 1;
+                progress.per_shard_samples[shard_idx] += chunk.samples.len();
+                if chunk
+                    .planned_shard
+                    .is_some_and(|planned| planned != shard_idx)
+                {
+                    progress.steals += 1;
+                }
+            });
+            guard.armed = false;
+        }
+        Err(e)
+            if is_oom(&e) && chunk.samples.len() > 1 && chunk.spill_depth < run.max_spill_depth =>
+        {
+            // Spill: halve the working set and requeue both halves (for any
+            // idle shard to pick up). The halves preserve ascending sample
+            // order, so merged results — and the gradient remap — are
+            // unaffected.
+            let mid = chunk.samples.len() / 2;
+            let (left, right) = chunk.samples.split_at(mid);
+            let half = |indices: &[usize]| Chunk {
+                cost: indices.iter().map(|&g| sample_cost(&run.samples[g])).sum(),
+                samples: indices.to_vec(),
+                planned_shard: Some(shard_idx),
+                spill_depth: chunk.spill_depth + 1,
+            };
+            let halves = [half(left), half(right)].map(|chunk| WorkItem {
+                run: Arc::clone(&run),
+                chunk,
+            });
+            // Two halves in, the original out — net one more outstanding
+            // chunk, never zero mid-spill. Queueing under the same lock
+            // leaves no panic window between the accounting and the
+            // submission (a guard firing in such a window would fail the
+            // run while `remaining` counted halves nobody queued, hanging
+            // the submitter).
+            {
+                let mut progress = lock_recover(&run.progress);
+                progress.spills += 1;
+                progress.remaining += 1;
+                pool.submit(halves);
+            }
+            guard.armed = false;
+        }
+        Err(e) => {
+            // Unrecoverable (or spill-exhausted): fail the run. Chunks of
+            // this run still queued are drained by whichever workers take
+            // them.
+            guard.armed = false;
+            run.retire_chunk(|progress| {
+                progress.error.get_or_insert(e);
+            });
+        }
+    }
+}
+
+/// The planning cost of one sample — its fact count, at least 1 so empty
+/// samples still occupy a slot. The single cost model shared by the planner
+/// and the spill path, so requeued halves compete in the work-stealing queue
+/// on the same scale as planned chunks.
+fn sample_cost(facts: &FactSet) -> u64 {
+    facts.len().max(1) as u64
 }
 
 /// `true` for the device out-of-memory error the spill path can recover from
@@ -669,6 +921,23 @@ mod tests {
     }
 
     #[test]
+    fn owned_batches_match_borrowed_ones() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffAddMultProb>()
+            .unwrap();
+        let samples: Vec<FactSet> = (0..5).map(|i| chain(2, i * 10)).collect();
+        let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(2));
+        let borrowed = executor.run_batch(&samples).unwrap();
+        let (owned, _) = executor.run_batch_owned(samples).unwrap();
+        for (a, b) in borrowed.iter().zip(&owned) {
+            assert_eq!(a.relations(), b.relations());
+            for rel in a.relations() {
+                assert_eq!(a.relation(rel), b.relation(rel));
+            }
+        }
+    }
+
+    #[test]
     fn empty_batch_is_an_empty_result() {
         let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
         let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(3));
@@ -696,10 +965,11 @@ mod tests {
     fn failures_with_sleeping_siblings_never_hang_the_run() {
         use lobster_gpu::DeviceConfig;
         // Three single-sample chunks over two shards with a budget no split
-        // can satisfy: one thread fails while the other may be anywhere in
-        // its take-chunk/wait cycle. Repeat to give the lost-wakeup window
-        // (fail() racing a sibling between its failed() check and its wait)
-        // many chances — the run must error out, never deadlock.
+        // can satisfy: one worker fails while the other may be anywhere in
+        // its take-item/wait cycle. Repeat on the SAME executor to give
+        // every interleaving (and the failed-run drain path) many chances —
+        // each run must error out, never deadlock, and never poison the
+        // persistent pool for the next run.
         let program = Lobster::builder(TC)
             .device(lobster_gpu::Device::new(DeviceConfig {
                 parallelism: 1,
@@ -731,6 +1001,116 @@ mod tests {
         // Identical work → identical per-run counters; a cumulative snapshot
         // would have doubled on the second run.
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn a_hundred_batches_reuse_the_same_workers_without_stat_creep() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffAddMultProb>()
+            .unwrap();
+        let reference = program.run_batch(&[chain(2, 0), chain(3, 10)]).unwrap();
+        let executor = ShardedExecutor::new(program, ShardConfig::default().with_num_shards(2));
+        let mut first_run_launches = None;
+        for round in 0..120 {
+            let (results, stats) = executor
+                .run_batch_with_stats(&[chain(2, 0), chain(3, 10)])
+                .unwrap();
+            // Same work every round → the per-run device deltas must not
+            // grow with executor age...
+            let launches = stats.merged_device_stats().kernel_launches;
+            let expected = *first_run_launches.get_or_insert(launches);
+            assert_eq!(launches, expected, "round {round}");
+            // ...and neither may the per-run chunk counters.
+            assert_eq!(stats.executed_chunks, stats.planned_chunks, "round {round}");
+            // Results stay bit-identical to the unsharded reference.
+            for (got, want) in results.iter().zip(&reference) {
+                for rel in want.relations() {
+                    assert_eq!(got.relation(rel), want.relation(rel), "round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_runs_on_one_executor_stay_isolated() {
+        let program = Lobster::builder(TC)
+            .compile_typed::<DiffAddMultProb>()
+            .unwrap();
+        let batches: Vec<Vec<FactSet>> = (0..4u32)
+            .map(|t| {
+                (0..5)
+                    .map(|i| chain(1 + (t + i) % 3, t * 1000 + i * 10))
+                    .collect()
+            })
+            .collect();
+        let references: Vec<_> = batches
+            .iter()
+            .map(|batch| program.run_batch(batch).unwrap())
+            .collect();
+        let executor = Arc::new(ShardedExecutor::new(
+            program,
+            ShardConfig::default().with_num_shards(2),
+        ));
+        let handles: Vec<_> = batches
+            .iter()
+            .enumerate()
+            .map(|(t, batch)| {
+                let executor = Arc::clone(&executor);
+                let batch = batch.clone();
+                std::thread::spawn(move || {
+                    let mut last = None;
+                    for _ in 0..6 {
+                        last = Some(executor.run_batch(&batch).unwrap());
+                    }
+                    (t, last.expect("six runs"))
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Each concurrent caller receives exactly its own batch's
+            // results, bit-identical to the unsharded reference — chunks of
+            // the four interleaved runs never cross-contaminate.
+            let (t, results) = handle.join().expect("runner thread");
+            assert_eq!(results.len(), references[t].len());
+            for (i, (got, want)) in results.iter().zip(&references[t]).enumerate() {
+                for rel in want.relations() {
+                    assert_eq!(
+                        got.relation(rel),
+                        want.relation(rel),
+                        "thread {t} sample {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_an_executor_joins_its_workers() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        // Never-used executors tear down cleanly...
+        drop(ShardedExecutor::new(
+            program.clone(),
+            ShardConfig::default().with_num_shards(3),
+        ));
+        // ...as do heavily-used ones, including right after a failed run.
+        let executor =
+            ShardedExecutor::new(program.clone(), ShardConfig::default().with_num_shards(2));
+        for i in 0..8 {
+            executor.run_batch(&[chain(2, i * 10)]).unwrap();
+        }
+        drop(executor);
+        use lobster_gpu::DeviceConfig;
+        let tiny = Lobster::builder(TC)
+            .device(lobster_gpu::Device::new(DeviceConfig {
+                parallelism: 1,
+                memory_limit: Some(32),
+                ..DeviceConfig::default()
+            }))
+            .compile_typed::<Unit>()
+            .unwrap();
+        let executor = ShardedExecutor::new(tiny, ShardConfig::default().with_num_shards(2));
+        assert!(executor.run_batch(&[chain(3, 0)]).is_err());
+        drop(executor); // must not hang on the drained failed run
     }
 
     #[test]

@@ -193,6 +193,13 @@ impl Device {
     ///
     /// The parent device is untouched: shard work is not reflected in its
     /// statistics. Aggregate shard counters with [`DeviceStats::merge`].
+    ///
+    /// Shard devices are plain [`Device`] handles with no tie to the parent,
+    /// so they can — and, under a persistent sharded executor, do — outlive
+    /// any individual batch: a serving layer derives them once and runs
+    /// every batch against the same shard devices. Their counters are
+    /// monotone over that whole lifetime; per-batch attribution is a
+    /// [`DeviceStats::delta_since`] between snapshots, not a counter reset.
     pub fn split_shards(&self, n: usize) -> Vec<Device> {
         let n = n.max(1);
         (0..n)

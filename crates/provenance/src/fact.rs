@@ -129,6 +129,37 @@ impl InputFactRegistry {
         inner.probs.clear();
         inner.exclusions.clear();
     }
+
+    /// Drops every fact with id `len` or above, keeping the first `len`
+    /// registrations (and the backing allocations) intact. A session pool
+    /// uses this to return a recycled session to its freshly-opened state
+    /// without reallocating the registry.
+    pub fn truncate(&self, len: usize) {
+        let mut inner = self.inner.write().expect("fact registry poisoned");
+        inner.probs.truncate(len);
+        inner.exclusions.truncate(len);
+    }
+
+    /// Overwrites this registry's contents with a fork of `parent` — the
+    /// same observable state [`InputFactRegistry::fork`] produces, but
+    /// written into `self`'s existing allocations instead of fresh ones.
+    ///
+    /// Batched execution forks the session registry once per run; reforking
+    /// into a recycled scratch registry makes that per-run cost a memcpy
+    /// instead of two heap allocations (plus the lock/arc setup).
+    pub fn refork_from(&self, parent: &InputFactRegistry) {
+        if Arc::ptr_eq(&self.inner, &parent.inner) {
+            // Reforking a registry from itself (or a clone sharing its
+            // state) is a no-op — and taking both locks would deadlock.
+            return;
+        }
+        let parent = parent.inner.read().expect("fact registry poisoned");
+        let mut inner = self.inner.write().expect("fact registry poisoned");
+        inner.probs.clear();
+        inner.probs.extend_from_slice(&parent.probs);
+        inner.exclusions.clear();
+        inner.exclusions.extend_from_slice(&parent.exclusions);
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +215,50 @@ mod tests {
         assert_eq!(fork.len(), 2);
         assert_eq!(fork.exclusion(b), Some(3));
         fork.set_prob(a, 0.1);
+        assert_eq!(reg.prob(a), 0.4);
+    }
+
+    #[test]
+    fn truncate_keeps_the_leading_facts() {
+        let reg = InputFactRegistry::new();
+        let a = reg.register(Some(0.4), Some(1));
+        let b = reg.register(Some(0.9), None);
+        reg.truncate(1);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.prob(a), 0.4);
+        assert_eq!(reg.exclusion(a), Some(1));
+        // The truncated fact is gone: its id reads as unknown.
+        assert_eq!(reg.prob(b), 1.0);
+        // Re-registering reuses the freed id.
+        assert_eq!(reg.register(Some(0.7), None), b);
+    }
+
+    #[test]
+    fn refork_from_matches_fork_and_reuses_the_target() {
+        let parent = InputFactRegistry::new();
+        let a = parent.register(Some(0.4), Some(2));
+        let scratch = InputFactRegistry::new();
+        // Dirty the scratch so stale state would be visible if kept.
+        scratch.register(Some(0.123), Some(9));
+        scratch.register(Some(0.456), None);
+        scratch.refork_from(&parent);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(scratch.prob(a), 0.4);
+        assert_eq!(scratch.exclusion(a), Some(2));
+        // Like a fork, later changes are not shared in either direction.
+        let b = scratch.register(Some(0.9), None);
+        assert_eq!(parent.len(), 1);
+        scratch.set_prob(a, 0.1);
+        assert_eq!(parent.prob(a), 0.4);
+        assert_eq!(scratch.exclusion(b), None);
+    }
+
+    #[test]
+    fn refork_from_self_is_a_noop() {
+        let reg = InputFactRegistry::new();
+        let a = reg.register(Some(0.4), None);
+        reg.refork_from(&reg.clone());
+        assert_eq!(reg.len(), 1);
         assert_eq!(reg.prob(a), 0.4);
     }
 

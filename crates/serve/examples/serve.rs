@@ -1,10 +1,14 @@
 //! A miniature model server: one process-wide [`ProgramCache`], one
-//! [`BatchScheduler`] per hot program, many concurrent request threads.
+//! [`BatchScheduler`] per hot program, many concurrent request threads —
+//! including the persistent sharded runtime (`num_shards > 1`: one
+//! long-lived shard worker pool serving every batch) and direct session-pool
+//! reuse. This is the executable version of the request lifecycle described
+//! in `docs/ARCHITECTURE.md`.
 //!
 //! Run with `cargo run -p lobster-serve --example serve`. The example prints
 //! the cache behaviour (miss → compile, hits, coalesced concurrent
-//! requests) and the scheduler's batching statistics, so it doubles as a
-//! quick tour of the serving knobs.
+//! requests), the scheduler's batching statistics, and the session-pool
+//! reuse counters, so it doubles as a quick tour of the serving knobs.
 
 use lobster::{FactSet, ProvenanceKind, Value};
 use lobster_serve::{BatchScheduler, ProgramCache, SchedulerConfig};
@@ -48,15 +52,19 @@ fn main() {
         .expect("cached");
     println!("cache: re-request hits ({} total hits)", cache.stats().hits);
 
-    // --- The scheduler: one fix-point per mini-batch. ---------------------
+    // --- The scheduler: one fix-point per mini-batch, on a persistent ----
+    // --- runtime. ---------------------------------------------------------
     // `max_batch_size` caps how many requests share a fix-point;
     // `max_queue_delay` bounds how long the first request of a batch can
-    // wait for company.
+    // wait for company. With `num_shards` = 2 the scheduler spawns its
+    // two shard workers ONCE, here — every batch below is fed to those same
+    // threads over a work queue, paying no per-batch spawn/join.
     let scheduler = BatchScheduler::new(
         program,
         SchedulerConfig::default()
             .with_max_batch_size(16)
-            .with_max_queue_delay(Duration::from_millis(2)),
+            .with_max_queue_delay(Duration::from_millis(2))
+            .with_num_shards(2),
     );
 
     // Sixty-four independent requests, submitted as fast as possible.
@@ -76,11 +84,41 @@ fn main() {
     }
     let stats = scheduler.stats();
     println!(
-        "scheduler: {} requests in {} batch(es) (largest {}, {} full / {} timer flushes)",
-        stats.samples, stats.batches, stats.largest_batch, stats.full_flushes, stats.timer_flushes
+        "scheduler: {} requests in {} batch(es) over 2 persistent shard workers \
+         (largest {}, {} full / {} timer flushes, {} shard chunks)",
+        stats.samples,
+        stats.batches,
+        stats.largest_batch,
+        stats.full_flushes,
+        stats.timer_flushes,
+        stats.sharded_chunks,
     );
     assert!(
         stats.batches < stats.samples,
         "batching amortized at least one fix-point"
     );
+    assert!(
+        stats.sharded_chunks >= stats.batches,
+        "every batch fanned out across the persistent shard workers"
+    );
+
+    // --- The session pool: per-request state, recycled. -------------------
+    // A handler that runs one-off (unbatched) requests borrows a session
+    // instead of building one: the pool resets it on return, so request
+    // state never leaks while the registry/fact allocations are reused.
+    let pool = scheduler.program().session_pool();
+    for i in 0..32u32 {
+        let mut session = pool.acquire();
+        session
+            .add_fact("edge", &[Value::U32(i), Value::U32(i + 1)], Some(0.5))
+            .expect("well-formed fact");
+        let result = session.run().expect("request runs");
+        assert_eq!(result.len("path"), 1, "a recycled session starts clean");
+    }
+    let pool_stats = pool.stats();
+    println!(
+        "session pool: 32 one-off requests served by {} session(s) ({} reuses)",
+        pool_stats.created, pool_stats.reused
+    );
+    assert_eq!(pool_stats.created, 1);
 }

@@ -1,10 +1,13 @@
 //! Serving layer for Lobster: an Arc-shared compiled-program cache and a
-//! batching request scheduler.
+//! batching request scheduler on a persistent execution runtime.
 //!
 //! The paper's headline win is amortizing one fix-point over many batched
 //! samples (Section 4.3); the PR 1 API split made the compiled [`Program`]
 //! an immutable, `Arc`-shareable artifact. This crate turns those two
-//! properties into a server runtime:
+//! properties into a server runtime in which everything structural is built
+//! once and recycled — compiled programs, scheduler threads, shard worker
+//! threads, sessions — so a warm request pays only validation, queueing,
+//! and its share of a fix-point:
 //!
 //! * [`ProgramCache`] — a keyed cache `(source hash, provenance kind,
 //!   options fingerprint) → Arc<DynProgram>` so each distinct program
@@ -14,17 +17,26 @@
 //!   configurable byte budget. Concurrent requests for the same key are
 //!   coalesced: exactly one thread compiles, the rest block on the result.
 //! * [`BatchScheduler`] — accumulates per-request [`FactSet`]s into
-//!   mini-batches and drives [`DynProgram::run_batch`], paying one fix-point
-//!   per batch instead of one per request. Latency/throughput trade-off is
-//!   controlled by [`SchedulerConfig::max_batch_size`] and
+//!   mini-batches, paying one fix-point per batch instead of one per
+//!   request. Latency/throughput trade-off is controlled by
+//!   [`SchedulerConfig::max_batch_size`] and
 //!   [`SchedulerConfig::max_queue_delay`]; results are routed back to each
 //!   caller over a per-request channel. Plain `std` threads and `mpsc` —
-//!   no async runtime dependency. With [`SchedulerConfig::num_shards`]
-//!   above 1, every pooled batch additionally fans out across shard
-//!   devices (`DynProgram::run_batch_sharded`) with identical results —
-//!   see the "Multi-device sharding" section of the `lobster` crate docs.
+//!   no async runtime dependency. Single-device batches run on sessions
+//!   recycled through a [`DynSessionPool`] (registry and inline facts
+//!   built once, reset between batches); with
+//!   [`SchedulerConfig::num_shards`] above 1 the scheduler holds **one**
+//!   persistent [`DynShardedExecutor`] — shard workers spawned at
+//!   construction, fed every pooled batch over a work queue, joined on
+//!   drop — and every batch fans out across its shard devices with
+//!   identical results. See the "Multi-device sharding" section of the
+//!   `lobster` crate docs and `docs/ARCHITECTURE.md` for the full request
+//!   lifecycle, knob reference, and shard-vs-batch guidance.
 //!
 //! # Example
+//!
+//! The whole serving path — cache, persistent sharded scheduler, session
+//! pool — in one place (`examples/serve.rs` is the narrated version):
 //!
 //! ```
 //! use lobster::{FactSet, ProvenanceKind, Value};
@@ -43,23 +55,42 @@
 //! let again = cache.get_or_compile(SRC, ProvenanceKind::AddMultProb).unwrap();
 //! assert_eq!(cache.stats().hits, 1);
 //!
-//! // Serve requests through a batching scheduler: one fix-point per batch.
+//! // Serve requests through a batching scheduler: one fix-point per batch,
+//! // fanned out across 2 shard devices by the scheduler's persistent
+//! // executor (its two shard workers are spawned HERE, once — not per
+//! // batch).
 //! let scheduler = BatchScheduler::new(
 //!     program,
 //!     SchedulerConfig::default()
 //!         .with_max_batch_size(8)
-//!         .with_max_queue_delay(Duration::from_millis(1)),
+//!         .with_max_queue_delay(Duration::from_millis(1))
+//!         .with_num_shards(2),
 //! );
-//! let mut request = FactSet::new();
-//! request.add("edge", &[Value::U32(0), Value::U32(1)], Some(0.9));
-//! let result = scheduler.submit(request).wait().unwrap();
-//! assert!((result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.9).abs() < 1e-9);
+//! for round in 0..4u32 {
+//!     let mut request = FactSet::new();
+//!     request.add("edge", &[Value::U32(round), Value::U32(round + 1)], Some(0.9));
+//!     let result = scheduler.submit(request).wait().unwrap();
+//!     let p = result.probability("path", &[Value::U32(round), Value::U32(round + 1)]);
+//!     assert!((p - 0.9).abs() < 1e-9);
+//! }
+//!
+//! // One-off (unbatched) requests borrow recycled sessions from a pool;
+//! // the pool resets each session on return, so no facts leak between
+//! // requests.
+//! let pool = scheduler.program().session_pool();
+//! for i in 0..3u32 {
+//!     let mut session = pool.acquire();
+//!     session.add_fact("edge", &[Value::U32(i), Value::U32(i + 1)], Some(0.5)).unwrap();
+//!     assert_eq!(session.run().unwrap().len("path"), 1); // clean every time
+//! }
+//! assert_eq!(pool.stats().created, 1);
 //! # drop(again);
 //! ```
 //!
 //! [`Program`]: lobster::Program
-//! [`DynProgram::run_batch`]: lobster::DynProgram::run_batch
 //! [`DynProgram::compiled_size_bytes`]: lobster::DynProgram::compiled_size_bytes
+//! [`DynSessionPool`]: lobster::DynSessionPool
+//! [`DynShardedExecutor`]: lobster::DynShardedExecutor
 //! [`FactSet`]: lobster::FactSet
 
 #![forbid(unsafe_code)]

@@ -1,7 +1,9 @@
 //! The batching request scheduler.
 
 use crate::error::ServeError;
-use lobster::{DynProgram, FactSet, InputFactId, RunResult};
+use lobster::{
+    DynProgram, DynSessionPool, DynShardedExecutor, FactSet, InputFactId, RunResult, ShardConfig,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -19,17 +21,21 @@ pub struct SchedulerConfig {
     /// Number of worker threads draining the queue. Each worker runs whole
     /// batches, so more workers overlap fix-points of *different* batches.
     pub workers: usize,
-    /// Number of shard devices each batch is partitioned across
-    /// ([`DynProgram::run_batch_sharded`]). `1` (the default) runs every
-    /// batch on the program's own device; above 1, pooled batches fan out
-    /// over devices derived with `Device::split_shards`, overlapping
-    /// fix-points of *slices of the same batch*. Results — tuples,
-    /// probabilities, request-local gradient ids — are identical either way.
+    /// Number of shard devices each batch is partitioned across. `1` (the
+    /// default) runs every batch on the program's own device; above 1, the
+    /// scheduler holds **one** persistent [`DynShardedExecutor`] — shard
+    /// worker threads spawned at construction and fed every pooled batch
+    /// over its work queue — and batches fan out over devices derived with
+    /// `Device::split_shards`, overlapping fix-points of *slices of the same
+    /// batch*. Results — tuples, probabilities, request-local gradient ids —
+    /// are identical either way.
     ///
-    /// Each batch execution derives its own budget split, so with
-    /// `workers > 1` every concurrently executing batch gets the full
-    /// per-device memory envelope: size the program device's `memory_limit`
-    /// for `workers ×` that envelope when combining both knobs.
+    /// Because the executor (and its budget split) is shared by all
+    /// scheduler workers, the shard devices' memory budgets sum to the
+    /// program device's `memory_limit` *however many batches execute
+    /// concurrently* — the envelope spans the scheduler, not one batch. A
+    /// chunk that overflows its shard's budget spills (splits and retries)
+    /// rather than failing outright.
     pub num_shards: usize,
 }
 
@@ -101,6 +107,14 @@ struct Request {
 
 struct Shared {
     program: Arc<DynProgram>,
+    /// Recycled sessions for single-device batches: each worker borrows a
+    /// session per batch instead of re-building registry + inline facts.
+    sessions: DynSessionPool,
+    /// The persistent sharded executor (`num_shards > 1` only): shard worker
+    /// threads are spawned once, here, and reused by every batch from every
+    /// scheduler worker. Dropped — and its workers joined — with the
+    /// scheduler.
+    executor: Option<DynShardedExecutor>,
     /// Number of inline program facts a session pre-registers; batched
     /// execution hands out per-request fact ids starting after these.
     inline_facts: u32,
@@ -143,9 +157,18 @@ impl Ticket {
     }
 }
 
-/// Accumulates per-request [`FactSet`]s into mini-batches and drives
-/// [`DynProgram::run_batch`] — one fix-point per batch instead of one per
-/// request (the paper's batched evaluation, applied to serving).
+/// Accumulates per-request [`FactSet`]s into mini-batches and runs each
+/// batch in one fix-point instead of one per request (the paper's batched
+/// evaluation, applied to serving).
+///
+/// The execution state behind the batches is *persistent*: single-device
+/// batches run on sessions recycled through a [`DynSessionPool`], and with
+/// [`SchedulerConfig::num_shards`] above 1 every batch is fed to one
+/// long-lived [`DynShardedExecutor`] whose shard worker threads are spawned
+/// when the scheduler is built — so a batch pays neither session setup nor
+/// thread spawn/join, the steady-state overheads that dominate at high
+/// request rates. See `docs/ARCHITECTURE.md` for the full request
+/// lifecycle.
 ///
 /// Requests are submitted with [`BatchScheduler::submit`], which returns a
 /// [`Ticket`] immediately; worker threads flush the queue whenever a batch
@@ -159,8 +182,9 @@ impl Ticket {
 /// requests' and inline program facts dropped, so they too are independent
 /// of batch placement.
 ///
-/// Dropping the scheduler drains the queue (every queued request still runs)
-/// and joins the workers.
+/// Dropping the scheduler drains the queue (every queued request still
+/// runs), joins the scheduler workers, and tears down the persistent
+/// executor's shard workers.
 pub struct BatchScheduler {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -179,8 +203,18 @@ impl BatchScheduler {
     /// Spawns the worker threads for `program` with the given knobs.
     pub fn new(program: Arc<DynProgram>, config: SchedulerConfig) -> Self {
         let inline_facts = program.session().fact_count() as u32;
+        // Build the per-scheduler execution state once, up front: a session
+        // pool for single-device batches, and — when sharding — ONE
+        // persistent executor whose shard workers serve every batch this
+        // scheduler will ever run (spawn/join is paid here, not per batch).
+        let sessions = program.session_pool();
+        let executor = (config.num_shards > 1).then(|| {
+            program.sharded_executor(ShardConfig::default().with_num_shards(config.num_shards))
+        });
         let shared = Arc::new(Shared {
             program,
+            sessions,
+            executor,
             inline_facts,
             config: config.clone(),
             queue: Mutex::new(VecDeque::new()),
@@ -361,25 +395,25 @@ fn worker_loop(shared: &Shared) {
         shared
             .largest_batch
             .fetch_max(facts.len(), Ordering::Relaxed);
-        // With `num_shards > 1` the batch fans out across shard devices; the
-        // sharded path merges results back into submission order and keeps
-        // the same global fact-id layout, so the request-local gradient
-        // remap below is shard-agnostic. The per-batch executor behind this
-        // call is a handful of Arc clones, device handles, and shard-thread
-        // spawns — cheap next to any fix-point — so nothing is cached across
-        // batches.
-        let outcome = if shared.config.num_shards > 1 {
-            shared
-                .program
-                .run_batch_sharded_with_stats(&facts, shared.config.num_shards)
-                .map(|(results, stats)| {
-                    shared
-                        .sharded_chunks
-                        .fetch_add(stats.executed_chunks as u64, Ordering::Relaxed);
-                    results
-                })
+        // The gradient remap below needs each request's fact count; snapshot
+        // them before the sharded path takes ownership of the payloads.
+        let request_lens: Vec<u32> = facts.iter().map(|f| f.len() as u32).collect();
+        // With `num_shards > 1` the batch is handed — without copying a
+        // fact — to the scheduler's persistent sharded executor: its
+        // long-lived shard workers fan the batch out across shard devices
+        // and merge results back into submission order with the same global
+        // fact-id layout, so the request-local gradient remap below is
+        // shard-agnostic. Single-device batches run on a pooled session, so
+        // steady-state batches rebuild neither registry nor inline facts.
+        let outcome = if let Some(executor) = &shared.executor {
+            executor.run_batch_owned(facts).map(|(results, stats)| {
+                shared
+                    .sharded_chunks
+                    .fetch_add(stats.executed_chunks as u64, Ordering::Relaxed);
+                results
+            })
         } else {
-            shared.program.run_batch(&facts)
+            shared.sessions.acquire().run_batch(&facts)
         };
         match outcome {
             Ok(mut results) => {
@@ -391,9 +425,9 @@ fn worker_loop(shared: &Shared) {
                 // requests' or inline facts, so a client's gradients mean
                 // the same thing whatever batch its request landed in.
                 let mut next_id = shared.inline_facts;
-                for (result, request_facts) in results.iter_mut().zip(&facts) {
+                for (result, len) in results.iter_mut().zip(&request_lens) {
                     let start = next_id;
-                    let len = request_facts.len() as u32;
+                    let len = *len;
                     next_id += len;
                     result.map_gradient_ids(|id| {
                         id.0.checked_sub(start)
@@ -492,6 +526,64 @@ mod tests {
         // fix-point each) — the counter measures, it does not model.
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.sharded_chunks, 2);
+    }
+
+    #[test]
+    fn the_persistent_executor_serves_many_batches_and_tears_down_cleanly() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(2)
+                .with_max_queue_delay(Duration::from_secs(30))
+                .with_num_shards(2),
+        );
+        // 40 full batches through the same two shard workers. Every result
+        // must be correct and every batch must pay its chunks — reuse may
+        // not corrupt, leak, or accumulate.
+        for round in 0..40u32 {
+            let a = scheduler.submit(edge_request(round * 10, round * 10 + 1, 0.5));
+            let b = scheduler.submit(edge_request(round * 10 + 2, round * 10 + 3, 0.5));
+            for (ticket, x) in [(a, round * 10), (b, round * 10 + 2)] {
+                let result = ticket.wait().unwrap();
+                assert!(
+                    (result.probability("path", &[Value::U32(x), Value::U32(x + 1)]) - 0.5).abs()
+                        < 1e-9,
+                    "round {round}"
+                );
+            }
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.samples, 80);
+        assert_eq!(stats.batches, 40);
+        // Two single-request chunks per batch, no spills: measured, not
+        // modeled — a leak across batches would show up here.
+        assert_eq!(stats.sharded_chunks, 80);
+        drop(scheduler); // joins scheduler workers AND shard workers
+    }
+
+    #[test]
+    fn single_device_batches_recycle_pooled_sessions_without_fact_leakage() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(1)
+                .with_max_queue_delay(Duration::from_millis(1)),
+        );
+        // Sequential single-request batches all flow through one recycled
+        // session; a fact leaking between batches would surface as an extra
+        // `path` tuple or a wrong probability in a later request.
+        for i in 0..30u32 {
+            let result = scheduler
+                .run_one(edge_request(0, 1, 0.1 + 0.02 * i as f64))
+                .unwrap();
+            let expected = 0.1 + 0.02 * f64::from(i);
+            assert!(
+                (result.probability("path", &[Value::U32(0), Value::U32(1)]) - expected).abs()
+                    < 1e-9,
+                "batch {i}"
+            );
+            assert_eq!(result.len("path"), 1, "batch {i}: leaked facts");
+        }
     }
 
     #[test]
