@@ -5,6 +5,16 @@ use lobster_provenance::Provenance;
 use lobster_ram::{RelationSchema, Tuple, Value};
 use std::collections::BTreeMap;
 
+/// Returns dead columns to the device arena (capacity-less vectors are
+/// dropped — there is nothing to reuse).
+pub(crate) fn recycle_columns(device: &Device, columns: Columns) {
+    for col in columns {
+        if col.capacity() > 0 {
+            device.arena().recycle_shared(col);
+        }
+    }
+}
+
 /// A lexicographically sorted, duplicate-free table: the canonical storage
 /// format for a relation partition.
 ///
@@ -57,10 +67,13 @@ impl<P: Provenance> SortedTable<P> {
     }
 
     /// Builds a sorted, deduplicated table from unsorted rows, merging the
-    /// tags of duplicate rows with the semiring disjunction.
+    /// tags of duplicate rows with the semiring disjunction. The consumed
+    /// input columns and every sorting intermediate are recycled into the
+    /// device arena.
     pub fn from_unsorted(device: &Device, prov: &P, columns: Columns, tags: Vec<P::Tag>) -> Self {
         let arity = columns.len();
         if tags.is_empty() {
+            recycle_columns(device, columns);
             return Self::empty(arity);
         }
         if arity == 0 {
@@ -77,14 +90,44 @@ impl<P: Provenance> SortedTable<P> {
         let refs: Vec<&[u64]> = columns.iter().map(|c| c.as_slice()).collect();
         let perm = kernels::sort_permutation(device, &refs);
         let (sorted_cols, sorted_tags) = kernels::apply_permutation(device, &perm, &refs, &tags);
+        device.arena().recycle_shared(perm);
+        drop(refs);
+        recycle_columns(device, columns);
         let sorted_refs: Vec<&[u64]> = sorted_cols.iter().map(|c| c.as_slice()).collect();
         let (unique_cols, unique_tags) =
             kernels::unique(device, &sorted_refs, &sorted_tags, |a, b| prov.add(a, b));
+        drop(sorted_refs);
+        recycle_columns(device, sorted_cols);
         SortedTable {
             columns: unique_cols,
             tags: unique_tags,
             arity,
         }
+    }
+
+    /// Returns the table's columns to the device arena. Call when the table
+    /// is dead and its buffers should feed the next iteration's allocations.
+    pub fn recycle(self, device: &Device) {
+        recycle_columns(device, self.columns);
+    }
+
+    /// Consuming [`SortedTable::merge_disjoint`]: when either side is empty
+    /// the other is returned *as is* (no copy, no allocation), and consumed
+    /// inputs are recycled into the device arena — the steady-state shape of
+    /// the executor's update phase.
+    pub fn merge_disjoint_owned(device: &Device, a: SortedTable<P>, b: SortedTable<P>) -> Self {
+        if a.is_empty() {
+            a.recycle(device);
+            return b;
+        }
+        if b.is_empty() {
+            b.recycle(device);
+            return a;
+        }
+        let merged = a.merge_disjoint(device, &b);
+        a.recycle(device);
+        b.recycle(device);
+        merged
     }
 
     /// Merges two sorted tables whose row sets are disjoint.
@@ -118,6 +161,24 @@ impl<P: Provenance> SortedTable<P> {
             tags,
             arity: self.arity,
         }
+    }
+
+    /// Consuming [`SortedTable::difference_from`]: an empty `self` passes
+    /// `candidate` through untouched (no copy), and a consumed `candidate`
+    /// is recycled into the device arena.
+    pub fn difference_from_owned(&self, device: &Device, candidate: SortedTable<P>) -> Self {
+        if candidate.is_empty() || self.is_empty() || self.arity == 0 {
+            // `difference_from` would clone the (possibly empty) candidate
+            // or drop it for nullary relations; consuming avoids the copy.
+            if self.arity == 0 && !self.is_empty() {
+                candidate.recycle(device);
+                return SortedTable::empty(0);
+            }
+            return candidate;
+        }
+        let delta = self.difference_from(device, &candidate);
+        candidate.recycle(device);
+        delta
     }
 
     /// Rows of `candidate` (sorted) that are not present in `self`.

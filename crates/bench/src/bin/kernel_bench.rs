@@ -1,0 +1,361 @@
+//! Kernel-layer throughput: every hot kernel at parallelism 1/2/4/8 plus an
+//! end-to-end transitive-closure fix-point, written to `BENCH_kernels.json`.
+//!
+//! Each kernel row reports the best-of-N wall time at a given worker count
+//! over the *same* input data, so `speedup_vs_p1` isolates what the parallel
+//! decomposition (radix scatter, merge-path partitioning, chunked probes)
+//! actually buys on this machine. A `kernel_time_ms` section breaks the
+//! device's accumulated kernel wall time into the sort/join/unique buckets
+//! of [`lobster_gpu::KernelTime`], which is what lets serving-layer numbers
+//! (`BENCH_serve.json`) be attributed to individual kernels.
+//!
+//! Run with `cargo run -p lobster-bench --release --bin kernel_bench`.
+//! Knobs:
+//!
+//! * `--quick` / `LOBSTER_BENCH_QUICK=1` — shrink the workload for a CI
+//!   smoke run.
+//! * `--rows N` — per-kernel input size override.
+//! * `--assert-parallel-factor X` — exit non-zero unless sort *and* unique
+//!   at parallelism 4 reach `X ×` the parallelism-1 throughput. Kernel
+//!   workers are threads, so on a single-CPU machine they cannot overlap;
+//!   the gate is skipped (but the factors still recorded) when fewer than 2
+//!   CPUs are available.
+
+use lobster::{Lobster, Value};
+use lobster_bench::{print_header, quick_mode};
+use lobster_gpu::{kernels, Device, DeviceConfig, HashIndex, KernelTime};
+use lobster_provenance::Unit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+const PARALLELISMS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured configuration of one kernel.
+struct Row {
+    kernel: &'static str,
+    parallelism: usize,
+    rows: usize,
+    wall: Duration,
+}
+
+impl Row {
+    fn json(&self, p1_wall: Duration) -> String {
+        format!(
+            "{{\"kernel\": \"{}\", \"parallelism\": {}, \"rows\": {}, \
+             \"wall_ms\": {:.3}, \"speedup_vs_p1\": {:.3}}}",
+            self.kernel,
+            self.parallelism,
+            self.rows,
+            self.wall.as_secs_f64() * 1e3,
+            p1_wall.as_secs_f64() / self.wall.as_secs_f64().max(1e-12),
+        )
+    }
+}
+
+fn device_with(parallelism: usize) -> Device {
+    Device::new(DeviceConfig {
+        parallelism,
+        min_parallel_rows: 1024,
+        ..DeviceConfig::default()
+    })
+}
+
+fn best_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..repeats)
+        .map(|_| f())
+        .min()
+        .expect("at least one repeat")
+}
+
+fn refs(cols: &[Vec<u64>]) -> Vec<&[u64]> {
+    cols.iter().map(|c| c.as_slice()).collect()
+}
+
+fn random_cols(rng: &mut StdRng, rows: usize, arity: usize, key_space: u64) -> Vec<Vec<u64>> {
+    (0..arity)
+        .map(|_| (0..rows).map(|_| rng.gen_range(0..key_space)).collect())
+        .collect()
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = quick_mode() || args.iter().any(|a| a == "--quick");
+    let scale = |full: usize, small: usize| if quick { small } else { full };
+    // Quick mode still uses enough rows that per-chunk compute dominates
+    // thread-spawn overhead on small CI runners — the ≥1.0× gate measures
+    // the decomposition, not the spawn cost.
+    let rows: usize = arg_value(&args, "--rows")
+        .map(|v| v.parse().expect("--rows takes a number"))
+        .unwrap_or_else(|| scale(400_000, 150_000));
+    let repeats: usize = arg_value(&args, "--repeats")
+        .map(|v| v.parse().expect("--repeats takes a number"))
+        .unwrap_or(3)
+        .max(1);
+    let assert_factor: Option<f64> = arg_value(&args, "--assert-parallel-factor")
+        .map(|v| v.parse().expect("--assert-parallel-factor takes a number"));
+    let tc_edges = scale(400, 120);
+
+    print_header(
+        "Kernel throughput — parallel radix sort, segmented dedup, chunked joins",
+        "same inputs at 1/2/4/8 workers; speedups isolate the parallel decomposition",
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    // Shared inputs. Small key spaces create the duplicate/match density a
+    // fix-point actually sees.
+    let table = random_cols(&mut rng, rows, 2, (rows as u64 / 2).max(8));
+    let tags: Vec<f64> = (0..rows)
+        .map(|_| rng.gen_range(0..1 << 20) as f64 * 0.5)
+        .collect();
+    let counts: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..4)).collect();
+    let indices: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..rows as u64)).collect();
+    let build = random_cols(&mut rng, rows, 1, (rows as u64 / 4).max(4));
+    let probe = random_cols(&mut rng, rows, 1, (rows as u64 / 4).max(4));
+    let half = rows / 2;
+
+    let mut rows_out: Vec<Row> = Vec::new();
+    let mut times_out: Vec<(usize, KernelTime)> = Vec::new();
+    for &p in &PARALLELISMS {
+        let device = device_with(p);
+        // Inputs that must be pre-sorted are prepared outside the timings.
+        let perm = kernels::sort_permutation(&device, &refs(&table));
+        let (sorted, sorted_tags) =
+            kernels::apply_permutation(&device, &perm, &refs(&table), &tags);
+        let (a_half, at_half) = (
+            sorted
+                .iter()
+                .map(|c| c[..half].to_vec())
+                .collect::<Vec<_>>(),
+            &sorted_tags[..half],
+        );
+        let index = HashIndex::build(&device, &refs(&build), 2);
+
+        let mut bench = |kernel: &'static str, f: &mut dyn FnMut()| {
+            let wall = best_of(repeats, || {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            });
+            rows_out.push(Row {
+                kernel,
+                parallelism: p,
+                rows,
+                wall,
+            });
+        };
+
+        bench("sort", &mut || {
+            let perm = kernels::sort_permutation(&device, &refs(&table));
+            device.arena().recycle_shared(perm);
+        });
+        bench("unique", &mut || {
+            let (cols, _tags) =
+                kernels::unique(&device, &refs(&sorted), &sorted_tags, |a, b| a + b);
+            for col in cols {
+                device.arena().recycle_shared(col);
+            }
+        });
+        bench("scan", &mut || {
+            let (offsets, _) = kernels::scan(&device, &counts);
+            device.arena().recycle_shared(offsets);
+        });
+        bench("merge", &mut || {
+            let (cols, _tags) = kernels::merge(
+                &device,
+                &refs(&sorted),
+                &sorted_tags,
+                &refs(&a_half),
+                at_half,
+            );
+            for col in cols {
+                device.arena().recycle_shared(col);
+            }
+        });
+        bench("difference", &mut || {
+            let (cols, _tags) =
+                kernels::difference(&device, &refs(&sorted), &sorted_tags, &refs(&a_half), half);
+            for col in cols {
+                device.arena().recycle_shared(col);
+            }
+        });
+        bench("eval", &mut || {
+            let col0 = &sorted[0];
+            let col1 = &sorted[1];
+            let (cols, src) = kernels::eval(&device, rows, 2, |range, sink| {
+                let mut out = [0u64; 2];
+                for i in range {
+                    if col0[i] % 5 != 0 {
+                        out[0] = col0[i].wrapping_mul(3) + 1;
+                        out[1] = col1[i] ^ col0[i];
+                        sink.emit(i, &out);
+                    }
+                }
+            });
+            for col in cols {
+                device.arena().recycle_shared(col);
+            }
+            device.arena().recycle_shared(src);
+        });
+        bench("gather", &mut || {
+            let out = kernels::gather(&device, &indices, &sorted[0]);
+            device.arena().recycle_shared(out);
+        });
+        bench("hash_join", &mut || {
+            let counts = kernels::count_matches(&device, &index, &refs(&probe));
+            let (offsets, total) = kernels::scan(&device, &counts);
+            let (bi, pi) =
+                kernels::hash_join(&device, &index, &refs(&probe), &counts, &offsets, total);
+            for col in [counts, offsets, bi, pi] {
+                device.arena().recycle_shared(col);
+            }
+        });
+
+        times_out.push((p, device.stats().kernel_time));
+    }
+
+    // End-to-end: the canonical transitive-closure fix-point, whose cost is
+    // dominated by exactly the kernels measured above.
+    let tc_source = "type edge(x: u32, y: u32)
+        rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+        query path";
+    let mut e2e_rows: Vec<Row> = Vec::new();
+    for &p in &PARALLELISMS {
+        let wall = best_of(repeats, || {
+            // The e2e row uses the production chunking threshold: small
+            // fix-point iterations stay sequential, exactly as served
+            // traffic would run them.
+            let device = Device::new(DeviceConfig {
+                parallelism: p,
+                ..DeviceConfig::default()
+            });
+            let program = Lobster::builder(tc_source)
+                .device(device)
+                .compile_typed::<Unit>()
+                .expect("TC compiles");
+            let mut session = program.session();
+            for i in 0..tc_edges as u32 {
+                session
+                    .add_fact("edge", &[Value::U32(i), Value::U32(i + 1)], None)
+                    .expect("edge fact");
+            }
+            let start = Instant::now();
+            let result = session.run().expect("TC runs");
+            assert!(result.len("path") > tc_edges);
+            start.elapsed()
+        });
+        e2e_rows.push(Row {
+            kernel: "transitive_closure",
+            parallelism: p,
+            rows: tc_edges,
+            wall,
+        });
+    }
+
+    let p1_wall = |rows: &[Row], kernel: &str| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.parallelism == 1)
+            .map(|r| r.wall)
+            .expect("parallelism-1 row measured")
+    };
+    println!(
+        "{:<20} {:>12} {:>6} {:>12} {:>9}",
+        "kernel", "rows", "par", "wall (ms)", "speedup"
+    );
+    for r in rows_out.iter().chain(&e2e_rows) {
+        let base = p1_wall(
+            if r.kernel == "transitive_closure" {
+                &e2e_rows
+            } else {
+                &rows_out
+            },
+            r.kernel,
+        );
+        println!(
+            "{:<20} {:>12} {:>6} {:>12.3} {:>8.2}x",
+            r.kernel,
+            r.rows,
+            r.parallelism,
+            r.wall.as_secs_f64() * 1e3,
+            base.as_secs_f64() / r.wall.as_secs_f64().max(1e-12),
+        );
+    }
+
+    let factor = |kernel: &str, p: usize| {
+        let base = p1_wall(&rows_out, kernel).as_secs_f64();
+        let at = rows_out
+            .iter()
+            .find(|r| r.kernel == kernel && r.parallelism == p)
+            .map(|r| r.wall.as_secs_f64())
+            .expect("row measured");
+        base / at.max(1e-12)
+    };
+    let sort_factor = factor("sort", 4);
+    let unique_factor = factor("unique", 4);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let kernel_rows_json = rows_out
+        .iter()
+        .map(|r| r.json(p1_wall(&rows_out, r.kernel)))
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let e2e_json = e2e_rows
+        .iter()
+        .map(|r| r.json(p1_wall(&e2e_rows, r.kernel)))
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let times_json = times_out
+        .iter()
+        .map(|(p, t)| {
+            format!(
+                "{{\"parallelism\": {p}, \"sort_ms\": {:.3}, \"join_ms\": {:.3}, \
+                 \"unique_ms\": {:.3}, \"other_ms\": {:.3}}}",
+                t.sort_ns as f64 / 1e6,
+                t.join_ns as f64 / 1e6,
+                t.unique_ns as f64 / 1e6,
+                t.other_ns as f64 / 1e6,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        "{{\n  \"workload\": \"synthetic-kernels\",\n  \"rows\": {rows},\n  \
+         \"tc_edges\": {tc_edges},\n  \"quick_mode\": {quick},\n  \"cpus\": {cpus},\n  \
+         \"kernels\": [\n    {kernel_rows_json}\n  ],\n  \
+         \"e2e\": [\n    {e2e_json}\n  ],\n  \
+         \"kernel_time_ms\": [\n    {times_json}\n  ],\n  \
+         \"sort_parallel4_factor\": {sort_factor:.3},\n  \
+         \"unique_parallel4_factor\": {unique_factor:.3}\n}}\n",
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+
+    if let Some(required) = assert_factor {
+        if cpus < 2 {
+            // Kernel workers are threads; on one CPU they serialize, so the
+            // factor measures the machine, not the kernels.
+            println!(
+                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x — gate skipped \
+                 ({cpus} CPU available, workers cannot overlap)"
+            );
+        } else if sort_factor < required || unique_factor < required {
+            eprintln!(
+                "FAIL: parallel(4) sort {sort_factor:.2}x / unique {unique_factor:.2}x \
+                 below required {required:.2}x vs sequential"
+            );
+            std::process::exit(1);
+        } else {
+            println!(
+                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x \
+                 (required ≥ {required:.2}x)"
+            );
+        }
+    }
+}

@@ -98,22 +98,24 @@ impl Measurement {
 
 /// A plain in-process loop — no scheduler, no threads, no dispatch. Not the
 /// baseline (a server cannot run this way), but recorded so the scheduler's
-/// own overhead is visible next to the batching win.
+/// own overhead is visible next to the batching win. `run_one` executes one
+/// request, so the same loop measures the `DynProgram` match-dispatch path
+/// (`direct-loop`) and the statically-typed `Program` path (`direct-typed`);
+/// the ratio of the two is the provenance-erasure overhead.
 fn run_direct(
-    program: &std::sync::Arc<lobster::DynProgram>,
+    label: &str,
     requests: &[lobster::FactSet],
+    run_one: &(dyn Fn(&lobster::FactSet) + '_),
 ) -> Measurement {
     let start = Instant::now();
     let mut latencies = Vec::with_capacity(requests.len());
     for request in requests {
         let t = Instant::now();
-        program
-            .run_batch(std::slice::from_ref(request))
-            .expect("request runs");
+        run_one(request);
         latencies.push(t.elapsed().as_secs_f64() * 1e3);
     }
     Measurement {
-        label: "direct-loop".to_string(),
+        label: label.to_string(),
         batch_size: 1,
         num_shards: 1,
         wall: start.elapsed(),
@@ -292,9 +294,30 @@ fn main() {
         ProvenanceKind::DiffTop1Proof
     );
 
+    // The statically-typed twin of the cached program: same source, same
+    // provenance, same options — the only difference is that every API call
+    // goes through zero-cost static dispatch instead of the `DynProgram`
+    // `match`. The throughput ratio of the two direct loops is therefore
+    // the match-dispatch overhead (ROADMAP: provenance-erased hot path).
+    let typed_program = lobster::Lobster::builder(clutrr::PROGRAM)
+        .compile_typed::<lobster_provenance::DiffTop1Proof>()
+        .expect("CLUTRR program compiles (typed)");
+
+    let run_dyn = |request: &lobster::FactSet| {
+        program
+            .run_batch(std::slice::from_ref(request))
+            .expect("request runs");
+    };
+    let run_typed = |request: &lobster::FactSet| {
+        typed_program
+            .run_batch(std::slice::from_ref(request))
+            .expect("request runs");
+    };
+
     // Warm up allocators and the simulated device so the sequential baseline
     // is not penalized for going first.
-    run_direct(&program, &requests[..requests_n.min(4)]);
+    run_direct("warmup", &requests[..requests_n.min(4)], &run_dyn);
+    let kernel_time_before = program.device().stats().kernel_time;
 
     // Every configuration (the baseline included) is measured several times
     // and keeps its best run: wall times here are milliseconds, so a single
@@ -307,7 +330,8 @@ fn main() {
             .expect("at least one repeat")
     };
     let best_of = |run: &dyn Fn() -> Measurement| best_of_n(repeats, run);
-    let direct = best_of(&|| run_direct(&program, &requests));
+    let direct = best_of(&|| run_direct("direct-loop", &requests, &run_dyn));
+    let direct_typed = best_of(&|| run_direct("direct-typed", &requests, &run_typed));
     let sequential = best_of(&|| run_batched(&program, &requests, 1, 1));
     let batch_sizes: Vec<usize> = [4usize, 8, 16, 32]
         .iter()
@@ -345,7 +369,7 @@ fn main() {
         "{:<20} {:>10} {:>14} {:>10} {:>10} {:>10} {:>9}",
         "config", "fixpoints", "samples/sec", "p50 (ms)", "p99 (ms)", "wall (s)", "speedup"
     );
-    for m in [&direct, &sequential]
+    for m in [&direct, &direct_typed, &sequential]
         .into_iter()
         .chain(&batched)
         .chain(&sharded)
@@ -366,11 +390,31 @@ fn main() {
     // BENCH_serve.json — machine-readable record, uploaded as a CI artifact.
     let persistent_factor =
         persistent.samples_per_sec() / spawn_per_batch.samples_per_sec().max(1e-12);
+    // Provenance-erasure cost: > 1.0 means the typed program out-ran the
+    // `DynProgram` `match`-dispatch path on identical work.
+    let dispatch_overhead_factor =
+        direct_typed.samples_per_sec() / direct.samples_per_sec().max(1e-12);
+    // Where the (single-device) serving wall time went, per kernel bucket.
+    // Sharded rows run on split shard devices and are attributed in
+    // BENCH_kernels.json instead.
+    let kernel_time = program
+        .device()
+        .stats()
+        .kernel_time
+        .delta_since(&kernel_time_before);
+    println!(
+        "\ndispatch overhead (typed vs dyn direct loop): {dispatch_overhead_factor:.3}x \
+         — one match per batch API call"
+    );
     let json = format!(
         "{{\n  \"workload\": \"clutrr\",\n  \"provenance\": \"{}\",\n  \
          \"requests\": {},\n  \"chain_length\": {},\n  \"quick_mode\": {},\n  \
          \"cpus\": {},\n  \
-         \"direct_loop\": {},\n  \"sequential\": {},\n  \"batched\": [\n    {}\n  ],\n  \
+         \"direct_loop\": {},\n  \"direct_typed\": {},\n  \
+         \"dispatch_overhead_factor\": {:.3},\n  \
+         \"kernel_time_ms\": {{\"sort_ms\": {:.3}, \"join_ms\": {:.3}, \
+         \"unique_ms\": {:.3}, \"other_ms\": {:.3}}},\n  \
+         \"sequential\": {},\n  \"batched\": [\n    {}\n  ],\n  \
          \"sharded\": [\n    {}\n  ],\n  \
          \"executor\": [\n    {},\n    {}\n  ],\n  \
          \"persistent_vs_spawn_factor\": {:.3}\n}}\n",
@@ -380,6 +424,12 @@ fn main() {
         quick_mode(),
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         direct.json(seq_sps),
+        direct_typed.json(seq_sps),
+        dispatch_overhead_factor,
+        kernel_time.sort_ns as f64 / 1e6,
+        kernel_time.join_ns as f64 / 1e6,
+        kernel_time.unique_ns as f64 / 1e6,
+        kernel_time.other_ns as f64 / 1e6,
         sequential.json(seq_sps),
         batched
             .iter()

@@ -217,6 +217,15 @@ macro_rules! define_dyn_program {
                 }
             }
 
+            /// The device this program's sessions execute on; its
+            /// statistics (kernel launches, per-kernel wall time) attribute
+            /// serving cost to individual kernels.
+            pub fn device(&self) -> &lobster_gpu::Device {
+                match self {
+                    $( DynProgram::$variant(p) => p.device(), )*
+                }
+            }
+
             /// The stable hash of the source this program was compiled from;
             /// see [`Program::source_hash`].
             pub fn source_hash(&self) -> u64 {

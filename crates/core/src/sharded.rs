@@ -146,10 +146,12 @@ pub struct ShardRunStats {
     /// Device counters of each shard for *this run* (deltas against the
     /// counters at run start, so reusing the executor across batches does
     /// not accumulate; `live_bytes`/`peak_bytes` are the device's current
-    /// and high-water gauges), indexed by shard. Attribution assumes runs on
-    /// one executor do not overlap — concurrent `run_batch` calls share
-    /// devices and blur each other's deltas (the results themselves are
-    /// unaffected).
+    /// and high-water gauges), indexed by shard. Includes the per-kernel
+    /// wall-time breakdown (`DeviceStats::kernel_time`), so a serving layer
+    /// can attribute a batch's cost to sort/join/unique work per shard.
+    /// Attribution assumes runs on one executor do not overlap — concurrent
+    /// `run_batch` calls share devices and blur each other's deltas (the
+    /// results themselves are unaffected).
     pub device_stats: Vec<DeviceStats>,
 }
 

@@ -1,4 +1,5 @@
-//! Arena allocation and buffer reuse for device registers.
+//! Arena allocation and buffer reuse for device registers and kernel
+//! temporaries.
 //!
 //! Section 4.1 of the paper observes that every allocation in an APM program
 //! is identified by an `alloc` instruction and that all register data is
@@ -6,27 +7,146 @@
 //!
 //! * **Arena allocation** — allocation is a bump of a per-iteration arena and
 //!   deallocation is a no-op performed once per iteration.
-//! * **Buffer reuse** — buffers allocated for a given `alloc` instruction are
+//! * **Buffer reuse** — buffers allocated for a given allocation site are
 //!   recycled across iterations, because a register's size is strongly
 //!   correlated with its size on the previous iteration.
 //!
-//! The [`Arena`] implements both: buffers are keyed by the id of the `alloc`
-//! instruction that produced them, and `reset` returns them to a free pool
-//! instead of dropping them.
+//! The [`Arena`] implements both, and since this revision it is the single
+//! allocation route for *every* kernel output and scratch column: kernels in
+//! [`crate::kernels`] allocate through the arena attached to their
+//! [`Device`](crate::Device), and the executor recycles dead register columns
+//! back into it at the end of each fix-point iteration. With reuse enabled a
+//! steady-state iteration therefore performs **zero fresh column
+//! allocations** — every column it needs pops out of the pool the previous
+//! iteration refilled. Disabling reuse (`Arena::new(false)`, driven by the
+//! runtime's `buffer_reuse` option) makes every allocation fresh again, which
+//! models the unoptimized configuration of the paper's Figure 10 ablation.
+//!
+//! Two pools back the allocator:
+//!
+//! * **site pools** — keyed by the id of the allocation site (one id per
+//!   kernel-internal scratch buffer, see `kernels::sites`). A kernel that
+//!   recycles its scratch under its own site gets that exact buffer back on
+//!   the next launch, the strongest form of the paper's size-correlation
+//!   argument.
+//! * **the shared pool** — a LIFO of buffers whose site is unknown, fed by
+//!   the executor when it sweeps dead registers. Any allocation whose site
+//!   pool is empty falls back to it; a popped buffer is resized to the
+//!   requested length (its capacity only ever grows).
+//!
+//! The arena is internally synchronized (`&self` everywhere) so a device
+//! shared by concurrent kernel launches needs no external locking.
 
-use crate::{Column, Device, DeviceError};
+use crate::Column;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
-/// A pool of reusable device buffers keyed by allocation site.
+/// Counters describing the allocator's behaviour. Obtained from
+/// [`Arena::stats`]; the difference between two snapshots isolates one
+/// interval (all fields are monotone except `pooled_buffers`/`pooled_bytes`,
+/// which are point-in-time gauges).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Columns created fresh because no pooled buffer was available (or
+    /// reuse is disabled). A steady-state fix-point iteration with reuse
+    /// enabled performs zero of these.
+    pub fresh_columns: usize,
+    /// Columns served from a pool.
+    pub reused_columns: usize,
+    /// Columns returned to a pool.
+    pub recycled_columns: usize,
+    /// Buffers currently waiting in the pools.
+    pub pooled_buffers: usize,
+    /// Total capacity (bytes) of the pooled buffers.
+    pub pooled_bytes: usize,
+}
+
+/// Default ceiling on pooled capacity per arena (bytes). Generous enough
+/// that a steady-state fix-point never hits it, small enough that one
+/// pathological batch does not pin the process at its high-water mark
+/// forever. Override with [`Arena::set_pool_budget`].
+const DEFAULT_POOL_BUDGET: usize = 256 << 20;
+
 #[derive(Debug, Default)]
+struct ArenaInner {
+    /// Free buffers keyed by allocation site (kernel scratch).
+    site: HashMap<usize, Vec<Column>>,
+    /// Free buffers whose allocation site is unknown (register sweep), LIFO.
+    shared: Vec<Column>,
+    /// Total capacity (bytes) held across both pools, tracked incrementally.
+    pooled_bytes: usize,
+    /// Pooled-capacity ceiling; recycles beyond it drop the buffer instead.
+    pool_budget: usize,
+    fresh_columns: usize,
+    reused_columns: usize,
+    recycled_columns: usize,
+}
+
+impl ArenaInner {
+    /// Pops the best available buffer for a request of `len` words: the
+    /// site's own pool first (site sizes are strongly correlated across
+    /// iterations), then the shared pool — preferring the most recently
+    /// recycled buffer that can already hold `len`, falling back to the
+    /// largest available so an undersized hit costs one grow instead of
+    /// leaving a right-sized buffer stranded.
+    fn pop(&mut self, site: usize, len: usize) -> Option<Column> {
+        let buf = match self.site.get_mut(&site).and_then(Vec::pop) {
+            Some(buf) => buf,
+            None => {
+                if self.shared.is_empty() {
+                    return None;
+                }
+                let fitting = self.shared.iter().rposition(|b| b.capacity() >= len);
+                let index = fitting.unwrap_or_else(|| {
+                    self.shared
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, b)| b.capacity())
+                        .map(|(i, _)| i)
+                        .expect("non-empty shared pool")
+                });
+                self.shared.swap_remove(index)
+            }
+        };
+        self.pooled_bytes -= buf.capacity() * std::mem::size_of::<u64>();
+        Some(buf)
+    }
+
+    /// Accounts a buffer entering a pool; `false` means the budget is full
+    /// and the buffer should be dropped instead.
+    fn admit(&mut self, buffer: &Column) -> bool {
+        let bytes = buffer.capacity() * std::mem::size_of::<u64>();
+        if self.pooled_bytes + bytes > self.pool_budget {
+            return false;
+        }
+        self.pooled_bytes += bytes;
+        self.recycled_columns += 1;
+        true
+    }
+
+    fn drop_pools(&mut self) {
+        self.site.clear();
+        self.shared.clear();
+        self.pooled_bytes = 0;
+    }
+}
+
+/// A pool of reusable device columns keyed by allocation site, with a shared
+/// fallback pool for buffers recycled site-unknown. See the module docs for
+/// the full story.
+#[derive(Debug)]
 pub struct Arena {
-    /// Free buffers per allocation site, kept across iterations when buffer
-    /// reuse is enabled.
-    free: HashMap<usize, Vec<Column>>,
-    /// Whether buffers are recycled across `reset` calls.
-    reuse: bool,
-    /// Bytes handed out since the last reset (for statistics).
-    bytes_in_flight: usize,
+    /// Whether buffers are recycled; mirrors the runtime's `buffer_reuse`
+    /// ablation toggle.
+    reuse: AtomicBool,
+    inner: Mutex<ArenaInner>,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new(true)
+    }
 }
 
 impl Arena {
@@ -35,122 +155,259 @@ impl Arena {
     /// ablation.
     pub fn new(reuse: bool) -> Self {
         Arena {
-            free: HashMap::new(),
-            reuse,
-            bytes_in_flight: 0,
+            reuse: AtomicBool::new(reuse),
+            inner: Mutex::new(ArenaInner {
+                pool_budget: DEFAULT_POOL_BUDGET,
+                ..ArenaInner::default()
+            }),
         }
     }
 
     /// Whether buffer reuse is enabled.
     pub fn reuse_enabled(&self) -> bool {
-        self.reuse
+        self.reuse.load(Ordering::Relaxed)
     }
 
-    /// Allocates (or recycles) a buffer of `len` words for allocation site
-    /// `site`, accounting the memory against the device budget.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DeviceError::OutOfMemory`] when the device memory budget
-    /// would be exceeded.
-    pub fn alloc(
-        &mut self,
-        device: &Device,
-        site: usize,
-        len: usize,
-    ) -> Result<Column, DeviceError> {
-        let bytes = len * std::mem::size_of::<u64>();
-        device.try_alloc(bytes)?;
-        self.bytes_in_flight += bytes;
-        if self.reuse {
-            if let Some(pool) = self.free.get_mut(&site) {
-                if let Some(mut buf) = pool.pop() {
-                    buf.clear();
-                    buf.resize(len, 0);
-                    return Ok(buf);
-                }
+    /// Enables or disables reuse (the executor sets this from its
+    /// `buffer_reuse` runtime option). *Disabling* also drops the pools, so
+    /// an ablation run does not silently benefit from earlier pooled
+    /// buffers; setting the already-current value is a no-op, so executors
+    /// that share a device (and therefore this arena) with the same option
+    /// do not disturb each other. Executors with *conflicting* options on
+    /// one device follow whichever was constructed last.
+    pub fn set_reuse(&self, reuse: bool) {
+        if self.reuse.swap(reuse, Ordering::Relaxed) && !reuse {
+            self.lock().drop_pools();
+        }
+    }
+
+    /// Caps the total capacity (bytes) the pools may retain; recycles beyond
+    /// the cap drop their buffer. Defaults to 256 MiB — steady-state
+    /// fix-points stay far below it, while one pathological batch cannot pin
+    /// the process at its high-water mark forever.
+    pub fn set_pool_budget(&self, bytes: usize) {
+        let mut inner = self.lock();
+        inner.pool_budget = bytes;
+        if inner.pooled_bytes > bytes {
+            inner.drop_pools();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ArenaInner> {
+        self.inner.lock().expect("arena poisoned")
+    }
+
+    /// Allocates (or recycles) a column of exactly `len` zeroed words for
+    /// allocation site `site`.
+    pub fn alloc_zeroed(&self, site: usize, len: usize) -> Column {
+        if self.reuse_enabled() {
+            let mut inner = self.lock();
+            if let Some(mut buf) = inner.pop(site, len) {
+                inner.reused_columns += 1;
+                drop(inner);
+                buf.clear();
+                buf.resize(len, 0);
+                return buf;
             }
+            inner.fresh_columns += 1;
+        } else {
+            self.lock().fresh_columns += 1;
         }
-        Ok(vec![0u64; len])
+        vec![0u64; len]
     }
 
-    /// Returns a buffer to the arena's free pool (no-op deallocation).
-    pub fn recycle(&mut self, site: usize, buffer: Column) {
-        if self.reuse {
-            self.free.entry(site).or_default().push(buffer);
+    /// Allocates (or recycles) an *empty* column with room for at least
+    /// `capacity` words, for push-style producers.
+    pub fn alloc_empty(&self, site: usize, capacity: usize) -> Column {
+        if self.reuse_enabled() {
+            let mut inner = self.lock();
+            if let Some(mut buf) = inner.pop(site, capacity) {
+                inner.reused_columns += 1;
+                drop(inner);
+                buf.clear();
+                buf.reserve(capacity);
+                return buf;
+            }
+            inner.fresh_columns += 1;
+        } else {
+            self.lock().fresh_columns += 1;
+        }
+        Vec::with_capacity(capacity)
+    }
+
+    /// Allocates (or recycles) a column holding a copy of `src` — the
+    /// allocation-free replacement for `src.to_vec()` on hot paths.
+    pub fn alloc_copy(&self, site: usize, src: &[u64]) -> Column {
+        let mut buf = self.alloc_empty(site, src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Returns a buffer to the pool of allocation site `site` (no-op when
+    /// reuse is disabled).
+    pub fn recycle(&self, site: usize, buffer: Column) {
+        if !self.reuse_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.admit(&buffer) {
+            inner.site.entry(site).or_default().push(buffer);
         }
     }
 
-    /// Ends an iteration: releases all in-flight bytes back to the device.
-    pub fn reset(&mut self, device: &Device) {
-        device.free(self.bytes_in_flight);
-        self.bytes_in_flight = 0;
+    /// Returns a buffer whose allocation site is unknown to the shared pool —
+    /// the route the executor uses when it sweeps dead registers at the end
+    /// of a fix-point iteration.
+    pub fn recycle_shared(&self, buffer: Column) {
+        if !self.reuse_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.admit(&buffer) {
+            inner.shared.push(buffer);
+        }
     }
 
-    /// Bytes currently accounted against the device by this arena.
-    pub fn bytes_in_flight(&self) -> usize {
-        self.bytes_in_flight
+    /// Drops every pooled buffer (counters are kept).
+    pub fn clear(&self) {
+        self.lock().drop_pools();
     }
 
-    /// Number of buffers waiting in the free pools.
+    /// A snapshot of the allocator counters.
+    pub fn stats(&self) -> ArenaStats {
+        let inner = self.lock();
+        let pooled_buffers = inner.site.values().map(Vec::len).sum::<usize>() + inner.shared.len();
+        ArenaStats {
+            fresh_columns: inner.fresh_columns,
+            reused_columns: inner.reused_columns,
+            recycled_columns: inner.recycled_columns,
+            pooled_buffers,
+            pooled_bytes: inner.pooled_bytes,
+        }
+    }
+
+    /// Number of buffers waiting in the pools.
     pub fn pooled_buffers(&self) -> usize {
-        self.free.values().map(Vec::len).sum()
+        self.stats().pooled_buffers
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::DeviceConfig;
 
     #[test]
-    fn alloc_and_reset_balance_device_accounting() {
-        let dev = Device::sequential();
-        let mut arena = Arena::new(true);
-        let a = arena.alloc(&dev, 0, 100).unwrap();
-        let b = arena.alloc(&dev, 1, 50).unwrap();
-        assert_eq!(dev.live_bytes(), 150 * 8);
-        arena.recycle(0, a);
-        arena.recycle(1, b);
-        arena.reset(&dev);
-        assert_eq!(dev.live_bytes(), 0);
-        assert_eq!(arena.bytes_in_flight(), 0);
+    fn recycled_buffers_are_reused_per_site() {
+        let arena = Arena::new(true);
+        let a = arena.alloc_zeroed(7, 10);
+        arena.recycle(7, a);
+        assert_eq!(arena.pooled_buffers(), 1);
+        let b = arena.alloc_zeroed(7, 20);
+        assert_eq!(b.len(), 20);
+        assert!(b.iter().all(|&w| w == 0));
+        assert_eq!(arena.pooled_buffers(), 0);
+        let stats = arena.stats();
+        assert_eq!(stats.fresh_columns, 1);
+        assert_eq!(stats.reused_columns, 1);
+        assert_eq!(stats.recycled_columns, 1);
     }
 
     #[test]
-    fn buffers_are_recycled_per_site() {
-        let dev = Device::sequential();
-        let mut arena = Arena::new(true);
-        let a = arena.alloc(&dev, 7, 10).unwrap();
-        arena.recycle(7, a);
-        arena.reset(&dev);
-        assert_eq!(arena.pooled_buffers(), 1);
-        let b = arena.alloc(&dev, 7, 20).unwrap();
-        assert_eq!(b.len(), 20);
+    fn shared_pool_backs_any_site() {
+        let arena = Arena::new(true);
+        let a = arena.alloc_zeroed(1, 100);
+        arena.recycle_shared(a);
+        // A different site with an empty site pool falls back to the shared
+        // pool instead of allocating fresh.
+        let b = arena.alloc_zeroed(2, 50);
+        assert_eq!(b.len(), 50);
+        assert!(b.capacity() >= 100, "shared buffer keeps its capacity");
+        assert_eq!(arena.stats().fresh_columns, 1);
+    }
+
+    #[test]
+    fn shared_pool_pop_is_size_aware() {
+        let arena = Arena::new(true);
+        let big = arena.alloc_zeroed(0, 1000);
+        let small = arena.alloc_zeroed(0, 4);
+        arena.recycle_shared(big);
+        arena.recycle_shared(small); // most recent — LIFO top
+                                     // A large request must skip the undersized top and take the buffer
+                                     // that already fits, so no hidden grow-reallocation happens.
+        let buf = arena.alloc_zeroed(9, 900);
+        assert!(buf.capacity() >= 1000, "picked the fitting buffer");
+        assert_eq!(arena.pooled_buffers(), 1, "small buffer stays pooled");
+        // With nothing fitting, the largest available is grown (one realloc
+        // instead of stranding a right-sized buffer for later).
+        let buf2 = arena.alloc_zeroed(9, 64);
+        assert!(buf2.capacity() >= 4);
         assert_eq!(arena.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn pool_budget_bounds_retained_bytes() {
+        let arena = Arena::new(true);
+        arena.set_pool_budget(64);
+        arena.recycle_shared(arena.alloc_zeroed(0, 100)); // 800 bytes > budget
+        assert_eq!(arena.pooled_buffers(), 0, "over-budget recycle dropped");
+        arena.recycle_shared(arena.alloc_zeroed(0, 4)); // 32 bytes fits
+        assert_eq!(arena.pooled_buffers(), 1);
+        assert!(arena.stats().pooled_bytes <= 64);
+        // Shrinking the budget below the pooled bytes drops the pools.
+        arena.set_pool_budget(8);
+        assert_eq!(arena.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn set_reuse_is_idempotent_and_drops_pools_on_disable() {
+        let arena = Arena::new(true);
+        arena.recycle_shared(arena.alloc_zeroed(0, 10));
+        // Re-asserting the current value must not disturb the pools.
+        arena.set_reuse(true);
+        assert_eq!(arena.pooled_buffers(), 1);
+        arena.set_reuse(false);
+        assert_eq!(arena.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn alloc_copy_duplicates_content() {
+        let arena = Arena::new(true);
+        let src = [1u64, 2, 3];
+        let copy = arena.alloc_copy(0, &src);
+        assert_eq!(copy, vec![1, 2, 3]);
+        arena.recycle_shared(copy);
+        let again = arena.alloc_copy(0, &[9, 8]);
+        assert_eq!(again, vec![9, 8]);
+        assert_eq!(arena.stats().fresh_columns, 1);
     }
 
     #[test]
     fn reuse_disabled_never_pools() {
-        let dev = Device::sequential();
-        let mut arena = Arena::new(false);
-        let a = arena.alloc(&dev, 0, 10).unwrap();
+        let arena = Arena::new(false);
+        let a = arena.alloc_zeroed(0, 10);
         arena.recycle(0, a);
+        arena.recycle_shared(arena.alloc_empty(0, 4));
         assert_eq!(arena.pooled_buffers(), 0);
         assert!(!arena.reuse_enabled());
+        assert_eq!(arena.stats().fresh_columns, 2);
+        assert_eq!(arena.stats().reused_columns, 0);
     }
 
     #[test]
-    fn arena_respects_device_memory_budget() {
-        let dev = Device::new(DeviceConfig {
-            memory_limit: Some(64),
-            ..DeviceConfig::default()
-        });
-        let mut arena = Arena::new(true);
-        assert!(arena.alloc(&dev, 0, 4).is_ok());
-        assert!(matches!(
-            arena.alloc(&dev, 1, 100),
-            Err(DeviceError::OutOfMemory { .. })
-        ));
+    fn disabling_reuse_drops_pools() {
+        let arena = Arena::new(true);
+        arena.recycle_shared(arena.alloc_zeroed(0, 10));
+        assert_eq!(arena.pooled_buffers(), 1);
+        arena.set_reuse(false);
+        assert_eq!(arena.pooled_buffers(), 0);
+        arena.set_reuse(true);
+        assert_eq!(arena.alloc_zeroed(0, 5).len(), 5);
+    }
+
+    #[test]
+    fn stats_report_pooled_bytes() {
+        let arena = Arena::new(true);
+        arena.recycle_shared(arena.alloc_zeroed(0, 16));
+        assert!(arena.stats().pooled_bytes >= 16 * 8);
     }
 }

@@ -1,8 +1,10 @@
 //! The simulated device: configuration, memory accounting, and statistics.
 
+use crate::arena::Arena;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Direction of a simulated host↔device transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,11 +46,79 @@ impl Default for DeviceConfig {
     }
 }
 
+/// The accounting bucket a kernel launch is attributed to, for the
+/// per-kernel wall-time breakdown in [`DeviceStats::kernel_time`]. Sort,
+/// join, and unique dominate fix-point cost (the paper's Table 1 hot set),
+/// so they get their own buckets; everything else (scan, merge, difference,
+/// eval, gathers, loads) is `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Row sorting (`sort_permutation`).
+    Sort,
+    /// Hash-join family (`HashIndex::build`, `count_matches`, `hash_join`).
+    Join,
+    /// Sorted-run deduplication (`unique`).
+    Unique,
+    /// Every other kernel.
+    Other,
+}
+
+/// Wall time spent inside kernels, broken down by [`KernelKind`]. Times are
+/// summed across concurrent launches, so on a parallel device the total can
+/// exceed wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelTime {
+    /// Nanoseconds spent in sort kernels.
+    pub sort_ns: u64,
+    /// Nanoseconds spent in join kernels (index build + probe).
+    pub join_ns: u64,
+    /// Nanoseconds spent in unique kernels.
+    pub unique_ns: u64,
+    /// Nanoseconds spent in every other kernel.
+    pub other_ns: u64,
+}
+
+impl KernelTime {
+    fn bucket_mut(&mut self, kind: KernelKind) -> &mut u64 {
+        match kind {
+            KernelKind::Sort => &mut self.sort_ns,
+            KernelKind::Join => &mut self.join_ns,
+            KernelKind::Unique => &mut self.unique_ns,
+            KernelKind::Other => &mut self.other_ns,
+        }
+    }
+
+    /// Nanoseconds across all buckets.
+    pub fn total_ns(&self) -> u64 {
+        self.sort_ns + self.join_ns + self.unique_ns + self.other_ns
+    }
+
+    /// The bucket-wise difference from an earlier snapshot.
+    pub fn delta_since(&self, earlier: &KernelTime) -> KernelTime {
+        KernelTime {
+            sort_ns: self.sort_ns.saturating_sub(earlier.sort_ns),
+            join_ns: self.join_ns.saturating_sub(earlier.join_ns),
+            unique_ns: self.unique_ns.saturating_sub(earlier.unique_ns),
+            other_ns: self.other_ns.saturating_sub(earlier.other_ns),
+        }
+    }
+
+    /// Accumulates another record bucket-wise.
+    pub fn merge(&mut self, other: &KernelTime) {
+        self.sort_ns += other.sort_ns;
+        self.join_ns += other.join_ns;
+        self.unique_ns += other.unique_ns;
+        self.other_ns += other.other_ns;
+    }
+}
+
 /// Counters describing the work a device has performed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     /// Number of kernel launches.
     pub kernel_launches: usize,
+    /// Wall time inside kernels, attributed per [`KernelKind`] bucket.
+    pub kernel_time: KernelTime,
     /// Number of device allocations.
     pub allocations: usize,
     /// Total bytes ever allocated on the device.
@@ -73,6 +143,7 @@ impl DeviceStats {
     pub fn delta_since(&self, earlier: &DeviceStats) -> DeviceStats {
         DeviceStats {
             kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
+            kernel_time: self.kernel_time.delta_since(&earlier.kernel_time),
             allocations: self.allocations.saturating_sub(earlier.allocations),
             allocated_bytes: self.allocated_bytes.saturating_sub(earlier.allocated_bytes),
             live_bytes: self.live_bytes,
@@ -89,6 +160,7 @@ impl DeviceStats {
     /// sum of the per-shard peaks rather than the true peak of the union.
     pub fn merge(&mut self, other: &DeviceStats) {
         self.kernel_launches += other.kernel_launches;
+        self.kernel_time.merge(&other.kernel_time);
         self.allocations += other.allocations;
         self.allocated_bytes += other.allocated_bytes;
         self.live_bytes += other.live_bytes;
@@ -130,6 +202,10 @@ impl std::error::Error for DeviceError {}
 struct DeviceInner {
     stats: Mutex<DeviceStats>,
     live_bytes: AtomicUsize,
+    /// The buffer pool every kernel output and scratch column is routed
+    /// through (Section 4.1). Shared by all clones of the device; shard
+    /// devices derived with [`Device::split_shards`] get their own.
+    arena: Arena,
 }
 
 /// A handle to the simulated device.
@@ -243,6 +319,32 @@ impl Device {
             .kernel_launches += 1;
     }
 
+    /// Records a kernel launch together with the wall time it spent, in the
+    /// given attribution bucket.
+    pub fn record_kernel_timed(&self, kind: KernelKind, elapsed: Duration) {
+        let mut stats = self.inner.stats.lock().expect("device stats poisoned");
+        stats.kernel_launches += 1;
+        *stats.kernel_time.bucket_mut(kind) +=
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    /// The buffer pool kernel outputs and scratch columns are allocated
+    /// from. Kernels call this; the executor recycles dead register columns
+    /// into it at the end of every fix-point iteration.
+    pub fn arena(&self) -> &Arena {
+        &self.inner.arena
+    }
+
+    /// Starts a timed kernel launch: the returned guard records the launch
+    /// and its wall time in the given bucket when dropped.
+    pub(crate) fn launch(&self, kind: KernelKind) -> LaunchTimer<'_> {
+        LaunchTimer {
+            device: self,
+            kind,
+            start: std::time::Instant::now(),
+        }
+    }
+
     /// Accounts for a device allocation of `bytes`, failing if the memory
     /// budget would be exceeded.
     ///
@@ -314,6 +416,20 @@ impl Device {
             peak_bytes: live,
             ..DeviceStats::default()
         };
+    }
+}
+
+/// Guard for one timed kernel launch; see [`Device::launch`].
+pub(crate) struct LaunchTimer<'a> {
+    device: &'a Device,
+    kind: KernelKind,
+    start: std::time::Instant,
+}
+
+impl Drop for LaunchTimer<'_> {
+    fn drop(&mut self) {
+        self.device
+            .record_kernel_timed(self.kind, self.start.elapsed());
     }
 }
 

@@ -6,18 +6,32 @@
 //! the width of the input relations. This module reproduces that structure on
 //! the simulated device.
 
+use crate::device::KernelKind;
 use crate::{Column, Device};
 
 /// Multiplicative hashing constant (the 64-bit golden ratio).
 const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Arena allocation site for index slots and owned key copies.
+const INDEX_SITE: usize = crate::kernels::sites::JOIN_INDEX;
+
+/// FNV-style offset basis the key mix starts from.
+const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn mix(h: u64, k: u64) -> u64 {
+    (h ^ k.wrapping_mul(HASH_MULT))
+        .rotate_left(27)
+        .wrapping_mul(HASH_MULT)
+}
+
 fn hash_key(key: &[u64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &k in key {
-        h ^= k.wrapping_mul(HASH_MULT);
-        h = h.rotate_left(27).wrapping_mul(HASH_MULT);
-    }
-    h
+    key.iter().fold(HASH_SEED, |h, &k| mix(h, k))
+}
+
+/// Hashes row `row` of a set of key columns — identical to [`hash_key`] of
+/// the materialized key, without materializing it.
+fn hash_cols(cols: &[&[u64]], row: usize) -> u64 {
+    cols.iter().fold(HASH_SEED, |h, col| mix(h, col[row]))
 }
 
 /// A hash index over the first `w` columns of a build-side table.
@@ -43,7 +57,7 @@ impl HashIndex {
     /// length). `expansion` is the paper's `O` parameter: the table capacity
     /// is the smallest power of two at least `expansion ×` the row count.
     pub fn build(device: &Device, key_columns: &[&[u64]], expansion: usize) -> Self {
-        device.record_kernel();
+        let _t = device.launch(KernelKind::Join);
         let rows = key_columns.first().map(|c| c.len()).unwrap_or(0);
         debug_assert!(
             key_columns.iter().all(|c| c.len() == rows),
@@ -51,8 +65,12 @@ impl HashIndex {
         );
         let capacity = (rows.max(1) * expansion.max(1)).next_power_of_two().max(8);
         let mask = capacity as u64 - 1;
-        let mut slots = vec![0u64; capacity];
-        let keys: Vec<Column> = key_columns.iter().map(|c| c.to_vec()).collect();
+        let arena = device.arena();
+        let mut slots = arena.alloc_zeroed(INDEX_SITE, capacity);
+        let keys: Vec<Column> = key_columns
+            .iter()
+            .map(|c| arena.alloc_copy(INDEX_SITE, c))
+            .collect();
         let mut key_buf = vec![0u64; keys.len()];
         for row in 0..rows {
             for (k, col) in key_buf.iter_mut().zip(&keys) {
@@ -97,14 +115,42 @@ impl HashIndex {
         (self.slots.len() + self.keys.len() * self.rows) * std::mem::size_of::<u64>()
     }
 
+    /// Returns the index's buffers (slot table and owned key copies) to the
+    /// device arena; call when the index is dead so the next build reuses
+    /// them.
+    pub fn recycle(self, device: &Device) {
+        let arena = device.arena();
+        arena.recycle(INDEX_SITE, self.slots);
+        for key in self.keys {
+            if key.capacity() > 0 {
+                arena.recycle(INDEX_SITE, key);
+            }
+        }
+    }
+
     fn row_matches(&self, row: usize, key: &[u64]) -> bool {
         self.keys.iter().zip(key).all(|(col, &k)| col[row] == k)
+    }
+
+    fn row_matches_cols(&self, row: usize, probe_cols: &[&[u64]], probe_row: usize) -> bool {
+        self.keys
+            .iter()
+            .zip(probe_cols)
+            .all(|(col, probe)| col[row] == probe[probe_row])
     }
 
     /// Counts the build rows whose key equals `key`.
     pub fn count(&self, key: &[u64]) -> usize {
         let mut n = 0;
         self.for_each_match(key, |_| n += 1);
+        n
+    }
+
+    /// Counts the build rows matching row `probe_row` of the probe key
+    /// columns — the probe-side hot path; no key buffer is materialized.
+    pub fn count_cols(&self, probe_cols: &[&[u64]], probe_row: usize) -> usize {
+        let mut n = 0;
+        self.for_each_match_cols(probe_cols, probe_row, |_| n += 1);
         n
     }
 
@@ -122,6 +168,31 @@ impl HashIndex {
             }
             let row = (entry - 1) as usize;
             if self.row_matches(row, key) {
+                f(row);
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+
+    /// [`HashIndex::for_each_match`] keyed by row `probe_row` of the probe
+    /// columns, hashing and comparing straight from column storage.
+    pub fn for_each_match_cols(
+        &self,
+        probe_cols: &[&[u64]],
+        probe_row: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        if self.rows == 0 {
+            return;
+        }
+        let mut slot = (hash_cols(probe_cols, probe_row) & self.mask) as usize;
+        loop {
+            let entry = self.slots[slot];
+            if entry == 0 {
+                return;
+            }
+            let row = (entry - 1) as usize;
+            if self.row_matches_cols(row, probe_cols, probe_row) {
                 f(row);
             }
             slot = (slot + 1) & self.mask as usize;
@@ -174,6 +245,22 @@ mod tests {
         let large = HashIndex::build(&dev, &[&col], 4);
         assert!(large.capacity() >= small.capacity());
         assert!(small.capacity() >= 100);
+    }
+
+    #[test]
+    fn column_probing_matches_key_probing() {
+        let cols = vec![vec![1u64, 2, 1, 3], vec![10u64, 20, 10, 30]];
+        let idx = index_of(&cols);
+        let probe: Vec<&[u64]> = cols.iter().map(|c| c.as_slice()).collect();
+        for row in 0..4 {
+            let key: Vec<u64> = cols.iter().map(|c| c[row]).collect();
+            assert_eq!(idx.count(&key), idx.count_cols(&probe, row), "row {row}");
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            idx.for_each_match(&key, |r| a.push(r));
+            idx.for_each_match_cols(&probe, row, |r| b.push(r));
+            assert_eq!(a, b, "row {row}");
+        }
     }
 
     #[test]

@@ -2,12 +2,79 @@
 //!
 //! Each function corresponds to one (or one family of) APM instruction from
 //! Table 1 of the paper. Kernels operate on flat 64-bit columns plus a
-//! generic tag slice, record a launch on the [`Device`], and are
-//! deterministic regardless of the configured parallelism.
+//! generic tag slice, record a timed launch on the [`Device`], and route
+//! every output and scratch column through the device's
+//! [`Arena`](crate::Arena) so steady-state fix-point iterations allocate
+//! nothing fresh.
+//!
+//! # Determinism contract
+//!
+//! Every kernel produces **bit-identical output whatever the configured
+//! parallelism**, because each one is built so that chunk boundaries decide
+//! only *which worker computes an element*, never what the element is:
+//!
+//! * [`sort_permutation`] returns the unique permutation that orders rows by
+//!   `(row content, original index)` — a total order, so the stable LSD
+//!   radix sort, the parallel merge sort, and the small-input comparison
+//!   sort all produce the same bytes.
+//! * [`scan`] splits into per-chunk sums plus per-chunk rescan; `u64`
+//!   addition is associative, so the two-pass result equals the sequential
+//!   fold.
+//! * [`unique`] reduces each duplicate segment left-to-right (ascending row
+//!   index) regardless of how segments are distributed over workers, so
+//!   non-commutative or order-sensitive tag disjunctions (e.g. float
+//!   addition) fold in exactly one order.
+//! * [`merge`] / [`difference`] cut both inputs at *partition points*
+//!   (binary searches on the data), and each worker runs the sequential
+//!   two-pointer walk on its cut; the cuts are data-determined, so the
+//!   concatenated output equals the sequential walk.
+//! * [`eval`], the gathers, and [`hash_join`] write each output element as a
+//!   pure function of its input row(s) into disjoint, position-stable
+//!   output ranges.
 
-use crate::parallel::{par_collect_chunks, par_map_into};
+use crate::device::KernelKind;
+use crate::parallel::{chunks_for, map_chunks, par_map_into, run_chunks, split_by_ranges};
 use crate::{Column, Columns, Device, HashIndex};
 use std::cmp::Ordering;
+use std::ops::Range;
+
+/// Allocation-site ids for kernel outputs and scratch buffers (see
+/// [`Arena`](crate::Arena)): every column a kernel allocates is tagged with
+/// one of these,
+/// so a kernel that recycles its scratch gets the same buffer back on its
+/// next launch. Callers that outlive a kernel's output (the executor's
+/// register file, the database's tables) recycle it site-unknown via
+/// [`Arena::recycle_shared`](crate::Arena::recycle_shared).
+pub mod sites {
+    /// Sort output permutation.
+    pub const SORT_OUT: usize = 1;
+    /// Sort double-buffer scratch.
+    pub const SORT_SCRATCH: usize = 2;
+    /// Scan output offsets.
+    pub const SCAN_OUT: usize = 3;
+    /// Unique segment-start scratch.
+    pub const UNIQUE_STARTS: usize = 4;
+    /// Unique output columns.
+    pub const UNIQUE_OUT: usize = 5;
+    /// Merge output columns.
+    pub const MERGE_OUT: usize = 6;
+    /// Difference kept-row scratch.
+    pub const DIFF_KEPT: usize = 7;
+    /// Difference output columns.
+    pub const DIFF_OUT: usize = 8;
+    /// Eval output columns (data plus source indices).
+    pub const EVAL_OUT: usize = 9;
+    /// Gather output columns.
+    pub const GATHER_OUT: usize = 10;
+    /// Hash-join output index columns.
+    pub const JOIN_OUT: usize = 11;
+    /// Append output columns.
+    pub const APPEND_OUT: usize = 12;
+    /// Count-matches output column.
+    pub const COUNT_OUT: usize = 13;
+    /// Hash-index slot tables and owned key copies.
+    pub const JOIN_INDEX: usize = 14;
+}
 
 /// Compares row `i` of `a` with row `j` of `b` lexicographically by column.
 pub fn cmp_rows(a: &[&[u64]], i: usize, b: &[&[u64]], j: usize) -> Ordering {
@@ -20,57 +87,102 @@ pub fn cmp_rows(a: &[&[u64]], i: usize, b: &[&[u64]], j: usize) -> Ordering {
     Ordering::Equal
 }
 
+/// Chunk-local sink for [`eval`]: filtered projection rows are appended to
+/// flat per-column buffers (no per-row allocation).
+pub struct EvalSink {
+    cols: Columns,
+    sources: Column,
+}
+
+impl EvalSink {
+    fn new(out_arity: usize) -> Self {
+        EvalSink {
+            cols: vec![Vec::new(); out_arity],
+            sources: Vec::new(),
+        }
+    }
+
+    /// Appends one output row produced from input row `source`.
+    pub fn emit(&mut self, source: usize, row: &[u64]) {
+        debug_assert_eq!(
+            row.len(),
+            self.cols.len(),
+            "projection produced wrong arity"
+        );
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            col.push(*v);
+        }
+        self.sources.push(source as u64);
+    }
+}
+
 /// `eval⟨α⟩(s̄)`: evaluates a projection/selection function on every row.
 ///
-/// `f` receives the row index and returns the output row, or `None` when the
-/// row is filtered out (selection). The result is the output columns plus,
-/// for each output row, the index of the input row it came from — the latter
-/// is what lets the caller copy (or gather) provenance tags, since projection
-/// ties each output fact to exactly one input fact (Section 3.3).
+/// `f` is called once per chunk with the chunk's index range and a sink; it
+/// evaluates the projection for each row and [`EvalSink::emit`]s the rows
+/// that survive selection. The chunk granularity lets the caller hoist
+/// per-row scratch (input row buffer, expression stack) out of the row loop,
+/// so the whole kernel performs no per-row allocation. The result is the
+/// output columns plus, for each output row, the index of the input row it
+/// came from — the latter is what lets the caller copy (or gather)
+/// provenance tags, since projection ties each output fact to exactly one
+/// input fact (Section 3.3).
 pub fn eval<F>(device: &Device, len: usize, out_arity: usize, f: F) -> (Columns, Column)
 where
-    F: Fn(usize) -> Option<Vec<u64>> + Sync,
+    F: Fn(Range<usize>, &mut EvalSink) + Sync,
 {
-    device.record_kernel();
-    let rows: Vec<(u64, Vec<u64>)> = par_collect_chunks(device, len, |range| {
-        let mut out = Vec::new();
-        for i in range {
-            if let Some(row) = f(i) {
-                debug_assert_eq!(row.len(), out_arity, "projection produced wrong arity");
-                out.push((i as u64, row));
-            }
-        }
-        out
+    let _t = device.launch(KernelKind::Other);
+    let ranges = chunks_for(device, len);
+    let sinks: Vec<EvalSink> = map_chunks(&ranges, |_, range| {
+        let mut sink = EvalSink::new(out_arity);
+        f(range, &mut sink);
+        sink
     });
-    let mut columns: Columns = vec![Vec::with_capacity(rows.len()); out_arity];
-    let mut sources: Column = Vec::with_capacity(rows.len());
-    for (src, row) in rows {
-        sources.push(src);
-        for (c, v) in row.into_iter().enumerate() {
-            columns[c].push(v);
+    let total: usize = sinks.iter().map(|s| s.sources.len()).sum();
+    let arena = device.arena();
+    let mut columns: Columns = (0..out_arity)
+        .map(|_| arena.alloc_empty(sites::EVAL_OUT, total))
+        .collect();
+    let mut sources: Column = arena.alloc_empty(sites::EVAL_OUT, total);
+    for sink in sinks {
+        for (out, piece) in columns.iter_mut().zip(&sink.cols) {
+            out.extend_from_slice(piece);
         }
+        sources.extend_from_slice(&sink.sources);
     }
     (columns, sources)
 }
 
 /// `gather(i, s)`: `out[k] = column[indices[k]]`.
 pub fn gather(device: &Device, indices: &[u64], column: &[u64]) -> Column {
-    device.record_kernel();
-    let mut out = vec![0u64; indices.len()];
+    let _t = device.launch(KernelKind::Other);
+    let mut out = device
+        .arena()
+        .alloc_zeroed(sites::GATHER_OUT, indices.len());
     par_map_into(device, &mut out, |k| column[indices[k] as usize]);
     out
 }
 
-/// Tag variant of [`gather`].
+/// Tag variant of [`gather`]. Tags are cloned chunk-by-chunk into exact-size
+/// buffers (no `Option` holes, no second pass).
 pub fn gather_tags<T: Clone + Send + Sync>(device: &Device, indices: &[u64], tags: &[T]) -> Vec<T> {
-    device.record_kernel();
-    let mut out: Vec<Option<T>> = vec![None; indices.len()];
-    par_map_into(device, &mut out, |k| {
-        Some(tags[indices[k] as usize].clone())
+    let _t = device.launch(KernelKind::Other);
+    gather_tags_inner(device, indices, tags)
+}
+
+fn gather_tags_inner<T: Clone + Send + Sync>(
+    device: &Device,
+    indices: &[u64],
+    tags: &[T],
+) -> Vec<T> {
+    let ranges = chunks_for(device, indices.len());
+    let pieces: Vec<Vec<T>> = map_chunks(&ranges, |_, range| {
+        indices[range]
+            .iter()
+            .map(|&k| tags[k as usize].clone())
+            .collect()
     });
-    out.into_iter()
-        .map(|t| t.expect("gather_tags produced a hole"))
-        .collect()
+    concat_pieces(pieces, indices.len())
 }
 
 /// `gather⟨⊗⟩([i_l, i_r], [t_l, t_r])`: gathers a tag from each side of a
@@ -87,39 +199,287 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Sync,
 {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Other);
     debug_assert_eq!(left_indices.len(), right_indices.len());
-    let mut out: Vec<Option<T>> = vec![None; left_indices.len()];
-    par_map_into(device, &mut out, |k| {
-        let l = &left_tags[left_indices[k] as usize];
-        let r = &right_tags[right_indices[k] as usize];
-        Some(mul(l, r))
+    let ranges = chunks_for(device, left_indices.len());
+    let pieces: Vec<Vec<T>> = map_chunks(&ranges, |_, range| {
+        range
+            .map(|k| {
+                let l = &left_tags[left_indices[k] as usize];
+                let r = &right_tags[right_indices[k] as usize];
+                mul(l, r)
+            })
+            .collect()
     });
-    out.into_iter()
-        .map(|t| t.expect("gather_mul_tags produced a hole"))
-        .collect()
+    concat_pieces(pieces, left_indices.len())
 }
 
-/// `scan(s)`: exclusive prefix sum. Returns the offsets and the total.
-pub fn scan(device: &Device, counts: &[u64]) -> (Column, u64) {
-    device.record_kernel();
-    let mut offsets = Vec::with_capacity(counts.len());
-    let mut acc = 0u64;
-    for &c in counts {
-        offsets.push(acc);
-        acc += c;
+fn concat_pieces<T>(pieces: Vec<Vec<T>>, total: usize) -> Vec<T> {
+    if pieces.len() == 1 {
+        return pieces.into_iter().next().expect("one piece");
     }
+    let mut out = Vec::with_capacity(total);
+    for piece in pieces {
+        out.extend(piece);
+    }
+    out
+}
+
+/// `scan(s)`: exclusive prefix sum (two-pass block scan). Returns the
+/// offsets and the total.
+pub fn scan(device: &Device, counts: &[u64]) -> (Column, u64) {
+    let _t = device.launch(KernelKind::Other);
+    let len = counts.len();
+    let mut offsets = device.arena().alloc_zeroed(sites::SCAN_OUT, len);
+    let ranges = chunks_for(device, len);
+    if ranges.len() <= 1 {
+        let mut acc = 0u64;
+        for (slot, &c) in offsets.iter_mut().zip(counts) {
+            *slot = acc;
+            acc += c;
+        }
+        return (offsets, acc);
+    }
+    // Pass 1: per-chunk sums; tiny sequential scan of the sums.
+    let sums: Vec<u64> = map_chunks(&ranges, |_, range| counts[range].iter().sum());
+    let mut bases = Vec::with_capacity(sums.len());
+    let mut acc = 0u64;
+    for &s in &sums {
+        bases.push(acc);
+        acc += s;
+    }
+    // Pass 2: each chunk rescans from its base into its output slice.
+    let slices = split_by_ranges(&mut offsets, &ranges);
+    run_chunks(
+        &ranges,
+        slices.into_iter().zip(bases).collect(),
+        |_, range, (slice, base): (&mut [u64], u64)| {
+            let mut acc = base;
+            for (slot, &c) in slice.iter_mut().zip(&counts[range]) {
+                *slot = acc;
+                acc += c;
+            }
+        },
+    );
     (offsets, acc)
 }
 
+/// Maximum total radix passes (one per significant byte, summed over
+/// columns) before [`sort_permutation`] falls back to the parallel merge
+/// sort: beyond this the `O(passes · n)` radix cost loses to
+/// `O(n log n)` comparisons.
+const RADIX_PASS_BUDGET: u32 = 16;
+
+/// Below this row count the permutation is comparison-sorted directly —
+/// chunking and radix machinery only pay off in bulk.
+const SMALL_SORT: usize = 64;
+
 /// `sort(s̄)`: returns the permutation that lexicographically sorts the rows
 /// of the table formed by `columns`.
+///
+/// The permutation is the unique one ordering rows by `(row content,
+/// original index)`; equal rows keep their input order. Narrow tables (at
+/// most `RADIX_PASS_BUDGET` (16) significant bytes across all columns, the
+/// common case once dictionary-encoded values stay small) are sorted with a
+/// parallel least-significant-digit radix sort — per-chunk digit histograms,
+/// a scan over `(digit, chunk)` buckets, and a scatter into per-bucket
+/// output slices. Wider tables fall back to a parallel stable merge sort
+/// (sorted chunks, pairwise merged). Both are stable, so both produce the
+/// same bytes.
 pub fn sort_permutation(device: &Device, columns: &[&[u64]]) -> Column {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Sort);
     let len = columns.first().map(|c| c.len()).unwrap_or(0);
-    let mut perm: Vec<u64> = (0..len as u64).collect();
-    perm.sort_unstable_by(|&i, &j| cmp_rows(columns, i as usize, columns, j as usize));
+    let arena = device.arena();
+    let mut perm = arena.alloc_zeroed(sites::SORT_OUT, len);
+    par_map_into(device, &mut perm, |i| i as u64);
+    if len <= 1 || columns.is_empty() {
+        return perm;
+    }
+    if len <= SMALL_SORT {
+        perm.sort_unstable_by(|&i, &j| {
+            cmp_rows(columns, i as usize, columns, j as usize).then(i.cmp(&j))
+        });
+        return perm;
+    }
+    let sig_bytes: Vec<u32> = columns
+        .iter()
+        .map(|col| significant_bytes(device, col))
+        .collect();
+    let total_passes: u32 = sig_bytes.iter().sum();
+    if total_passes <= RADIX_PASS_BUDGET {
+        radix_sort(device, columns, &sig_bytes, &mut perm);
+    } else {
+        merge_sort(device, columns, &mut perm);
+    }
     perm
+}
+
+/// Number of bytes needed to represent the largest value of `col`.
+fn significant_bytes(device: &Device, col: &[u64]) -> u32 {
+    let ranges = chunks_for(device, col.len());
+    let max = map_chunks(&ranges, |_, range| {
+        col[range].iter().copied().max().unwrap_or(0)
+    })
+    .into_iter()
+    .max()
+    .unwrap_or(0);
+    if max == 0 {
+        0
+    } else {
+        (64 - max.leading_zeros()).div_ceil(8)
+    }
+}
+
+/// Stable LSD radix sort of `perm` by the rows of `columns`: bytes within a
+/// column least-significant first, columns last-to-first, so the final order
+/// is lexicographic by row with original-index ties (stability).
+fn radix_sort(device: &Device, columns: &[&[u64]], sig_bytes: &[u32], perm: &mut Column) {
+    let len = perm.len();
+    let arena = device.arena();
+    let mut cur = std::mem::take(perm);
+    let mut tmp = arena.alloc_zeroed(sites::SORT_SCRATCH, len);
+    for (col, &bytes) in columns.iter().zip(sig_bytes).rev() {
+        for b in 0..bytes {
+            if radix_pass(device, col, 8 * b, &cur, &mut tmp) {
+                std::mem::swap(&mut cur, &mut tmp);
+            }
+        }
+    }
+    *perm = cur;
+    arena.recycle(sites::SORT_SCRATCH, tmp);
+}
+
+/// One counting-sort pass over the byte at `shift`. Returns `false` (and
+/// leaves `dst` untouched) when every element shares the same digit.
+fn radix_pass(device: &Device, col: &[u64], shift: u32, src: &Column, dst: &mut Column) -> bool {
+    let len = src.len();
+    let ranges = chunks_for(device, len);
+    let digit = |v: u64| ((col[v as usize] >> shift) & 0xFF) as usize;
+    // Per-chunk digit histograms.
+    let histograms: Vec<[usize; 256]> = map_chunks(&ranges, |_, range| {
+        let mut h = [0usize; 256];
+        for &v in &src[range] {
+            h[digit(v)] += 1;
+        }
+        h
+    });
+    // A pass whose digit is constant moves nothing — skip the scatter.
+    let mut totals = [0usize; 256];
+    for h in &histograms {
+        for (t, c) in totals.iter_mut().zip(h.iter()) {
+            *t += c;
+        }
+    }
+    if totals.contains(&len) {
+        return false;
+    }
+    // Carve `dst` into one slice per (digit, chunk) bucket, in destination
+    // order, and regroup them per chunk: bucket (d, c) starts where all
+    // smaller digits and all earlier chunks of digit d end.
+    let mut per_chunk: Vec<Vec<&mut [u64]>> =
+        (0..ranges.len()).map(|_| Vec::with_capacity(256)).collect();
+    {
+        let mut rest = dst.as_mut_slice();
+        for d in 0..256 {
+            for (c, h) in histograms.iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(h[d]);
+                per_chunk[c].push(head);
+                rest = tail;
+            }
+        }
+        debug_assert!(rest.is_empty());
+    }
+    // Scatter: each chunk walks its elements in order and appends them to
+    // its own slice of each digit bucket — stable, disjoint, parallel.
+    run_chunks(
+        &ranges,
+        per_chunk,
+        |_, range, mut slices: Vec<&mut [u64]>| {
+            let mut cursors = [0usize; 256];
+            for &v in &src[range] {
+                let d = digit(v);
+                slices[d][cursors[d]] = v;
+                cursors[d] += 1;
+            }
+        },
+    );
+    true
+}
+
+/// Stable parallel merge sort of `perm` by row content: sorted chunks (index
+/// tie-break), then pairwise parallel merges of adjacent runs. Adjacent runs
+/// partition the index space in order, so "left run first on ties" *is* the
+/// original-index tie-break.
+/// One pairwise-merge work unit: the left run, the right run if the round
+/// has one (the odd leftover run is copied through), and the output slice
+/// covering both.
+type MergeUnit<'a> = ((Range<usize>, Option<Range<usize>>), &'a mut [u64]);
+
+fn merge_sort(device: &Device, columns: &[&[u64]], perm: &mut Column) {
+    let len = perm.len();
+    let ranges = chunks_for(device, len);
+    {
+        let slices = split_by_ranges(perm, &ranges);
+        run_chunks(&ranges, slices, |_, _, slice: &mut [u64]| {
+            slice.sort_unstable_by(|&i, &j| {
+                cmp_rows(columns, i as usize, columns, j as usize).then(i.cmp(&j))
+            });
+        });
+    }
+    if ranges.len() <= 1 {
+        return;
+    }
+    let arena = device.arena();
+    let mut cur = std::mem::take(perm);
+    let mut buf = arena.alloc_zeroed(sites::SORT_SCRATCH, len);
+    let mut runs: Vec<Range<usize>> = ranges;
+    while runs.len() > 1 {
+        let mut merged: Vec<Range<usize>> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut pairs: Vec<(Range<usize>, Option<Range<usize>>)> =
+            Vec::with_capacity(merged.capacity());
+        for pair in runs.chunks(2) {
+            if pair.len() == 2 {
+                merged.push(pair[0].start..pair[1].end);
+                pairs.push((pair[0].clone(), Some(pair[1].clone())));
+            } else {
+                merged.push(pair[0].clone());
+                pairs.push((pair[0].clone(), None));
+            }
+        }
+        {
+            let out_slices = split_by_ranges(&mut buf, &merged);
+            run_chunks(
+                &merged,
+                pairs.into_iter().zip(out_slices).collect(),
+                |_, _, ((a, b), out): MergeUnit<'_>| match b {
+                    None => out.copy_from_slice(&cur[a]),
+                    Some(b) => {
+                        let (left, right) = (&cur[a], &cur[b]);
+                        let (mut i, mut j, mut k) = (0, 0, 0);
+                        while i < left.len() && j < right.len() {
+                            let li = left[i] as usize;
+                            let rj = right[j] as usize;
+                            if cmp_rows(columns, li, columns, rj) != Ordering::Greater {
+                                out[k] = left[i];
+                                i += 1;
+                            } else {
+                                out[k] = right[j];
+                                j += 1;
+                            }
+                            k += 1;
+                        }
+                        out[k..k + left.len() - i].copy_from_slice(&left[i..]);
+                        k += left.len() - i;
+                        out[k..].copy_from_slice(&right[j..]);
+                    }
+                },
+            );
+        }
+        std::mem::swap(&mut cur, &mut buf);
+        runs = merged;
+    }
+    *perm = cur;
+    arena.recycle(sites::SORT_SCRATCH, buf);
 }
 
 /// Applies a sort permutation to a set of columns and their tags.
@@ -136,35 +496,102 @@ pub fn apply_permutation<T: Clone + Send + Sync>(
 
 /// `unique⟨⊕⟩(s̄)`: merges adjacent duplicate rows of a sorted table,
 /// combining their tags with the semiring disjunction.
+///
+/// Segment starts are found with a parallel boundary flag
+/// (`row[i] != row[i-1]`), and each output row's tag is the left-to-right
+/// fold of its segment's tags — the same order the sequential loop uses, so
+/// order-sensitive disjunctions (float addition) produce identical bits.
 pub fn unique<T, F>(device: &Device, columns: &[&[u64]], tags: &[T], or: F) -> (Columns, Vec<T>)
 where
     T: Clone + Send + Sync,
-    F: Fn(&T, &T) -> T,
+    F: Fn(&T, &T) -> T + Sync,
 {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Unique);
     let len = columns.first().map(|c| c.len()).unwrap_or(0);
     let arity = columns.len();
-    let mut out_cols: Columns = vec![Vec::new(); arity];
-    let mut out_tags: Vec<T> = Vec::new();
-    let mut i = 0;
-    while i < len {
-        let mut tag = tags[i].clone();
-        let mut j = i + 1;
-        while j < len && cmp_rows(columns, i, columns, j) == Ordering::Equal {
-            tag = or(&tag, &tags[j]);
-            j += 1;
-        }
-        for (c, col) in columns.iter().enumerate() {
-            out_cols[c].push(col[i]);
-        }
-        out_tags.push(tag);
-        i = j;
+    if len == 0 {
+        return (vec![Vec::new(); arity], Vec::new());
     }
+    let arena = device.arena();
+    // Two-phase boundary collection: count segment starts per chunk, then
+    // write them into disjoint slices of one starts column.
+    let ranges = chunks_for(device, len);
+    let is_start = |i: usize| i == 0 || cmp_rows(columns, i - 1, columns, i) != Ordering::Equal;
+    let counts: Vec<usize> = map_chunks(&ranges, |_, range| range.filter(|&i| is_start(i)).count());
+    let total: usize = counts.iter().sum();
+    let mut starts = arena.alloc_zeroed(sites::UNIQUE_STARTS, total);
+    {
+        let mut bounds = Vec::with_capacity(counts.len());
+        let mut acc = 0;
+        for &c in &counts {
+            bounds.push(acc..acc + c);
+            acc += c;
+        }
+        let slices = split_by_ranges(&mut starts, &bounds);
+        run_chunks(&ranges, slices, |_, range, slice: &mut [u64]| {
+            for (k, i) in range.filter(|&i| is_start(i)).enumerate() {
+                slice[k] = i as u64;
+            }
+        });
+    }
+    // Output rows: the segment-start rows; output tags: per-segment fold.
+    let mut out_cols: Columns = Vec::with_capacity(arity);
+    for col in columns {
+        let mut out = arena.alloc_zeroed(sites::UNIQUE_OUT, total);
+        par_map_into(device, &mut out, |k| col[starts[k] as usize]);
+        out_cols.push(out);
+    }
+    let seg_ranges = chunks_for(device, total);
+    let pieces: Vec<Vec<T>> = map_chunks(&seg_ranges, |_, range| {
+        range
+            .map(|k| {
+                let start = starts[k] as usize;
+                let end = if k + 1 < total {
+                    starts[k + 1] as usize
+                } else {
+                    len
+                };
+                let mut tag = tags[start].clone();
+                for t in &tags[start + 1..end] {
+                    tag = or(&tag, t);
+                }
+                tag
+            })
+            .collect()
+    });
+    let out_tags = concat_pieces(pieces, total);
+    arena.recycle(sites::UNIQUE_STARTS, starts);
     (out_cols, out_tags)
 }
 
+/// Finds the merge-path split of diagonal `t`: the `(i, j)` with `i + j = t`
+/// such that taking `a[..i]` and `b[..j]` first agrees with the sequential
+/// merge that prefers `a` on ties.
+fn merge_split(a: &[&[u64]], la: usize, b: &[&[u64]], lb: usize, t: usize) -> usize {
+    let mut lo = t.saturating_sub(lb);
+    let mut hi = t.min(la);
+    // Find the smallest i where every taken b-row precedes every future
+    // a-row strictly (`b[j-1] < a[i]`); monotone in i.
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = t - i;
+        let ok = j == 0 || i == la || cmp_rows(b, j - 1, a, i) == Ordering::Less;
+        if ok {
+            hi = i;
+        } else {
+            lo = i + 1;
+        }
+    }
+    lo
+}
+
 /// `merge(ā, b̄)`: merges two lexicographically sorted tables into one sorted
-/// table. Rows are kept from both inputs (no deduplication).
+/// table. Rows are kept from both inputs (no deduplication); on equal rows
+/// `a`'s precede `b`'s.
+///
+/// Parallelism comes from merge-path partitioning: the output is cut into
+/// equal diagonals, each worker binary-searches its input split and runs the
+/// sequential two-pointer merge on its own disjoint output slice.
 pub fn merge<T: Clone + Send + Sync>(
     device: &Device,
     a_cols: &[&[u64]],
@@ -172,48 +599,94 @@ pub fn merge<T: Clone + Send + Sync>(
     b_cols: &[&[u64]],
     b_tags: &[T],
 ) -> (Columns, Vec<T>) {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Other);
     let arity = a_cols.len().max(b_cols.len());
+    debug_assert!(
+        a_cols.len() == b_cols.len() || a_tags.is_empty() || b_tags.is_empty(),
+        "merging tables of different arity"
+    );
     let (la, lb) = (a_tags.len(), b_tags.len());
-    let mut out_cols: Columns = vec![Vec::with_capacity(la + lb); arity];
-    let mut out_tags: Vec<T> = Vec::with_capacity(la + lb);
-    let (mut i, mut j) = (0, 0);
-    while i < la && j < lb {
-        if cmp_rows(a_cols, i, b_cols, j) != Ordering::Greater {
-            for (c, col) in a_cols.iter().enumerate() {
-                out_cols[c].push(col[i]);
+    let total = la + lb;
+    let arena = device.arena();
+    let ranges = chunks_for(device, total);
+    // Input splits per output boundary.
+    let mut a_cuts = Vec::with_capacity(ranges.len() + 1);
+    for range in &ranges {
+        a_cuts.push(merge_split(a_cols, la, b_cols, lb, range.start));
+    }
+    a_cuts.push(merge_split(a_cols, la, b_cols, lb, total));
+    let mut out_cols: Columns = (0..arity)
+        .map(|_| arena.alloc_zeroed(sites::MERGE_OUT, total))
+        .collect();
+    let col_slices = columns_chunked(&mut out_cols, &ranges);
+    let pieces: Vec<Vec<T>> = run_chunks(
+        &ranges,
+        col_slices,
+        |c, range, mut outs: Vec<&mut [u64]>| {
+            let (ai, aj) = (a_cuts[c], a_cuts[c + 1]);
+            let (bi, bj) = (range.start - ai, range.end - aj);
+            let (mut i, mut j, mut k) = (ai, bi, 0usize);
+            let mut tags = Vec::with_capacity(range.len());
+            while i < aj && j < bj {
+                if cmp_rows(a_cols, i, b_cols, j) != Ordering::Greater {
+                    for (out, col) in outs.iter_mut().zip(a_cols) {
+                        out[k] = col[i];
+                    }
+                    tags.push(a_tags[i].clone());
+                    i += 1;
+                } else {
+                    for (out, col) in outs.iter_mut().zip(b_cols) {
+                        out[k] = col[j];
+                    }
+                    tags.push(b_tags[j].clone());
+                    j += 1;
+                }
+                k += 1;
             }
-            out_tags.push(a_tags[i].clone());
-            i += 1;
-        } else {
-            for (c, col) in b_cols.iter().enumerate() {
-                out_cols[c].push(col[j]);
+            while i < aj {
+                for (out, col) in outs.iter_mut().zip(a_cols) {
+                    out[k] = col[i];
+                }
+                tags.push(a_tags[i].clone());
+                i += 1;
+                k += 1;
             }
-            out_tags.push(b_tags[j].clone());
-            j += 1;
+            while j < bj {
+                for (out, col) in outs.iter_mut().zip(b_cols) {
+                    out[k] = col[j];
+                }
+                tags.push(b_tags[j].clone());
+                j += 1;
+                k += 1;
+            }
+            tags
+        },
+    );
+    (out_cols, concat_pieces(pieces, total))
+}
+
+/// Splits each column of `cols` at the chunk boundaries and regroups the
+/// slices per chunk (chunk-major), for handing to workers.
+fn columns_chunked<'a>(cols: &'a mut Columns, ranges: &[Range<usize>]) -> Vec<Vec<&'a mut [u64]>> {
+    let mut per_chunk: Vec<Vec<&mut [u64]>> = (0..ranges.len())
+        .map(|_| Vec::with_capacity(cols.len()))
+        .collect();
+    for col in cols.iter_mut() {
+        for (c, slice) in split_by_ranges(col, ranges).into_iter().enumerate() {
+            per_chunk[c].push(slice);
         }
     }
-    while i < la {
-        for (c, col) in a_cols.iter().enumerate() {
-            out_cols[c].push(col[i]);
-        }
-        out_tags.push(a_tags[i].clone());
-        i += 1;
-    }
-    while j < lb {
-        for (c, col) in b_cols.iter().enumerate() {
-            out_cols[c].push(col[j]);
-        }
-        out_tags.push(b_tags[j].clone());
-        j += 1;
-    }
-    (out_cols, out_tags)
+    per_chunk
 }
 
 /// `diff(ā, b̄)`: rows of sorted table `a` that do not occur in sorted table
 /// `b`, keeping `a`'s tags. This is the set difference required to keep
 /// semi-naive evaluation terminating (new delta facts must not already be
 /// known).
+///
+/// `a` is cut into chunks; each worker binary-searches its start position in
+/// `b` and runs the sequential two-pointer walk (once to count, once to
+/// fill), so the kept-row set is chunk-independent.
 pub fn difference<T: Clone + Send + Sync>(
     device: &Device,
     a_cols: &[&[u64]],
@@ -221,36 +694,87 @@ pub fn difference<T: Clone + Send + Sync>(
     b_cols: &[&[u64]],
     b_len: usize,
 ) -> (Columns, Vec<T>) {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Other);
     let arity = a_cols.len();
     let a_len = a_tags.len();
-    let mut out_cols: Columns = vec![Vec::new(); arity];
-    let mut out_tags: Vec<T> = Vec::new();
-    let mut j = 0usize;
-    for i in 0..a_len {
-        while j < b_len && cmp_rows(b_cols, j, a_cols, i) == Ordering::Less {
-            j += 1;
-        }
-        let present = j < b_len && cmp_rows(b_cols, j, a_cols, i) == Ordering::Equal;
-        if !present {
-            for (c, col) in a_cols.iter().enumerate() {
-                out_cols[c].push(col[i]);
+    let arena = device.arena();
+    let ranges = chunks_for(device, a_len);
+    // First b-row not less than a[start] — where the two-pointer walk of a
+    // chunk must begin.
+    let lower_bound = |i: usize| {
+        let (mut lo, mut hi) = (0usize, b_len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cmp_rows(b_cols, mid, a_cols, i) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
             }
-            out_tags.push(a_tags[i].clone());
         }
+        lo
+    };
+    let walk = |range: Range<usize>, mut on_kept: Box<dyn FnMut(usize) + '_>| {
+        let mut j = if range.start < a_len {
+            lower_bound(range.start)
+        } else {
+            b_len
+        };
+        for i in range {
+            while j < b_len && cmp_rows(b_cols, j, a_cols, i) == Ordering::Less {
+                j += 1;
+            }
+            let present = j < b_len && cmp_rows(b_cols, j, a_cols, i) == Ordering::Equal;
+            if !present {
+                on_kept(i);
+            }
+        }
+    };
+    let counts: Vec<usize> = map_chunks(&ranges, |_, range| {
+        let mut n = 0;
+        walk(range, Box::new(|_| n += 1));
+        n
+    });
+    let total: usize = counts.iter().sum();
+    let mut kept = arena.alloc_zeroed(sites::DIFF_KEPT, total);
+    {
+        let mut bounds = Vec::with_capacity(counts.len());
+        let mut acc = 0;
+        for &c in &counts {
+            bounds.push(acc..acc + c);
+            acc += c;
+        }
+        let slices = split_by_ranges(&mut kept, &bounds);
+        run_chunks(&ranges, slices, |_, range, slice: &mut [u64]| {
+            let mut k = 0;
+            walk(
+                range,
+                Box::new(|i| {
+                    slice[k] = i as u64;
+                    k += 1;
+                }),
+            );
+        });
     }
+    let mut out_cols: Columns = Vec::with_capacity(arity);
+    for col in a_cols {
+        let mut out = arena.alloc_zeroed(sites::DIFF_OUT, total);
+        par_map_into(device, &mut out, |k| col[kept[k] as usize]);
+        out_cols.push(out);
+    }
+    let out_tags = gather_tags_inner(device, &kept, a_tags);
+    arena.recycle(sites::DIFF_KEPT, kept);
     (out_cols, out_tags)
 }
 
 /// `count(b̄, h, ā)`: for every probe row, the number of build rows with a
-/// matching key in the hash index.
+/// matching key in the hash index. Probe keys are hashed straight from the
+/// probe columns — no per-row key buffer is materialized.
 pub fn count_matches(device: &Device, index: &HashIndex, probe_key_cols: &[&[u64]]) -> Column {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Join);
     let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
-    let mut out = vec![0u64; len];
+    let mut out = device.arena().alloc_zeroed(sites::COUNT_OUT, len);
     par_map_into(device, &mut out, |i| {
-        let key: Vec<u64> = probe_key_cols.iter().map(|c| c[i]).collect();
-        index.count(&key) as u64
+        index.count_cols(probe_key_cols, i) as u64
     });
     out
 }
@@ -258,6 +782,11 @@ pub fn count_matches(device: &Device, index: &HashIndex, probe_key_cols: &[&[u64
 /// `join⟨W⟩(b̄, ā, h, c, o)`: produces the matching index pairs of a hash
 /// join. Returns `(build_indices, probe_indices)`, where output rows for
 /// probe row `i` occupy positions `offsets[i] .. offsets[i] + counts[i]`.
+///
+/// Each worker owns the contiguous output range its probe rows map to
+/// (`offsets` is monotone), writing full-width `u64` indices directly — no
+/// per-row buffers and no packing, so row indices are never truncated
+/// however large the tables grow.
 pub fn hash_join(
     device: &Device,
     index: &HashIndex,
@@ -266,44 +795,61 @@ pub fn hash_join(
     offsets: &[u64],
     total: u64,
 ) -> (Column, Column) {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Join);
     let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
     debug_assert_eq!(counts.len(), len);
     debug_assert_eq!(offsets.len(), len);
-    // Fill per probe row; collect per-chunk triples then scatter into the
-    // pre-sized output (disjoint ranges, so order is deterministic).
-    let pieces: Vec<(u64, Vec<u64>)> = par_collect_chunks(device, len, |range| {
-        let mut piece = Vec::new();
-        for i in range {
-            if counts[i] == 0 {
-                continue;
+    let arena = device.arena();
+    let mut build_out = arena.alloc_zeroed(sites::JOIN_OUT, total as usize);
+    let mut probe_out = arena.alloc_zeroed(sites::JOIN_OUT, total as usize);
+    let ranges = chunks_for(device, len);
+    // A chunk of probe rows owns the contiguous output range
+    // `offsets[start] .. offsets[end]`.
+    let out_bounds: Vec<Range<usize>> = ranges
+        .iter()
+        .map(|r| {
+            let start = offsets.get(r.start).copied().unwrap_or(total) as usize;
+            let end = offsets.get(r.end).copied().unwrap_or(total) as usize;
+            start..end
+        })
+        .collect();
+    let build_slices = split_by_ranges(&mut build_out, &out_bounds);
+    let probe_slices = split_by_ranges(&mut probe_out, &out_bounds);
+    run_chunks(
+        &ranges,
+        build_slices.into_iter().zip(probe_slices).collect(),
+        |_, range, (bs, ps): (&mut [u64], &mut [u64])| {
+            let mut k = 0;
+            for i in range {
+                if counts[i] == 0 {
+                    continue;
+                }
+                index.for_each_match_cols(probe_key_cols, i, |build_row| {
+                    bs[k] = build_row as u64;
+                    ps[k] = i as u64;
+                    k += 1;
+                });
             }
-            let key: Vec<u64> = probe_key_cols.iter().map(|c| c[i]).collect();
-            let mut matches = Vec::with_capacity(counts[i] as usize);
-            index.for_each_match(&key, |build_row| matches.push(build_row as u64));
-            piece.push((
-                offsets[i],
-                matches.into_iter().map(|b| (b << 32) | i as u64).collect(),
-            ));
-        }
-        piece
-    });
-    let mut build_out = vec![0u64; total as usize];
-    let mut probe_out = vec![0u64; total as usize];
-    for (offset, packed) in pieces {
-        for (k, p) in packed.into_iter().enumerate() {
-            build_out[offset as usize + k] = p >> 32;
-            probe_out[offset as usize + k] = p & 0xFFFF_FFFF;
-        }
-    }
+            debug_assert_eq!(k, bs.len(), "counts disagree with probe matches");
+        },
+    );
     (build_out, probe_out)
 }
 
 /// `copy(s̄)` / `append`: concatenates columns row-wise.
 pub fn append(device: &Device, tables: &[&[&[u64]]]) -> Columns {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Other);
     let arity = tables.iter().map(|t| t.len()).max().unwrap_or(0);
-    let mut out: Columns = vec![Vec::new(); arity];
+    let arena = device.arena();
+    let mut out: Columns = (0..arity)
+        .map(|c| {
+            let rows = tables
+                .iter()
+                .map(|t| t.get(c).map(|col| col.len()).unwrap_or(0))
+                .sum();
+            arena.alloc_empty(sites::APPEND_OUT, rows)
+        })
+        .collect();
     for table in tables {
         for (c, col) in table.iter().enumerate() {
             out[c].extend_from_slice(col);
@@ -314,7 +860,7 @@ pub fn append(device: &Device, tables: &[&[&[u64]]]) -> Columns {
 
 /// Tag variant of [`append`].
 pub fn append_tags<T: Clone>(device: &Device, tag_sets: &[&[T]]) -> Vec<T> {
-    device.record_kernel();
+    let _t = device.launch(KernelKind::Other);
     let mut out = Vec::with_capacity(tag_sets.iter().map(|t| t.len()).sum());
     for tags in tag_sets {
         out.extend_from_slice(tags);
@@ -334,11 +880,26 @@ mod tests {
         cols.iter().map(|c| c.as_slice()).collect()
     }
 
+    /// Runs the eval kernel with a simple per-row closure (the ergonomic
+    /// shape the production caller hoists scratch out of).
+    fn eval_rows<F>(device: &Device, len: usize, out_arity: usize, f: F) -> (Columns, Column)
+    where
+        F: Fn(usize) -> Option<Vec<u64>> + Sync,
+    {
+        eval(device, len, out_arity, |range, sink| {
+            for i in range {
+                if let Some(row) = f(i) {
+                    sink.emit(i, &row);
+                }
+            }
+        })
+    }
+
     #[test]
     fn eval_projects_and_filters() {
         let d = dev();
         let col = [1u64, 2, 3, 4, 5];
-        let (cols, src) = eval(&d, col.len(), 1, |i| {
+        let (cols, src) = eval_rows(&d, col.len(), 1, |i| {
             let v = col[i];
             if v % 2 == 1 {
                 Some(vec![v * 10])
@@ -392,6 +953,14 @@ mod tests {
         assert_eq!(uniq[0], vec![1, 1, 2]);
         assert_eq!(uniq[1], vec![5, 6, 7]);
         assert_eq!(utags, vec![2.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn sort_breaks_ties_by_original_index() {
+        let d = dev();
+        let cols = vec![vec![5u64, 1, 5, 1, 5]];
+        let perm = sort_permutation(&d, &refs(&cols));
+        assert_eq!(perm, vec![1, 3, 0, 2, 4]);
     }
 
     #[test]
@@ -456,11 +1025,29 @@ mod tests {
     }
 
     #[test]
-    fn kernels_record_launches() {
+    fn kernels_record_launches_and_times() {
         let d = dev();
         let _ = scan(&d, &[1, 2, 3]);
-        let _ = sort_permutation(&d, &[&[3u64, 1, 2][..]]);
-        assert!(d.stats().kernel_launches >= 2);
+        let big: Vec<u64> = (0..100_000u64)
+            .map(|i| (i * 2_654_435_761) % 4096)
+            .collect();
+        let _ = sort_permutation(&d, &[&big[..]]);
+        let stats = d.stats();
+        assert!(stats.kernel_launches >= 2);
+        assert!(stats.kernel_time.sort_ns > 0, "sort time attributed");
+    }
+
+    #[test]
+    fn kernel_outputs_recycle_through_the_arena() {
+        let d = dev();
+        let counts = vec![1u64; 128];
+        let (offsets, _) = scan(&d, &counts);
+        d.arena().recycle_shared(offsets);
+        let before = d.arena().stats();
+        let (_offsets, _) = scan(&d, &counts);
+        let after = d.arena().stats();
+        assert_eq!(after.fresh_columns, before.fresh_columns);
+        assert_eq!(after.reused_columns, before.reused_columns + 1);
     }
 
     #[test]

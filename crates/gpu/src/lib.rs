@@ -13,14 +13,22 @@
 //!
 //! * [`kernels::eval`] — per-row projection/selection (row-level parallelism),
 //! * [`kernels::gather`] / [`kernels::gather_mul_tags`] — index gathers,
-//! * [`kernels::scan`] — exclusive prefix sum,
-//! * [`kernels::sort_permutation`], [`kernels::unique`], [`kernels::merge`],
-//!   [`kernels::difference`] — sorted-table maintenance for semi-naive
-//!   evaluation,
+//! * [`kernels::scan`] — exclusive prefix sum (two-pass block scan),
+//! * [`kernels::sort_permutation`] (parallel LSD radix sort with a parallel
+//!   merge-sort fallback for wide rows), [`kernels::unique`],
+//!   [`kernels::merge`], [`kernels::difference`] — sorted-table maintenance
+//!   for semi-naive evaluation,
 //! * [`HashIndex`] with [`kernels::count_matches`] and [`kernels::hash_join`]
 //!   — the open-addressing, linear-probing hash join of Section 5.1.
 //!
-//! All kernels are deterministic regardless of the configured parallelism.
+//! All kernels produce bit-identical output whatever the configured
+//! parallelism — see the [`kernels`] module docs for the determinism
+//! contract (stable total orders for sorting, fixed left-to-right tag fold
+//! order, data-determined partition points). Kernel outputs and scratch are
+//! allocated through the per-device [`Arena`] pool, so once a fix-point
+//! reaches its steady state an iteration performs zero fresh column
+//! allocations (Section 4.1); [`DeviceStats::kernel_time`] attributes wall
+//! time to sort/join/unique buckets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +39,10 @@ mod hash;
 pub mod kernels;
 mod parallel;
 
-pub use arena::Arena;
-pub use device::{Device, DeviceConfig, DeviceError, DeviceStats, TransferDirection};
+pub use arena::{Arena, ArenaStats};
+pub use device::{
+    Device, DeviceConfig, DeviceError, DeviceStats, KernelKind, KernelTime, TransferDirection,
+};
 pub use hash::HashIndex;
 pub use parallel::par_map_into;
 

@@ -2,11 +2,97 @@
 //!
 //! Kernels in this crate are written as bulk per-row operations. When the
 //! input is large enough and the device is configured with more than one
-//! worker, the output buffer is split into disjoint chunks that are filled by
-//! scoped threads; otherwise the work runs sequentially. Results are
-//! identical either way.
+//! worker, the work is split into disjoint index ranges that are processed by
+//! scoped threads; otherwise the work runs sequentially on the calling
+//! thread. Every helper here guarantees that the observable result is
+//! *independent of the chunking*: chunk boundaries only decide which thread
+//! computes an element, never what the element is.
 
 use crate::Device;
+use std::ops::Range;
+
+/// The chunking a kernel launch uses: `0..len` split into at most
+/// [`Device::parallelism`] disjoint ranges, or a single range when the input
+/// is below [`Device::min_parallel_rows`] (or the device is sequential).
+pub(crate) fn chunks_for(device: &Device, len: usize) -> Vec<Range<usize>> {
+    let workers = device.parallelism();
+    if workers <= 1 || len < device.min_parallel_rows() {
+        // One chunk covering everything (a Vec *of* one range, not the
+        // range's elements — hence no vec![] literal).
+        return std::iter::once(0..len).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Runs `f(chunk_index, range, state)` for every chunk, in parallel when
+/// there is more than one, collecting the return values in chunk order.
+/// `states` carries per-chunk resources (typically disjoint `&mut` views of
+/// an output buffer) into the workers.
+pub(crate) fn run_chunks<S, R, F>(ranges: &[Range<usize>], states: Vec<S>, f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, Range<usize>, S) -> R + Sync,
+{
+    debug_assert_eq!(ranges.len(), states.len());
+    if ranges.len() <= 1 {
+        return states
+            .into_iter()
+            .enumerate()
+            .map(|(c, state)| f(c, ranges[c].clone(), state))
+            .collect();
+    }
+    let mut out = Vec::with_capacity(ranges.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (c, state) in states.into_iter().enumerate() {
+            let range = ranges[c].clone();
+            let f = &f;
+            handles.push(scope.spawn(move || f(c, range, state)));
+        }
+        for handle in handles {
+            out.push(handle.join().expect("kernel worker panicked"));
+        }
+    });
+    out
+}
+
+/// [`run_chunks`] without per-chunk state.
+pub(crate) fn map_chunks<R, F>(ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    run_chunks(ranges, vec![(); ranges.len()], |c, range, ()| f(c, range))
+}
+
+/// Splits `slice` into one sub-slice per entry of `bounds`, where `bounds`
+/// holds ascending `[start, end)` pairs covering the slice exactly. The
+/// safe-Rust route to handing disjoint output regions to chunk workers.
+pub(crate) fn split_by_ranges<'a, T>(
+    mut slice: &'a mut [T],
+    bounds: &[Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut consumed = 0;
+    for range in bounds {
+        debug_assert_eq!(range.start, consumed, "bounds must tile the slice");
+        let (head, rest) = slice.split_at_mut(range.end - range.start);
+        out.push(head);
+        slice = rest;
+        consumed = range.end;
+    }
+    debug_assert!(slice.is_empty(), "bounds must cover the slice");
+    out
+}
 
 /// Fills `out[i] = f(offset + i)` for every element of `out`, splitting the
 /// work across the device's workers when profitable.
@@ -37,40 +123,6 @@ where
     });
 }
 
-/// Runs `f` over every index in `0..len`, collecting the per-chunk results in
-/// index order. Used by kernels whose per-row output size is not known ahead
-/// of time (e.g. filtering projections).
-pub fn par_collect_chunks<T, F>(device: &Device, len: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
-{
-    let workers = device.parallelism();
-    if workers <= 1 || len < device.min_parallel_rows() {
-        return f(0..len);
-    }
-    let chunk = len.div_ceil(workers);
-    let mut pieces: Vec<Vec<T>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut start = 0;
-        while start < len {
-            let end = (start + chunk).min(len);
-            let f = &f;
-            handles.push(scope.spawn(move || f(start..end)));
-            start = end;
-        }
-        for handle in handles {
-            pieces.push(handle.join().expect("kernel worker panicked"));
-        }
-    });
-    let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
-    for piece in pieces {
-        out.extend(piece);
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,23 +145,50 @@ mod tests {
     }
 
     #[test]
-    fn par_collect_preserves_order() {
-        let par = Device::new(DeviceConfig {
-            parallelism: 4,
-            min_parallel_rows: 1,
-            ..DeviceConfig::default()
-        });
-        let out = par_collect_chunks(&par, 1000, |range| range.map(|i| i as u64).collect());
-        assert_eq!(out, (0..1000u64).collect::<Vec<_>>());
-    }
-
-    #[test]
     fn empty_input_is_fine() {
         let dev = Device::sequential();
         let mut out: Vec<u64> = Vec::new();
         par_map_into(&dev, &mut out, |i| i as u64);
         assert!(out.is_empty());
-        let collected = par_collect_chunks(&dev, 0, |r| r.map(|i| i as u64).collect());
-        assert!(collected.is_empty());
+        let collected = map_chunks(&chunks_for(&dev, 0), |_, r| {
+            r.map(|i| i as u64).collect::<Vec<_>>()
+        });
+        assert_eq!(collected.len(), 1);
+        assert!(collected[0].is_empty());
+    }
+
+    #[test]
+    fn chunks_tile_the_input() {
+        let par = Device::new(DeviceConfig {
+            parallelism: 3,
+            min_parallel_rows: 1,
+            ..DeviceConfig::default()
+        });
+        let ranges = chunks_for(&par, 10);
+        assert_eq!(ranges.first().map(|r| r.start), Some(0));
+        assert_eq!(ranges.last().map(|r| r.end), Some(10));
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn split_by_ranges_covers_disjointly() {
+        let mut data = vec![0u64; 10];
+        let bounds = vec![0..3, 3..3, 3..10];
+        let slices = split_by_ranges(&mut data, &bounds);
+        assert_eq!(
+            slices.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            [3, 0, 7]
+        );
+    }
+
+    #[test]
+    fn run_chunks_threads_state_in_order() {
+        let ranges = vec![0..2, 2..5, 5..6];
+        let out = run_chunks(&ranges, vec![10usize, 20, 30], |c, range, s| {
+            s + range.len() + c
+        });
+        assert_eq!(out, vec![12, 24, 33]);
     }
 }

@@ -1,0 +1,289 @@
+//! Seeded property suite: every kernel must produce bit-identical output on
+//! a parallel device and on the sequential device, across row counts that
+//! exercise the empty, singleton, odd-sized, and chunk-spanning regimes, and
+//! across table shapes that hit both sorting algorithms (narrow rows → LSD
+//! radix sort, wide rows → parallel merge sort).
+//!
+//! This is the contract the executor's differential suites
+//! (`batch_agreement`, `sharded_agreement`, cross-provenance) lean on: if
+//! each kernel is chunk-invariant, whole fix-points are.
+
+use lobster_gpu::{kernels, Device, DeviceConfig, HashIndex};
+
+/// Parallelism degrees exercised against the sequential baseline.
+const PARALLELISMS: [usize; 3] = [1, 3, 8];
+
+/// Row-count regimes: empty, singleton, small odd, large odd (does not
+/// divide evenly into chunks), large.
+const ROW_COUNTS: [usize; 5] = [0, 1, 37, 4099, 6000];
+
+/// A tiny deterministic xorshift generator so the suite needs no rand crate.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// A value in `0..bound` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn parallel_device(parallelism: usize) -> Device {
+    Device::new(DeviceConfig {
+        parallelism,
+        // Tiny threshold so even the small regimes actually chunk.
+        min_parallel_rows: 8,
+        ..DeviceConfig::default()
+    })
+}
+
+/// Random table: `arity` columns of `rows` values drawn from `0..key_space`
+/// (small key spaces create the duplicate rows `unique`/`difference` need),
+/// plus f64 tags with distinct bit patterns.
+fn random_table(
+    rng: &mut Rng,
+    rows: usize,
+    arity: usize,
+    key_space: u64,
+) -> (Vec<Vec<u64>>, Vec<f64>) {
+    let cols = (0..arity)
+        .map(|_| (0..rows).map(|_| rng.below(key_space)).collect())
+        .collect();
+    let tags = (0..rows).map(|_| rng.below(1 << 20) as f64 * 0.5).collect();
+    (cols, tags)
+}
+
+fn refs(cols: &[Vec<u64>]) -> Vec<&[u64]> {
+    cols.iter().map(|c| c.as_slice()).collect()
+}
+
+/// Sorts a table into the canonical (sorted rows, permuted tags) form on the
+/// given device.
+fn sorted_on(device: &Device, cols: &[Vec<u64>], tags: &[f64]) -> (Vec<Vec<u64>>, Vec<f64>) {
+    let perm = kernels::sort_permutation(device, &refs(cols));
+    kernels::apply_permutation(device, &perm, &refs(cols), tags)
+}
+
+/// Table shapes: (arity, key space). Small key spaces force heavy
+/// duplication and few significant radix bytes; the huge key space forces
+/// full-width radix passes; arity 9 blows the radix pass budget and lands on
+/// the parallel merge sort.
+const SHAPES: [(usize, u64); 4] = [(1, 11), (2, 97), (2, u64::MAX - 1), (9, 5)];
+
+#[test]
+fn sort_unique_merge_difference_agree_with_sequential() {
+    let seq = Device::sequential();
+    for (arity, key_space) in SHAPES {
+        for rows in ROW_COUNTS {
+            let mut rng = Rng::new(rows as u64 * 31 + arity as u64);
+            let (cols, tags) = random_table(&mut rng, rows, arity, key_space);
+            let (other_cols, other_tags) = random_table(&mut rng, rows / 2 + 1, arity, key_space);
+
+            let seq_perm = kernels::sort_permutation(&seq, &refs(&cols));
+            let (seq_sorted, seq_stags) = sorted_on(&seq, &cols, &tags);
+            let (seq_uniq, seq_utags) =
+                kernels::unique(&seq, &refs(&seq_sorted), &seq_stags, |a, b| a + b);
+            let (seq_other, seq_otags) = sorted_on(&seq, &other_cols, &other_tags);
+            let (seq_merged, seq_mtags) = kernels::merge(
+                &seq,
+                &refs(&seq_sorted),
+                &seq_stags,
+                &refs(&seq_other),
+                &seq_otags,
+            );
+            let (seq_diff, seq_dtags) = kernels::difference(
+                &seq,
+                &refs(&seq_uniq),
+                &seq_utags,
+                &refs(&seq_other),
+                seq_otags.len(),
+            );
+
+            for parallelism in PARALLELISMS {
+                let par = parallel_device(parallelism);
+                let ctx = format!("arity {arity}, keys {key_space}, rows {rows}, p {parallelism}");
+                assert_eq!(
+                    kernels::sort_permutation(&par, &refs(&cols)),
+                    seq_perm,
+                    "sort: {ctx}"
+                );
+                let (sorted, stags) = sorted_on(&par, &cols, &tags);
+                assert_eq!(sorted, seq_sorted, "apply_permutation cols: {ctx}");
+                assert_bits(
+                    &stags,
+                    &seq_stags,
+                    &format!("apply_permutation tags: {ctx}"),
+                );
+                let (uniq, utags) = kernels::unique(&par, &refs(&sorted), &stags, |a, b| a + b);
+                assert_eq!(uniq, seq_uniq, "unique cols: {ctx}");
+                assert_bits(&utags, &seq_utags, &format!("unique tags: {ctx}"));
+                let (merged, mtags) =
+                    kernels::merge(&par, &refs(&sorted), &stags, &refs(&seq_other), &seq_otags);
+                assert_eq!(merged, seq_merged, "merge cols: {ctx}");
+                assert_bits(&mtags, &seq_mtags, &format!("merge tags: {ctx}"));
+                let (diff, dtags) = kernels::difference(
+                    &par,
+                    &refs(&uniq),
+                    &utags,
+                    &refs(&seq_other),
+                    seq_otags.len(),
+                );
+                assert_eq!(diff, seq_diff, "difference cols: {ctx}");
+                assert_bits(&dtags, &seq_dtags, &format!("difference tags: {ctx}"));
+            }
+        }
+    }
+}
+
+/// f64 comparisons must be *bit*-identical (the provenance contract), not
+/// merely approximately equal.
+fn assert_bits(a: &[f64], b: &[f64], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: tag {i}");
+    }
+}
+
+#[test]
+fn scan_eval_gathers_agree_with_sequential() {
+    let seq = Device::sequential();
+    for rows in ROW_COUNTS {
+        let mut rng = Rng::new(rows as u64 + 7);
+        let counts: Vec<u64> = (0..rows).map(|_| rng.below(5)).collect();
+        let data: Vec<u64> = (0..rows).map(|_| rng.below(1 << 40)).collect();
+        let indices: Vec<u64> = (0..rows).map(|_| rng.below(rows.max(1) as u64)).collect();
+        let tags: Vec<f64> = (0..rows)
+            .map(|_| rng.below(1 << 20) as f64 * 0.25)
+            .collect();
+
+        let (seq_offsets, seq_total) = kernels::scan(&seq, &counts);
+        let eval_fn = |range: std::ops::Range<usize>, sink: &mut kernels::EvalSink| {
+            let mut out = [0u64; 2];
+            for i in range {
+                if data[i] % 3 != 0 {
+                    out[0] = data[i] / 3;
+                    out[1] = data[i].rotate_left(5);
+                    sink.emit(i, &out);
+                }
+            }
+        };
+        let (seq_eval_cols, seq_eval_src) = kernels::eval(&seq, rows, 2, eval_fn);
+        let seq_gather = kernels::gather(&seq, &indices, &data);
+        let seq_gtags = kernels::gather_tags(&seq, &indices, &tags);
+        let seq_mul = kernels::gather_mul_tags(&seq, &indices, &indices, &tags, &tags, |a, b| {
+            a.mul_add(*b, 1.0)
+        });
+
+        for parallelism in PARALLELISMS {
+            let par = parallel_device(parallelism);
+            let ctx = format!("rows {rows}, p {parallelism}");
+            let (offsets, total) = kernels::scan(&par, &counts);
+            assert_eq!(offsets, seq_offsets, "scan offsets: {ctx}");
+            assert_eq!(total, seq_total, "scan total: {ctx}");
+            let (eval_cols, eval_src) = kernels::eval(&par, rows, 2, eval_fn);
+            assert_eq!(eval_cols, seq_eval_cols, "eval cols: {ctx}");
+            assert_eq!(eval_src, seq_eval_src, "eval sources: {ctx}");
+            assert_eq!(
+                kernels::gather(&par, &indices, &data),
+                seq_gather,
+                "gather: {ctx}"
+            );
+            assert_bits(
+                &kernels::gather_tags(&par, &indices, &tags),
+                &seq_gtags,
+                &format!("gather_tags: {ctx}"),
+            );
+            assert_bits(
+                &kernels::gather_mul_tags(&par, &indices, &indices, &tags, &tags, |a, b| {
+                    a.mul_add(*b, 1.0)
+                }),
+                &seq_mul,
+                &format!("gather_mul_tags: {ctx}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn joins_and_append_agree_with_sequential() {
+    let seq = Device::sequential();
+    for rows in ROW_COUNTS {
+        for key_width in [1usize, 2] {
+            let mut rng = Rng::new(rows as u64 * 13 + key_width as u64);
+            let key_space = (rows as u64 / 7).max(3);
+            let (build_cols, _) = random_table(&mut rng, rows, key_width, key_space);
+            let (probe_cols, _) = random_table(&mut rng, rows.div_ceil(2), key_width, key_space);
+
+            let seq_index = HashIndex::build(&seq, &refs(&build_cols), 2);
+            let seq_counts = kernels::count_matches(&seq, &seq_index, &refs(&probe_cols));
+            let (seq_offsets, seq_total) = kernels::scan(&seq, &seq_counts);
+            let (seq_bi, seq_pi) = kernels::hash_join(
+                &seq,
+                &seq_index,
+                &refs(&probe_cols),
+                &seq_counts,
+                &seq_offsets,
+                seq_total,
+            );
+            let seq_append = kernels::append(&seq, &[&refs(&build_cols), &refs(&probe_cols)]);
+
+            for parallelism in PARALLELISMS {
+                let par = parallel_device(parallelism);
+                let ctx = format!("rows {rows}, width {key_width}, p {parallelism}");
+                let index = HashIndex::build(&par, &refs(&build_cols), 2);
+                let counts = kernels::count_matches(&par, &index, &refs(&probe_cols));
+                assert_eq!(counts, seq_counts, "count_matches: {ctx}");
+                let (offsets, total) = kernels::scan(&par, &counts);
+                let (bi, pi) =
+                    kernels::hash_join(&par, &index, &refs(&probe_cols), &counts, &offsets, total);
+                assert_eq!(bi, seq_bi, "hash_join build indices: {ctx}");
+                assert_eq!(pi, seq_pi, "hash_join probe indices: {ctx}");
+                assert_eq!(
+                    kernels::append(&par, &[&refs(&build_cols), &refs(&probe_cols)]),
+                    seq_append,
+                    "append: {ctx}"
+                );
+            }
+        }
+    }
+}
+
+/// The radix/merge algorithm switch must be invisible: a table sorted just
+/// under the radix pass budget and one just over it (same data, one extra
+/// wide column appended) order their shared prefix identically.
+#[test]
+fn algorithm_switch_is_invisible_on_shared_prefix() {
+    let seq = Device::sequential();
+    let par = parallel_device(4);
+    let mut rng = Rng::new(99);
+    let rows = 2048;
+    let (mut cols, _) = random_table(&mut rng, rows, 2, 50);
+    // Constant wide column: forces the merge-sort path without changing the
+    // lexicographic order of the rows.
+    cols.push(vec![u64::MAX - 3; rows]);
+    for _ in 0..7 {
+        cols.push(vec![u64::MAX - 3; rows]);
+    }
+    let narrow = &cols[..2];
+    let wide = &cols[..];
+    for device in [&seq, &par] {
+        let narrow_perm = kernels::sort_permutation(device, &refs(narrow));
+        let wide_perm = kernels::sort_permutation(device, &refs(wide));
+        assert_eq!(
+            narrow_perm, wide_perm,
+            "constant wide columns change nothing"
+        );
+    }
+}

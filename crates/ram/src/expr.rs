@@ -184,6 +184,19 @@ impl ExprProgram {
     /// programs produced by [`ScalarExpr::compile`] are always well formed.
     pub fn eval(&self, row: &[u64]) -> u64 {
         let mut stack: Vec<u64> = Vec::with_capacity(8);
+        self.eval_with_stack(row, &mut stack)
+    }
+
+    /// [`ExprProgram::eval`] with a caller-provided operand stack, so a hot
+    /// loop evaluating many rows reuses one allocation. The stack is cleared
+    /// on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is malformed (stack underflow) — compiled
+    /// programs produced by [`ScalarExpr::compile`] are always well formed.
+    pub fn eval_with_stack(&self, row: &[u64], stack: &mut Vec<u64>) -> u64 {
+        stack.clear();
         for op in &self.ops {
             match op {
                 ByteOp::PushCol(i) => stack.push(row[*i]),
@@ -333,6 +346,23 @@ impl RowProjection {
             }
         }
         Some(self.programs.iter().map(|p| p.eval(row)).collect())
+    }
+
+    /// Allocation-free [`RowProjection::eval`]: writes the output row into
+    /// `out` (length must equal [`RowProjection::output_arity`]) reusing the
+    /// caller's expression stack, returning `false` when the filter rejects
+    /// the row (leaving `out` unspecified).
+    pub fn eval_into(&self, row: &[u64], out: &mut [u64], stack: &mut Vec<u64>) -> bool {
+        debug_assert_eq!(out.len(), self.output_arity());
+        if let Some(filter) = &self.filter {
+            if filter.eval_with_stack(row, stack) == 0 {
+                return false;
+            }
+        }
+        for (slot, program) in out.iter_mut().zip(&self.programs) {
+            *slot = program.eval_with_stack(row, stack);
+        }
+        true
     }
 
     /// Whether the projection is a pure column permutation (no arithmetic, no
