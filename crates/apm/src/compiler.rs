@@ -14,7 +14,9 @@
 //!   "linear recursion" case that covers nearly all programs in the paper's
 //!   evaluation.
 
+use crate::config::RuntimeOptions;
 use crate::isa::{ApmProgram, DbPart, Instr, RegId};
+use lobster_ram::passes::{join_strategy, projection_sorted_prefix, JoinStrategy};
 use lobster_ram::{RamExpr, RamProgram, RamRule, RowProjection, ScalarExpr, Stratum};
 use std::collections::BTreeSet;
 
@@ -27,6 +29,11 @@ pub struct CompiledStratum {
     pub relations: Vec<String>,
     /// Whether the stratum requires fix-point iteration.
     pub recursive: bool,
+    /// Join sites compiled to the merge path (across all semi-naive
+    /// variants).
+    pub merge_joins: usize,
+    /// Join sites compiled to the hash build+probe path.
+    pub hash_joins: usize,
 }
 
 struct Compiler<'a> {
@@ -37,6 +44,18 @@ struct Compiler<'a> {
     static_registers: Vec<RegId>,
     next_reg: u32,
     current_first_only: bool,
+    merge_join_enabled: bool,
+    merge_joins: usize,
+    hash_joins: usize,
+}
+
+/// The value flowing out of [`Compiler::compile_expr`]: the registers of a
+/// table plus the statically known sorted column prefix of its rows (the
+/// fact the join-strategy decision consumes).
+struct Compiled {
+    columns: Vec<RegId>,
+    tags: RegId,
+    sorted_prefix: usize,
 }
 
 impl<'a> Compiler<'a> {
@@ -84,15 +103,25 @@ impl<'a> Compiler<'a> {
     /// Compiles an expression. `parts` assigns a database partition to each
     /// recursive leaf (indexed by `next_recursive_leaf`); non-recursive
     /// leaves always load the full relation.
+    ///
+    /// Alongside the output registers, the compiler tracks the sorted column
+    /// prefix of each intermediate table (mirroring
+    /// `lobster_ram::passes::expr_sorted_prefix`, but with exact per-variant
+    /// partition knowledge): a single-partition load is fully sorted because
+    /// tables are stored sorted, and a full (`all`) load of a relation this
+    /// stratum does *not* update is fully sorted too — its recent half is
+    /// empty once the defining stratum reached its fix point, so the
+    /// concatenation is just the sorted stable half.
     fn compile_expr(
         &mut self,
         expr: &RamExpr,
         parts: &[DbPart],
         next_recursive_leaf: &mut usize,
-    ) -> (Vec<RegId>, RegId) {
+    ) -> Compiled {
         match expr {
             RamExpr::Relation(name) => {
-                let part = if self.own_relations.contains(name) {
+                let own = self.own_relations.contains(name);
+                let part = if own {
                     let part = parts[*next_recursive_leaf];
                     *next_recursive_leaf += 1;
                     part
@@ -108,24 +137,39 @@ impl<'a> Compiler<'a> {
                     columns: columns.clone(),
                     tags,
                 });
-                (columns, tags)
+                let sorted_prefix = if part != DbPart::All || !own {
+                    arity
+                } else {
+                    // `all` on an own relation concatenates two sorted
+                    // halves, which is not sorted overall.
+                    0
+                };
+                Compiled {
+                    columns,
+                    tags,
+                    sorted_prefix,
+                }
             }
             RamExpr::Project { input, proj } => {
-                let (inputs, input_tags) = self.compile_expr(input, parts, next_recursive_leaf);
+                let input = self.compile_expr(input, parts, next_recursive_leaf);
                 let outputs = self.fresh_n(proj.output_arity());
                 let output_tags = self.fresh();
                 self.emit(Instr::Eval {
-                    inputs,
-                    input_tags,
+                    inputs: input.columns,
+                    input_tags: input.tags,
                     projection: proj.clone(),
                     outputs: outputs.clone(),
                     output_tags,
                 });
-                (outputs, output_tags)
+                Compiled {
+                    columns: outputs,
+                    tags: output_tags,
+                    sorted_prefix: projection_sorted_prefix(proj, input.sorted_prefix),
+                }
             }
             RamExpr::Select { input, cond } => {
                 let arity = self.arity(input);
-                let (inputs, input_tags) = self.compile_expr(input, parts, next_recursive_leaf);
+                let input = self.compile_expr(input, parts, next_recursive_leaf);
                 let projection = RowProjection::new(
                     (0..arity).map(ScalarExpr::Col).collect(),
                     Some(cond.clone()),
@@ -133,13 +177,18 @@ impl<'a> Compiler<'a> {
                 let outputs = self.fresh_n(arity);
                 let output_tags = self.fresh();
                 self.emit(Instr::Eval {
-                    inputs,
-                    input_tags,
+                    inputs: input.columns,
+                    input_tags: input.tags,
                     projection,
                     outputs: outputs.clone(),
                     output_tags,
                 });
-                (outputs, output_tags)
+                Compiled {
+                    columns: outputs,
+                    tags: output_tags,
+                    // Selection drops rows without reordering them.
+                    sorted_prefix: input.sorted_prefix,
+                }
             }
             RamExpr::Join { left, right, width } => {
                 self.compile_join(left, right, *width, parts, next_recursive_leaf)
@@ -151,37 +200,49 @@ impl<'a> Compiler<'a> {
                 self.compile_join(left, right, width, parts, next_recursive_leaf)
             }
             RamExpr::Union(left, right) => {
-                let (l_cols, l_tags) = self.compile_expr(left, parts, next_recursive_leaf);
-                let (r_cols, r_tags) = self.compile_expr(right, parts, next_recursive_leaf);
-                let outputs = self.fresh_n(l_cols.len());
+                let l = self.compile_expr(left, parts, next_recursive_leaf);
+                let r = self.compile_expr(right, parts, next_recursive_leaf);
+                let outputs = self.fresh_n(l.columns.len());
                 let output_tags = self.fresh();
                 self.emit(Instr::Append {
-                    inputs: vec![(l_cols, l_tags), (r_cols, r_tags)],
+                    inputs: vec![(l.columns, l.tags), (r.columns, r.tags)],
                     outputs: outputs.clone(),
                     output_tags,
                 });
-                (outputs, output_tags)
+                Compiled {
+                    columns: outputs,
+                    tags: output_tags,
+                    sorted_prefix: 0,
+                }
             }
             RamExpr::Product(left, right) => {
-                let (l_cols, l_tags) = self.compile_expr(left, parts, next_recursive_leaf);
-                let (r_cols, r_tags) = self.compile_expr(right, parts, next_recursive_leaf);
-                let outputs = self.fresh_n(l_cols.len() + r_cols.len());
+                let l = self.compile_expr(left, parts, next_recursive_leaf);
+                let r = self.compile_expr(right, parts, next_recursive_leaf);
+                let outputs = self.fresh_n(l.columns.len() + r.columns.len());
                 let output_tags = self.fresh();
                 self.emit(Instr::Product {
-                    left: l_cols,
-                    left_tags: l_tags,
-                    right: r_cols,
-                    right_tags: r_tags,
+                    left: l.columns,
+                    left_tags: l.tags,
+                    right: r.columns,
+                    right_tags: r.tags,
                     outputs: outputs.clone(),
                     output_tags,
                 });
-                (outputs, output_tags)
+                Compiled {
+                    columns: outputs,
+                    tags: output_tags,
+                    sorted_prefix: 0,
+                }
             }
         }
     }
 
-    /// Compiles `left ⊲⊳_w right` into the hash-join instruction sequence of
-    /// Figure 6.
+    /// Compiles `left ⊲⊳_w right`. When sort-order inference proves both
+    /// inputs sorted on the key prefix (and the option is enabled), emits
+    /// the merge-path sequence `mergecount`/`scan`/`mergejoin` — no hash
+    /// index is built at all. Otherwise emits the hash-join sequence of
+    /// Figure 6. The two paths produce bit-identical index pairs, so the
+    /// choice is invisible downstream.
     fn compile_join(
         &mut self,
         left: &RamExpr,
@@ -189,9 +250,9 @@ impl<'a> Compiler<'a> {
         width: usize,
         parts: &[DbPart],
         next_recursive_leaf: &mut usize,
-    ) -> (Vec<RegId>, RegId) {
-        let (l_cols, l_tags) = self.compile_expr(left, parts, next_recursive_leaf);
-        let (r_cols, r_tags) = self.compile_expr(right, parts, next_recursive_leaf);
+    ) -> Compiled {
+        let l = self.compile_expr(left, parts, next_recursive_leaf);
+        let r = self.compile_expr(right, parts, next_recursive_leaf);
 
         // Build the hash index on the side that does not depend on the
         // stratum's own relations when possible: that index is identical on
@@ -207,38 +268,66 @@ impl<'a> Compiler<'a> {
         };
 
         let (build_cols, build_tags, probe_cols, probe_tags) = if build_left {
-            (&l_cols, l_tags, &r_cols, r_tags)
+            (&l.columns, l.tags, &r.columns, r.tags)
         } else {
-            (&r_cols, r_tags, &l_cols, l_tags)
+            (&r.columns, r.tags, &l.columns, l.tags)
         };
 
-        let index = self.fresh();
-        if static_ {
-            self.static_registers.push(index);
-        }
-        self.emit(Instr::Build {
-            keys: build_cols[..width].to_vec(),
-            index,
-            static_,
-        });
+        let strategy = if self.merge_join_enabled {
+            join_strategy(l.sorted_prefix, r.sorted_prefix, width)
+        } else {
+            JoinStrategy::Hash
+        };
+
         let counts = self.fresh();
-        self.emit(Instr::Count {
-            index,
-            probe_keys: probe_cols[..width].to_vec(),
-            counts,
-        });
         let offsets = self.fresh();
-        self.emit(Instr::Scan { counts, offsets });
         let build_indices = self.fresh();
         let probe_indices = self.fresh();
-        self.emit(Instr::Join {
-            index,
-            probe_keys: probe_cols[..width].to_vec(),
-            counts,
-            offsets,
-            build_indices,
-            probe_indices,
-        });
+        match strategy {
+            JoinStrategy::Merge => {
+                self.merge_joins += 1;
+                self.emit(Instr::MergeCount {
+                    build_keys: build_cols[..width].to_vec(),
+                    probe_keys: probe_cols[..width].to_vec(),
+                    counts,
+                });
+                self.emit(Instr::Scan { counts, offsets });
+                self.emit(Instr::MergeJoin {
+                    build_keys: build_cols[..width].to_vec(),
+                    probe_keys: probe_cols[..width].to_vec(),
+                    counts,
+                    offsets,
+                    build_indices,
+                    probe_indices,
+                });
+            }
+            JoinStrategy::Hash => {
+                self.hash_joins += 1;
+                let index = self.fresh();
+                if static_ {
+                    self.static_registers.push(index);
+                }
+                self.emit(Instr::Build {
+                    keys: build_cols[..width].to_vec(),
+                    index,
+                    static_,
+                });
+                self.emit(Instr::Count {
+                    index,
+                    probe_keys: probe_cols[..width].to_vec(),
+                    counts,
+                });
+                self.emit(Instr::Scan { counts, offsets });
+                self.emit(Instr::Join {
+                    index,
+                    probe_keys: probe_cols[..width].to_vec(),
+                    counts,
+                    offsets,
+                    build_indices,
+                    probe_indices,
+                });
+            }
+        }
 
         // Gather the output table: the full left row, then the non-key
         // columns of the right row.
@@ -247,17 +336,17 @@ impl<'a> Compiler<'a> {
         } else {
             (probe_indices, build_indices)
         };
-        let out_left = self.fresh_n(l_cols.len());
+        let out_left = self.fresh_n(l.columns.len());
         self.emit(Instr::Gather {
             indices: left_indices,
-            sources: l_cols.clone(),
+            sources: l.columns.clone(),
             destinations: out_left.clone(),
         });
-        let out_right = self.fresh_n(r_cols.len() - width);
+        let out_right = self.fresh_n(r.columns.len() - width);
         if !out_right.is_empty() {
             self.emit(Instr::Gather {
                 indices: right_indices,
-                sources: r_cols[width..].to_vec(),
+                sources: r.columns[width..].to_vec(),
                 destinations: out_right.clone(),
             });
         }
@@ -272,7 +361,11 @@ impl<'a> Compiler<'a> {
 
         let mut outputs = out_left;
         outputs.extend(out_right);
-        (outputs, output_tags)
+        Compiled {
+            columns: outputs,
+            tags: output_tags,
+            sorted_prefix: 0,
+        }
     }
 
     /// Compiles one rule, expanding it into its semi-naive variants.
@@ -303,19 +396,43 @@ impl<'a> Compiler<'a> {
         for (parts, first_only) in variants {
             self.current_first_only = first_only;
             let mut next_leaf = 0;
-            let (columns, tags) = self.compile_expr(&rule.expr, &parts, &mut next_leaf);
+            let compiled = self.compile_expr(&rule.expr, &parts, &mut next_leaf);
             self.emit(Instr::Store {
                 relation: rule.target.clone(),
-                columns,
-                tags,
+                columns: compiled.columns,
+                tags: compiled.tags,
             });
             self.current_first_only = false;
         }
     }
 }
 
-/// Compiles a RAM stratum into an APM program.
+/// Compiles a RAM stratum into an APM program with default options
+/// (merge-path joins enabled).
 pub fn compile_stratum(stratum: &Stratum, ram: &RamProgram) -> CompiledStratum {
+    compile_stratum_with_options(stratum, ram, &RuntimeOptions::default())
+}
+
+/// Compiles a RAM stratum into an APM program, honouring the join-strategy
+/// toggles in `options`.
+///
+/// Under `debug_assertions` the whole source program is re-validated first
+/// (`lobster_ram::passes::validate_program`), so a malformed rewrite
+/// panics at compile time with rule provenance instead of surfacing as
+/// executor misbehaviour mid-request.
+pub fn compile_stratum_with_options(
+    stratum: &Stratum,
+    ram: &RamProgram,
+    options: &RuntimeOptions,
+) -> CompiledStratum {
+    #[cfg(debug_assertions)]
+    if let Err(errors) = lobster_ram::passes::validate_program(ram) {
+        let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        panic!(
+            "invalid RAM program reached the compiler:\n{}",
+            rendered.join("\n")
+        );
+    }
     let mut compiler = Compiler {
         ram,
         own_relations: stratum.relations.iter().cloned().collect(),
@@ -324,6 +441,9 @@ pub fn compile_stratum(stratum: &Stratum, ram: &RamProgram) -> CompiledStratum {
         static_registers: Vec::new(),
         next_reg: 0,
         current_first_only: false,
+        merge_join_enabled: options.merge_join,
+        merge_joins: 0,
+        hash_joins: 0,
     };
     for rule in &stratum.rules {
         compiler.compile_rule(rule, stratum.recursive);
@@ -339,6 +459,8 @@ pub fn compile_stratum(stratum: &Stratum, ram: &RamProgram) -> CompiledStratum {
         program,
         relations: stratum.relations.clone(),
         recursive: stratum.recursive,
+        merge_joins: compiler.merge_joins,
+        hash_joins: compiler.hash_joins,
     }
 }
 
@@ -436,6 +558,63 @@ mod tests {
             .count();
         assert_eq!(stores, 1);
         assert!(apm.program.first_iteration_only.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn nonrecursive_edb_join_compiles_to_merge_path() {
+        let compiled = parse(
+            "type a(x: u32)
+             type b(x: u32)
+             rel both(x) = a(x), b(x)",
+        )
+        .unwrap();
+        let stratum = compiled.ram.strata[0].clone();
+        let apm = compile_stratum(&stratum, &compiled.ram);
+        // Both sides are full loads of relations the stratum doesn't update,
+        // hence sorted — the join needs no hash index at all.
+        assert_eq!(apm.merge_joins, 1);
+        assert_eq!(apm.hash_joins, 0);
+        let mnemonics: Vec<&str> = apm
+            .program
+            .instructions
+            .iter()
+            .map(Instr::mnemonic)
+            .collect();
+        assert!(mnemonics.contains(&"mergecount"));
+        assert!(mnemonics.contains(&"mergejoin"));
+        assert!(!mnemonics.contains(&"build"));
+        assert!(!mnemonics.contains(&"count"));
+    }
+
+    #[test]
+    fn merge_join_option_disabled_falls_back_to_hash() {
+        let compiled = parse(
+            "type a(x: u32)
+             type b(x: u32)
+             rel both(x) = a(x), b(x)",
+        )
+        .unwrap();
+        let stratum = compiled.ram.strata[0].clone();
+        let options = RuntimeOptions::default().with_merge_join(false);
+        let apm = compile_stratum_with_options(&stratum, &compiled.ram, &options);
+        assert_eq!(apm.merge_joins, 0);
+        assert_eq!(apm.hash_joins, 1);
+        assert!(apm
+            .program
+            .instructions
+            .iter()
+            .any(|i| matches!(i, Instr::Build { .. })));
+    }
+
+    #[test]
+    fn projected_probe_side_keeps_transitive_closure_on_hash_path() {
+        // The TC recursive join probes `path` projected to (y, x) — not a
+        // prefix-preserving projection, so its sort order is unknown and the
+        // static-index hash path of Section 4.2 must be preserved.
+        let (ram, stratum) = transitive_closure();
+        let apm = compile_stratum(&stratum, &ram);
+        assert_eq!(apm.merge_joins, 0);
+        assert!(apm.hash_joins >= 1);
     }
 
     #[test]

@@ -46,6 +46,16 @@ pub struct RuntimeOptions {
     /// executor aborts with an error when exceeded (used to reproduce the
     /// paper's 2-hour-timeout entries at laptop scale).
     pub timeout_ms: Option<u64>,
+    /// Compile merge-path joins (binary search over a sorted build side, no
+    /// hash index) at join sites where sort-order inference proves both
+    /// inputs sorted on the key prefix. Disabling this forces every join
+    /// through the hash build+probe path.
+    pub merge_join: bool,
+    /// Drop rules that cannot reach any declared output before compiling
+    /// (see `lobster_ram::passes::eliminate_dead_rules`). Off by default:
+    /// pruning is observable through relation sizes and execution stats, so
+    /// callers opt in; the lint report warns about dead rules otherwise.
+    pub eliminate_dead_rules: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -55,6 +65,8 @@ impl Default for RuntimeOptions {
             buffer_reuse: true,
             max_iterations: 1_000_000,
             timeout_ms: None,
+            merge_join: true,
+            eliminate_dead_rules: false,
         }
     }
 }
@@ -70,6 +82,7 @@ impl RuntimeOptions {
         RuntimeOptions {
             static_registers: false,
             buffer_reuse: false,
+            merge_join: false,
             ..Self::default()
         }
     }
@@ -92,6 +105,18 @@ impl RuntimeOptions {
         self
     }
 
+    /// Builder-style setter for [`RuntimeOptions::merge_join`].
+    pub fn with_merge_join(mut self, enabled: bool) -> Self {
+        self.merge_join = enabled;
+        self
+    }
+
+    /// Builder-style setter for [`RuntimeOptions::eliminate_dead_rules`].
+    pub fn with_eliminate_dead_rules(mut self, enabled: bool) -> Self {
+        self.eliminate_dead_rules = enabled;
+        self
+    }
+
     /// A stable 64-bit fingerprint of every field (FNV-1a), independent of
     /// the process and of `std`'s randomized hasher. Equal options always
     /// fingerprint equally, so `(source hash, provenance kind, options
@@ -105,6 +130,8 @@ impl RuntimeOptions {
         // Distinguish `None` from `Some(0)`.
         hash = mix(hash, u64::from(self.timeout_ms.is_some()));
         hash = mix(hash, self.timeout_ms.unwrap_or(0));
+        hash = mix(hash, u64::from(self.merge_join));
+        hash = mix(hash, u64::from(self.eliminate_dead_rules));
         hash
     }
 }
@@ -118,6 +145,8 @@ mod tests {
         let opts = RuntimeOptions::default();
         assert!(opts.static_registers);
         assert!(opts.buffer_reuse);
+        assert!(opts.merge_join);
+        assert!(!opts.eliminate_dead_rules);
     }
 
     #[test]
@@ -125,6 +154,7 @@ mod tests {
         let opts = RuntimeOptions::unoptimized();
         assert!(!opts.static_registers);
         assert!(!opts.buffer_reuse);
+        assert!(!opts.merge_join);
     }
 
     #[test]
@@ -144,6 +174,14 @@ mod tests {
         assert_ne!(
             base.fingerprint(),
             base.clone().with_timeout_ms(Some(0)).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_merge_join(false).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_eliminate_dead_rules(true).fingerprint()
         );
         let mut capped = base.clone();
         capped.max_iterations = 7;

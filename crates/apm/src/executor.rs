@@ -17,7 +17,7 @@
 //! * a configurable device memory budget and wall-clock timeout, used to
 //!   reproduce the OOM and timeout entries of the paper's evaluation.
 
-use crate::compiler::{compile_stratum, CompiledStratum};
+use crate::compiler::{compile_stratum_with_options, CompiledStratum};
 use crate::config::RuntimeOptions;
 use crate::database::{Database, SortedTable};
 use crate::isa::{DbPart, Instr, RegId};
@@ -166,8 +166,15 @@ impl<P: Provenance> Executor<P> {
     ) -> Result<ExecutionStats, ExecError> {
         let mut total = ExecutionStats::default();
         let start = Instant::now();
+        let pruned;
+        let ram = if self.options.eliminate_dead_rules {
+            pruned = lobster_ram::passes::eliminate_dead_rules(ram);
+            &pruned
+        } else {
+            ram
+        };
         for stratum in &ram.strata {
-            let compiled = compile_stratum(stratum, ram);
+            let compiled = compile_stratum_with_options(stratum, ram, &self.options);
             let stats = self.run_stratum_with_deadline(db, &compiled, start)?;
             total.merge(&stats);
         }
@@ -596,6 +603,48 @@ impl<P: Provenance> Executor<P> {
                     let (bi, pi) = kernels::hash_join(
                         &self.device,
                         &idx,
+                        &probe_refs,
+                        &count_vec,
+                        &offset_vec,
+                        total,
+                    );
+                    set(&mut regs, *build_indices, RegValue::Data(Arc::new(bi)));
+                    set(&mut regs, *probe_indices, RegValue::Data(Arc::new(pi)));
+                }
+                Instr::MergeCount {
+                    build_keys,
+                    probe_keys,
+                    counts,
+                } => {
+                    let build_cols: Vec<Arc<Column>> =
+                        build_keys.iter().map(|r| data!(*r)).collect();
+                    let build_refs: Vec<&[u64]> = build_cols.iter().map(|c| c.as_slice()).collect();
+                    let probe_cols: Vec<Arc<Column>> =
+                        probe_keys.iter().map(|r| data!(*r)).collect();
+                    let probe_refs: Vec<&[u64]> = probe_cols.iter().map(|c| c.as_slice()).collect();
+                    let result = kernels::merge_count(&self.device, &build_refs, &probe_refs);
+                    set(&mut regs, *counts, RegValue::Data(Arc::new(result)));
+                }
+                Instr::MergeJoin {
+                    build_keys,
+                    probe_keys,
+                    counts,
+                    offsets,
+                    build_indices,
+                    probe_indices,
+                } => {
+                    let build_cols: Vec<Arc<Column>> =
+                        build_keys.iter().map(|r| data!(*r)).collect();
+                    let build_refs: Vec<&[u64]> = build_cols.iter().map(|c| c.as_slice()).collect();
+                    let probe_cols: Vec<Arc<Column>> =
+                        probe_keys.iter().map(|r| data!(*r)).collect();
+                    let probe_refs: Vec<&[u64]> = probe_cols.iter().map(|c| c.as_slice()).collect();
+                    let count_vec = data!(*counts);
+                    let offset_vec = data!(*offsets);
+                    let total: u64 = count_vec.iter().sum();
+                    let (bi, pi) = kernels::merge_join(
+                        &self.device,
+                        &build_refs,
                         &probe_refs,
                         &count_vec,
                         &offset_vec,

@@ -130,6 +130,36 @@ pub enum Instr {
         /// Destination register for probe-side row indices.
         probe_indices: RegId,
     },
+    /// `c ← mergecount(b̄, ā)`: per-probe-row match counts by binary search
+    /// over a *sorted* build side — the merge-path counterpart of `count`.
+    /// Emitted instead of `build`+`count` when sort-order inference proves
+    /// both join inputs sorted on the key prefix: no hash index exists at
+    /// all on this path.
+    MergeCount {
+        /// Build-side key column registers (lexicographically sorted).
+        build_keys: Vec<RegId>,
+        /// Probe key column registers.
+        probe_keys: Vec<RegId>,
+        /// Destination register for the counts.
+        counts: RegId,
+    },
+    /// `[i_l, i_r] ← mergejoin⟨W⟩(b̄, ā, c, o)`: emit matching index pairs
+    /// of a sort-merge join. Bit-identical output to `join` (same pairs,
+    /// same order, same positions).
+    MergeJoin {
+        /// Build-side key column registers (lexicographically sorted).
+        build_keys: Vec<RegId>,
+        /// Probe key column registers.
+        probe_keys: Vec<RegId>,
+        /// Counts register (from `mergecount`).
+        counts: RegId,
+        /// Offsets register (from `scan`).
+        offsets: RegId,
+        /// Destination register for build-side row indices.
+        build_indices: RegId,
+        /// Destination register for probe-side row indices.
+        probe_indices: RegId,
+    },
     /// `d̄ ← gather(i, s̄)`: gather rows of the source columns by index.
     Gather {
         /// Index register.
@@ -193,6 +223,8 @@ impl Instr {
             Instr::Count { .. } => "count",
             Instr::Scan { .. } => "scan",
             Instr::Join { .. } => "join",
+            Instr::MergeCount { .. } => "mergecount",
+            Instr::MergeJoin { .. } => "mergejoin",
             Instr::Gather { .. } => "gather",
             Instr::GatherMulTags { .. } => "gather_mul",
             Instr::Product { .. } => "product",
@@ -222,6 +254,14 @@ impl Instr {
             Instr::Count { counts, .. } => vec![*counts],
             Instr::Scan { offsets, .. } => vec![*offsets],
             Instr::Join {
+                build_indices,
+                probe_indices,
+                ..
+            } => {
+                vec![*build_indices, *probe_indices]
+            }
+            Instr::MergeCount { counts, .. } => vec![*counts],
+            Instr::MergeJoin {
                 build_indices,
                 probe_indices,
                 ..
@@ -334,6 +374,27 @@ mod tests {
         };
         assert_eq!(instr.defs(), vec![RegId(4), RegId(5)]);
         assert_eq!(instr.mnemonic(), "join");
+    }
+
+    #[test]
+    fn merge_join_defs_match_hash_join_shape() {
+        let count = Instr::MergeCount {
+            build_keys: vec![RegId(0)],
+            probe_keys: vec![RegId(1)],
+            counts: RegId(2),
+        };
+        assert_eq!(count.defs(), vec![RegId(2)]);
+        assert_eq!(count.mnemonic(), "mergecount");
+        let join = Instr::MergeJoin {
+            build_keys: vec![RegId(0)],
+            probe_keys: vec![RegId(1)],
+            counts: RegId(2),
+            offsets: RegId(3),
+            build_indices: RegId(4),
+            probe_indices: RegId(5),
+        };
+        assert_eq!(join.defs(), vec![RegId(4), RegId(5)]);
+        assert_eq!(join.mnemonic(), "mergejoin");
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod executor;
 mod isa;
 
 pub use batch::batch_transform;
-pub use compiler::{compile_stratum, CompiledStratum};
+pub use compiler::{compile_stratum, compile_stratum_with_options, CompiledStratum};
 pub use config::{fnv1a, fnv1a_extend, RuntimeOptions};
 pub use database::{Database, SortedTable};
 pub use executor::{ExecError, ExecutionStats, Executor};

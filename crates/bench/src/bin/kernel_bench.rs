@@ -20,6 +20,16 @@
 //!   workers are threads, so on a single-CPU machine they cannot overlap;
 //!   the gate is skipped (but the factors still recorded) when fewer than 2
 //!   CPUs are available.
+//! * `--assert-merge-join-factor X` — exit non-zero unless the merge join
+//!   (pre-sorted build side, no index) beats a hash join *including* its
+//!   index build by `X ×` at parallelism 4 — the wall-clock case the
+//!   compiler's sort-order pass exploits when it picks
+//!   `JoinStrategy::Merge`.
+//!
+//! `BENCH_kernels.json` records the machine context (`cpus`) and each
+//! gate's outcome (`not-requested` / `passed` / `failed` /
+//! `skipped-single-cpu`), so a recorded run is self-describing: a missing
+//! speedup on a one-CPU runner is distinguishable from a regression.
 
 use lobster::{Lobster, Value};
 use lobster_bench::{print_header, quick_mode};
@@ -101,6 +111,11 @@ fn main() {
         .max(1);
     let assert_factor: Option<f64> = arg_value(&args, "--assert-parallel-factor")
         .map(|v| v.parse().expect("--assert-parallel-factor takes a number"));
+    let assert_merge_factor: Option<f64> =
+        arg_value(&args, "--assert-merge-join-factor").map(|v| {
+            v.parse()
+                .expect("--assert-merge-join-factor takes a number")
+        });
     let tc_edges = scale(400, 120);
 
     print_header(
@@ -137,6 +152,19 @@ fn main() {
             &sorted_tags[..half],
         );
         let index = HashIndex::build(&device, &refs(&build), 2);
+        // The merge join's precondition — *both* sides sorted on the key —
+        // is prepared outside the timings, exactly as the executor sees it
+        // when sort-order inference picks the merge path (stable partitions
+        // are maintained sorted; the sort is never paid per join). The
+        // hash_join_with_build row runs over the same sorted inputs so the
+        // two rows compare the strategies the compiler actually chooses
+        // between.
+        let build_perm = kernels::sort_permutation(&device, &refs(&build));
+        let (sorted_build, _) =
+            kernels::apply_permutation(&device, &build_perm, &refs(&build), &tags);
+        let probe_perm = kernels::sort_permutation(&device, &refs(&probe));
+        let (sorted_probe, _) =
+            kernels::apply_permutation(&device, &probe_perm, &refs(&probe), &tags);
 
         let mut bench = |kernel: &'static str, f: &mut dyn FnMut()| {
             let wall = best_of(repeats, || {
@@ -213,6 +241,41 @@ fn main() {
             let (offsets, total) = kernels::scan(&device, &counts);
             let (bi, pi) =
                 kernels::hash_join(&device, &index, &refs(&probe), &counts, &offsets, total);
+            for col in [counts, offsets, bi, pi] {
+                device.arena().recycle_shared(col);
+            }
+        });
+        bench("hash_join_with_build", &mut || {
+            // The per-iteration cost when the index cannot be reused (the
+            // non-static case): build, count, scan, join.
+            let fresh = HashIndex::build(&device, &refs(&sorted_build), 2);
+            let counts = kernels::count_matches(&device, &fresh, &refs(&sorted_probe));
+            let (offsets, total) = kernels::scan(&device, &counts);
+            let (bi, pi) = kernels::hash_join(
+                &device,
+                &fresh,
+                &refs(&sorted_probe),
+                &counts,
+                &offsets,
+                total,
+            );
+            for col in [counts, offsets, bi, pi] {
+                device.arena().recycle_shared(col);
+            }
+        });
+        bench("merge_join", &mut || {
+            // The index-free path `JoinStrategy::Merge` compiles to: binary
+            // searches over the sorted build side, no build step at all.
+            let counts = kernels::merge_count(&device, &refs(&sorted_build), &refs(&sorted_probe));
+            let (offsets, total) = kernels::scan(&device, &counts);
+            let (bi, pi) = kernels::merge_join(
+                &device,
+                &refs(&sorted_build),
+                &refs(&sorted_probe),
+                &counts,
+                &offsets,
+                total,
+            );
             for col in [counts, offsets, bi, pi] {
                 device.arena().recycle_shared(col);
             }
@@ -299,7 +362,63 @@ fn main() {
     };
     let sort_factor = factor("sort", 4);
     let unique_factor = factor("unique", 4);
+    let wall_at = |kernel: &str, p: usize| {
+        rows_out
+            .iter()
+            .find(|r| r.kernel == kernel && r.parallelism == p)
+            .map(|r| r.wall.as_secs_f64())
+            .expect("row measured")
+    };
+    // How much the sorted-build merge path buys over paying a fresh hash
+    // index every join, at the gate parallelism.
+    let merge_factor = wall_at("hash_join_with_build", 4) / wall_at("merge_join", 4).max(1e-12);
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Evaluate the gates *before* writing the JSON so each outcome is
+    // recorded alongside the numbers it judged; the process still exits
+    // non-zero after the write when a requested gate failed.
+    let parallel_gate = match assert_factor {
+        None => "not-requested",
+        Some(_) if cpus < 2 => {
+            // Kernel workers are threads; on one CPU they serialize, so the
+            // factor measures the machine, not the kernels.
+            println!(
+                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x — gate skipped \
+                 ({cpus} CPU available, workers cannot overlap)"
+            );
+            "skipped-single-cpu"
+        }
+        Some(required) if sort_factor < required || unique_factor < required => {
+            eprintln!(
+                "FAIL: parallel(4) sort {sort_factor:.2}x / unique {unique_factor:.2}x \
+                 below required {required:.2}x vs sequential"
+            );
+            "failed"
+        }
+        Some(required) => {
+            println!(
+                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x \
+                 (required ≥ {required:.2}x)"
+            );
+            "passed"
+        }
+    };
+    let merge_gate = match assert_merge_factor {
+        None => "not-requested",
+        Some(required) if merge_factor < required => {
+            eprintln!(
+                "FAIL: merge join {merge_factor:.2}x vs hash-join-with-build, \
+                 below required {required:.2}x"
+            );
+            "failed"
+        }
+        Some(required) => {
+            println!(
+                "merge join {merge_factor:.2}x vs hash-join-with-build (required ≥ {required:.2}x)"
+            );
+            "passed"
+        }
+    };
 
     let kernel_rows_json = rows_out
         .iter()
@@ -332,30 +451,15 @@ fn main() {
          \"e2e\": [\n    {e2e_json}\n  ],\n  \
          \"kernel_time_ms\": [\n    {times_json}\n  ],\n  \
          \"sort_parallel4_factor\": {sort_factor:.3},\n  \
-         \"unique_parallel4_factor\": {unique_factor:.3}\n}}\n",
+         \"unique_parallel4_factor\": {unique_factor:.3},\n  \
+         \"merge_vs_hash_build_parallel4_factor\": {merge_factor:.3},\n  \
+         \"parallel_factor_gate\": \"{parallel_gate}\",\n  \
+         \"merge_join_gate\": \"{merge_gate}\"\n}}\n",
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("\nwrote BENCH_kernels.json");
 
-    if let Some(required) = assert_factor {
-        if cpus < 2 {
-            // Kernel workers are threads; on one CPU they serialize, so the
-            // factor measures the machine, not the kernels.
-            println!(
-                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x — gate skipped \
-                 ({cpus} CPU available, workers cannot overlap)"
-            );
-        } else if sort_factor < required || unique_factor < required {
-            eprintln!(
-                "FAIL: parallel(4) sort {sort_factor:.2}x / unique {unique_factor:.2}x \
-                 below required {required:.2}x vs sequential"
-            );
-            std::process::exit(1);
-        } else {
-            println!(
-                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x \
-                 (required ≥ {required:.2}x)"
-            );
-        }
+    if parallel_gate == "failed" || merge_gate == "failed" {
+        std::process::exit(1);
     }
 }

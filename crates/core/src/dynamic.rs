@@ -234,6 +234,14 @@ macro_rules! define_dyn_program {
                 }
             }
 
+            /// Lint diagnostics gathered when the program was compiled; see
+            /// [`Program::diagnostics`].
+            pub fn diagnostics(&self) -> &[crate::Diagnostic] {
+                match self {
+                    $( DynProgram::$variant(p) => p.diagnostics(), )*
+                }
+            }
+
             /// A deterministic estimate of the compiled artifact's resident
             /// size in bytes; see [`Program::compiled_size_bytes`].
             pub fn compiled_size_bytes(&self) -> usize {

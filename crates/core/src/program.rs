@@ -18,7 +18,8 @@ use lobster_apm::{
 use lobster_datalog::CompiledProgram;
 use lobster_gpu::{Device, TransferDirection};
 use lobster_provenance::{InputFactRegistry, Provenance, ProvenanceKind, SessionProvenance};
-use lobster_ram::{RamProgram, Value};
+use lobster_ram::passes::{lint_program, validate_program, CostModel};
+use lobster_ram::{Diagnostic, RamProgram, Value};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -147,6 +148,22 @@ impl LobsterBuilder {
                 });
             }
         }
+        // Full structural validation of the compiled RAM: the front-end is
+        // expected to always produce valid IR, but a validator failure here
+        // (with rule provenance) beats executor misbehaviour at request time.
+        if let Err(errors) = validate_program(&compiled.ram) {
+            let rendered: Vec<String> = errors.iter().map(ToString::to_string).collect();
+            return Err(LobsterError::Frontend(
+                lobster_datalog::DatalogError::Semantic {
+                    message: format!(
+                        "compiled program failed IR validation:\n{}",
+                        rendered.join("\n")
+                    ),
+                },
+            ));
+        }
+        let diagnostics = lint_program(&compiled.ram);
+        let cost_model = CostModel::analyze(&compiled.ram);
         let batched = batch_transform(&compiled.ram);
         let source_hash = Lobster::source_hash(&self.source);
         Ok(Program {
@@ -154,6 +171,8 @@ impl LobsterBuilder {
                 compiled,
                 batched,
                 source_hash,
+                diagnostics,
+                cost_model,
             }),
             device: self.device,
             options: self.options,
@@ -173,6 +192,12 @@ pub(crate) struct ProgramArtifact {
     pub(crate) batched: RamProgram,
     /// Stable hash of the source text this artifact was compiled from.
     pub(crate) source_hash: u64,
+    /// The static-analysis lint report, computed once at compile time and
+    /// shared by every clone (and cached alongside the program in
+    /// `ProgramCache`).
+    pub(crate) diagnostics: Vec<Diagnostic>,
+    /// Static per-relation cost weights for batch planners.
+    pub(crate) cost_model: CostModel,
 }
 
 /// An immutable compiled Lobster program, generic over its provenance
@@ -255,6 +280,21 @@ impl<P: Provenance> Program<P> {
     /// [`Lobster::source_hash`] of the original source text.
     pub fn source_hash(&self) -> u64 {
         self.artifact.source_hash
+    }
+
+    /// The static-analysis lint report for this program: validator errors
+    /// (never present — compilation fails on them) plus structural warnings
+    /// such as cartesian products, non-linear recursion, unused relations,
+    /// constant-false filters, and dead rules, each with rule provenance.
+    /// Computed once at compile time; cloning the program shares the report.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.artifact.diagnostics
+    }
+
+    /// The static cost model (per-relation weights) the sharded batch
+    /// planner uses to refine fact-count costs.
+    pub(crate) fn cost_model(&self) -> &CostModel {
+        &self.artifact.cost_model
     }
 
     /// A deterministic estimate of the compiled artifact's resident size in
@@ -511,6 +551,43 @@ mod tests {
         let err = Lobster::builder(TC).compile().unwrap_err();
         assert!(matches!(err, LobsterError::Config { .. }));
         assert!(err.to_string().contains("provenance"));
+    }
+
+    #[test]
+    fn diagnostics_ride_the_compiled_artifact() {
+        // Linear transitive closure lints clean.
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        assert!(program.diagnostics().is_empty());
+
+        // A declared-but-never-used relation surfaces as a warning, computed
+        // once at compile time and shared by every clone of the artifact.
+        let noisy = Lobster::builder(
+            "type edge(x: u32, y: u32)
+             type orphan(x: u32)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             query path",
+        )
+        .compile_typed::<Unit>()
+        .unwrap();
+        assert!(noisy
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "unused-relation" && d.message.contains("orphan")));
+        assert!(noisy
+            .diagnostics()
+            .iter()
+            .all(|d| d.severity == crate::Severity::Warning));
+    }
+
+    #[test]
+    fn cost_model_weights_join_heavy_relations_higher() {
+        let program = Lobster::builder(TC).compile_typed::<Unit>().unwrap();
+        let model = program.cost_model();
+        // `edge` feeds both the base rule and the recursive join; `path` only
+        // the recursive side. Both outrank an unreferenced default.
+        assert!(model.relation_weight("edge") > model.relation_weight("path"));
+        assert!(model.relation_weight("path") > 1);
+        assert_eq!(model.relation_weight("no_such_relation"), 1);
     }
 
     #[test]

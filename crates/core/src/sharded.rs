@@ -79,6 +79,7 @@ use crate::session::{FactSet, RunResult, Session};
 use lobster_apm::ExecError;
 use lobster_gpu::{Device, DeviceError, DeviceStats};
 use lobster_provenance::{InputFactId, SessionProvenance};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -277,6 +278,11 @@ struct RunShared {
     /// Submission sequence number — a deterministic tie-breaker when chunks
     /// of several concurrent runs have equal cost.
     seq: u64,
+    /// Static per-relation planning weights from the program's cost model —
+    /// the spill path re-costs chunk halves on the same scale the planner
+    /// used (`execute_item` has no program in scope, so the snapshot rides
+    /// with the run).
+    weights: Arc<BTreeMap<String, u64>>,
     progress: Mutex<RunProgress>,
     /// Signalled when `remaining` reaches zero.
     done: Condvar,
@@ -433,6 +439,10 @@ pub struct ShardedExecutor<P: SessionProvenance> {
     inline_facts: u32,
     /// Issues [`RunShared::seq`] numbers.
     run_seq: AtomicU64,
+    /// Per-relation planning weights snapshotted from the program's static
+    /// cost model at construction; shared with every run (see
+    /// [`RunShared::weights`]).
+    relation_weights: Arc<BTreeMap<String, u64>>,
 }
 
 impl<P: SessionProvenance> std::fmt::Debug for ShardedExecutor<P> {
@@ -482,6 +492,7 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
                     .expect("spawn shard worker")
             })
             .collect();
+        let relation_weights = Arc::new(program.cost_model().relation_weights().clone());
         ShardedExecutor {
             program,
             shard_devices: devices,
@@ -490,6 +501,7 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
             config,
             inline_facts,
             run_seq: AtomicU64::new(0),
+            relation_weights,
         }
     }
 
@@ -590,7 +602,10 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
             offset += sample.len() as u32;
         }
 
-        let costs: Vec<u64> = samples.iter().map(sample_cost).collect();
+        let costs: Vec<u64> = samples
+            .iter()
+            .map(|s| sample_cost(s, &self.relation_weights))
+            .collect();
         let chunks = plan_chunks(&costs, num_shards, self.config.skew_factor);
         stats.planned_chunks = chunks.len();
 
@@ -599,6 +614,7 @@ impl<P: SessionProvenance> ShardedExecutor<P> {
             inline_facts: self.inline_facts,
             max_spill_depth: self.config.max_spill_depth,
             seq: self.run_seq.fetch_add(1, Ordering::Relaxed),
+            weights: Arc::clone(&self.relation_weights),
             progress: Mutex::new(RunProgress {
                 remaining: chunks.len(),
                 results: vec![None; samples.len()],
@@ -754,7 +770,10 @@ fn execute_item<P: SessionProvenance>(
             let mid = chunk.samples.len() / 2;
             let (left, right) = chunk.samples.split_at(mid);
             let half = |indices: &[usize]| Chunk {
-                cost: indices.iter().map(|&g| sample_cost(&run.samples[g])).sum(),
+                cost: indices
+                    .iter()
+                    .map(|&g| sample_cost(&run.samples[g], &run.weights))
+                    .sum(),
                 samples: indices.to_vec(),
                 planned_shard: Some(shard_idx),
                 spill_depth: chunk.spill_depth + 1,
@@ -789,12 +808,19 @@ fn execute_item<P: SessionProvenance>(
     }
 }
 
-/// The planning cost of one sample — its fact count, at least 1 so empty
-/// samples still occupy a slot. The single cost model shared by the planner
-/// and the spill path, so requeued halves compete in the work-stealing queue
-/// on the same scale as planned chunks.
-fn sample_cost(facts: &FactSet) -> u64 {
-    facts.len().max(1) as u64
+/// The planning cost of one sample — the sum of its facts' relation weights
+/// from the program's static cost model (relations feeding many or recursive
+/// joins count for more than pure-output relations), at least 1 so empty
+/// samples still occupy a slot. Facts for relations the model has never seen
+/// weigh 1, so the model degrades to plain fact counting. The single cost
+/// function shared by the planner and the spill path, so requeued halves
+/// compete in the work-stealing queue on the same scale as planned chunks.
+fn sample_cost(facts: &FactSet, weights: &BTreeMap<String, u64>) -> u64 {
+    facts
+        .facts()
+        .map(|(relation, _, _, _)| weights.get(relation).copied().unwrap_or(1))
+        .sum::<u64>()
+        .max(1)
 }
 
 /// `true` for the device out-of-memory error the spill path can recover from

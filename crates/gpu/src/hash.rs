@@ -155,7 +155,17 @@ impl HashIndex {
     }
 
     /// Invokes `f` with the index of every build row whose key equals `key`,
-    /// in probe-chain order (deterministic).
+    /// in **ascending build-row order**.
+    ///
+    /// This is an invariant, not an accident: [`HashIndex::build`] inserts
+    /// rows `0..n` in order with linear probing and nothing is ever
+    /// deleted, so a later duplicate of a key always lands strictly further
+    /// along the probe chain than an earlier one, and the probe walk visits
+    /// them oldest-first. The merge-path join
+    /// ([`kernels::merge_join`](crate::kernels::merge_join)) emits matches
+    /// of a sorted build side in the same ascending order, which is what
+    /// makes the two join paths bit-identical downstream — provenance tag
+    /// combination during dedup folds duplicates in candidate-row order.
     pub fn for_each_match(&self, key: &[u64], mut f: impl FnMut(usize)) {
         if self.rows == 0 {
             return;
@@ -261,6 +271,20 @@ mod tests {
             idx.for_each_match_cols(&probe, row, |r| b.push(r));
             assert_eq!(a, b, "row {row}");
         }
+    }
+
+    #[test]
+    fn matches_enumerate_in_ascending_build_row_order() {
+        // The merge-join path relies on this: both join paths must emit a
+        // probe row's matches in the same (ascending) build-row order.
+        let mut col: Vec<u64> = (0..257u64).collect();
+        col.extend([7u64; 40]); // duplicates scattered after distinct keys
+        col.extend((300..400u64).rev().flat_map(|k| [k, 7]));
+        let idx = index_of(&[col.clone()]);
+        let mut hits = Vec::new();
+        idx.for_each_match(&[7], |r| hits.push(r));
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "{hits:?}");
+        assert_eq!(hits.len(), col.iter().filter(|&&k| k == 7).count());
     }
 
     #[test]

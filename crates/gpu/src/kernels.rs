@@ -74,6 +74,10 @@ pub mod sites {
     pub const COUNT_OUT: usize = 13;
     /// Hash-index slot tables and owned key copies.
     pub const JOIN_INDEX: usize = 14;
+    /// Merge-join count output column.
+    pub const MERGE_COUNT_OUT: usize = 15;
+    /// Merge-join output index columns.
+    pub const MERGE_JOIN_OUT: usize = 16;
 }
 
 /// Compares row `i` of `a` with row `j` of `b` lexicographically by column.
@@ -834,6 +838,187 @@ pub fn hash_join(
         },
     );
     (build_out, probe_out)
+}
+
+/// First build row whose key is not less than probe row `i`'s key, found by
+/// galloping right from `hint` — pass the previous probe row's lower bound.
+/// When the probe side is also sorted (the case the compiler's sort-order
+/// pass actually emits merge joins for), consecutive bounds are
+/// non-decreasing and the amortized cost per probe row is near-constant;
+/// an out-of-order probe row is detected by one comparison against
+/// `hint - 1` and falls back to a plain binary search of the prefix.
+fn merge_lower_bound(
+    build_key_cols: &[&[u64]],
+    probe_key_cols: &[&[u64]],
+    i: usize,
+    hint: usize,
+) -> usize {
+    let len = build_key_cols.first().map(|c| c.len()).unwrap_or(0);
+    let hint = hint.min(len);
+    let less = |row: usize| cmp_rows(build_key_cols, row, probe_key_cols, i) == Ordering::Less;
+    let (mut lo, mut hi);
+    if hint == 0 || less(hint - 1) {
+        // Answer is >= hint: gallop right with doubling steps.
+        lo = hint;
+        hi = hint;
+        let mut step = 1;
+        while hi < len && less(hi) {
+            lo = hi + 1;
+            hi += step;
+            step *= 2;
+        }
+        hi = hi.min(len);
+    } else {
+        // Out-of-order probe row: the answer lies before the hint.
+        lo = 0;
+        hi = hint - 1;
+    }
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if less(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First build row whose key is greater than probe row `i`'s key, galloping
+/// right from `hint` (callers pass the row's lower bound, which is always a
+/// valid starting point since `upper_bound >= lower_bound`).
+fn merge_upper_bound(
+    build_key_cols: &[&[u64]],
+    probe_key_cols: &[&[u64]],
+    i: usize,
+    hint: usize,
+) -> usize {
+    let len = build_key_cols.first().map(|c| c.len()).unwrap_or(0);
+    let not_greater =
+        |row: usize| cmp_rows(build_key_cols, row, probe_key_cols, i) != Ordering::Greater;
+    let (mut lo, mut hi) = (hint.min(len), hint.min(len));
+    let mut step = 1;
+    while hi < len && not_greater(hi) {
+        lo = hi + 1;
+        hi += step;
+        step *= 2;
+    }
+    hi = hi.min(len);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if not_greater(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// `mergecount(b̄, ā)`: for every probe row, the number of build rows with a
+/// matching key — the sort-order counterpart of [`count_matches`]. Requires
+/// the build key columns to be lexicographically sorted; the matches of any
+/// probe key are then one contiguous run, found with two binary searches.
+/// No index is built and no hashing happens, which is exactly why the
+/// executor prefers this path when sort-order inference proves both inputs
+/// sorted on the join prefix.
+pub fn merge_count(
+    device: &Device,
+    build_key_cols: &[&[u64]],
+    probe_key_cols: &[&[u64]],
+) -> Column {
+    let _t = device.launch(KernelKind::Join);
+    debug_assert!(is_sorted(build_key_cols), "merge_count build side unsorted");
+    let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
+    let mut out = device.arena().alloc_zeroed(sites::MERGE_COUNT_OUT, len);
+    let ranges = chunks_for(device, len);
+    let slices = split_by_ranges(&mut out, &ranges);
+    run_chunks(&ranges, slices, |_, range, chunk: &mut [u64]| {
+        // Each chunk carries its cursor forward: for a sorted probe side
+        // the searches degrade into an amortized linear merge.
+        let mut cursor = 0;
+        for (slot, i) in chunk.iter_mut().zip(range) {
+            let lo = merge_lower_bound(build_key_cols, probe_key_cols, i, cursor);
+            let hi = merge_upper_bound(build_key_cols, probe_key_cols, i, lo);
+            *slot = (hi - lo) as u64;
+            cursor = lo;
+        }
+    });
+    out
+}
+
+/// `mergejoin⟨W⟩(b̄, ā, c, o)`: the matching index pairs of a sort-merge
+/// join over a lexicographically sorted build side. Returns
+/// `(build_indices, probe_indices)` with output rows for probe row `i` at
+/// positions `offsets[i] .. offsets[i] + counts[i]`, exactly like
+/// [`hash_join`].
+///
+/// **Bit-compatibility:** for each probe row the build matches are emitted
+/// in ascending build-row order — the same order [`hash_join`] produces
+/// (linear probing with ascending insertion preserves insertion order, see
+/// `HashIndex::for_each_match_cols`) — so downstream gathers, provenance
+/// tag combination, and dedup see byte-identical inputs whichever join
+/// path ran.
+pub fn merge_join(
+    device: &Device,
+    build_key_cols: &[&[u64]],
+    probe_key_cols: &[&[u64]],
+    counts: &[u64],
+    offsets: &[u64],
+    total: u64,
+) -> (Column, Column) {
+    let _t = device.launch(KernelKind::Join);
+    let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
+    debug_assert_eq!(counts.len(), len);
+    debug_assert_eq!(offsets.len(), len);
+    let arena = device.arena();
+    let mut build_out = arena.alloc_zeroed(sites::MERGE_JOIN_OUT, total as usize);
+    let mut probe_out = arena.alloc_zeroed(sites::MERGE_JOIN_OUT, total as usize);
+    let ranges = chunks_for(device, len);
+    let out_bounds: Vec<Range<usize>> = ranges
+        .iter()
+        .map(|r| {
+            let start = offsets.get(r.start).copied().unwrap_or(total) as usize;
+            let end = offsets.get(r.end).copied().unwrap_or(total) as usize;
+            start..end
+        })
+        .collect();
+    let build_slices = split_by_ranges(&mut build_out, &out_bounds);
+    let probe_slices = split_by_ranges(&mut probe_out, &out_bounds);
+    run_chunks(
+        &ranges,
+        build_slices.into_iter().zip(probe_slices).collect(),
+        |_, range, (bs, ps): (&mut [u64], &mut [u64])| {
+            let mut k = 0;
+            let mut cursor = 0;
+            for i in range {
+                let n = counts[i] as usize;
+                if n == 0 {
+                    continue;
+                }
+                let lo = merge_lower_bound(build_key_cols, probe_key_cols, i, cursor);
+                cursor = lo;
+                for build_row in lo..lo + n {
+                    debug_assert_eq!(
+                        cmp_rows(build_key_cols, build_row, probe_key_cols, i),
+                        Ordering::Equal,
+                        "merge_join counts disagree with sorted build run"
+                    );
+                    bs[k] = build_row as u64;
+                    ps[k] = i as u64;
+                    k += 1;
+                }
+            }
+            debug_assert_eq!(k, bs.len(), "counts disagree with probe matches");
+        },
+    );
+    (build_out, probe_out)
+}
+
+/// Debug check that rows are lexicographically non-decreasing.
+fn is_sorted(cols: &[&[u64]]) -> bool {
+    let len = cols.first().map(|c| c.len()).unwrap_or(0);
+    (1..len).all(|i| cmp_rows(cols, i - 1, cols, i) != Ordering::Greater)
 }
 
 /// `copy(s̄)` / `append`: concatenates columns row-wise.

@@ -260,6 +260,58 @@ fn joins_and_append_agree_with_sequential() {
     }
 }
 
+/// The merge-path join must be indistinguishable from the hash join — not
+/// just the same match *set* but the same bytes in the same positions:
+/// identical per-probe counts, and identical `(build, probe)` index columns.
+/// The executor switches between the two paths on a static sort-order fact,
+/// so any divergence here would make results depend on a compile-time
+/// heuristic.
+#[test]
+fn merge_join_is_bit_identical_to_hash_join() {
+    let seq = Device::sequential();
+    for rows in ROW_COUNTS {
+        for key_width in [1usize, 2] {
+            let mut rng = Rng::new(rows as u64 * 17 + key_width as u64);
+            let key_space = (rows as u64 / 7).max(3);
+            let (build_raw, build_tags) = random_table(&mut rng, rows, key_width, key_space);
+            let (probe_cols, _) = random_table(&mut rng, rows.div_ceil(2), key_width, key_space);
+            // The merge path requires a sorted build side; the hash path
+            // accepts one. Sort once and feed the same table to both.
+            let (build_cols, _) = sorted_on(&seq, &build_raw, &build_tags);
+
+            let index = HashIndex::build(&seq, &refs(&build_cols), 2);
+            let hash_counts = kernels::count_matches(&seq, &index, &refs(&probe_cols));
+            let (hash_offsets, hash_total) = kernels::scan(&seq, &hash_counts);
+            let (hash_bi, hash_pi) = kernels::hash_join(
+                &seq,
+                &index,
+                &refs(&probe_cols),
+                &hash_counts,
+                &hash_offsets,
+                hash_total,
+            );
+
+            for parallelism in PARALLELISMS {
+                let par = parallel_device(parallelism);
+                let ctx = format!("rows {rows}, width {key_width}, p {parallelism}");
+                let counts = kernels::merge_count(&par, &refs(&build_cols), &refs(&probe_cols));
+                assert_eq!(counts, hash_counts, "merge_count vs count_matches: {ctx}");
+                let (offsets, total) = kernels::scan(&par, &counts);
+                let (bi, pi) = kernels::merge_join(
+                    &par,
+                    &refs(&build_cols),
+                    &refs(&probe_cols),
+                    &counts,
+                    &offsets,
+                    total,
+                );
+                assert_eq!(bi, hash_bi, "merge_join build indices: {ctx}");
+                assert_eq!(pi, hash_pi, "merge_join probe indices: {ctx}");
+            }
+        }
+    }
+}
+
 /// The radix/merge algorithm switch must be invisible: a table sorted just
 /// under the radix pass budget and one just over it (same data, one extra
 /// wide column appended) order their shared prefix identically.

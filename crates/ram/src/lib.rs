@@ -14,18 +14,40 @@
 //! * [`SymbolTable`] — string interning for symbolic constants,
 //! * [`ExprProgram`] — the bytecode stack machine of Section 5.2 used to
 //!   evaluate projection and selection expressions row-by-row on the device.
+//!
+//! # Static analysis
+//!
+//! The [`passes`] module analyzes a finished [`RamProgram`] and produces
+//! facts the compiler, executor, and schedulers consume:
+//!
+//! * [`passes::validate_program`] — full structural validation (schemas,
+//!   arities, column bounds, operand types), reporting *every* error with
+//!   rule provenance instead of stopping at the first like
+//!   [`RamProgram::validate`];
+//! * [`passes::expr_sorted_prefix`] / [`passes::join_strategy`] — sort-order
+//!   inference yielding per-join [`passes::JoinStrategy`] hints (merge-path
+//!   vs hash build+probe);
+//! * [`passes::live_relations`] / [`passes::eliminate_dead_rules`] — output
+//!   reachability and dead-rule pruning;
+//! * [`passes::CostModel`] — static per-relation weights refining the
+//!   fact-count costs used by batch planners;
+//! * [`passes::lint_program`] — the combined diagnostics report
+//!   ([`passes::Diagnostic`]) surfaced by `Program::diagnostics()` and the
+//!   `lobster-lint` tool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analysis;
 mod expr;
+pub mod passes;
 mod program;
 mod symbols;
 mod value;
 
 pub use analysis::{count_recursive_joins, is_linear_recursive, StratumAnalysis};
 pub use expr::{BinaryOp, ByteOp, ExprProgram, RowProjection, ScalarExpr, UnaryOp};
+pub use passes::{Diagnostic, IrError, JoinStrategy, RuleRef, Severity};
 pub use program::{RamExpr, RamProgram, RamRule, RelationSchema, Stratum, ValidationError};
 pub use symbols::SymbolTable;
 pub use value::{Tuple, Value, ValueType};

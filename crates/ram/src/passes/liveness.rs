@@ -1,0 +1,174 @@
+//! Relation liveness and dead-rule elimination.
+//!
+//! A relation is *live* when it can contribute tuples to one of the
+//! program's declared outputs: every output relation is live, and the
+//! bodies of rules deriving a live relation make their referenced relations
+//! live in turn. Rules whose target is not live can never influence a
+//! queried result — they are *dead* and safe to drop.
+//!
+//! Programs that declare no outputs are treated as "everything is
+//! observable" (the session API allows querying any relation), so nothing
+//! is dead in that case.
+
+use super::RuleRef;
+use crate::RamProgram;
+use std::collections::BTreeSet;
+
+/// The set of relations reachable (backwards through rule bodies) from the
+/// program's outputs. With no declared outputs, every schema relation is
+/// considered live.
+pub fn live_relations(ram: &RamProgram) -> BTreeSet<String> {
+    if ram.outputs.is_empty() {
+        return ram.schemas.keys().cloned().collect();
+    }
+    let mut live: BTreeSet<String> = ram.outputs.iter().cloned().collect();
+    loop {
+        let mut grew = false;
+        for stratum in &ram.strata {
+            for rule in &stratum.rules {
+                if !live.contains(&rule.target) {
+                    continue;
+                }
+                let mut referenced = Vec::new();
+                rule.expr.referenced_relations(&mut referenced);
+                for name in referenced {
+                    grew |= live.insert(name);
+                }
+            }
+        }
+        if !grew {
+            return live;
+        }
+    }
+}
+
+/// The rules whose target relation is not live — evaluating them can never
+/// change any output.
+pub fn dead_rules(ram: &RamProgram) -> Vec<RuleRef> {
+    let live = live_relations(ram);
+    let mut dead = Vec::new();
+    for (stratum_idx, stratum) in ram.strata.iter().enumerate() {
+        for (rule_idx, rule) in stratum.rules.iter().enumerate() {
+            if !live.contains(&rule.target) {
+                dead.push(RuleRef {
+                    stratum: stratum_idx,
+                    rule: rule_idx,
+                    target: rule.target.clone(),
+                });
+            }
+        }
+    }
+    dead
+}
+
+/// Returns a copy of the program with every dead rule removed. Strata left
+/// with no rules are dropped entirely, and each surviving stratum's updated
+/// relation list is pruned to the relations its remaining rules still
+/// derive. Schemas and outputs are untouched — dead relations stay
+/// declared (and empty), so query shapes don't change.
+pub fn eliminate_dead_rules(ram: &RamProgram) -> RamProgram {
+    let live = live_relations(ram);
+    let mut pruned = ram.clone();
+    for stratum in &mut pruned.strata {
+        stratum.rules.retain(|rule| live.contains(&rule.target));
+        let derived: BTreeSet<&str> = stratum
+            .rules
+            .iter()
+            .map(|rule| rule.target.as_str())
+            .collect();
+        stratum
+            .relations
+            .retain(|relation| derived.contains(relation.as_str()));
+    }
+    pruned.strata.retain(|stratum| !stratum.rules.is_empty());
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RamExpr, RamRule, RelationSchema, Stratum, ValueType};
+    use std::collections::BTreeMap;
+
+    /// edge → path (output), plus an unrelated `scratch` relation derived
+    /// from `noise` that nothing queries.
+    fn program_with_dead_branch() -> RamProgram {
+        let mut schemas = BTreeMap::new();
+        for name in ["edge", "path", "noise", "scratch"] {
+            schemas.insert(
+                name.to_string(),
+                RelationSchema::new(name, vec![ValueType::U32, ValueType::U32]),
+            );
+        }
+        RamProgram {
+            schemas,
+            strata: vec![
+                Stratum {
+                    relations: vec!["path".into()],
+                    rules: vec![RamRule {
+                        target: "path".into(),
+                        expr: RamExpr::relation("edge"),
+                    }],
+                    recursive: false,
+                },
+                Stratum {
+                    relations: vec!["scratch".into()],
+                    rules: vec![RamRule {
+                        target: "scratch".into(),
+                        expr: RamExpr::relation("noise"),
+                    }],
+                    recursive: false,
+                },
+            ],
+            outputs: vec!["path".into()],
+        }
+    }
+
+    #[test]
+    fn liveness_reaches_backwards_from_outputs() {
+        let ram = program_with_dead_branch();
+        let live = live_relations(&ram);
+        assert!(live.contains("path"));
+        assert!(live.contains("edge"));
+        assert!(!live.contains("scratch"));
+        assert!(!live.contains("noise"));
+    }
+
+    #[test]
+    fn no_outputs_means_everything_is_live() {
+        let mut ram = program_with_dead_branch();
+        ram.outputs.clear();
+        assert_eq!(live_relations(&ram).len(), ram.schemas.len());
+        assert!(dead_rules(&ram).is_empty());
+    }
+
+    #[test]
+    fn dead_rules_carry_provenance() {
+        let ram = program_with_dead_branch();
+        let dead = dead_rules(&ram);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].stratum, 1);
+        assert_eq!(dead[0].rule, 0);
+        assert_eq!(dead[0].target, "scratch");
+    }
+
+    #[test]
+    fn elimination_drops_rules_strata_and_relation_entries() {
+        let ram = program_with_dead_branch();
+        let pruned = eliminate_dead_rules(&ram);
+        assert_eq!(pruned.strata.len(), 1);
+        assert_eq!(pruned.strata[0].relations, vec!["path".to_string()]);
+        // Schemas and outputs are preserved so query shapes don't change.
+        assert_eq!(pruned.schemas.len(), ram.schemas.len());
+        assert_eq!(pruned.outputs, ram.outputs);
+    }
+
+    #[test]
+    fn elimination_is_identity_on_fully_live_programs() {
+        let mut ram = program_with_dead_branch();
+        ram.outputs.push("scratch".into());
+        let pruned = eliminate_dead_rules(&ram);
+        assert_eq!(pruned.strata.len(), ram.strata.len());
+        assert_eq!(dead_rules(&pruned).len(), 0);
+    }
+}

@@ -372,6 +372,27 @@ mod tests {
     }
 
     #[test]
+    fn diagnostics_are_cached_with_the_program() {
+        // A program with a never-read relation carries a lint warning in its
+        // compiled artifact; a cache hit serves the identical diagnostics
+        // without re-running the analysis passes.
+        const NOISY: &str = "type edge(x: u32, y: u32)
+            type orphan(x: u32)
+            rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+            query path";
+        let cache = ProgramCache::new();
+        let first = cache.get_or_compile(NOISY, ProvenanceKind::Unit).unwrap();
+        assert!(first
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "unused-relation"));
+        let second = cache.get_or_compile(NOISY, ProvenanceKind::Unit).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.diagnostics().len(), second.diagnostics().len());
+        assert_eq!(cache.stats().compiles, 1);
+    }
+
+    #[test]
     fn compile_errors_are_not_cached() {
         let cache = ProgramCache::new();
         assert!(cache
