@@ -21,7 +21,7 @@ use crate::compiler::{compile_stratum_with_options, CompiledStratum};
 use crate::config::RuntimeOptions;
 use crate::database::{Database, SortedTable};
 use crate::isa::{DbPart, Instr, RegId};
-use lobster_gpu::{kernels, Column, Device, DeviceError, HashIndex};
+use lobster_gpu::{kernels, Column, Device, DeviceError, HashIndex, ProbePartition};
 use lobster_provenance::Provenance;
 use lobster_ram::RamProgram;
 use std::collections::HashMap;
@@ -350,6 +350,11 @@ impl<P: Provenance> Executor<P> {
     ) -> Result<(), ExecError> {
         let program = &compiled.program;
         let mut regs: Vec<Option<RegValue<P>>> = vec![None; program.register_count as usize];
+        // Count radix-groups the probe side of a partitioned hash join; the
+        // compiler always emits Count → Scan → Join over the same (index,
+        // probe) pair, so the grouping is memoized here and reused by the
+        // matching Join instead of being recomputed.
+        let mut probe_memo: Option<(RegId, Vec<RegId>, ProbePartition)> = None;
 
         let set = |regs: &mut Vec<Option<RegValue<P>>>, reg: RegId, value: RegValue<P>| {
             regs[reg.0 as usize] = Some(value);
@@ -577,7 +582,16 @@ impl<P: Provenance> Executor<P> {
                     let probe_cols: Vec<Arc<Column>> =
                         probe_keys.iter().map(|r| data!(*r)).collect();
                     let probe_refs: Vec<&[u64]> = probe_cols.iter().map(|c| c.as_slice()).collect();
-                    let result = kernels::count_matches(&self.device, &idx, &probe_refs);
+                    let part = ProbePartition::build(&self.device, &idx, &probe_refs);
+                    let result =
+                        kernels::count_matches_with(&self.device, &idx, &probe_refs, part.as_ref());
+                    if let Some(part) = part {
+                        if let Some((_, _, old)) =
+                            probe_memo.replace((*index, probe_keys.clone(), part))
+                        {
+                            old.recycle(&self.device);
+                        }
+                    }
                     set(&mut regs, *counts, RegValue::Data(Arc::new(result)));
                 }
                 Instr::Scan { counts, offsets } => {
@@ -600,14 +614,24 @@ impl<P: Provenance> Executor<P> {
                     let count_vec = data!(*counts);
                     let offset_vec = data!(*offsets);
                     let total: u64 = count_vec.iter().sum();
-                    let (bi, pi) = kernels::hash_join(
+                    let part = match &probe_memo {
+                        Some((ir, pr, _)) if ir == index && pr == probe_keys => {
+                            probe_memo.take().map(|(_, _, p)| p)
+                        }
+                        _ => None,
+                    };
+                    let (bi, pi) = kernels::hash_join_with(
                         &self.device,
                         &idx,
                         &probe_refs,
+                        part.as_ref(),
                         &count_vec,
                         &offset_vec,
                         total,
                     );
+                    if let Some(part) = part {
+                        part.recycle(&self.device);
+                    }
                     set(&mut regs, *build_indices, RegValue::Data(Arc::new(bi)));
                     set(&mut regs, *probe_indices, RegValue::Data(Arc::new(pi)));
                 }
@@ -749,6 +773,9 @@ impl<P: Provenance> Executor<P> {
                     set(&mut regs, *output_tags, RegValue::Tags(Arc::new(out_tags)));
                 }
             }
+        }
+        if let Some((_, _, part)) = probe_memo {
+            part.recycle(&self.device);
         }
         // Register sweep: every column that dies with this iteration (sole
         // Arc owner — cached loads and static registers keep extra owners

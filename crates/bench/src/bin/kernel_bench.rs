@@ -3,11 +3,15 @@
 //!
 //! Each kernel row reports the best-of-N wall time at a given worker count
 //! over the *same* input data, so `speedup_vs_p1` isolates what the parallel
-//! decomposition (radix scatter, merge-path partitioning, chunked probes)
-//! actually buys on this machine. A `kernel_time_ms` section breaks the
-//! device's accumulated kernel wall time into the sort/join/unique buckets
-//! of [`lobster_gpu::KernelTime`], which is what lets serving-layer numbers
-//! (`BENCH_serve.json`) be attributed to individual kernels.
+//! decomposition (radix scatter, merge-path partitioning, partitioned hash
+//! builds, radix-grouped probes) actually buys on this machine. A
+//! `kernel_time_ms` section breaks the device's accumulated chunk-execution
+//! (busy) time into the sort/join/unique buckets of
+//! [`lobster_gpu::KernelTime`], and `kernel_wall_ms` does the same for
+//! enqueue-to-completion wall time — busy exceeding wall means pool lanes
+//! overlapped; wall far above busy/lanes means the pool queued. This is what
+//! lets serving-layer numbers (`BENCH_serve.json`) be attributed to
+//! individual kernels; `docs/PERFORMANCE.md` walks through reading both.
 //!
 //! Run with `cargo run -p lobster-bench --release --bin kernel_bench`.
 //! Knobs:
@@ -15,11 +19,11 @@
 //! * `--quick` / `LOBSTER_BENCH_QUICK=1` — shrink the workload for a CI
 //!   smoke run.
 //! * `--rows N` — per-kernel input size override.
-//! * `--assert-parallel-factor X` — exit non-zero unless sort *and* unique
-//!   at parallelism 4 reach `X ×` the parallelism-1 throughput. Kernel
-//!   workers are threads, so on a single-CPU machine they cannot overlap;
-//!   the gate is skipped (but the factors still recorded) when fewer than 2
-//!   CPUs are available.
+//! * `--assert-parallel-factor X` — exit non-zero unless sort, unique *and*
+//!   hash_build at parallelism 4 each reach `X ×` the parallelism-1
+//!   throughput. Kernel pool workers are threads, so on a single-CPU
+//!   machine they cannot overlap; the gate is skipped (but the factors
+//!   still recorded) when fewer than 2 CPUs are available.
 //! * `--assert-merge-join-factor X` — exit non-zero unless the merge join
 //!   (pre-sorted build side, no index) beats a hash join *including* its
 //!   index build by `X ×` at parallelism 4 — the wall-clock case the
@@ -137,7 +141,7 @@ fn main() {
     let half = rows / 2;
 
     let mut rows_out: Vec<Row> = Vec::new();
-    let mut times_out: Vec<(usize, KernelTime)> = Vec::new();
+    let mut times_out: Vec<(usize, KernelTime, KernelTime)> = Vec::new();
     for &p in &PARALLELISMS {
         let device = device_with(p);
         // Inputs that must be pre-sorted are prepared outside the timings.
@@ -152,6 +156,7 @@ fn main() {
             &sorted_tags[..half],
         );
         let index = HashIndex::build(&device, &refs(&build), 2);
+        let index_mono = HashIndex::build_partitioned(&device, &refs(&build), 2, 1);
         // The merge join's precondition — *both* sides sorted on the key —
         // is prepared outside the timings, exactly as the executor sees it
         // when sort-order inference picks the merge path (stable partitions
@@ -236,11 +241,38 @@ fn main() {
             let out = kernels::gather(&device, &indices, &sorted[0]);
             device.arena().recycle_shared(out);
         });
+        bench("hash_build", &mut || {
+            // The partitioned index build: hash once, radix-scatter row ids
+            // by partition, build the per-partition slot tables in parallel.
+            let fresh = HashIndex::build(&device, &refs(&build), 2);
+            fresh.recycle(&device);
+        });
         bench("hash_join", &mut || {
+            // Partitioned index (the default at this row count), so counting
+            // and joining run radix-grouped against cache-resident
+            // partitions.
             let counts = kernels::count_matches(&device, &index, &refs(&probe));
             let (offsets, total) = kernels::scan(&device, &counts);
             let (bi, pi) =
                 kernels::hash_join(&device, &index, &refs(&probe), &counts, &offsets, total);
+            for col in [counts, offsets, bi, pi] {
+                device.arena().recycle_shared(col);
+            }
+        });
+        bench("hash_join_monolithic", &mut || {
+            // Same probe against a single-partition index: the pre-partition
+            // layout, one big slot table, no probe grouping. The gap to the
+            // `hash_join` row is what partitioning buys at this row count.
+            let counts = kernels::count_matches(&device, &index_mono, &refs(&probe));
+            let (offsets, total) = kernels::scan(&device, &counts);
+            let (bi, pi) = kernels::hash_join(
+                &device,
+                &index_mono,
+                &refs(&probe),
+                &counts,
+                &offsets,
+                total,
+            );
             for col in [counts, offsets, bi, pi] {
                 device.arena().recycle_shared(col);
             }
@@ -281,7 +313,8 @@ fn main() {
             }
         });
 
-        times_out.push((p, device.stats().kernel_time));
+        let stats = device.stats();
+        times_out.push((p, stats.kernel_time, stats.kernel_wall));
     }
 
     // End-to-end: the canonical transitive-closure fix-point, whose cost is
@@ -362,6 +395,7 @@ fn main() {
     };
     let sort_factor = factor("sort", 4);
     let unique_factor = factor("unique", 4);
+    let hash_build_factor = factor("hash_build", 4);
     let wall_at = |kernel: &str, p: usize| {
         rows_out
             .iter()
@@ -380,25 +414,30 @@ fn main() {
     let parallel_gate = match assert_factor {
         None => "not-requested",
         Some(_) if cpus < 2 => {
-            // Kernel workers are threads; on one CPU they serialize, so the
-            // factor measures the machine, not the kernels.
+            // Kernel pool workers are threads; on one CPU they serialize, so
+            // the factor measures the machine, not the kernels.
             println!(
-                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x — gate skipped \
+                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x / \
+                 hash_build x4 {hash_build_factor:.2}x — gate skipped \
                  ({cpus} CPU available, workers cannot overlap)"
             );
             "skipped-single-cpu"
         }
-        Some(required) if sort_factor < required || unique_factor < required => {
+        Some(required)
+            if sort_factor < required
+                || unique_factor < required
+                || hash_build_factor < required =>
+        {
             eprintln!(
-                "FAIL: parallel(4) sort {sort_factor:.2}x / unique {unique_factor:.2}x \
-                 below required {required:.2}x vs sequential"
+                "FAIL: parallel(4) sort {sort_factor:.2}x / unique {unique_factor:.2}x / \
+                 hash_build {hash_build_factor:.2}x below required {required:.2}x vs sequential"
             );
             "failed"
         }
         Some(required) => {
             println!(
-                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x \
-                 (required ≥ {required:.2}x)"
+                "sort x4 {sort_factor:.2}x / unique x4 {unique_factor:.2}x / \
+                 hash_build x4 {hash_build_factor:.2}x (required ≥ {required:.2}x)"
             );
             "passed"
         }
@@ -430,18 +469,23 @@ fn main() {
         .map(|r| r.json(p1_wall(&e2e_rows, r.kernel)))
         .collect::<Vec<_>>()
         .join(",\n    ");
+    let time_buckets = |t: &KernelTime| {
+        format!(
+            "\"sort_ms\": {:.3}, \"join_ms\": {:.3}, \"unique_ms\": {:.3}, \"other_ms\": {:.3}",
+            t.sort_ns as f64 / 1e6,
+            t.join_ns as f64 / 1e6,
+            t.unique_ns as f64 / 1e6,
+            t.other_ns as f64 / 1e6,
+        )
+    };
     let times_json = times_out
         .iter()
-        .map(|(p, t)| {
-            format!(
-                "{{\"parallelism\": {p}, \"sort_ms\": {:.3}, \"join_ms\": {:.3}, \
-                 \"unique_ms\": {:.3}, \"other_ms\": {:.3}}}",
-                t.sort_ns as f64 / 1e6,
-                t.join_ns as f64 / 1e6,
-                t.unique_ns as f64 / 1e6,
-                t.other_ns as f64 / 1e6,
-            )
-        })
+        .map(|(p, busy, _)| format!("{{\"parallelism\": {p}, {}}}", time_buckets(busy)))
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let walls_json = times_out
+        .iter()
+        .map(|(p, _, wall)| format!("{{\"parallelism\": {p}, {}}}", time_buckets(wall)))
         .collect::<Vec<_>>()
         .join(",\n    ");
     let json = format!(
@@ -450,8 +494,10 @@ fn main() {
          \"kernels\": [\n    {kernel_rows_json}\n  ],\n  \
          \"e2e\": [\n    {e2e_json}\n  ],\n  \
          \"kernel_time_ms\": [\n    {times_json}\n  ],\n  \
+         \"kernel_wall_ms\": [\n    {walls_json}\n  ],\n  \
          \"sort_parallel4_factor\": {sort_factor:.3},\n  \
          \"unique_parallel4_factor\": {unique_factor:.3},\n  \
+         \"hash_build_parallel4_factor\": {hash_build_factor:.3},\n  \
          \"merge_vs_hash_build_parallel4_factor\": {merge_factor:.3},\n  \
          \"parallel_factor_gate\": \"{parallel_gate}\",\n  \
          \"merge_join_gate\": \"{merge_gate}\"\n}}\n",

@@ -27,7 +27,12 @@
 //!   idle, so a shard that finishes early steals the work a skewed plan
 //!   would have left stranded.
 //! * **Memory budgets** are per shard: shard devices are derived with
-//!   [`Device::split_shards`], dividing the parent budget `n` ways. A chunk
+//!   [`Device::split_shards`], dividing the parent budget `n` ways. Each
+//!   shard device also owns its own persistent *kernel* worker pool (sized
+//!   by the split parallelism and joined when the shard device drops with
+//!   the executor), so shard-level parallelism here multiplies with
+//!   kernel-level parallelism inside each shard — see `docs/PERFORMANCE.md`
+//!   for how to budget the two against the machine's cores. A chunk
 //!   that overflows its shard's budget is *spilled* — split in half and
 //!   requeued — so a batch that fits the aggregate budget still completes,
 //!   it just pays extra fix-points.
@@ -148,8 +153,11 @@ pub struct ShardRunStats {
     /// counters at run start, so reusing the executor across batches does
     /// not accumulate; `live_bytes`/`peak_bytes` are the device's current
     /// and high-water gauges), indexed by shard. Includes the per-kernel
-    /// wall-time breakdown (`DeviceStats::kernel_time`), so a serving layer
-    /// can attribute a batch's cost to sort/join/unique work per shard.
+    /// time breakdown — `DeviceStats::kernel_time` is summed chunk-execution
+    /// (busy) time across the shard's kernel pool lanes, and
+    /// `DeviceStats::kernel_wall` is enqueue-to-completion wall time — so a
+    /// serving layer can attribute a batch's cost to sort/join/unique work
+    /// per shard and spot pool contention (wall ≫ busy / lanes).
     /// Attribution assumes runs on one executor do not overlap — concurrent
     /// `run_batch` calls share devices and blur each other's deltas (the
     /// results themselves are unaffected).

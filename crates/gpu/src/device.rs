@@ -1,6 +1,15 @@
-//! The simulated device: configuration, memory accounting, and statistics.
+//! The simulated device: configuration, memory accounting, statistics, and
+//! the persistent kernel worker pool.
+//!
+//! Constructing a [`Device`] spawns its worker pool (`parallelism - 1`
+//! long-lived `lobster-kernel-N` threads; see [`crate::pool`]); dropping the
+//! last clone of the device joins them. Kernel execution never spawns
+//! threads per launch. See `docs/PERFORMANCE.md` for how the pool knobs
+//! interact with shard-level parallelism.
 
 use crate::arena::Arena;
+use crate::pool::WorkerPool;
+use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,10 +56,11 @@ impl Default for DeviceConfig {
 }
 
 /// The accounting bucket a kernel launch is attributed to, for the
-/// per-kernel wall-time breakdown in [`DeviceStats::kernel_time`]. Sort,
-/// join, and unique dominate fix-point cost (the paper's Table 1 hot set),
-/// so they get their own buckets; everything else (scan, merge, difference,
-/// eval, gathers, loads) is `Other`.
+/// per-kernel time breakdowns in [`DeviceStats::kernel_time`] (busy) and
+/// [`DeviceStats::kernel_wall`] (enqueue-to-completion). Sort, join, and
+/// unique dominate fix-point cost (the paper's Table 1 hot set), so they get
+/// their own buckets; everything else (scan, merge, difference, eval,
+/// gathers, loads) is `Other`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelKind {
     /// Row sorting (`sort_permutation`).
@@ -63,9 +73,10 @@ pub enum KernelKind {
     Other,
 }
 
-/// Wall time spent inside kernels, broken down by [`KernelKind`]. Times are
-/// summed across concurrent launches, so on a parallel device the total can
-/// exceed wall-clock time.
+/// Time spent inside kernels, broken down by [`KernelKind`]. Times are
+/// summed across concurrent launches (and, for busy time, across the worker
+/// threads of one launch), so on a parallel device the total can exceed
+/// wall-clock time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelTime {
     /// Nanoseconds spent in sort kernels.
@@ -117,8 +128,20 @@ impl KernelTime {
 pub struct DeviceStats {
     /// Number of kernel launches.
     pub kernel_launches: usize,
-    /// Wall time inside kernels, attributed per [`KernelKind`] bucket.
+    /// **Busy** time inside kernels, attributed per [`KernelKind`] bucket:
+    /// the summed chunk-execution time across every thread that worked on a
+    /// launch. Pool idle and queue wait are *not* counted here — with a
+    /// persistent worker pool, enqueue-to-completion time (see
+    /// [`DeviceStats::kernel_wall`]) includes waiting for a free worker,
+    /// which is not kernel work.
     pub kernel_time: KernelTime,
+    /// **Enqueue-to-completion** wall time per launch, attributed per
+    /// [`KernelKind`] bucket — what a caller of the kernel observed,
+    /// including any pool queue wait. `kernel_wall` is the latency view;
+    /// [`DeviceStats::kernel_time`] is the work view. On a sequential device
+    /// the two agree (up to launch bookkeeping); on a parallel device busy
+    /// time exceeds wall time whenever chunks overlap.
+    pub kernel_wall: KernelTime,
     /// Number of device allocations.
     pub allocations: usize,
     /// Total bytes ever allocated on the device.
@@ -144,6 +167,7 @@ impl DeviceStats {
         DeviceStats {
             kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
             kernel_time: self.kernel_time.delta_since(&earlier.kernel_time),
+            kernel_wall: self.kernel_wall.delta_since(&earlier.kernel_wall),
             allocations: self.allocations.saturating_sub(earlier.allocations),
             allocated_bytes: self.allocated_bytes.saturating_sub(earlier.allocated_bytes),
             live_bytes: self.live_bytes,
@@ -161,6 +185,7 @@ impl DeviceStats {
     pub fn merge(&mut self, other: &DeviceStats) {
         self.kernel_launches += other.kernel_launches;
         self.kernel_time.merge(&other.kernel_time);
+        self.kernel_wall.merge(&other.kernel_wall);
         self.allocations += other.allocations;
         self.allocated_bytes += other.allocated_bytes;
         self.live_bytes += other.live_bytes;
@@ -198,7 +223,7 @@ impl fmt::Display for DeviceError {
 
 impl std::error::Error for DeviceError {}
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct DeviceInner {
     stats: Mutex<DeviceStats>,
     live_bytes: AtomicUsize,
@@ -206,6 +231,19 @@ struct DeviceInner {
     /// through (Section 4.1). Shared by all clones of the device; shard
     /// devices derived with [`Device::split_shards`] get their own.
     arena: Arena,
+    /// The persistent kernel worker pool: spawned once here, shared by all
+    /// clones of the device, joined when the last clone drops.
+    pool: WorkerPool,
+}
+
+thread_local! {
+    /// The [`KernelKind`] of the innermost active launch *on this thread*:
+    /// set by [`Device::launch`], restored when the guard drops. Busy time
+    /// recorded from pool worker threads lands in `Other` unless the chunk
+    /// task itself runs under a launch guard — which it never does; workers
+    /// report busy time back through the launcher (`WorkerPool::run`), so
+    /// attribution happens on the launching thread where the guard is live.
+    static ACTIVE_KIND: Cell<KernelKind> = const { Cell::new(KernelKind::Other) };
 }
 
 /// A handle to the simulated device.
@@ -226,11 +264,21 @@ impl Default for Device {
 }
 
 impl Device {
-    /// Creates a device with the given configuration.
+    /// Creates a device with the given configuration. This spawns the
+    /// device's persistent kernel worker pool: `parallelism - 1` long-lived
+    /// threads (the launching thread is the remaining execution lane), so a
+    /// `parallelism: 1` device spawns none and runs every kernel inline. The
+    /// pool is joined when the last clone of the device is dropped.
     pub fn new(config: DeviceConfig) -> Self {
+        let workers = config.parallelism.max(1) - 1;
         Device {
             config,
-            inner: Arc::new(DeviceInner::default()),
+            inner: Arc::new(DeviceInner {
+                stats: Mutex::new(DeviceStats::default()),
+                live_bytes: AtomicUsize::new(0),
+                arena: Arena::default(),
+                pool: WorkerPool::new(workers),
+            }),
         }
     }
 
@@ -253,8 +301,10 @@ impl Device {
     /// several executors (multi-device sharded batch execution).
     ///
     /// Each shard is a *fresh* device — its own statistics, its own
-    /// live-memory accounting, and therefore its own arenas once an executor
-    /// runs on it — with the parent's resources divided evenly:
+    /// live-memory accounting, its own arenas once an executor runs on it,
+    /// and its own kernel worker pool (spawned at shard construction, joined
+    /// when the shard's last clone drops; the parent's pool is neither
+    /// shared nor resized) — with the parent's resources divided evenly:
     ///
     /// * `memory_limit` is split `n` ways (the first shards absorb the
     ///   remainder, so the budgets sum exactly to the parent's budget);
@@ -300,9 +350,22 @@ impl Device {
             .collect()
     }
 
-    /// Number of kernel worker threads.
+    /// Number of kernel execution lanes (pooled workers plus the launching
+    /// thread).
     pub fn parallelism(&self) -> usize {
         self.config.parallelism.max(1)
+    }
+
+    /// Number of long-lived worker threads in this device's kernel pool —
+    /// always `parallelism() - 1`, since the launching thread participates
+    /// in every launch. Exposed so lifecycle tests can assert pool sizing.
+    pub fn pool_workers(&self) -> usize {
+        self.inner.pool.workers()
+    }
+
+    /// The persistent kernel worker pool (see [`crate::pool`]).
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        &self.inner.pool
     }
 
     /// Minimum rows before a kernel splits work across threads.
@@ -319,11 +382,27 @@ impl Device {
             .kernel_launches += 1;
     }
 
-    /// Records a kernel launch together with the wall time it spent, in the
-    /// given attribution bucket.
+    /// Records a kernel launch together with its enqueue-to-completion wall
+    /// time ([`DeviceStats::kernel_wall`]), in the given attribution bucket.
+    /// Busy time is recorded separately by the chunk executor (see
+    /// `Device::record_busy`).
     pub fn record_kernel_timed(&self, kind: KernelKind, elapsed: Duration) {
         let mut stats = self.inner.stats.lock().expect("device stats poisoned");
         stats.kernel_launches += 1;
+        *stats.kernel_wall.bucket_mut(kind) +=
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    /// Records chunk-execution (busy) time into [`DeviceStats::kernel_time`],
+    /// attributed to the innermost active launch on this thread — pool idle
+    /// and queue wait never pass through here, which keeps the busy
+    /// breakdown honest.
+    pub(crate) fn record_busy(&self, elapsed: Duration) {
+        if elapsed.is_zero() {
+            return;
+        }
+        let kind = ACTIVE_KIND.with(Cell::get);
+        let mut stats = self.inner.stats.lock().expect("device stats poisoned");
         *stats.kernel_time.bucket_mut(kind) +=
             u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
     }
@@ -336,11 +415,16 @@ impl Device {
     }
 
     /// Starts a timed kernel launch: the returned guard records the launch
-    /// and its wall time in the given bucket when dropped.
+    /// and its enqueue-to-completion wall time in the given bucket when
+    /// dropped, and marks `kind` as the active attribution bucket for busy
+    /// time recorded on this thread while the guard is live (nested
+    /// launches restore the outer kind on drop).
     pub(crate) fn launch(&self, kind: KernelKind) -> LaunchTimer<'_> {
+        let prev = ACTIVE_KIND.with(|cell| cell.replace(kind));
         LaunchTimer {
             device: self,
             kind,
+            prev,
             start: std::time::Instant::now(),
         }
     }
@@ -423,11 +507,13 @@ impl Device {
 pub(crate) struct LaunchTimer<'a> {
     device: &'a Device,
     kind: KernelKind,
+    prev: KernelKind,
     start: std::time::Instant,
 }
 
 impl Drop for LaunchTimer<'_> {
     fn drop(&mut self) {
+        ACTIVE_KIND.with(|cell| cell.set(self.prev));
         self.device
             .record_kernel_timed(self.kind, self.start.elapsed());
     }
@@ -573,6 +659,55 @@ mod tests {
         assert_eq!(merged.peak_bytes, 160);
         assert_eq!(merged.bytes_to_device, 32);
         assert_eq!(merged.transfers, 1);
+    }
+
+    #[test]
+    fn launch_records_wall_and_busy_separately() {
+        let dev = Device::sequential();
+        {
+            let _t = dev.launch(KernelKind::Sort);
+            dev.record_busy(Duration::from_nanos(500));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = dev.stats();
+        assert_eq!(stats.kernel_launches, 1);
+        // Busy time is exactly what the chunk executor reported.
+        assert_eq!(stats.kernel_time.sort_ns, 500);
+        // Wall time covers the whole launch, including the sleep the busy
+        // counter never saw.
+        assert!(stats.kernel_wall.sort_ns >= 1_000_000);
+        assert_eq!(stats.kernel_wall.join_ns, 0);
+    }
+
+    #[test]
+    fn busy_attribution_follows_the_innermost_launch() {
+        let dev = Device::sequential();
+        {
+            let _outer = dev.launch(KernelKind::Join);
+            {
+                let _inner = dev.launch(KernelKind::Sort);
+                dev.record_busy(Duration::from_nanos(100));
+            }
+            // Back under the outer guard after the inner one dropped.
+            dev.record_busy(Duration::from_nanos(40));
+        }
+        let stats = dev.stats();
+        assert_eq!(stats.kernel_time.sort_ns, 100);
+        assert_eq!(stats.kernel_time.join_ns, 40);
+        assert_eq!(stats.kernel_launches, 2);
+    }
+
+    #[test]
+    fn pool_sizing_tracks_parallelism() {
+        let dev = Device::new(DeviceConfig {
+            parallelism: 5,
+            ..DeviceConfig::default()
+        });
+        assert_eq!(dev.pool_workers(), 4);
+        assert_eq!(Device::sequential().pool_workers(), 0);
+        // Clones share one pool rather than spawning their own.
+        let clone = dev.clone();
+        assert_eq!(clone.pool_workers(), 4);
     }
 
     #[test]

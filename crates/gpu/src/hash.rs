@@ -1,22 +1,59 @@
-//! The lock-free-style open-addressing hash index used for joins.
+//! The partitioned open-addressing hash index used for joins.
 //!
 //! Section 5.1 of the paper: the join kernel relies on a GPU hash table with
 //! open addressing and linear probing, storing *indices back into the source
 //! table* rather than fact data, so the join's complexity is decoupled from
 //! the width of the input relations. This module reproduces that structure on
-//! the simulated device.
+//! the simulated device — sharded into hash **partitions** so that both the
+//! build and the probe side parallelize:
+//!
+//! * [`HashIndex::build`] distributes rows over `P` partitions by the *top*
+//!   bits of the key hash (the slot within a partition uses the low bits, so
+//!   the two never alias), then builds every partition's slot table in
+//!   parallel on the device's worker pool. `P` is chosen from the row count
+//!   alone — never from the device parallelism — so the index *structure* is
+//!   identical whatever device built it.
+//! * [`ProbePartition`] radix-groups a probe column set by the same top
+//!   bits, so each probe chunk walks one cache-resident partition instead of
+//!   striding a monolithic table (see
+//!   [`kernels::count_matches`](crate::kernels::count_matches) /
+//!   [`kernels::hash_join`](crate::kernels::hash_join)).
+//!
+//! # Determinism
+//!
+//! A row's partition and slot depend only on its key hash and the row count,
+//! and rows are inserted into each partition in ascending global row order,
+//! so every probe still enumerates matches in **ascending build-row order**
+//! (the invariant the merge-join path and provenance folding rely on) and
+//! the whole index is bit-identical across device parallelism.
+//!
+//! The partition function uses the top bits of the same multiplicative mix
+//! hash the slots use, *not* `lobster_apm::fnv1a` — the apm crate depends on
+//! this one, so the gpu layer cannot see it; top-bits-of-mix gives the same
+//! uniformity without the dependency cycle.
 
 use crate::device::KernelKind;
+use crate::kernels::sites;
+use crate::parallel::{chunks_for, map_chunks, par_map_into, run_chunks, split_by_ranges};
 use crate::{Column, Device};
+use std::ops::Range;
+use std::time::Instant;
 
 /// Multiplicative hashing constant (the 64-bit golden ratio).
 const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// Arena allocation site for index slots and owned key copies.
-const INDEX_SITE: usize = crate::kernels::sites::JOIN_INDEX;
-
 /// FNV-style offset basis the key mix starts from.
 const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Rows a partition targets: enough to amortize per-partition dispatch,
+/// small enough that one partition's slot table stays cache-resident.
+const PARTITION_TARGET_ROWS: usize = 8192;
+
+/// Hard cap on partitions, bounding per-chunk histogram size.
+const MAX_PARTITIONS: usize = 512;
+
+/// Probe sides below this row count are not worth radix-grouping.
+const PROBE_GROUP_MIN: usize = 4096;
 
 fn mix(h: u64, k: u64) -> u64 {
     (h ^ k.wrapping_mul(HASH_MULT))
@@ -30,8 +67,30 @@ fn hash_key(key: &[u64]) -> u64 {
 
 /// Hashes row `row` of a set of key columns — identical to [`hash_key`] of
 /// the materialized key, without materializing it.
-fn hash_cols(cols: &[&[u64]], row: usize) -> u64 {
+pub(crate) fn hash_cols(cols: &[&[u64]], row: usize) -> u64 {
     cols.iter().fold(HASH_SEED, |h, col| mix(h, col[row]))
+}
+
+/// The number of partitions an index over `rows` rows defaults to: a power
+/// of two targeting [`PARTITION_TARGET_ROWS`] rows per partition, `1` below
+/// twice the target (a tiny table gains nothing from sharding). A function
+/// of the row count only, never of device parallelism.
+fn default_partitions(rows: usize) -> usize {
+    if rows < 2 * PARTITION_TARGET_ROWS {
+        1
+    } else {
+        (rows / PARTITION_TARGET_ROWS)
+            .next_power_of_two()
+            .min(MAX_PARTITIONS)
+    }
+}
+
+/// One hash partition: an open-addressing slot table over the rows whose
+/// hash tops map here. Slots store `row_index + 1` (0 means empty).
+#[derive(Debug, Clone)]
+struct Partition {
+    slots: Column,
+    mask: u64,
 }
 
 /// A hash index over the first `w` columns of a build-side table.
@@ -44,47 +103,141 @@ fn hash_cols(cols: &[&[u64]], row: usize) -> u64 {
 /// allows it to be stored in a *static register* (Section 4.2) and reused
 /// across fix-point iterations even though the transient registers of the
 /// previous iteration have been discarded.
+///
+/// The slot space is split over hash partitions (see the module docs); use
+/// [`HashIndex::partitions`] to observe the partition count.
 #[derive(Debug, Clone)]
 pub struct HashIndex {
-    slots: Vec<u64>,
-    mask: u64,
+    parts: Vec<Partition>,
+    /// Partition of hash `h` is `h >> shift`; `shift == 64` means a single
+    /// partition (shifts of 64 are not evaluated — see [`HashIndex::part_of`]).
+    shift: u32,
     keys: Vec<Column>,
     rows: usize,
 }
 
 impl HashIndex {
     /// Builds an index over `key_columns` (all columns must share the same
-    /// length). `expansion` is the paper's `O` parameter: the table capacity
-    /// is the smallest power of two at least `expansion ×` the row count.
+    /// length). `expansion` is the paper's `O` parameter: each partition's
+    /// capacity is the smallest power of two at least `expansion ×` its row
+    /// count. The partition count defaults from the row count (see the
+    /// module docs); the build parallelizes across partitions on the
+    /// device's worker pool.
     pub fn build(device: &Device, key_columns: &[&[u64]], expansion: usize) -> Self {
+        let rows = key_columns.first().map(|c| c.len()).unwrap_or(0);
+        Self::build_partitioned(device, key_columns, expansion, default_partitions(rows))
+    }
+
+    /// [`HashIndex::build`] with an explicit partition count (rounded up to
+    /// a power of two and clamped to an internal cap). `partitions: 1`
+    /// builds the monolithic single-table index — benchmarks use it to
+    /// measure the partitioned build and probe against the flat layout, and
+    /// the property suite uses it to pin the two bit-identical.
+    pub fn build_partitioned(
+        device: &Device,
+        key_columns: &[&[u64]],
+        expansion: usize,
+        partitions: usize,
+    ) -> Self {
         let _t = device.launch(KernelKind::Join);
         let rows = key_columns.first().map(|c| c.len()).unwrap_or(0);
         debug_assert!(
             key_columns.iter().all(|c| c.len() == rows),
             "ragged key columns"
         );
-        let capacity = (rows.max(1) * expansion.max(1)).next_power_of_two().max(8);
-        let mask = capacity as u64 - 1;
+        let partitions = partitions
+            .clamp(1, MAX_PARTITIONS)
+            .next_power_of_two()
+            .min(MAX_PARTITIONS);
         let arena = device.arena();
-        let mut slots = arena.alloc_zeroed(INDEX_SITE, capacity);
         let keys: Vec<Column> = key_columns
             .iter()
-            .map(|c| arena.alloc_copy(INDEX_SITE, c))
+            .map(|c| arena.alloc_copy(sites::JOIN_INDEX, c))
             .collect();
-        let mut key_buf = vec![0u64; keys.len()];
-        for row in 0..rows {
-            for (k, col) in key_buf.iter_mut().zip(&keys) {
-                *k = col[row];
-            }
-            let mut slot = (hash_key(&key_buf) & mask) as usize;
-            while slots[slot] != 0 {
-                slot = (slot + 1) & mask as usize;
-            }
-            slots[slot] = row as u64 + 1;
+        let shift = 64 - partitions.trailing_zeros();
+        if partitions == 1 || rows == 0 {
+            let start = Instant::now();
+            let part = build_one_partition(
+                device,
+                (0..rows as u64).collect::<Vec<u64>>().as_slice(),
+                |row| hash_cols(key_columns, row),
+                expansion,
+            );
+            device.record_busy(start.elapsed());
+            return HashIndex {
+                parts: vec![part],
+                shift: 64,
+                keys,
+                rows,
+            };
         }
+        // Pass 1: hash every row once.
+        let mut hashes = arena.alloc_zeroed(sites::JOIN_BUILD, rows);
+        par_map_into(device, &mut hashes, |row| hash_cols(key_columns, row));
+        // Pass 2: stable scatter of row ids grouped by partition — ascending
+        // global row order within each partition, which is what preserves
+        // the ascending-match invariant.
+        let ranges = chunks_for(device, rows);
+        let chunks = ranges.len();
+        let histograms: Vec<Vec<usize>> = map_chunks(device, &ranges, |_, range| {
+            let mut h = vec![0usize; partitions];
+            for &hv in &hashes[range] {
+                h[(hv >> shift) as usize] += 1;
+            }
+            h
+        });
+        let mut grouped = arena.alloc_zeroed(sites::JOIN_BUILD, rows);
+        let mut part_bounds = Vec::with_capacity(partitions);
+        {
+            // Carve `grouped` into (partition, chunk) buckets in destination
+            // order and regroup per chunk, exactly like the radix-sort
+            // scatter in `kernels::radix_pass`.
+            let mut per_chunk: Vec<Vec<&mut [u64]>> = (0..chunks)
+                .map(|_| Vec::with_capacity(partitions))
+                .collect();
+            let mut rest = grouped.as_mut_slice();
+            let mut consumed = 0usize;
+            for p in 0..partitions {
+                let part_start = consumed;
+                for (c, h) in histograms.iter().enumerate() {
+                    let (head, tail) = rest.split_at_mut(h[p]);
+                    per_chunk[c].push(head);
+                    rest = tail;
+                    consumed += h[p];
+                }
+                part_bounds.push(part_start..consumed);
+            }
+            debug_assert!(rest.is_empty());
+            run_chunks(
+                device,
+                &ranges,
+                per_chunk,
+                |_, range, mut slices: Vec<&mut [u64]>| {
+                    let mut cursors = vec![0usize; partitions];
+                    for i in range {
+                        let p = (hashes[i] >> shift) as usize;
+                        slices[p][cursors[p]] = i as u64;
+                        cursors[p] += 1;
+                    }
+                },
+            );
+        }
+        // Pass 3: build every partition's slot table in parallel — one pool
+        // task per partition, so partitions of uneven size self-balance.
+        let part_ranges: Vec<Range<usize>> = (0..partitions).map(|p| p..p + 1).collect();
+        let parts: Vec<Partition> = map_chunks(device, &part_ranges, |p, _| {
+            build_one_partition(
+                device,
+                &grouped[part_bounds[p].clone()],
+                |row| hashes[row],
+                expansion,
+            )
+        });
+        arena.recycle(sites::JOIN_BUILD, hashes);
+        arena.recycle(sites::JOIN_BUILD, grouped);
         HashIndex {
-            slots,
-            mask,
+            parts,
+            shift,
             keys,
             rows,
         }
@@ -100,9 +253,14 @@ impl HashIndex {
         self.rows == 0
     }
 
-    /// Number of slots in the table.
+    /// Number of slots in the table, summed over partitions.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.parts.iter().map(|p| p.slots.len()).sum()
+    }
+
+    /// Number of hash partitions the slot space is split into.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
     }
 
     /// Width of the join key in columns.
@@ -112,19 +270,32 @@ impl HashIndex {
 
     /// Approximate number of bytes the index occupies on the device.
     pub fn size_bytes(&self) -> usize {
-        (self.slots.len() + self.keys.len() * self.rows) * std::mem::size_of::<u64>()
+        (self.capacity() + self.keys.len() * self.rows) * std::mem::size_of::<u64>()
     }
 
-    /// Returns the index's buffers (slot table and owned key copies) to the
+    /// Returns the index's buffers (slot tables and owned key copies) to the
     /// device arena; call when the index is dead so the next build reuses
     /// them.
     pub fn recycle(self, device: &Device) {
         let arena = device.arena();
-        arena.recycle(INDEX_SITE, self.slots);
+        for part in self.parts {
+            if part.slots.capacity() > 0 {
+                arena.recycle(sites::JOIN_INDEX, part.slots);
+            }
+        }
         for key in self.keys {
             if key.capacity() > 0 {
-                arena.recycle(INDEX_SITE, key);
+                arena.recycle(sites::JOIN_INDEX, key);
             }
+        }
+    }
+
+    /// The partition hash `h` maps to.
+    pub(crate) fn part_of(&self, h: u64) -> usize {
+        if self.shift >= 64 {
+            0
+        } else {
+            (h >> self.shift) as usize
         }
     }
 
@@ -137,6 +308,33 @@ impl HashIndex {
             .iter()
             .zip(probe_cols)
             .all(|(col, probe)| col[row] == probe[probe_row])
+    }
+
+    /// Walks the probe chain of hash `h` inside `part`, calling `f` on every
+    /// stored row that passes `matches`.
+    fn probe_chain(
+        &self,
+        part: usize,
+        h: u64,
+        matches: impl Fn(usize) -> bool,
+        mut f: impl FnMut(usize),
+    ) {
+        let part = &self.parts[part];
+        if part.slots.is_empty() {
+            return;
+        }
+        let mut slot = (h & part.mask) as usize;
+        loop {
+            let entry = part.slots[slot];
+            if entry == 0 {
+                return;
+            }
+            let row = (entry - 1) as usize;
+            if matches(row) {
+                f(row);
+            }
+            slot = (slot + 1) & part.mask as usize;
+        }
     }
 
     /// Counts the build rows whose key equals `key`.
@@ -158,30 +356,21 @@ impl HashIndex {
     /// in **ascending build-row order**.
     ///
     /// This is an invariant, not an accident: [`HashIndex::build`] inserts
-    /// rows `0..n` in order with linear probing and nothing is ever
-    /// deleted, so a later duplicate of a key always lands strictly further
-    /// along the probe chain than an earlier one, and the probe walk visits
-    /// them oldest-first. The merge-path join
+    /// each partition's rows in ascending global row order with linear
+    /// probing and nothing is ever deleted, so a later duplicate of a key
+    /// always lands strictly further along the probe chain than an earlier
+    /// one (duplicates share a hash, hence a partition), and the probe walk
+    /// visits them oldest-first. The merge-path join
     /// ([`kernels::merge_join`](crate::kernels::merge_join)) emits matches
     /// of a sorted build side in the same ascending order, which is what
     /// makes the two join paths bit-identical downstream — provenance tag
     /// combination during dedup folds duplicates in candidate-row order.
-    pub fn for_each_match(&self, key: &[u64], mut f: impl FnMut(usize)) {
+    pub fn for_each_match(&self, key: &[u64], f: impl FnMut(usize)) {
         if self.rows == 0 {
             return;
         }
-        let mut slot = (hash_key(key) & self.mask) as usize;
-        loop {
-            let entry = self.slots[slot];
-            if entry == 0 {
-                return;
-            }
-            let row = (entry - 1) as usize;
-            if self.row_matches(row, key) {
-                f(row);
-            }
-            slot = (slot + 1) & self.mask as usize;
-        }
+        let h = hash_key(key);
+        self.probe_chain(self.part_of(h), h, |row| self.row_matches(row, key), f);
     }
 
     /// [`HashIndex::for_each_match`] keyed by row `probe_row` of the probe
@@ -190,23 +379,205 @@ impl HashIndex {
         &self,
         probe_cols: &[&[u64]],
         probe_row: usize,
-        mut f: impl FnMut(usize),
+        f: impl FnMut(usize),
     ) {
         if self.rows == 0 {
             return;
         }
-        let mut slot = (hash_cols(probe_cols, probe_row) & self.mask) as usize;
-        loop {
-            let entry = self.slots[slot];
-            if entry == 0 {
-                return;
-            }
-            let row = (entry - 1) as usize;
-            if self.row_matches_cols(row, probe_cols, probe_row) {
-                f(row);
-            }
-            slot = (slot + 1) & self.mask as usize;
+        let h = hash_cols(probe_cols, probe_row);
+        self.probe_chain(
+            self.part_of(h),
+            h,
+            |row| self.row_matches_cols(row, probe_cols, probe_row),
+            f,
+        );
+    }
+
+    /// [`HashIndex::for_each_match_cols`] with the hash (and its partition)
+    /// precomputed — the radix-grouped probe hot path, where a chunk stays
+    /// inside one partition.
+    pub(crate) fn for_each_match_grouped(
+        &self,
+        part: usize,
+        h: u64,
+        probe_cols: &[&[u64]],
+        probe_row: usize,
+        f: impl FnMut(usize),
+    ) {
+        if self.rows == 0 {
+            return;
         }
+        self.probe_chain(
+            part,
+            h,
+            |row| self.row_matches_cols(row, probe_cols, probe_row),
+            f,
+        );
+    }
+
+    /// [`HashIndex::count_cols`] with the hash and partition precomputed.
+    pub(crate) fn count_grouped(
+        &self,
+        part: usize,
+        h: u64,
+        probe_cols: &[&[u64]],
+        probe_row: usize,
+    ) -> usize {
+        let mut n = 0;
+        self.for_each_match_grouped(part, h, probe_cols, probe_row, |_| n += 1);
+        n
+    }
+}
+
+/// Builds one partition's slot table over the given row ids (`row_hash`
+/// recomputes or looks up a row's full hash). Rows must arrive in ascending
+/// order — the caller's scatter guarantees it — so probe chains enumerate
+/// matches oldest-first.
+fn build_one_partition(
+    device: &Device,
+    row_ids: &[u64],
+    row_hash: impl Fn(usize) -> u64,
+    expansion: usize,
+) -> Partition {
+    let n = row_ids.len();
+    let capacity = (n.max(1) * expansion.max(1)).next_power_of_two().max(8);
+    let mask = capacity as u64 - 1;
+    let mut slots = device.arena().alloc_zeroed(sites::JOIN_INDEX, capacity);
+    for &row in row_ids {
+        let mut slot = (row_hash(row as usize) & mask) as usize;
+        while slots[slot] != 0 {
+            slot = (slot + 1) & mask as usize;
+        }
+        slots[slot] = row + 1;
+    }
+    Partition { slots, mask }
+}
+
+/// A radix-grouping of a probe column set against a partitioned
+/// [`HashIndex`]: probe rows reordered so that each index partition's rows
+/// are contiguous (ascending probe order within a partition), plus the maps
+/// needed to put per-row results back in original probe order.
+///
+/// Built once per probe side and shared between
+/// [`kernels::count_matches`](crate::kernels::count_matches) and
+/// [`kernels::hash_join`](crate::kernels::hash_join) via their `_with`
+/// variants — the executor memoizes it between the count and join
+/// instructions of one rule so the grouping is paid once.
+pub struct ProbePartition {
+    /// Probe row ids grouped by partition, ascending within each partition.
+    pub(crate) grouped: Column,
+    /// `dest[i]`: the grouped position of probe row `i` (the inverse of
+    /// `grouped`).
+    pub(crate) dest: Column,
+    /// Key hash per probe row, in original probe order.
+    pub(crate) hashes: Column,
+    /// The grouped range belonging to each index partition.
+    pub(crate) bounds: Vec<Range<usize>>,
+}
+
+impl ProbePartition {
+    /// Groups `probe_key_cols` by `index`'s partition function. Returns
+    /// `None` when grouping cannot pay for itself: a single-partition index,
+    /// or a probe side under an internal row threshold. The decision depends
+    /// only on the index structure and the probe length — never on device
+    /// parallelism — so whether the grouped or direct probe path runs is
+    /// itself deterministic.
+    pub fn build(
+        device: &Device,
+        index: &HashIndex,
+        probe_key_cols: &[&[u64]],
+    ) -> Option<ProbePartition> {
+        let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
+        let partitions = index.partitions();
+        if partitions <= 1 || len < PROBE_GROUP_MIN {
+            return None;
+        }
+        let _t = device.launch(KernelKind::Join);
+        let shift = index.shift;
+        let arena = device.arena();
+        let mut hashes = arena.alloc_zeroed(sites::JOIN_PROBE, len);
+        par_map_into(device, &mut hashes, |i| hash_cols(probe_key_cols, i));
+        let ranges = chunks_for(device, len);
+        let chunks = ranges.len();
+        let histograms: Vec<Vec<usize>> = map_chunks(device, &ranges, |_, range| {
+            let mut h = vec![0usize; partitions];
+            for &hv in &hashes[range] {
+                h[(hv >> shift) as usize] += 1;
+            }
+            h
+        });
+        // Base grouped position of every (partition, chunk) bucket, in
+        // destination order.
+        let mut bases = vec![0usize; partitions * chunks];
+        let mut bounds = Vec::with_capacity(partitions);
+        {
+            let mut acc = 0usize;
+            for p in 0..partitions {
+                let part_start = acc;
+                for (c, h) in histograms.iter().enumerate() {
+                    bases[p * chunks + c] = acc;
+                    acc += h[p];
+                }
+                bounds.push(part_start..acc);
+            }
+            debug_assert_eq!(acc, len);
+        }
+        let mut grouped = arena.alloc_zeroed(sites::JOIN_PROBE, len);
+        let mut dest = arena.alloc_zeroed(sites::JOIN_PROBE, len);
+        {
+            let mut per_chunk: Vec<Vec<&mut [u64]>> = (0..chunks)
+                .map(|_| Vec::with_capacity(partitions))
+                .collect();
+            let mut rest = grouped.as_mut_slice();
+            for p in 0..partitions {
+                for (c, h) in histograms.iter().enumerate() {
+                    let (head, tail) = rest.split_at_mut(h[p]);
+                    per_chunk[c].push(head);
+                    rest = tail;
+                }
+            }
+            debug_assert!(rest.is_empty());
+            let dest_slices = split_by_ranges(&mut dest, &ranges);
+            run_chunks(
+                device,
+                &ranges,
+                per_chunk.into_iter().zip(dest_slices).collect(),
+                |c, range, (mut slices, dest_slice): (Vec<&mut [u64]>, &mut [u64])| {
+                    let mut cursors = vec![0usize; partitions];
+                    for (d, i) in dest_slice.iter_mut().zip(range) {
+                        let p = (hashes[i] >> shift) as usize;
+                        slices[p][cursors[p]] = i as u64;
+                        *d = (bases[p * chunks + c] + cursors[p]) as u64;
+                        cursors[p] += 1;
+                    }
+                },
+            );
+        }
+        Some(ProbePartition {
+            grouped,
+            dest,
+            hashes,
+            bounds,
+        })
+    }
+
+    /// Number of probe rows grouped.
+    pub fn len(&self) -> usize {
+        self.grouped.len()
+    }
+
+    /// `true` when no probe rows were grouped (never produced by
+    /// [`ProbePartition::build`], which returns `None` instead).
+    pub fn is_empty(&self) -> bool {
+        self.grouped.is_empty()
+    }
+
+    /// Returns the grouping's buffers to the device arena.
+    pub fn recycle(self, device: &Device) {
+        let arena = device.arena();
+        arena.recycle(sites::JOIN_PROBE, self.grouped);
+        arena.recycle(sites::JOIN_PROBE, self.dest);
+        arena.recycle(sites::JOIN_PROBE, self.hashes);
     }
 }
 
@@ -299,5 +670,127 @@ mod tests {
                 assert_eq!(idx.count(&[i]), 1, "key {i}");
             }
         }
+    }
+
+    /// A large keyed column with clustered duplicates, for partition tests.
+    fn big_keys(rows: usize) -> Vec<u64> {
+        (0..rows as u64)
+            .map(|i| (i.wrapping_mul(2_654_435_761)) % (rows as u64 / 3 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn default_partition_count_follows_rows_not_parallelism() {
+        let small = index_of(&[big_keys(1000)]);
+        assert_eq!(small.partitions(), 1);
+        let seq = Device::sequential();
+        let par = Device::new(crate::DeviceConfig {
+            parallelism: 8,
+            min_parallel_rows: 8,
+            ..crate::DeviceConfig::default()
+        });
+        let col = big_keys(40_000);
+        let a = HashIndex::build(&seq, &[&col], 2);
+        let b = HashIndex::build(&par, &[&col], 2);
+        assert!(a.partitions() > 1);
+        assert_eq!(a.partitions(), b.partitions());
+    }
+
+    #[test]
+    fn partitioned_index_is_bit_identical_across_devices_and_partitions() {
+        let seq = Device::sequential();
+        let par = Device::new(crate::DeviceConfig {
+            parallelism: 8,
+            min_parallel_rows: 8,
+            ..crate::DeviceConfig::default()
+        });
+        let col = big_keys(20_000);
+        let baseline = HashIndex::build_partitioned(&seq, &[&col], 2, 1);
+        for partitions in [1usize, 4, 32] {
+            for dev in [&seq, &par] {
+                let idx = HashIndex::build_partitioned(dev, &[&col], 2, partitions);
+                // Every key must enumerate the exact same ascending match
+                // list whatever the partition count or device.
+                for probe in [0u64, 1, 7, 1000, 6000] {
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    baseline.for_each_match(&[probe], |r| a.push(r));
+                    idx.for_each_match(&[probe], |r| b.push(r));
+                    assert_eq!(a, b, "partitions={partitions} probe={probe}");
+                    assert!(b.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_devices_build_identical_partition_tables() {
+        // Stronger than match-equivalence: the slot tables themselves are a
+        // pure function of (rows, expansion, partitions), never of device
+        // parallelism.
+        let seq = Device::sequential();
+        let par = Device::new(crate::DeviceConfig {
+            parallelism: 5,
+            min_parallel_rows: 8,
+            ..crate::DeviceConfig::default()
+        });
+        let col = big_keys(20_000);
+        let a = HashIndex::build(&seq, &[&col], 2);
+        let b = HashIndex::build(&par, &[&col], 2);
+        assert_eq!(a.partitions(), b.partitions());
+        for (pa, pb) in a.parts.iter().zip(&b.parts) {
+            assert_eq!(pa.mask, pb.mask);
+            assert_eq!(pa.slots, pb.slots);
+        }
+    }
+
+    #[test]
+    fn probe_partition_is_a_consistent_permutation() {
+        let dev = Device::new(crate::DeviceConfig {
+            parallelism: 3,
+            min_parallel_rows: 8,
+            ..crate::DeviceConfig::default()
+        });
+        let col = big_keys(20_000);
+        let idx = HashIndex::build(&dev, &[&col], 2);
+        assert!(idx.partitions() > 1);
+        let probe = big_keys(8_000);
+        let pp = ProbePartition::build(&dev, &idx, &[&probe]).expect("grouping worthwhile");
+        assert_eq!(pp.len(), probe.len());
+        // bounds tile the grouped space, one range per partition.
+        assert_eq!(pp.bounds.len(), idx.partitions());
+        assert_eq!(pp.bounds.first().map(|r| r.start), Some(0));
+        assert_eq!(pp.bounds.last().map(|r| r.end), Some(probe.len()));
+        // grouped is a permutation; dest is its inverse; rows inside one
+        // partition range really map there and stay ascending.
+        let mut seen = vec![false; probe.len()];
+        for (p, range) in pp.bounds.iter().enumerate() {
+            let mut prev = None;
+            for g in range.clone() {
+                let row = pp.grouped[g] as usize;
+                assert!(!seen[row]);
+                seen[row] = true;
+                assert_eq!(pp.dest[row] as usize, g);
+                assert_eq!(idx.part_of(pp.hashes[row]), p);
+                if let Some(prev) = prev {
+                    assert!(prev < row, "ascending within partition");
+                }
+                prev = Some(row);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        pp.recycle(&dev);
+    }
+
+    #[test]
+    fn probe_partition_declines_small_or_monolithic_cases() {
+        let dev = Device::sequential();
+        let small = big_keys(100);
+        let idx_small = HashIndex::build(&dev, &[&small], 2);
+        assert!(ProbePartition::build(&dev, &idx_small, &[&small]).is_none());
+        let big = big_keys(20_000);
+        let idx_big = HashIndex::build(&dev, &[&big], 2);
+        // Large index, tiny probe side: still not worth grouping.
+        assert!(ProbePartition::build(&dev, &idx_big, &[&small]).is_none());
     }
 }

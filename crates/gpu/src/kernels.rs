@@ -31,12 +31,21 @@
 //! * [`eval`], the gathers, and [`hash_join`] write each output element as a
 //!   pure function of its input row(s) into disjoint, position-stable
 //!   output ranges.
+//! * [`count_matches`] and [`hash_join`] switch between the direct and the
+//!   radix-grouped probe path (see [`ProbePartition`]) on the probe length
+//!   and index structure alone — never on device parallelism — and the
+//!   grouped path scatters results back into original probe order, so both
+//!   paths produce the same bytes.
+//!
+//! Parallel execution runs on the device's persistent worker pool
+//! ([`crate::pool`]); no kernel spawns threads per launch.
 
 use crate::device::KernelKind;
 use crate::parallel::{chunks_for, map_chunks, par_map_into, run_chunks, split_by_ranges};
-use crate::{Column, Columns, Device, HashIndex};
+use crate::{Column, Columns, Device, HashIndex, ProbePartition};
 use std::cmp::Ordering;
 use std::ops::Range;
+use std::time::Instant;
 
 /// Allocation-site ids for kernel outputs and scratch buffers (see
 /// [`Arena`](crate::Arena)): every column a kernel allocates is tagged with
@@ -78,6 +87,10 @@ pub mod sites {
     pub const MERGE_COUNT_OUT: usize = 15;
     /// Merge-join output index columns.
     pub const MERGE_JOIN_OUT: usize = 16;
+    /// Partitioned hash-index build scratch (row hashes, grouped row ids).
+    pub const JOIN_BUILD: usize = 17;
+    /// Radix-grouped probe scratch (probe hashes, grouping, grouped outputs).
+    pub const JOIN_PROBE: usize = 18;
 }
 
 /// Compares row `i` of `a` with row `j` of `b` lexicographically by column.
@@ -137,7 +150,7 @@ where
 {
     let _t = device.launch(KernelKind::Other);
     let ranges = chunks_for(device, len);
-    let sinks: Vec<EvalSink> = map_chunks(&ranges, |_, range| {
+    let sinks: Vec<EvalSink> = map_chunks(device, &ranges, |_, range| {
         let mut sink = EvalSink::new(out_arity);
         f(range, &mut sink);
         sink
@@ -180,7 +193,7 @@ fn gather_tags_inner<T: Clone + Send + Sync>(
     tags: &[T],
 ) -> Vec<T> {
     let ranges = chunks_for(device, indices.len());
-    let pieces: Vec<Vec<T>> = map_chunks(&ranges, |_, range| {
+    let pieces: Vec<Vec<T>> = map_chunks(device, &ranges, |_, range| {
         indices[range]
             .iter()
             .map(|&k| tags[k as usize].clone())
@@ -206,7 +219,7 @@ where
     let _t = device.launch(KernelKind::Other);
     debug_assert_eq!(left_indices.len(), right_indices.len());
     let ranges = chunks_for(device, left_indices.len());
-    let pieces: Vec<Vec<T>> = map_chunks(&ranges, |_, range| {
+    let pieces: Vec<Vec<T>> = map_chunks(device, &ranges, |_, range| {
         range
             .map(|k| {
                 let l = &left_tags[left_indices[k] as usize];
@@ -233,19 +246,29 @@ fn concat_pieces<T>(pieces: Vec<Vec<T>>, total: usize) -> Vec<T> {
 /// offsets and the total.
 pub fn scan(device: &Device, counts: &[u64]) -> (Column, u64) {
     let _t = device.launch(KernelKind::Other);
+    scan_into(device, counts)
+}
+
+/// [`scan`] without recording its own launch — for kernels that scan
+/// internally inside an already-open launch (the grouped join path), so the
+/// work is attributed to the enclosing kernel instead of a nested `Other`
+/// launch.
+fn scan_into(device: &Device, counts: &[u64]) -> (Column, u64) {
     let len = counts.len();
     let mut offsets = device.arena().alloc_zeroed(sites::SCAN_OUT, len);
     let ranges = chunks_for(device, len);
     if ranges.len() <= 1 {
+        let start = Instant::now();
         let mut acc = 0u64;
         for (slot, &c) in offsets.iter_mut().zip(counts) {
             *slot = acc;
             acc += c;
         }
+        device.record_busy(start.elapsed());
         return (offsets, acc);
     }
     // Pass 1: per-chunk sums; tiny sequential scan of the sums.
-    let sums: Vec<u64> = map_chunks(&ranges, |_, range| counts[range].iter().sum());
+    let sums: Vec<u64> = map_chunks(device, &ranges, |_, range| counts[range].iter().sum());
     let mut bases = Vec::with_capacity(sums.len());
     let mut acc = 0u64;
     for &s in &sums {
@@ -255,6 +278,7 @@ pub fn scan(device: &Device, counts: &[u64]) -> (Column, u64) {
     // Pass 2: each chunk rescans from its base into its output slice.
     let slices = split_by_ranges(&mut offsets, &ranges);
     run_chunks(
+        device,
         &ranges,
         slices.into_iter().zip(bases).collect(),
         |_, range, (slice, base): (&mut [u64], u64)| {
@@ -300,9 +324,11 @@ pub fn sort_permutation(device: &Device, columns: &[&[u64]]) -> Column {
         return perm;
     }
     if len <= SMALL_SORT {
+        let start = Instant::now();
         perm.sort_unstable_by(|&i, &j| {
             cmp_rows(columns, i as usize, columns, j as usize).then(i.cmp(&j))
         });
+        device.record_busy(start.elapsed());
         return perm;
     }
     let sig_bytes: Vec<u32> = columns
@@ -321,7 +347,7 @@ pub fn sort_permutation(device: &Device, columns: &[&[u64]]) -> Column {
 /// Number of bytes needed to represent the largest value of `col`.
 fn significant_bytes(device: &Device, col: &[u64]) -> u32 {
     let ranges = chunks_for(device, col.len());
-    let max = map_chunks(&ranges, |_, range| {
+    let max = map_chunks(device, &ranges, |_, range| {
         col[range].iter().copied().max().unwrap_or(0)
     })
     .into_iter()
@@ -360,7 +386,7 @@ fn radix_pass(device: &Device, col: &[u64], shift: u32, src: &Column, dst: &mut 
     let ranges = chunks_for(device, len);
     let digit = |v: u64| ((col[v as usize] >> shift) & 0xFF) as usize;
     // Per-chunk digit histograms.
-    let histograms: Vec<[usize; 256]> = map_chunks(&ranges, |_, range| {
+    let histograms: Vec<[usize; 256]> = map_chunks(device, &ranges, |_, range| {
         let mut h = [0usize; 256];
         for &v in &src[range] {
             h[digit(v)] += 1;
@@ -396,6 +422,7 @@ fn radix_pass(device: &Device, col: &[u64], shift: u32, src: &Column, dst: &mut 
     // Scatter: each chunk walks its elements in order and appends them to
     // its own slice of each digit bucket — stable, disjoint, parallel.
     run_chunks(
+        device,
         &ranges,
         per_chunk,
         |_, range, mut slices: Vec<&mut [u64]>| {
@@ -424,7 +451,7 @@ fn merge_sort(device: &Device, columns: &[&[u64]], perm: &mut Column) {
     let ranges = chunks_for(device, len);
     {
         let slices = split_by_ranges(perm, &ranges);
-        run_chunks(&ranges, slices, |_, _, slice: &mut [u64]| {
+        run_chunks(device, &ranges, slices, |_, _, slice: &mut [u64]| {
             slice.sort_unstable_by(|&i, &j| {
                 cmp_rows(columns, i as usize, columns, j as usize).then(i.cmp(&j))
             });
@@ -453,6 +480,7 @@ fn merge_sort(device: &Device, columns: &[&[u64]], perm: &mut Column) {
         {
             let out_slices = split_by_ranges(&mut buf, &merged);
             run_chunks(
+                device,
                 &merged,
                 pairs.into_iter().zip(out_slices).collect(),
                 |_, _, ((a, b), out): MergeUnit<'_>| match b {
@@ -521,7 +549,9 @@ where
     // write them into disjoint slices of one starts column.
     let ranges = chunks_for(device, len);
     let is_start = |i: usize| i == 0 || cmp_rows(columns, i - 1, columns, i) != Ordering::Equal;
-    let counts: Vec<usize> = map_chunks(&ranges, |_, range| range.filter(|&i| is_start(i)).count());
+    let counts: Vec<usize> = map_chunks(device, &ranges, |_, range| {
+        range.filter(|&i| is_start(i)).count()
+    });
     let total: usize = counts.iter().sum();
     let mut starts = arena.alloc_zeroed(sites::UNIQUE_STARTS, total);
     {
@@ -532,7 +562,7 @@ where
             acc += c;
         }
         let slices = split_by_ranges(&mut starts, &bounds);
-        run_chunks(&ranges, slices, |_, range, slice: &mut [u64]| {
+        run_chunks(device, &ranges, slices, |_, range, slice: &mut [u64]| {
             for (k, i) in range.filter(|&i| is_start(i)).enumerate() {
                 slice[k] = i as u64;
             }
@@ -546,7 +576,7 @@ where
         out_cols.push(out);
     }
     let seg_ranges = chunks_for(device, total);
-    let pieces: Vec<Vec<T>> = map_chunks(&seg_ranges, |_, range| {
+    let pieces: Vec<Vec<T>> = map_chunks(device, &seg_ranges, |_, range| {
         range
             .map(|k| {
                 let start = starts[k] as usize;
@@ -624,6 +654,7 @@ pub fn merge<T: Clone + Send + Sync>(
         .collect();
     let col_slices = columns_chunked(&mut out_cols, &ranges);
     let pieces: Vec<Vec<T>> = run_chunks(
+        device,
         &ranges,
         col_slices,
         |c, range, mut outs: Vec<&mut [u64]>| {
@@ -733,7 +764,7 @@ pub fn difference<T: Clone + Send + Sync>(
             }
         }
     };
-    let counts: Vec<usize> = map_chunks(&ranges, |_, range| {
+    let counts: Vec<usize> = map_chunks(device, &ranges, |_, range| {
         let mut n = 0;
         walk(range, Box::new(|_| n += 1));
         n
@@ -748,7 +779,7 @@ pub fn difference<T: Clone + Send + Sync>(
             acc += c;
         }
         let slices = split_by_ranges(&mut kept, &bounds);
-        run_chunks(&ranges, slices, |_, range, slice: &mut [u64]| {
+        run_chunks(device, &ranges, slices, |_, range, slice: &mut [u64]| {
             let mut k = 0;
             walk(
                 range,
@@ -773,13 +804,62 @@ pub fn difference<T: Clone + Send + Sync>(
 /// `count(b̄, h, ā)`: for every probe row, the number of build rows with a
 /// matching key in the hash index. Probe keys are hashed straight from the
 /// probe columns — no per-row key buffer is materialized.
+///
+/// When the index is partitioned and the probe side is large, the probe is
+/// radix-grouped first (see [`ProbePartition`]) so each chunk walks one
+/// cache-resident partition; counts are scattered back into original probe
+/// order, so the output is byte-identical to the direct path. Callers that
+/// also run [`hash_join`] on the same probe side should build the grouping
+/// once and use [`count_matches_with`] / [`hash_join_with`].
 pub fn count_matches(device: &Device, index: &HashIndex, probe_key_cols: &[&[u64]]) -> Column {
+    let part = ProbePartition::build(device, index, probe_key_cols);
+    let out = count_matches_with(device, index, probe_key_cols, part.as_ref());
+    if let Some(part) = part {
+        part.recycle(device);
+    }
+    out
+}
+
+/// [`count_matches`] against a pre-built probe grouping (`None` runs the
+/// direct path). The grouping must come from [`ProbePartition::build`] with
+/// this `index` and these probe columns.
+pub fn count_matches_with(
+    device: &Device,
+    index: &HashIndex,
+    probe_key_cols: &[&[u64]],
+    part: Option<&ProbePartition>,
+) -> Column {
     let _t = device.launch(KernelKind::Join);
     let len = probe_key_cols.first().map(|c| c.len()).unwrap_or(0);
-    let mut out = device.arena().alloc_zeroed(sites::COUNT_OUT, len);
-    par_map_into(device, &mut out, |i| {
-        index.count_cols(probe_key_cols, i) as u64
-    });
+    let arena = device.arena();
+    let mut out = arena.alloc_zeroed(sites::COUNT_OUT, len);
+    let Some(part) = part else {
+        par_map_into(device, &mut out, |i| {
+            index.count_cols(probe_key_cols, i) as u64
+        });
+        return out;
+    };
+    debug_assert_eq!(part.len(), len, "grouping built for another probe side");
+    // Count in grouped order — one partition per chunk, so every lookup of
+    // a chunk hits the same (cache-resident) slot table...
+    let mut grouped_counts = arena.alloc_zeroed(sites::JOIN_PROBE, len);
+    {
+        let slices = split_by_ranges(&mut grouped_counts, &part.bounds);
+        run_chunks(
+            device,
+            &part.bounds,
+            slices,
+            |p, range, slice: &mut [u64]| {
+                for (slot, g) in slice.iter_mut().zip(range) {
+                    let row = part.grouped[g] as usize;
+                    *slot = index.count_grouped(p, part.hashes[row], probe_key_cols, row) as u64;
+                }
+            },
+        );
+    }
+    // ...then gather back into original probe order.
+    par_map_into(device, &mut out, |i| grouped_counts[part.dest[i] as usize]);
+    arena.recycle(sites::JOIN_PROBE, grouped_counts);
     out
 }
 
@@ -791,10 +871,42 @@ pub fn count_matches(device: &Device, index: &HashIndex, probe_key_cols: &[&[u64
 /// (`offsets` is monotone), writing full-width `u64` indices directly — no
 /// per-row buffers and no packing, so row indices are never truncated
 /// however large the tables grow.
+///
+/// Like [`count_matches`], a large probe of a partitioned index runs
+/// radix-grouped: matches are emitted per partition and then copied back
+/// into the caller's `offsets` layout, byte-identical to the direct path.
 pub fn hash_join(
     device: &Device,
     index: &HashIndex,
     probe_key_cols: &[&[u64]],
+    counts: &[u64],
+    offsets: &[u64],
+    total: u64,
+) -> (Column, Column) {
+    let part = ProbePartition::build(device, index, probe_key_cols);
+    let out = hash_join_with(
+        device,
+        index,
+        probe_key_cols,
+        part.as_ref(),
+        counts,
+        offsets,
+        total,
+    );
+    if let Some(part) = part {
+        part.recycle(device);
+    }
+    out
+}
+
+/// [`hash_join`] against a pre-built probe grouping (`None` runs the direct
+/// path). The grouping must come from [`ProbePartition::build`] with this
+/// `index` and these probe columns.
+pub fn hash_join_with(
+    device: &Device,
+    index: &HashIndex,
+    probe_key_cols: &[&[u64]],
+    part: Option<&ProbePartition>,
     counts: &[u64],
     offsets: &[u64],
     total: u64,
@@ -817,26 +929,110 @@ pub fn hash_join(
             start..end
         })
         .collect();
-    let build_slices = split_by_ranges(&mut build_out, &out_bounds);
-    let probe_slices = split_by_ranges(&mut probe_out, &out_bounds);
-    run_chunks(
-        &ranges,
-        build_slices.into_iter().zip(probe_slices).collect(),
-        |_, range, (bs, ps): (&mut [u64], &mut [u64])| {
-            let mut k = 0;
-            for i in range {
-                if counts[i] == 0 {
-                    continue;
+    let Some(part) = part else {
+        let build_slices = split_by_ranges(&mut build_out, &out_bounds);
+        let probe_slices = split_by_ranges(&mut probe_out, &out_bounds);
+        run_chunks(
+            device,
+            &ranges,
+            build_slices.into_iter().zip(probe_slices).collect(),
+            |_, range, (bs, ps): (&mut [u64], &mut [u64])| {
+                let mut k = 0;
+                for i in range {
+                    if counts[i] == 0 {
+                        continue;
+                    }
+                    index.for_each_match_cols(probe_key_cols, i, |build_row| {
+                        bs[k] = build_row as u64;
+                        ps[k] = i as u64;
+                        k += 1;
+                    });
                 }
-                index.for_each_match_cols(probe_key_cols, i, |build_row| {
-                    bs[k] = build_row as u64;
-                    ps[k] = i as u64;
-                    k += 1;
-                });
-            }
-            debug_assert_eq!(k, bs.len(), "counts disagree with probe matches");
-        },
-    );
+                debug_assert_eq!(k, bs.len(), "counts disagree with probe matches");
+            },
+        );
+        return (build_out, probe_out);
+    };
+    debug_assert_eq!(part.len(), len, "grouping built for another probe side");
+    // Grouped layout: per-row counts and offsets in grouped order, so each
+    // partition's matches land in one contiguous grouped output range.
+    let mut grouped_counts = arena.alloc_zeroed(sites::JOIN_PROBE, len);
+    par_map_into(device, &mut grouped_counts, |g| {
+        counts[part.grouped[g] as usize]
+    });
+    let (grouped_offsets, grouped_total) = scan_into(device, &grouped_counts);
+    debug_assert_eq!(grouped_total, total, "grouping changed the match count");
+    let mut grouped_build = arena.alloc_zeroed(sites::JOIN_PROBE, total as usize);
+    let mut grouped_probe = arena.alloc_zeroed(sites::JOIN_PROBE, total as usize);
+    {
+        // Probe partition by partition: every lookup of a chunk walks the
+        // same cache-resident slot table.
+        let grouped_out_bounds: Vec<Range<usize>> = part
+            .bounds
+            .iter()
+            .map(|r| {
+                let start = grouped_offsets.get(r.start).copied().unwrap_or(total) as usize;
+                let end = grouped_offsets.get(r.end).copied().unwrap_or(total) as usize;
+                start..end
+            })
+            .collect();
+        let build_slices = split_by_ranges(&mut grouped_build, &grouped_out_bounds);
+        let probe_slices = split_by_ranges(&mut grouped_probe, &grouped_out_bounds);
+        run_chunks(
+            device,
+            &part.bounds,
+            build_slices.into_iter().zip(probe_slices).collect(),
+            |p, range, (bs, ps): (&mut [u64], &mut [u64])| {
+                let mut k = 0;
+                for g in range {
+                    if grouped_counts[g] == 0 {
+                        continue;
+                    }
+                    let row = part.grouped[g] as usize;
+                    index.for_each_match_grouped(
+                        p,
+                        part.hashes[row],
+                        probe_key_cols,
+                        row,
+                        |build_row| {
+                            bs[k] = build_row as u64;
+                            ps[k] = row as u64;
+                            k += 1;
+                        },
+                    );
+                }
+                debug_assert_eq!(k, bs.len(), "counts disagree with probe matches");
+            },
+        );
+    }
+    // Copy each probe row's match run back into the caller's offsets
+    // layout — the bytes end up exactly where the direct path writes them.
+    {
+        let build_slices = split_by_ranges(&mut build_out, &out_bounds);
+        let probe_slices = split_by_ranges(&mut probe_out, &out_bounds);
+        run_chunks(
+            device,
+            &ranges,
+            build_slices.into_iter().zip(probe_slices).collect(),
+            |_, range, (bs, ps): (&mut [u64], &mut [u64])| {
+                let mut k = 0;
+                for i in range {
+                    let n = counts[i] as usize;
+                    if n == 0 {
+                        continue;
+                    }
+                    let src = grouped_offsets[part.dest[i] as usize] as usize;
+                    bs[k..k + n].copy_from_slice(&grouped_build[src..src + n]);
+                    ps[k..k + n].copy_from_slice(&grouped_probe[src..src + n]);
+                    k += n;
+                }
+            },
+        );
+    }
+    arena.recycle(sites::JOIN_PROBE, grouped_counts);
+    arena.recycle(sites::JOIN_PROBE, grouped_build);
+    arena.recycle(sites::JOIN_PROBE, grouped_probe);
+    arena.recycle(sites::SCAN_OUT, grouped_offsets);
     (build_out, probe_out)
 }
 
@@ -933,7 +1129,7 @@ pub fn merge_count(
     let mut out = device.arena().alloc_zeroed(sites::MERGE_COUNT_OUT, len);
     let ranges = chunks_for(device, len);
     let slices = split_by_ranges(&mut out, &ranges);
-    run_chunks(&ranges, slices, |_, range, chunk: &mut [u64]| {
+    run_chunks(device, &ranges, slices, |_, range, chunk: &mut [u64]| {
         // Each chunk carries its cursor forward: for a sorted probe side
         // the searches degrade into an amortized linear merge.
         let mut cursor = 0;
@@ -986,6 +1182,7 @@ pub fn merge_join(
     let build_slices = split_by_ranges(&mut build_out, &out_bounds);
     let probe_slices = split_by_ranges(&mut probe_out, &out_bounds);
     run_chunks(
+        device,
         &ranges,
         build_slices.into_iter().zip(probe_slices).collect(),
         |_, range, (bs, ps): (&mut [u64], &mut [u64])| {
@@ -1024,6 +1221,7 @@ fn is_sorted(cols: &[&[u64]]) -> bool {
 /// `copy(s̄)` / `append`: concatenates columns row-wise.
 pub fn append(device: &Device, tables: &[&[&[u64]]]) -> Columns {
     let _t = device.launch(KernelKind::Other);
+    let start = Instant::now();
     let arity = tables.iter().map(|t| t.len()).max().unwrap_or(0);
     let arena = device.arena();
     let mut out: Columns = (0..arity)
@@ -1040,16 +1238,19 @@ pub fn append(device: &Device, tables: &[&[&[u64]]]) -> Columns {
             out[c].extend_from_slice(col);
         }
     }
+    device.record_busy(start.elapsed());
     out
 }
 
 /// Tag variant of [`append`].
 pub fn append_tags<T: Clone>(device: &Device, tag_sets: &[&[T]]) -> Vec<T> {
     let _t = device.launch(KernelKind::Other);
+    let start = Instant::now();
     let mut out = Vec::with_capacity(tag_sets.iter().map(|t| t.len()).sum());
     for tags in tag_sets {
         out.extend_from_slice(tags);
     }
+    device.record_busy(start.elapsed());
     out
 }
 

@@ -3,11 +3,14 @@
 //!
 //! The paper implements Lobster's runtime with CUDA kernels. This crate
 //! substitutes a *simulated device*: vector registers are large contiguous
-//! buffers of 64-bit words, kernels are bulk data-parallel operations executed
-//! on a host thread pool, and the device tracks the statistics a real GPU
-//! runtime would care about — kernel launches, allocated bytes, peak memory,
-//! and host↔device transfer volume. A configurable memory budget reproduces
-//! the out-of-memory behaviour reported in the paper's Table 3.
+//! buffers of 64-bit words, kernels are bulk data-parallel operations
+//! executed on the device's **persistent worker pool** (long-lived threads
+//! spawned at [`Device`] construction and joined when its last clone drops —
+//! see [`pool`]; no kernel ever spawns threads per launch), and the device
+//! tracks the statistics a real GPU runtime would care about — kernel
+//! launches, allocated bytes, peak memory, and host↔device transfer volume.
+//! A configurable memory budget reproduces the out-of-memory behaviour
+//! reported in the paper's Table 3.
 //!
 //! The kernel library mirrors the APM instruction set of Table 1:
 //!
@@ -19,18 +22,28 @@
 //!   [`kernels::merge`], [`kernels::difference`] — sorted-table maintenance
 //!   for semi-naive evaluation,
 //! * [`HashIndex`] with [`kernels::count_matches`] and [`kernels::hash_join`]
-//!   — the open-addressing, linear-probing hash join of Section 5.1.
+//!   — the open-addressing, linear-probing hash join of Section 5.1,
+//!   partitioned over hash buckets so the index build parallelizes and
+//!   large probes run radix-grouped against cache-resident partitions
+//!   ([`ProbePartition`]).
 //!
 //! All kernels produce bit-identical output whatever the configured
 //! parallelism — see the [`kernels`] module docs for the determinism
 //! contract (stable total orders for sorting, fixed left-to-right tag fold
-//! order, data-determined partition points). Kernel outputs and scratch are
-//! allocated through the per-device [`Arena`] pool, so once a fix-point
-//! reaches its steady state an iteration performs zero fresh column
-//! allocations (Section 4.1); [`DeviceStats::kernel_time`] attributes wall
-//! time to sort/join/unique buckets.
+//! order, data-determined partition points, parallelism-independent hash
+//! partitioning). Kernel outputs and scratch are allocated through the
+//! per-device [`Arena`] pool, so once a fix-point reaches its steady state
+//! an iteration performs zero fresh column allocations (Section 4.1);
+//! [`DeviceStats::kernel_time`] attributes chunk-execution (busy) time and
+//! [`DeviceStats::kernel_wall`] enqueue-to-completion time to
+//! sort/join/unique buckets. See `docs/PERFORMANCE.md` in the repository
+//! for how to tune the pool and read the benchmark artifacts.
+//!
+//! The crate is `unsafe`-free except for the single lifetime-erasure the
+//! worker pool needs to run borrowed chunk closures on persistent threads;
+//! it is confined to [`pool`] and documented there.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;
@@ -38,12 +51,13 @@ mod device;
 mod hash;
 pub mod kernels;
 mod parallel;
+pub mod pool;
 
 pub use arena::{Arena, ArenaStats};
 pub use device::{
     Device, DeviceConfig, DeviceError, DeviceStats, KernelKind, KernelTime, TransferDirection,
 };
-pub use hash::HashIndex;
+pub use hash::{HashIndex, ProbePartition};
 pub use parallel::par_map_into;
 
 /// A column of a device-resident table: a flat vector of 64-bit words.

@@ -2,14 +2,23 @@
 //!
 //! Kernels in this crate are written as bulk per-row operations. When the
 //! input is large enough and the device is configured with more than one
-//! worker, the work is split into disjoint index ranges that are processed by
-//! scoped threads; otherwise the work runs sequentially on the calling
-//! thread. Every helper here guarantees that the observable result is
-//! *independent of the chunking*: chunk boundaries only decide which thread
-//! computes an element, never what the element is.
+//! worker, the work is split into disjoint index ranges that are executed on
+//! the device's persistent worker pool ([`crate::pool`] — long-lived threads
+//! spawned at [`Device`] construction, never per launch); otherwise the work
+//! runs sequentially on the calling thread. Every helper here guarantees
+//! that the observable result is *independent of the chunking and of which
+//! pool thread runs a chunk*: chunk boundaries only decide which thread
+//! computes an element, never what the element is, and results are
+//! reassembled strictly in chunk-index order.
+//!
+//! All helpers also feed chunk-execution time into the device's busy-time
+//! counter ([`crate::DeviceStats::kernel_time`]), attributed to the active
+//! launch on the calling thread.
 
 use crate::Device;
 use std::ops::Range;
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// The chunking a kernel launch uses: `0..len` split into at most
 /// [`Device::parallelism`] disjoint ranges, or a single range when the input
@@ -32,11 +41,17 @@ pub(crate) fn chunks_for(device: &Device, len: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Runs `f(chunk_index, range, state)` for every chunk, in parallel when
-/// there is more than one, collecting the return values in chunk order.
-/// `states` carries per-chunk resources (typically disjoint `&mut` views of
-/// an output buffer) into the workers.
-pub(crate) fn run_chunks<S, R, F>(ranges: &[Range<usize>], states: Vec<S>, f: F) -> Vec<R>
+/// Runs `f(chunk_index, range, state)` for every chunk — on `device`'s
+/// worker pool when there is more than one chunk — collecting the return
+/// values in chunk order. `states` carries per-chunk resources (typically
+/// disjoint `&mut` views of an output buffer) into the workers. Chunk
+/// execution time is recorded as device busy time.
+pub(crate) fn run_chunks<S, R, F>(
+    device: &Device,
+    ranges: &[Range<usize>],
+    states: Vec<S>,
+    f: F,
+) -> Vec<R>
 where
     S: Send,
     R: Send,
@@ -44,34 +59,49 @@ where
 {
     debug_assert_eq!(ranges.len(), states.len());
     if ranges.len() <= 1 {
-        return states
+        let start = Instant::now();
+        let out = states
             .into_iter()
             .enumerate()
             .map(|(c, state)| f(c, ranges[c].clone(), state))
             .collect();
+        device.record_busy(start.elapsed());
+        return out;
     }
-    let mut out = Vec::with_capacity(ranges.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranges.len());
-        for (c, state) in states.into_iter().enumerate() {
-            let range = ranges[c].clone();
-            let f = &f;
-            handles.push(scope.spawn(move || f(c, range, state)));
-        }
-        for handle in handles {
-            out.push(handle.join().expect("kernel worker panicked"));
-        }
+    // Per-chunk cells hand each state to exactly one worker and collect each
+    // result under its chunk index, so the output order is deterministic no
+    // matter which pool thread ran which chunk.
+    let states: Vec<Mutex<Option<S>>> = states.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let results: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    let busy = device.pool().run(ranges.len(), &|c| {
+        let state = states[c]
+            .lock()
+            .expect("chunk state poisoned")
+            .take()
+            .expect("chunk claimed once");
+        let result = f(c, ranges[c].clone(), state);
+        *results[c].lock().expect("chunk result poisoned") = Some(result);
     });
-    out
+    device.record_busy(busy);
+    results
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("chunk result poisoned")
+                .expect("chunk completed")
+        })
+        .collect()
 }
 
 /// [`run_chunks`] without per-chunk state.
-pub(crate) fn map_chunks<R, F>(ranges: &[Range<usize>], f: F) -> Vec<R>
+pub(crate) fn map_chunks<R, F>(device: &Device, ranges: &[Range<usize>], f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, Range<usize>) -> R + Sync,
 {
-    run_chunks(ranges, vec![(); ranges.len()], |c, range, ()| f(c, range))
+    run_chunks(device, ranges, vec![(); ranges.len()], |c, range, ()| {
+        f(c, range)
+    })
 }
 
 /// Splits `slice` into one sub-slice per entry of `bounds`, where `bounds`
@@ -95,30 +125,17 @@ pub(crate) fn split_by_ranges<'a, T>(
 }
 
 /// Fills `out[i] = f(offset + i)` for every element of `out`, splitting the
-/// work across the device's workers when profitable.
+/// work across the device's worker pool when profitable.
 pub fn par_map_into<T, F>(device: &Device, out: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let len = out.len();
-    let workers = device.parallelism();
-    if workers <= 1 || len < device.min_parallel_rows() {
-        for (i, slot) in out.iter_mut().enumerate() {
+    let ranges = chunks_for(device, out.len());
+    let slices = split_by_ranges(out, &ranges);
+    run_chunks(device, &ranges, slices, |_, range, slice| {
+        for (slot, i) in slice.iter_mut().zip(range) {
             *slot = f(i);
-        }
-        return;
-    }
-    let chunk = len.div_ceil(workers);
-    std::thread::scope(|scope| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                let base = c * chunk;
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    *slot = f(base + i);
-                }
-            });
         }
     });
 }
@@ -128,14 +145,18 @@ mod tests {
     use super::*;
     use crate::{Device, DeviceConfig};
 
+    fn par_device(parallelism: usize) -> Device {
+        Device::new(DeviceConfig {
+            parallelism,
+            min_parallel_rows: 1,
+            ..DeviceConfig::default()
+        })
+    }
+
     #[test]
     fn par_map_matches_sequential() {
         let seq = Device::sequential();
-        let par = Device::new(DeviceConfig {
-            parallelism: 8,
-            min_parallel_rows: 1,
-            ..DeviceConfig::default()
-        });
+        let par = par_device(8);
         let n = 10_000;
         let mut a = vec![0u64; n];
         let mut b = vec![0u64; n];
@@ -150,7 +171,7 @@ mod tests {
         let mut out: Vec<u64> = Vec::new();
         par_map_into(&dev, &mut out, |i| i as u64);
         assert!(out.is_empty());
-        let collected = map_chunks(&chunks_for(&dev, 0), |_, r| {
+        let collected = map_chunks(&dev, &chunks_for(&dev, 0), |_, r| {
             r.map(|i| i as u64).collect::<Vec<_>>()
         });
         assert_eq!(collected.len(), 1);
@@ -159,11 +180,7 @@ mod tests {
 
     #[test]
     fn chunks_tile_the_input() {
-        let par = Device::new(DeviceConfig {
-            parallelism: 3,
-            min_parallel_rows: 1,
-            ..DeviceConfig::default()
-        });
+        let par = par_device(3);
         let ranges = chunks_for(&par, 10);
         assert_eq!(ranges.first().map(|r| r.start), Some(0));
         assert_eq!(ranges.last().map(|r| r.end), Some(10));
@@ -185,10 +202,32 @@ mod tests {
 
     #[test]
     fn run_chunks_threads_state_in_order() {
+        let par = par_device(4);
         let ranges = vec![0..2, 2..5, 5..6];
-        let out = run_chunks(&ranges, vec![10usize, 20, 30], |c, range, s| {
+        let out = run_chunks(&par, &ranges, vec![10usize, 20, 30], |c, range, s| {
             s + range.len() + c
         });
         assert_eq!(out, vec![12, 24, 33]);
+    }
+
+    #[test]
+    fn run_chunks_records_busy_time() {
+        let par = par_device(3);
+        let ranges = chunks_for(&par, 3_000);
+        let before = par.stats().kernel_time.total_ns();
+        let _sums = map_chunks(&par, &ranges, |_, range| {
+            range.map(|i| i as u64).sum::<u64>()
+        });
+        assert!(par.stats().kernel_time.total_ns() >= before);
+    }
+
+    #[test]
+    fn more_chunks_than_workers_self_balance() {
+        let par = par_device(2);
+        let ranges: Vec<Range<usize>> = (0..37).map(|c| c * 10..(c + 1) * 10).collect();
+        let out = map_chunks(&par, &ranges, |c, range| (c, range.start));
+        for (c, entry) in out.iter().enumerate() {
+            assert_eq!(*entry, (c, c * 10));
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! (`batch_agreement`, `sharded_agreement`, cross-provenance) lean on: if
 //! each kernel is chunk-invariant, whole fix-points are.
 
-use lobster_gpu::{kernels, Device, DeviceConfig, HashIndex};
+use lobster_gpu::{kernels, Device, DeviceConfig, HashIndex, ProbePartition};
 
 /// Parallelism degrees exercised against the sequential baseline.
 const PARALLELISMS: [usize; 3] = [1, 3, 8];
@@ -309,6 +309,130 @@ fn merge_join_is_bit_identical_to_hash_join() {
                 assert_eq!(pi, hash_pi, "merge_join probe indices: {ctx}");
             }
         }
+    }
+}
+
+/// Partitioning the hash index must be invisible: whatever the partition
+/// count and whatever the device parallelism (pooled workers vs sequential),
+/// `count_matches` and `hash_join` must return the same bytes as the
+/// monolithic single-partition index on the sequential device. Exercises
+/// both the direct probe path and the radix-grouped [`ProbePartition`] path
+/// explicitly, so the executor's choice between them can never show up in
+/// results.
+#[test]
+fn partitioned_hash_join_is_bit_identical_to_monolithic() {
+    let seq = Device::sequential();
+    // 20_000 rows crosses both the auto-partition threshold (16_384) and the
+    // grouped-probe minimum (4_096); the smaller regimes only partition when
+    // we force an explicit partition count.
+    for rows in [0usize, 37, 4099, 20_000] {
+        for key_width in [1usize, 2] {
+            let mut rng = Rng::new(rows as u64 * 29 + key_width as u64);
+            let key_space = (rows as u64 / 7).max(3);
+            let (build_cols, _) = random_table(&mut rng, rows, key_width, key_space);
+            let (probe_cols, _) = random_table(&mut rng, rows.div_ceil(2), key_width, key_space);
+
+            let mono = HashIndex::build_partitioned(&seq, &refs(&build_cols), 2, 1);
+            let seq_counts = kernels::count_matches(&seq, &mono, &refs(&probe_cols));
+            let (seq_offsets, seq_total) = kernels::scan(&seq, &seq_counts);
+            let (seq_bi, seq_pi) = kernels::hash_join(
+                &seq,
+                &mono,
+                &refs(&probe_cols),
+                &seq_counts,
+                &seq_offsets,
+                seq_total,
+            );
+
+            for parallelism in PARALLELISMS {
+                let par = parallel_device(parallelism);
+                for partitions in [1usize, 4, 32] {
+                    let ctx =
+                        format!("rows {rows}, width {key_width}, p {parallelism}, P {partitions}");
+                    let index =
+                        HashIndex::build_partitioned(&par, &refs(&build_cols), 2, partitions);
+                    // Auto path: picks grouped probing on its own when it
+                    // applies.
+                    let counts = kernels::count_matches(&par, &index, &refs(&probe_cols));
+                    assert_eq!(counts, seq_counts, "count_matches auto: {ctx}");
+                    let (offsets, total) = kernels::scan(&par, &counts);
+                    let (bi, pi) = kernels::hash_join(
+                        &par,
+                        &index,
+                        &refs(&probe_cols),
+                        &counts,
+                        &offsets,
+                        total,
+                    );
+                    assert_eq!(bi, seq_bi, "hash_join auto build indices: {ctx}");
+                    assert_eq!(pi, seq_pi, "hash_join auto probe indices: {ctx}");
+
+                    // Explicit grouped path (the executor's memoized route),
+                    // and explicit direct path, must both match.
+                    let part = ProbePartition::build(&par, &index, &refs(&probe_cols));
+                    let grouped = kernels::count_matches_with(
+                        &par,
+                        &index,
+                        &refs(&probe_cols),
+                        part.as_ref(),
+                    );
+                    assert_eq!(grouped, seq_counts, "count_matches grouped: {ctx}");
+                    let direct =
+                        kernels::count_matches_with(&par, &index, &refs(&probe_cols), None);
+                    assert_eq!(direct, seq_counts, "count_matches direct: {ctx}");
+                    let (gbi, gpi) = kernels::hash_join_with(
+                        &par,
+                        &index,
+                        &refs(&probe_cols),
+                        part.as_ref(),
+                        &counts,
+                        &offsets,
+                        total,
+                    );
+                    assert_eq!(gbi, seq_bi, "hash_join grouped build indices: {ctx}");
+                    assert_eq!(gpi, seq_pi, "hash_join grouped probe indices: {ctx}");
+                    if let Some(part) = part {
+                        part.recycle(&par);
+                    }
+                    index.recycle(&par);
+                }
+            }
+        }
+    }
+}
+
+/// A pooled device is reused across many launches: repeating the same
+/// sort → unique → join pipeline on one long-lived parallel device must keep
+/// producing exactly the first run's bytes (no cross-launch state in the
+/// persistent workers), and must agree with a fresh device every time.
+#[test]
+fn pooled_device_reuse_is_stable_across_repeated_launches() {
+    let par = parallel_device(4);
+    let mut rng = Rng::new(4242);
+    let rows = 6000;
+    let (cols, tags) = random_table(&mut rng, rows, 2, 401);
+    let (probe_cols, _) = random_table(&mut rng, rows / 2, 2, 401);
+
+    let mut baseline = None;
+    for round in 0..10 {
+        let (sorted, stags) = sorted_on(&par, &cols, &tags);
+        let (uniq, utags) = kernels::unique(&par, &refs(&sorted), &stags, |a, b| a + b);
+        let index = HashIndex::build(&par, &refs(&uniq), 2);
+        let counts = kernels::count_matches(&par, &index, &refs(&probe_cols));
+        let (offsets, total) = kernels::scan(&par, &counts);
+        let (bi, pi) =
+            kernels::hash_join(&par, &index, &refs(&probe_cols), &counts, &offsets, total);
+        let run = (
+            uniq,
+            utags.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            bi,
+            pi,
+        );
+        match &baseline {
+            None => baseline = Some(run),
+            Some(first) => assert_eq!(&run, first, "round {round} diverged"),
+        }
+        index.recycle(&par);
     }
 }
 
