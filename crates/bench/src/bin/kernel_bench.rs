@@ -502,6 +502,22 @@ fn main() {
          \"parallel_factor_gate\": \"{parallel_gate}\",\n  \
          \"merge_join_gate\": \"{merge_gate}\"\n}}\n",
     );
+    // A degraded rerun (quick mode / 1 CPU) over a committed full-fidelity
+    // artifact warns loudly and stamps the file.
+    let json = match lobster_bench::degraded_overwrite_warning(
+        "BENCH_kernels.json",
+        lobster_bench::ArtifactMode::current(quick),
+    ) {
+        Some(note) => {
+            let mut doc = lobster_serve::json::parse(&json).expect("kernel artifact is valid JSON");
+            doc.set(
+                "mode_warning",
+                lobster_serve::json::Json::from(note.as_str()),
+            );
+            doc.to_pretty() + "\n"
+        }
+        None => json,
+    };
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("\nwrote BENCH_kernels.json");
 

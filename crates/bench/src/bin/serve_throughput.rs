@@ -44,7 +44,8 @@
 //!   never cost throughput).
 
 use lobster::ProvenanceKind;
-use lobster_bench::{print_header, quick_mode, scaled};
+use lobster_bench::{degraded_overwrite_warning, print_header, quick_mode, scaled, ArtifactMode};
+use lobster_serve::json::{parse, Json};
 use lobster_serve::{BatchScheduler, ProgramCache, SchedulerConfig};
 use lobster_workloads::clutrr;
 use rand::rngs::StdRng;
@@ -445,7 +446,24 @@ fn main() {
         persistent.json(seq_sps),
         persistent_factor,
     );
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    // The artifact may carry an `overload` section written by the
+    // `serve_load` load generator; a throughput rerun must not silently
+    // discard it. And a degraded rerun (quick mode / 1 CPU) over a committed
+    // full-fidelity artifact warns loudly and stamps the file.
+    let mut doc = parse(&json).expect("serve artifact is valid JSON");
+    if let Some(overload) = std::fs::read_to_string("BENCH_serve.json")
+        .ok()
+        .and_then(|old| parse(&old).ok())
+        .and_then(|old| old.get("overload").cloned())
+    {
+        doc.set("overload", overload);
+        println!("preserved the existing `overload` section (rerun serve_load to refresh it)");
+    }
+    if let Some(note) = degraded_overwrite_warning("BENCH_serve.json", ArtifactMode::current(false))
+    {
+        doc.set("mode_warning", Json::from(note.as_str()));
+    }
+    std::fs::write("BENCH_serve.json", doc.to_pretty() + "\n").expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
 
     let largest = batched.last().expect("at least one batch size");

@@ -37,6 +37,80 @@ pub fn scaled(full: usize, quick: usize) -> usize {
     }
 }
 
+/// The fidelity a benchmark artifact was produced at: whether the workload
+/// was shrunk (`quick_mode`) and how many CPUs the measuring machine had.
+/// Both are stamped into every artifact, so a committed artifact
+/// self-describes and a degraded regeneration is detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactMode {
+    /// The artifact was produced with a shrunk (smoke-run) workload.
+    pub quick_mode: bool,
+    /// CPUs available to the measuring machine.
+    pub cpus: usize,
+}
+
+impl ArtifactMode {
+    /// The mode the current process would produce artifacts at. `quick`
+    /// ORs in a bin-specific flag (e.g. `--quick`) on top of
+    /// [`quick_mode()`].
+    pub fn current(quick: bool) -> Self {
+        ArtifactMode {
+            quick_mode: quick_mode() || quick,
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// A degraded artifact is one a full-fidelity artifact must not be
+    /// silently replaced by: a shrunk workload, or a machine where worker
+    /// threads cannot overlap.
+    pub fn is_degraded(&self) -> bool {
+        self.quick_mode || self.cpus < 2
+    }
+}
+
+/// Reads the mode stamped in an existing artifact, `None` when the file is
+/// absent or carries no stamp (pre-stamp artifacts count as unknown, not
+/// full).
+pub fn read_artifact_mode(path: &str) -> Option<ArtifactMode> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = lobster_serve::json::parse(&text).ok()?;
+    Some(ArtifactMode {
+        quick_mode: doc.get("quick_mode")?.as_bool()?,
+        cpus: doc.get("cpus")?.as_u64()? as usize,
+    })
+}
+
+/// The guard every artifact-writing bin calls before overwriting `path`:
+/// when a degraded run (quick mode, or fewer than 2 CPUs) is about to
+/// replace a committed full-fidelity artifact, print a loud warning and
+/// return the note to stamp into the new artifact (`mode_warning` field) so
+/// the degradation is visible in the file itself, not only in a scrolled-by
+/// log line.
+pub fn degraded_overwrite_warning(path: &str, mode: ArtifactMode) -> Option<String> {
+    if !mode.is_degraded() {
+        return None;
+    }
+    let previous = read_artifact_mode(path)?;
+    if previous.is_degraded() {
+        return None;
+    }
+    let what = match (mode.quick_mode, mode.cpus < 2) {
+        (true, true) => format!("a quick-mode, {}-CPU run", mode.cpus),
+        (true, false) => "a quick-mode run".to_string(),
+        (false, _) => format!("a {}-CPU run", mode.cpus),
+    };
+    let note = format!(
+        "{what} overwrote a full-fidelity artifact (was quick_mode: {}, cpus: {}); \
+         numbers are not comparable with the committed history — regenerate \
+         full-mode on a multi-CPU machine before committing",
+        previous.quick_mode, previous.cpus,
+    );
+    eprintln!("\n{}", "!".repeat(72));
+    eprintln!("WARNING: {path}: {note}");
+    eprintln!("{}\n", "!".repeat(72));
+    Some(note)
+}
+
 /// Times a closure.
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -212,6 +286,44 @@ mod tests {
         if !quick_mode() {
             assert_eq!(scaled(100, 10), 100);
         }
+    }
+
+    #[test]
+    fn artifact_mode_round_trips_and_guards_degraded_overwrites() {
+        let dir = std::env::temp_dir().join(format!("lobster-artifact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let path = path.to_str().unwrap();
+        // Absent file: unknown mode, no warning whatever the writer's mode.
+        assert_eq!(read_artifact_mode(path), None);
+        let degraded = ArtifactMode {
+            quick_mode: true,
+            cpus: 1,
+        };
+        assert!(degraded_overwrite_warning(path, degraded).is_none());
+        // A committed full-mode artifact must not be silently replaced.
+        std::fs::write(path, "{\"quick_mode\": false, \"cpus\": 8, \"x\": 1}").unwrap();
+        assert_eq!(
+            read_artifact_mode(path),
+            Some(ArtifactMode {
+                quick_mode: false,
+                cpus: 8
+            })
+        );
+        let note = degraded_overwrite_warning(path, degraded).expect("warns");
+        assert!(note.contains("quick-mode"), "{note}");
+        // A full-fidelity writer over a full artifact: no warning.
+        let full = ArtifactMode {
+            quick_mode: false,
+            cpus: 8,
+        };
+        assert!(!full.is_degraded());
+        assert!(degraded_overwrite_warning(path, full).is_none());
+        // Degraded over degraded: also fine (nothing of higher fidelity is
+        // lost).
+        std::fs::write(path, "{\"quick_mode\": true, \"cpus\": 1}").unwrap();
+        assert!(degraded_overwrite_warning(path, degraded).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

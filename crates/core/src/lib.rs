@@ -204,7 +204,7 @@ pub use sharded::{ShardConfig, ShardRunStats, ShardedExecutor};
 
 // Re-export the pieces users routinely need alongside the program/session.
 pub use lobster_apm::{ExecutionStats, RuntimeOptions};
-pub use lobster_gpu::{Device, DeviceConfig, DeviceStats};
+pub use lobster_gpu::{Arena, ArenaStats, Device, DeviceConfig, DeviceStats, KernelTime};
 pub use lobster_provenance::{
     AddMultProb, Boolean, DiffAddMultProb, DiffMaxMinProb, DiffTop1Proof, InputFactId,
     InputFactRegistry, MaxMinProb, Output, Provenance, ProvenanceKind, SessionProvenance,

@@ -11,6 +11,14 @@ pub enum ServeError {
     Lobster(LobsterError),
     /// The scheduler was shut down before the request was served.
     ShutDown,
+    /// The worker holding the request died without responding while the
+    /// scheduler was *not* shutting down — a crash, not a clean drain. The
+    /// scheduler itself keeps serving; only this request is lost.
+    Disconnected,
+    /// A [`Ticket::wait_timeout`](crate::Ticket::wait_timeout) deadline
+    /// elapsed before the batch ran. The request itself is still in the
+    /// scheduler and still runs; only the wait was abandoned.
+    TimedOut,
 }
 
 impl fmt::Display for ServeError {
@@ -18,6 +26,13 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Lobster(e) => write!(f, "{e}"),
             ServeError::ShutDown => write!(f, "scheduler shut down before the request was served"),
+            ServeError::Disconnected => {
+                write!(
+                    f,
+                    "scheduler worker disconnected without serving the request"
+                )
+            }
+            ServeError::TimedOut => write!(f, "timed out waiting for the request's batch"),
         }
     }
 }

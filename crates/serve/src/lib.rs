@@ -32,6 +32,14 @@
 //!   identical results. See the "Multi-device sharding" section of the
 //!   `lobster` crate docs and `docs/ARCHITECTURE.md` for the full request
 //!   lifecycle, knob reference, and shard-vs-batch guidance.
+//! * [`Server`] — the network front end: a std-TCP, length-prefixed JSON
+//!   protocol over the scheduler, with per-key token-bucket quotas
+//!   ([`KeyStore`]), queue-depth admission control that sheds overload
+//!   with a structured retry-after ([`AdmissionController`]), a `metrics`
+//!   op serializing every stats surface above, and graceful drain —
+//!   in-flight requests resolve, new connections are refused. Plain
+//!   `std::net` and threads, matching the scheduler's no-async stance.
+//!   [`Client`] is the reference protocol implementation.
 //!
 //! # Example
 //!
@@ -96,10 +104,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
+mod auth;
 mod cache;
 mod error;
+pub mod json;
+mod net;
 mod scheduler;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats};
+pub use auth::{AuthError, AuthStats, KeyStore, Quota};
 pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use error::ServeError;
+pub use net::{Client, ClientError, Reply, Server, ServerConfig, ServerStats};
 pub use scheduler::{BatchScheduler, SchedulerConfig, SchedulerStats, Ticket};

@@ -2,13 +2,25 @@
 
 use crate::error::ServeError;
 use lobster::{
-    DynProgram, DynSessionPool, DynShardedExecutor, FactSet, InputFactId, RunResult, ShardConfig,
+    DynProgram, DynSessionPool, DynShardedExecutor, FactSet, InputFactId, RunResult,
+    SessionPoolStats, ShardConfig,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Recovers a queue guard from a poisoned lock. The queue is a plain
+/// `VecDeque` plus `Instant`s — valid whatever a panicking holder was doing
+/// mid-push — so a single worker panicking (e.g. on a pathological request)
+/// must not cascade `expect` panics through every sibling worker, every
+/// subsequent `submit`, and the scheduler's own `Drop`.
+fn recover<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Knobs trading per-request latency against batched throughput.
 #[derive(Debug, Clone)]
@@ -123,6 +135,10 @@ struct Shared {
     /// Signalled on submit and on shutdown.
     arrivals: Condvar,
     shutdown: AtomicBool,
+    /// Requests drained into a batch that has not finished replying yet.
+    /// `queued + executing` is the scheduler's *pending* count — the depth
+    /// an admission controller caps.
+    executing: AtomicUsize,
     batches: AtomicU64,
     sharded_chunks: AtomicU64,
     samples: AtomicU64,
@@ -131,10 +147,15 @@ struct Shared {
     largest_batch: AtomicUsize,
 }
 
-/// A pending request's handle: redeem it with [`Ticket::wait`].
+/// A pending request's handle: redeem it with [`Ticket::wait`] (or
+/// [`Ticket::wait_timeout`] when the caller holds a deadline).
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<RunResult, ServeError>>,
+    /// Back-reference for telling a clean shutdown apart from a worker that
+    /// died without responding. `Weak`: a stray ticket must not keep the
+    /// scheduler's program/executor alive.
+    shared: Weak<Shared>,
 }
 
 impl Ticket {
@@ -144,16 +165,52 @@ impl Ticket {
     /// # Errors
     ///
     /// Returns [`ServeError::Lobster`] when the batch failed to execute
-    /// (every request of the failing batch receives the same error), or
-    /// [`ServeError::ShutDown`] when the scheduler was dropped before the
-    /// request was served.
+    /// (every request of the failing batch receives the same error),
+    /// [`ServeError::ShutDown`] when the scheduler was shut down before the
+    /// request was served, or [`ServeError::Disconnected`] when the worker
+    /// holding the request died without responding *and* the scheduler was
+    /// not shutting down — a crash, not a clean drain.
     pub fn wait(self) -> Result<RunResult, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::ShutDown))
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvError) => Err(self.disconnect_error()),
+        }
+    }
+
+    /// Like [`Ticket::wait`], but gives up after `timeout`.
+    ///
+    /// A timeout abandons only the *wait*: the request stays in the
+    /// scheduler and still runs (and is still counted); its result is
+    /// discarded when it arrives. Remote clients holding a response
+    /// deadline use this so a slow batch cannot pin a connection thread
+    /// forever.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TimedOut`] when `timeout` elapses first; otherwise as
+    /// [`Ticket::wait`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<RunResult, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::TimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.disconnect_error()),
+        }
     }
 
     /// Non-blocking probe: `Some(result)` once the batch has run.
     pub fn try_wait(&self) -> Option<Result<RunResult, ServeError>> {
         self.rx.try_recv().ok()
+    }
+
+    /// The reply sender vanished without sending: a clean shutdown only if
+    /// the scheduler actually was (or is gone entirely — its `Drop` drains
+    /// before releasing the allocation, so an unreachable `Shared` implies
+    /// the drain finished). Anything else is a dead worker.
+    fn disconnect_error(&self) -> ServeError {
+        match self.shared.upgrade() {
+            Some(shared) if !shared.shutdown.load(Ordering::SeqCst) => ServeError::Disconnected,
+            _ => ServeError::ShutDown,
+        }
     }
 }
 
@@ -220,6 +277,7 @@ impl BatchScheduler {
             queue: Mutex::new(VecDeque::new()),
             arrivals: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            executing: AtomicUsize::new(0),
             batches: AtomicU64::new(0),
             sharded_chunks: AtomicU64::new(0),
             samples: AtomicU64::new(0),
@@ -252,12 +310,16 @@ impl BatchScheduler {
     /// and the requests they would have been co-batched with are unaffected.
     pub fn submit(&self, facts: FactSet) -> Ticket {
         let (tx, rx) = mpsc::channel();
+        let ticket = Ticket {
+            rx,
+            shared: Arc::downgrade(&self.shared),
+        };
         if let Err(e) = self.shared.program.validate_facts(&facts) {
             let _ = tx.send(Err(ServeError::Lobster(e)));
-            return Ticket { rx };
+            return ticket;
         }
         let queued = {
-            let mut queue = self.shared.queue.lock().expect("scheduler lock poisoned");
+            let mut queue = recover(self.shared.queue.lock());
             queue.push_back(Request {
                 facts,
                 reply: tx,
@@ -275,7 +337,35 @@ impl BatchScheduler {
         if queued == 1 || queued >= self.shared.config.max_batch_size {
             self.shared.arrivals.notify_all();
         }
-        Ticket { rx }
+        ticket
+    }
+
+    /// Requests currently waiting in the queue (not yet drained into a
+    /// batch).
+    pub fn queued(&self) -> usize {
+        recover(self.shared.queue.lock()).len()
+    }
+
+    /// Requests drained into batches that have not finished replying.
+    pub fn executing(&self) -> usize {
+        self.shared.executing.load(Ordering::Relaxed)
+    }
+
+    /// Requests the scheduler currently holds: queued plus executing. This
+    /// is the depth an [`AdmissionController`](crate::AdmissionController)
+    /// caps — everything a newly accepted request could wait behind.
+    pub fn pending(&self) -> usize {
+        // Read `executing` first: a request moving queue → batch between
+        // the two reads is then counted twice (transiently high), never
+        // missed — admission control must over-count, not under-count.
+        let executing = self.executing();
+        executing + self.queued()
+    }
+
+    /// A snapshot of the scheduler's session-pool counters (single-device
+    /// batches borrow their sessions here).
+    pub fn session_pool_stats(&self) -> SessionPoolStats {
+        self.shared.sessions.stats()
     }
 
     /// Convenience: submit one request and block for its result.
@@ -314,7 +404,7 @@ impl Drop for BatchScheduler {
 /// `max_queue_delay`, or returns `None` when shut down with an empty queue.
 fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
     let config = &shared.config;
-    let mut queue = shared.queue.lock().expect("scheduler lock poisoned");
+    let mut queue = recover(shared.queue.lock());
     'restart: loop {
         // Phase 1: wait for the first request (or shutdown).
         loop {
@@ -324,10 +414,7 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            queue = shared
-                .arrivals
-                .wait(queue)
-                .expect("scheduler lock poisoned");
+            queue = recover(shared.arrivals.wait(queue));
         }
         // Phase 2: give the batch until `max_queue_delay` after its *oldest*
         // request arrived to fill up. Shutdown flushes immediately — the
@@ -357,7 +444,7 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             let (guard, _) = shared
                 .arrivals
                 .wait_timeout(queue, deadline - now)
-                .expect("scheduler lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             queue = guard;
             if queue.is_empty() {
                 continue 'restart;
@@ -375,12 +462,33 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             shared.timer_flushes.fetch_add(1, Ordering::Relaxed);
         }
         let n = queue.len().min(config.max_batch_size);
+        // Move the requests from "queued" to "executing" under the queue
+        // lock, so `pending()` never observes them in neither state.
+        shared.executing.fetch_add(n, Ordering::Relaxed);
         return Some(queue.drain(..n).collect());
+    }
+}
+
+/// Decrements `executing` when the batch is done — by `Drop`, so a worker
+/// panicking mid-batch cannot leave its requests counted as in flight
+/// forever (the admission depth would ratchet shut).
+struct ExecutingGuard<'a> {
+    shared: &'a Shared,
+    n: usize,
+}
+
+impl Drop for ExecutingGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.executing.fetch_sub(self.n, Ordering::Relaxed);
     }
 }
 
 fn worker_loop(shared: &Shared) {
     while let Some(batch) = next_batch(shared) {
+        let _executing = ExecutingGuard {
+            shared,
+            n: batch.len(),
+        };
         if batch.is_empty() {
             continue;
         }
@@ -656,6 +764,128 @@ mod tests {
         // ...while the co-submitted good request is served normally.
         let result = good.wait().unwrap();
         assert!((result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_poisoned_queue_lock_does_not_take_down_the_scheduler() {
+        let scheduler = Arc::new(BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(1)
+                .with_max_queue_delay(Duration::from_millis(1)),
+        ));
+        // Poison the queue mutex: a thread panics while holding it. Every
+        // lock site — submit, queued(), the workers' next_batch, Drop's
+        // drain — must recover the guard instead of cascading the panic.
+        let poisoner = {
+            let scheduler = Arc::clone(&scheduler);
+            std::thread::spawn(move || {
+                let _guard = scheduler.shared.queue.lock().unwrap();
+                panic!("deliberate poison");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+        assert!(scheduler.shared.queue.lock().is_err(), "lock not poisoned");
+        // The scheduler still serves, counts, and drains.
+        let result = scheduler.run_one(edge_request(0, 1, 0.5)).unwrap();
+        assert!((result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.5).abs() < 1e-9);
+        assert_eq!(scheduler.queued(), 0);
+        let late = scheduler.submit(edge_request(1, 2, 0.5));
+        drop(Arc::into_inner(scheduler).expect("sole owner"));
+        assert!(late.wait().is_ok(), "drop must still drain the queue");
+    }
+
+    #[test]
+    fn a_dead_sender_is_a_disconnect_while_the_scheduler_lives() {
+        let scheduler = BatchScheduler::new(program(), SchedulerConfig::default());
+        // Forge the failure `wait` must classify: the reply sender vanished
+        // (as after a worker crash) while the scheduler is alive and healthy.
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        let ticket = Ticket {
+            rx,
+            shared: Arc::downgrade(&scheduler.shared),
+        };
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::Disconnected);
+        // The scheduler itself keeps serving after the lost request.
+        assert!(scheduler.run_one(edge_request(0, 1, 0.5)).is_ok());
+    }
+
+    #[test]
+    fn a_dead_sender_during_shutdown_is_a_clean_shutdown() {
+        let scheduler = BatchScheduler::new(program(), SchedulerConfig::default());
+        let shared = Arc::clone(&scheduler.shared);
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        let mid_shutdown = Ticket {
+            rx,
+            shared: Arc::downgrade(&shared),
+        };
+        let (tx, rx) = mpsc::channel();
+        drop(tx);
+        let after_teardown = Ticket {
+            rx,
+            shared: Arc::downgrade(&scheduler.shared),
+        };
+        drop(scheduler);
+        // The shutdown flag is set (observed via our kept Arc)...
+        assert_eq!(mid_shutdown.wait().unwrap_err(), ServeError::ShutDown);
+        drop(shared);
+        // ...and once the Shared allocation itself is gone (drain finished),
+        // an unresolvable Weak means the same thing.
+        assert_eq!(after_teardown.wait().unwrap_err(), ServeError::ShutDown);
+    }
+
+    #[test]
+    fn wait_timeout_bounds_the_wait_without_cancelling_the_request() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(64)
+                // A flush timer long enough that only shutdown drains.
+                .with_max_queue_delay(Duration::from_secs(30)),
+        );
+        let ticket = scheduler.submit(edge_request(0, 1, 0.5));
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(20)).unwrap_err(),
+            ServeError::TimedOut
+        );
+        // The abandoned request is still in the scheduler and still runs —
+        // the drop-drain executes it (samples counts served requests).
+        drop(scheduler);
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_result_when_the_batch_beats_the_deadline() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(1)
+                .with_max_queue_delay(Duration::from_millis(1)),
+        );
+        let ticket = scheduler.submit(edge_request(0, 1, 0.75));
+        let result = ticket.wait_timeout(Duration::from_secs(30)).unwrap();
+        assert!((result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pending_tracks_queued_plus_executing() {
+        let scheduler = BatchScheduler::new(
+            program(),
+            SchedulerConfig::default()
+                .with_max_batch_size(64)
+                .with_max_queue_delay(Duration::from_secs(30)),
+        );
+        assert_eq!(scheduler.pending(), 0);
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| scheduler.submit(edge_request(i, i + 1, 0.5)))
+            .collect();
+        // Nothing has flushed (the timer is 30s): all three are queued.
+        assert_eq!(scheduler.pending(), 3);
+        drop(scheduler);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
     }
 
     #[test]
