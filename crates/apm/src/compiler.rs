@@ -413,6 +413,79 @@ pub fn compile_stratum(stratum: &Stratum, ram: &RamProgram) -> CompiledStratum {
     compile_stratum_with_options(stratum, ram, &RuntimeOptions::default())
 }
 
+/// Compiles a stratum for *incremental* (delta) re-evaluation after some of
+/// its input relations gained new facts.
+///
+/// The semi-naive variant expansion is widened: the tracked set is the
+/// stratum's own relations **plus** `changed_inputs`, so every leaf over a
+/// changed relation participates in the stable/recent/all partitioning. The
+/// caller seeds the `recent` partition of each changed input with the newly
+/// inserted rows (and of each own relation with its new EDB rows) and runs
+/// the program with [`Executor::run_stratum_seeded`]; derivations touching
+/// at least one new fact are then produced by the recent-part variants while
+/// derivations over purely old facts — already materialized — are never
+/// recomputed. Rules with no tracked leaf are dropped outright: their
+/// derivations cannot have changed.
+///
+/// Two deliberate differences from [`compile_stratum`]:
+///
+/// * every rule with a tracked leaf gets the full variant expansion even in
+///   a non-recursive stratum (the base-rule "first iteration only" shortcut
+///   assumes the whole database is the frontier, which is exactly what a
+///   delta run avoids);
+/// * the compiled stratum is always marked recursive, so the executor
+///   iterates until the insertion frontier drains instead of stopping after
+///   one pass.
+///
+/// `stored_relations`/`relations` stay the stratum's own relations: the
+/// executor's update phase folds frontiers for those only, leaving the
+/// caller-managed splits of the changed input relations untouched.
+///
+/// [`Executor::run_stratum_seeded`]: crate::Executor::run_stratum_seeded
+pub fn compile_stratum_delta(
+    stratum: &Stratum,
+    ram: &RamProgram,
+    changed_inputs: &BTreeSet<String>,
+) -> CompiledStratum {
+    let mut tracked: BTreeSet<String> = stratum.relations.iter().cloned().collect();
+    tracked.extend(changed_inputs.iter().cloned());
+    let options = RuntimeOptions::default();
+    let mut compiler = Compiler {
+        ram,
+        own_relations: tracked,
+        instructions: Vec::new(),
+        first_iteration_only: Vec::new(),
+        static_registers: Vec::new(),
+        next_reg: 0,
+        current_first_only: false,
+        merge_join_enabled: options.merge_join,
+        merge_joins: 0,
+        hash_joins: 0,
+    };
+    for rule in &stratum.rules {
+        if compiler.recursive_leaf_count(&rule.expr) == 0 {
+            // No leaf over a changed relation: every derivation of this rule
+            // is already in the materialized stable set.
+            continue;
+        }
+        compiler.compile_rule(rule, true);
+    }
+    let program = ApmProgram {
+        instructions: compiler.instructions,
+        first_iteration_only: compiler.first_iteration_only,
+        register_count: compiler.next_reg,
+        static_registers: compiler.static_registers,
+        stored_relations: stratum.relations.clone(),
+    };
+    CompiledStratum {
+        program,
+        relations: stratum.relations.clone(),
+        recursive: true,
+        merge_joins: compiler.merge_joins,
+        hash_joins: compiler.hash_joins,
+    }
+}
+
 /// Compiles a RAM stratum into an APM program, honouring the join-strategy
 /// toggles in `options`.
 ///

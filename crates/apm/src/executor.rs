@@ -192,7 +192,27 @@ impl<P: Provenance> Executor<P> {
         db: &mut Database<P>,
         compiled: &CompiledStratum,
     ) -> Result<ExecutionStats, ExecError> {
-        self.run_stratum_with_deadline(db, compiled, Instant::now())
+        self.run_stratum_inner(db, compiled, Instant::now(), true)
+    }
+
+    /// Runs one compiled stratum *without* the semi-naive preamble: the
+    /// caller has already arranged every relation's stable/recent split —
+    /// typically `stable` holding the materialized fix point and `recent`
+    /// seeded with newly inserted rows (see
+    /// [`compile_stratum_delta`](crate::compile_stratum_delta)). The
+    /// iteration loop, update phase, and arena recycling are identical to
+    /// [`Executor::run_stratum`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on device OOM, timeout, or a hit iteration
+    /// cap.
+    pub fn run_stratum_seeded(
+        &self,
+        db: &mut Database<P>,
+        compiled: &CompiledStratum,
+    ) -> Result<ExecutionStats, ExecError> {
+        self.run_stratum_inner(db, compiled, Instant::now(), false)
     }
 
     fn run_stratum_with_deadline(
@@ -201,6 +221,16 @@ impl<P: Provenance> Executor<P> {
         compiled: &CompiledStratum,
         start: Instant,
     ) -> Result<ExecutionStats, ExecError> {
+        self.run_stratum_inner(db, compiled, start, true)
+    }
+
+    fn run_stratum_inner(
+        &self,
+        db: &mut Database<P>,
+        compiled: &CompiledStratum,
+        start: Instant,
+        preamble: bool,
+    ) -> Result<ExecutionStats, ExecError> {
         let kernels_before = self.device.stats().kernel_launches;
         let mut stats = ExecutionStats {
             strata: 1,
@@ -208,12 +238,16 @@ impl<P: Provenance> Executor<P> {
         };
 
         // Algorithm 1: stable ← ∅, recent ← F_T for the stratum's relations.
+        // A seeded run skips the merge — the caller's split *is* the initial
+        // frontier — but staged chunks are still cleared defensively.
         for rel in &compiled.relations {
             let data = db.relation_data_mut(rel);
-            let arity = data.stable.arity();
-            let stable = std::mem::replace(&mut data.stable, SortedTable::empty(arity));
-            let recent = std::mem::replace(&mut data.recent, SortedTable::empty(arity));
-            data.recent = SortedTable::merge_disjoint_owned(&self.device, stable, recent);
+            if preamble {
+                let arity = data.stable.arity();
+                let stable = std::mem::replace(&mut data.stable, SortedTable::empty(arity));
+                let recent = std::mem::replace(&mut data.recent, SortedTable::empty(arity));
+                data.recent = SortedTable::merge_disjoint_owned(&self.device, stable, recent);
+            }
             data.staged.clear();
         }
 

@@ -26,11 +26,15 @@ mod compiler;
 mod config;
 mod database;
 mod executor;
+mod incremental;
 mod isa;
 
 pub use batch::batch_transform;
-pub use compiler::{compile_stratum, compile_stratum_with_options, CompiledStratum};
+pub use compiler::{
+    compile_stratum, compile_stratum_delta, compile_stratum_with_options, CompiledStratum,
+};
 pub use config::{fnv1a, fnv1a_extend, RuntimeOptions};
 pub use database::{Database, SortedTable};
 pub use executor::{ExecError, ExecutionStats, Executor};
+pub use incremental::{refresh_database, EdbContent};
 pub use isa::{ApmProgram, DbPart, Instr, RegId};

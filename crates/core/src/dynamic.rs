@@ -385,6 +385,51 @@ macro_rules! define_dyn_program {
                     $( DynSession::$variant(s) => s.run_batch(samples), )*
                 }
             }
+
+            /// Registers a set of facts as a pending insertion; see
+            /// [`Session::insert_facts`].
+            ///
+            /// # Errors
+            ///
+            /// Returns [`LobsterError::BadFact`] for unknown relations or
+            /// arity mismatches; nothing registers in that case.
+            pub fn insert_facts(
+                &mut self,
+                facts: &FactSet,
+            ) -> Result<Vec<InputFactId>, LobsterError> {
+                match self {
+                    $( DynSession::$variant(s) => s.insert_facts(facts), )*
+                }
+            }
+
+            /// Removes previously registered facts by id, returning how
+            /// many were removed; see [`Session::retract_facts`].
+            pub fn retract_facts(&mut self, ids: &[InputFactId]) -> usize {
+                match self {
+                    $( DynSession::$variant(s) => s.retract_facts(ids), )*
+                }
+            }
+
+            /// `true` when the session holds a materialized fix point; see
+            /// [`Session::is_materialized`].
+            pub fn is_materialized(&self) -> bool {
+                match self {
+                    $( DynSession::$variant(s) => s.is_materialized(), )*
+                }
+            }
+
+            /// Runs the program incrementally against the materialized fix
+            /// point; see [`Session::run_incremental`].
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`LobsterError::Execution`] on device OOM or
+            /// timeout.
+            pub fn run_incremental(&mut self) -> Result<RunResult, LobsterError> {
+                match self {
+                    $( DynSession::$variant(s) => s.run_incremental(), )*
+                }
+            }
         }
     };
 }

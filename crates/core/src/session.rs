@@ -11,10 +11,11 @@
 
 use crate::error::LobsterError;
 use crate::program::Program;
-use lobster_apm::{Database, ExecutionStats};
+use lobster_apm::{refresh_database, Database, EdbContent, ExecutionStats, Executor};
+use lobster_gpu::Columns;
 use lobster_provenance::{InputFactId, InputFactRegistry, Output, Provenance, SessionProvenance};
 use lobster_ram::{SymbolTable, Tuple, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
 /// One raw fact of a [`FactSet`]: relation, tuple, optional probability,
@@ -86,6 +87,26 @@ struct RegisteredFact {
     values: Vec<Value>,
     id: InputFactId,
     probabilistic: bool,
+}
+
+/// The materialized state kept between [`Session::run_incremental`] calls:
+/// every relation's fix-point content plus enough bookkeeping to detect, at
+/// the next call, which relations changed and how.
+#[derive(Debug, Clone)]
+struct IncrementalState<P: Provenance> {
+    /// The materialized database — EDB facts plus every derived relation at
+    /// the fix point.
+    db: Database<P>,
+    /// `facts.len()` at the last refresh; facts registered past this
+    /// watermark are pending insertions.
+    watermark: usize,
+    /// Relations touched by [`Session::retract_facts`] since the last
+    /// refresh.
+    retracted: BTreeSet<String>,
+    /// Effective probability of each fact in `facts[..watermark]` at the
+    /// last refresh, used to detect [`Session::set_fact_probability`] calls
+    /// made between refreshes.
+    probs: Vec<f64>,
 }
 
 /// The result of one Lobster run: for every queried relation, the derived
@@ -205,6 +226,10 @@ pub struct Session<P: Provenance> {
     /// than one slot) because `run_batch` takes `&self` and may run
     /// concurrently from several threads.
     batch_forks: Mutex<Vec<InputFactRegistry>>,
+    /// Materialized fix point kept across [`Session::run_incremental`]
+    /// calls; `None` until the first incremental run (and again after
+    /// [`Session::reset`] / [`Session::clear_facts`]).
+    incremental: Option<IncrementalState<P>>,
 }
 
 impl<P: Provenance> Clone for Session<P> {
@@ -218,6 +243,7 @@ impl<P: Provenance> Clone for Session<P> {
             // Scratch registries are per-instance recycling state, not
             // session state — the clone starts with none.
             batch_forks: Mutex::new(Vec::new()),
+            incremental: self.incremental.clone(),
         }
     }
 }
@@ -233,6 +259,7 @@ impl<P: Provenance> Session<P> {
             facts: Vec::new(),
             inline_prefix_intact: true,
             batch_forks: Mutex::new(Vec::new()),
+            incremental: None,
         };
         session.register_inline_facts();
         session
@@ -334,11 +361,12 @@ impl<P: Provenance> Session<P> {
     }
 
     /// Removes all registered facts (inline program facts included) and
-    /// clears the registry.
+    /// clears the registry. Any materialized incremental state is dropped.
     pub fn clear_facts(&mut self) {
         self.facts.clear();
         self.registry.clear();
         self.inline_prefix_intact = false;
+        self.incremental = None;
     }
 
     /// Returns the session to its freshly-opened state — only the program's
@@ -353,7 +381,13 @@ impl<P: Provenance> Session<P> {
     /// previous request are re-issued from the same starting point. Used by
     /// [`SessionPool`](crate::SessionPool) on release; callers running a
     /// session per request in a hand-rolled loop can call it directly.
+    ///
+    /// Incremental state is part of that reset: any fix point materialized
+    /// by [`Session::run_incremental`] (and any pending insertions or
+    /// retractions) is dropped, so a recycled pooled session can never leak
+    /// a previous request's deltas.
     pub fn reset(&mut self) {
+        self.incremental = None;
         let inline = self.program.artifact.compiled.facts.len();
         if self.inline_prefix_intact {
             // The inline facts are still the registration prefix: drop
@@ -418,6 +452,231 @@ impl<P: Provenance> Session<P> {
             stats,
             symbols: self.program.artifact.compiled.symbols.clone(),
         })
+    }
+
+    /// The effective probability of a registered fact (1.0 when the fact is
+    /// not probabilistic), as used for incremental change detection.
+    fn fact_prob(&self, fact: &RegisteredFact) -> f64 {
+        if fact.probabilistic {
+            self.registry.prob(fact.id)
+        } else {
+            1.0
+        }
+    }
+
+    /// Registers every fact of `facts` as a pending insertion and returns
+    /// their ids (in `facts` order). The whole set is validated before
+    /// anything registers, so a bad fact never leaves a half-applied delta.
+    ///
+    /// Insertions take effect at the next run: [`Session::run`] always sees
+    /// the current facts, and [`Session::run_incremental`] propagates them
+    /// through the materialized fix point as a delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LobsterError::BadFact`] for unknown relations or arity
+    /// mismatches; no fact of the set is registered in that case.
+    pub fn insert_facts(&mut self, facts: &FactSet) -> Result<Vec<InputFactId>, LobsterError> {
+        self.program.validate_facts(facts)?;
+        let mut ids = Vec::with_capacity(facts.len());
+        for (relation, values, prob, exclusion) in facts.facts() {
+            ids.push(self.add_fact_with_exclusion(relation, values, prob, exclusion)?);
+        }
+        Ok(ids)
+    }
+
+    /// Removes previously registered facts by id and returns how many were
+    /// actually removed. Retracting an unknown or already-retracted id is a
+    /// no-op.
+    ///
+    /// The registry is left untouched: retracted ids are never reused, so
+    /// the ids (and therefore the gradients and proofs) of surviving facts
+    /// keep their meaning across retractions. The removal takes effect at
+    /// the next run; [`Session::run_incremental`] re-derives the affected
+    /// strata from the surviving support (delete/re-derive).
+    pub fn retract_facts(&mut self, ids: &[InputFactId]) -> usize {
+        let inline = self.program.artifact.compiled.facts.len();
+        let mut removed = 0;
+        for id in ids {
+            let Some(pos) = self.facts.iter().position(|f| f.id == *id) else {
+                continue;
+            };
+            let fact = self.facts.remove(pos);
+            removed += 1;
+            if self.inline_prefix_intact && pos < inline {
+                self.inline_prefix_intact = false;
+            }
+            if let Some(state) = self.incremental.as_mut() {
+                state.retracted.insert(fact.relation);
+                if pos < state.watermark {
+                    state.watermark -= 1;
+                    state.probs.remove(pos);
+                }
+            }
+        }
+        removed
+    }
+
+    /// `true` when the session holds a materialized fix point from a
+    /// previous [`Session::run_incremental`] call.
+    pub fn is_materialized(&self) -> bool {
+        self.incremental.is_some()
+    }
+
+    /// Runs the program incrementally.
+    ///
+    /// The first call materializes: it runs from scratch (exactly like
+    /// [`Session::run`]) and keeps the resulting database. Subsequent calls
+    /// re-evaluate only what the facts registered, retracted, or reweighted
+    /// since the previous call can affect:
+    ///
+    /// * nothing changed — the stored outputs are returned without
+    ///   launching a single kernel;
+    /// * insert-only changes under a
+    ///   [`delta_exact`](lobster_provenance::Provenance::delta_exact)
+    ///   provenance — recursive strata propagate the new rows tuple-level
+    ///   with semi-naive delta rules, so cost scales with |Δ| and its
+    ///   derivation cone, not |DB|;
+    /// * retractions, probability updates, or richer provenances — the
+    ///   affected strata (and only those) are re-derived from the surviving
+    ///   EDB support, replaying exactly what a from-scratch run would do.
+    ///
+    /// In every case the resulting state — tuples *and* tags, including
+    /// proofs and gradients — is bit-identical to [`Session::run`] on the
+    /// same session. The returned statistics cover only the work of this
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LobsterError::Execution`] on device OOM or timeout.
+    pub fn run_incremental(&mut self) -> Result<RunResult, LobsterError> {
+        let Some(state) = self.incremental.as_ref() else {
+            return self.materialize();
+        };
+
+        // Host-side dirty detection: retractions, probability updates, and
+        // facts registered past the watermark.
+        let mut rebuild: BTreeSet<String> = state.retracted.clone();
+        for (fact, old) in self.facts[..state.watermark].iter().zip(&state.probs) {
+            if self.fact_prob(fact) != *old {
+                rebuild.insert(fact.relation.clone());
+            }
+        }
+        let delta_ok = rebuild.is_empty() && self.provenance.delta_exact();
+        let mut inserted: BTreeMap<String, EdbContent<P::Tag>> = BTreeMap::new();
+        for fact in &self.facts[state.watermark..] {
+            if delta_ok {
+                let (columns, tags) = inserted
+                    .entry(fact.relation.clone())
+                    .or_insert_with(|| (vec![Vec::new(); fact.values.len()], Vec::new()));
+                for (col, value) in columns.iter_mut().zip(&fact.values) {
+                    col.push(value.encode());
+                }
+                let prob = fact.probabilistic.then(|| self.registry.prob(fact.id));
+                tags.push(self.provenance.input_tag(fact.id, prob));
+            } else {
+                rebuild.insert(fact.relation.clone());
+            }
+        }
+
+        if rebuild.is_empty() && inserted.is_empty() {
+            // Empty delta: serve straight from the materialized fix point —
+            // all checks above are host-side, so zero kernels launch.
+            let ram = self.program.ram();
+            return Ok(RunResult {
+                outputs: self.collect_outputs(&self.provenance, &state.db, &ram.outputs),
+                stats: ExecutionStats::default(),
+                symbols: self.program.artifact.compiled.symbols.clone(),
+            });
+        }
+
+        let refresh_stats = self.refresh(&inserted, &rebuild)?;
+        let probs: Vec<f64> = self.facts.iter().map(|f| self.fact_prob(f)).collect();
+        let watermark = self.facts.len();
+        let state = self.incremental.as_mut().expect("state checked above");
+        state.watermark = watermark;
+        state.probs = probs;
+        state.retracted.clear();
+        let state = self.incremental.as_ref().expect("state checked above");
+        let ram = self.program.ram();
+        Ok(RunResult {
+            outputs: self.collect_outputs(&self.provenance, &state.db, &ram.outputs),
+            stats: refresh_stats,
+            symbols: self.program.artifact.compiled.symbols.clone(),
+        })
+    }
+
+    /// First [`Session::run_incremental`] call: run from scratch and keep
+    /// the database.
+    fn materialize(&mut self) -> Result<RunResult, LobsterError> {
+        let ram = self.program.ram();
+        let mut db = Database::new(ram.schemas.clone(), self.provenance.clone());
+        for fact in &self.facts {
+            let prob = fact.probabilistic.then(|| self.registry.prob(fact.id));
+            let tag = self.provenance.input_tag(fact.id, prob);
+            db.insert(&fact.relation, &fact.values, tag);
+        }
+        db.seal(&self.program.device);
+        let stats = self.program.execute(&self.provenance, &mut db, ram)?;
+        let outputs = self.collect_outputs(&self.provenance, &db, &ram.outputs);
+        let symbols = self.program.artifact.compiled.symbols.clone();
+        let probs = self.facts.iter().map(|f| self.fact_prob(f)).collect();
+        self.incremental = Some(IncrementalState {
+            db,
+            watermark: self.facts.len(),
+            retracted: BTreeSet::new(),
+            probs,
+        });
+        Ok(RunResult {
+            outputs,
+            stats,
+            symbols,
+        })
+    }
+
+    /// Applies a non-empty delta to the materialized database.
+    fn refresh(
+        &mut self,
+        inserted: &BTreeMap<String, EdbContent<P::Tag>>,
+        rebuild: &BTreeSet<String>,
+    ) -> Result<ExecutionStats, LobsterError> {
+        let executor = Executor::new(
+            self.program.device.clone(),
+            self.provenance.clone(),
+            self.program.options.clone(),
+        );
+        let facts = &self.facts;
+        let registry = &self.registry;
+        let provenance = &self.provenance;
+        let ram = self.program.ram();
+        // Full EDB content of one relation in fact-registration order — the
+        // order `run` inserts facts, so a rebuilt table is bit-identical to
+        // a from-scratch seal.
+        let edb = |relation: &str| {
+            let arity = ram.schemas[relation].arity();
+            let mut columns: Columns = vec![Vec::new(); arity];
+            let mut tags = Vec::new();
+            for fact in facts {
+                if fact.relation != relation {
+                    continue;
+                }
+                for (col, value) in columns.iter_mut().zip(&fact.values) {
+                    col.push(value.encode());
+                }
+                let prob = fact.probabilistic.then(|| registry.prob(fact.id));
+                tags.push(provenance.input_tag(fact.id, prob));
+            }
+            (columns, tags)
+        };
+        let state = self.incremental.as_mut().expect("materialized");
+        Ok(refresh_database(
+            &executor,
+            &mut state.db,
+            ram,
+            inserted,
+            rebuild,
+            &edb,
+        )?)
     }
 }
 

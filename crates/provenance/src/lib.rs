@@ -143,6 +143,17 @@ pub trait Provenance: Clone + Debug + Send + Sync + 'static {
     fn is_idempotent(&self) -> bool {
         true
     }
+
+    /// `true` when tags carry no information beyond set membership, so the
+    /// tuple-level delta-insertion path — which never revisits the tag of an
+    /// already-derived fact — is exact. Only [`Unit`] qualifies: every
+    /// richer semiring folds `⊕` over alternative derivations (in
+    /// first-encounter order), so a new derivation of an existing fact can
+    /// change its tag even though the fact set is unchanged, and incremental
+    /// maintenance must fall back to recomputing the affected strata.
+    fn delta_exact(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,12 @@ impl Provenance for Unit {
     fn output(&self, _tag: &Self::Tag) -> Output {
         Output::scalar(1.0)
     }
+
+    fn delta_exact(&self) -> bool {
+        // `()` carries nothing beyond existence, so dropping re-derivations
+        // of already-present facts loses no information.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,15 @@ impl Json {
         }
     }
 
+    /// The value as a signed integer, if it is a whole number that `f64`
+    /// represents exactly (|n| ≤ 2^53).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -126,6 +135,12 @@ impl From<u64> for Json {
     }
 }
 
+impl From<i64> for Json {
+    fn from(n: i64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
 impl From<usize> for Json {
     fn from(n: usize) -> Self {
         Json::Num(n as f64)
@@ -167,8 +182,23 @@ impl std::error::Error for JsonError {}
 ///
 /// Returns a [`JsonError`] pointing at the first offending byte.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
+    parse_bytes(input.as_bytes())
+}
+
+/// Parses a complete JSON document from raw bytes, as read off a socket.
+///
+/// Structure is ASCII, so validation happens where non-ASCII bytes can
+/// legally appear: invalid UTF-8 inside a string literal is reported at that
+/// string, and a stray non-ASCII byte anywhere else fails as an unexpected
+/// character — either way the connection thread gets a [`JsonError`] instead
+/// of a panic.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] pointing at the first offending byte.
+pub fn parse_bytes(input: &[u8]) -> Result<Json, JsonError> {
     let mut parser = Parser {
-        bytes: input.as_bytes(),
+        bytes: input,
         pos: 0,
     };
     parser.skip_ws();
@@ -548,5 +578,76 @@ mod tests {
     fn integers_print_without_a_fraction() {
         assert_eq!(Json::from(42u64).to_compact(), "42");
         assert_eq!(Json::Num(2.5).to_compact(), "2.5");
+    }
+
+    #[test]
+    fn nesting_is_accepted_at_the_bound_and_rejected_one_past_it() {
+        // The innermost value of k nested arrays parses at depth k, so the
+        // ceiling admits exactly MAX_DEPTH brackets.
+        let at_bound = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_bound).is_ok());
+        let past_bound = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&past_bound).unwrap_err();
+        assert!(err.message.contains("too deep"), "{err}");
+        // Objects count against the same ceiling as arrays.
+        let mixed = format!("{}1{}", r#"{"k": ["#.repeat(40), "]}".repeat(40));
+        assert!(parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_payloads_error_instead_of_panicking() {
+        // A lone continuation byte inside a string literal.
+        assert!(parse_bytes(b"\"\xff\"").is_err());
+        // A truncated multi-byte sequence mid-string.
+        assert!(parse_bytes(b"{\"k\": \"\xe2\x82\"}").is_err());
+        // Overlong encoding of `/`.
+        assert!(parse_bytes(b"[\"\xc0\xaf\"]").is_err());
+        // A stray non-ASCII byte outside any string.
+        assert!(parse_bytes(b"\xf0\x9f\xa6\x80").is_err());
+        // Valid bytes parse identically to the &str entry point.
+        assert_eq!(parse_bytes("[1, \"🦀\"]".as_bytes()), parse("[1, \"🦀\"]"));
+    }
+
+    #[test]
+    fn integer_boundaries_respect_the_exact_f64_range() {
+        let max_exact = 1u64 << 53;
+        // 2^53 and 2^53 - 1 are exact and round-trip through text.
+        for n in [max_exact, max_exact - 1] {
+            let parsed = parse(&Json::from(n).to_compact()).unwrap();
+            assert_eq!(parsed.as_u64(), Some(n));
+        }
+        // 2^53 + 2 is representable in f64 but outside the exact window, so
+        // the accessors refuse rather than hand back a possibly-off value.
+        let past = Json::Num((max_exact + 2) as f64);
+        assert_eq!(past.as_u64(), None);
+        assert_eq!(past.as_i64(), None);
+        // Signed boundaries: ±2^53 round-trip via From<i64>/as_i64 ...
+        for n in [-(1i64 << 53), 1i64 << 53, -42, 0] {
+            let parsed = parse(&Json::from(n).to_compact()).unwrap();
+            assert_eq!(parsed.as_i64(), Some(n));
+        }
+        // ... while i64::MIN is far outside it and negatives are not u64s.
+        assert_eq!(Json::Num(i64::MIN as f64).as_i64(), None);
+        assert_eq!(Json::from(-1i64).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_i64(), None);
+    }
+
+    #[test]
+    fn duplicate_keys_parse_and_get_returns_the_first() {
+        let value = parse(r#"{"k": 1, "k": 2, "other": 3}"#).unwrap();
+        assert_eq!(value.get("k").and_then(Json::as_u64), Some(1));
+        // Both pairs survive a round trip in order — the writer does not
+        // dedupe what the parser preserved.
+        let out = value.to_compact();
+        assert_eq!(out.matches("\"k\"").count(), 2);
+        assert_eq!(parse(&out).unwrap(), value);
+        // `set` targets the first occurrence, matching `get`.
+        let mut value = value;
+        value.set("k", Json::from(9u64));
+        assert_eq!(value.get("k").and_then(Json::as_u64), Some(9));
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::error::ServeError;
 use lobster::{
-    DynProgram, DynSessionPool, DynShardedExecutor, FactSet, InputFactId, RunResult,
+    DynProgram, DynSessionPool, DynShardedExecutor, FactSet, InputFactId, PooledSession, RunResult,
     SessionPoolStats, ShardConfig,
 };
 use std::collections::VecDeque;
@@ -368,6 +368,17 @@ impl BatchScheduler {
         self.shared.sessions.stats()
     }
 
+    /// Borrows a session from the scheduler's pool for *incremental*
+    /// serving: a long-lived request can hold it across many
+    /// `insert_facts` / `retract_facts` / `run_incremental` steps,
+    /// re-evaluating only its deltas while the scheduler keeps serving
+    /// batched one-shot requests around it. Dropping the guard resets the
+    /// session — materialized fix point included — and returns it to the
+    /// pool, so the next borrower cannot observe this request's deltas.
+    pub fn acquire_session(&self) -> PooledSession<'_, DynProgram> {
+        self.shared.sessions.acquire()
+    }
+
     /// Convenience: submit one request and block for its result.
     ///
     /// # Errors
@@ -692,6 +703,31 @@ mod tests {
             );
             assert_eq!(result.len("path"), 1, "batch {i}: leaked facts");
         }
+    }
+
+    #[test]
+    fn acquired_incremental_sessions_reset_on_return_to_the_pool() {
+        let scheduler = BatchScheduler::new(program(), SchedulerConfig::default());
+        {
+            let mut session = scheduler.acquire_session();
+            session.insert_facts(&edge_request(0, 1, 0.5)).unwrap();
+            let result = session.run_incremental().unwrap();
+            assert!(
+                (result.probability("path", &[Value::U32(0), Value::U32(1)]) - 0.5).abs() < 1e-9
+            );
+            assert!(session.is_materialized());
+            // Grow the fix-point in place: the second call is a delta update
+            // against the materialized state, not a from-scratch run.
+            session.insert_facts(&edge_request(1, 2, 0.5)).unwrap();
+            let result = session.run_incremental().unwrap();
+            assert_eq!(result.len("path"), 3);
+        } // guard drop returns the session to the pool, resetting it
+        let mut session = scheduler.acquire_session();
+        assert!(!session.is_materialized(), "recycled session leaked deltas");
+        session.insert_facts(&edge_request(7, 8, 0.25)).unwrap();
+        let result = session.run_incremental().unwrap();
+        assert_eq!(result.len("path"), 1, "recycled session leaked facts");
+        assert!((result.probability("path", &[Value::U32(7), Value::U32(8)]) - 0.25).abs() < 1e-9);
     }
 
     #[test]
