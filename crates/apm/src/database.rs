@@ -1,9 +1,34 @@
 //! The tagged, columnar database held on the (simulated) device.
+//!
+//! # Narrow, dictionary-encoded storage
+//!
+//! A database built with [`Database::new_encoded`] stores every relation in
+//! *packed* form: a per-database [`SymbolDict`] maps the process-global
+//! symbol ids a run actually touches down to dense local ranks, a
+//! [`RelationLayout`] fuses adjacent narrow columns (bools, `u32`s, narrowed
+//! symbol ids) into shared `u64` group words, and every [`SortedTable`]
+//! holds the group columns instead of one full-width column per logical
+//! column. Both mappings are order-preserving, so packed tables sort, merge,
+//! difference, and deduplicate into exactly the same row order as their
+//! full-width equivalents — the kernels never know the difference, they just
+//! see fewer columns with fewer significant bytes.
+//!
+//! Facts still enter ([`Database::insert`]) and leave ([`Database::rows`])
+//! in full-width global encoding; the translation happens at
+//! [`Database::seal`] / extraction time. When new facts or a new program
+//! mention symbols the dictionary has not seen, [`Database::ensure_symbols`]
+//! extends it — monotonically, so existing tables re-encode by a cheap
+//! decode/re-pack without re-sorting.
 
-use lobster_gpu::{kernels, Columns, Device};
+use lobster_gpu::kernels::PackLane;
+use lobster_gpu::{kernels, par_map_into, Column, Columns, Device};
 use lobster_provenance::Provenance;
-use lobster_ram::{RelationSchema, Tuple, Value};
+use lobster_ram::{RelationLayout, RelationSchema, SymbolDict, Tuple, Value, ValueType};
 use std::collections::BTreeMap;
+
+/// Arena allocation site for codec scratch (symbol-mapped columns built
+/// while encoding); distinct from the executor's sites (100–104).
+const CODEC_SITE: usize = 105;
 
 /// Returns dead columns to the device arena (capacity-less vectors are
 /// dropped — there is nothing to reuse).
@@ -221,6 +246,212 @@ impl<P: Provenance> SortedTable<P> {
     }
 }
 
+/// What a program contributes to a database's encoding decision: the symbol
+/// constants its expressions mention (seeded into the dictionary so constant
+/// rewriting always finds a local rank) and whether any expression performs
+/// arithmetic at `u32` operand type (which forces `u32` lanes to stay 8
+/// bytes wide — the expression machine computes `u32` arithmetic at full
+/// word width, so narrowing would change stored bits).
+#[derive(Debug, Clone, Default)]
+pub struct EncodingSpec {
+    /// Global interner ids of every symbol constant in the program (see
+    /// `RamProgram::symbol_constants`).
+    pub symbol_constants: Vec<u32>,
+    /// `true` when the program applies `+ - * / %` or negation at `u32`
+    /// type anywhere.
+    pub widen_u32: bool,
+}
+
+/// The live encoding state of an encoded database: the symbol dictionary
+/// plus one planned layout (and its precomputed pack lanes) per relation.
+#[derive(Debug, Clone)]
+pub(crate) struct Codec {
+    pub(crate) dict: SymbolDict,
+    widen_u32: bool,
+    layouts: BTreeMap<String, RelationLayout>,
+    lanes: BTreeMap<String, Vec<Vec<PackLane>>>,
+}
+
+impl Codec {
+    fn new(schemas: &BTreeMap<String, RelationSchema>, dict: SymbolDict, widen_u32: bool) -> Codec {
+        let sym_bytes = dict.width_bytes();
+        let u32_bytes = if widen_u32 { 8 } else { 4 };
+        let layouts: BTreeMap<String, RelationLayout> = schemas
+            .iter()
+            .map(|(name, schema)| {
+                (
+                    name.clone(),
+                    RelationLayout::plan(&schema.arg_types, sym_bytes, u32_bytes),
+                )
+            })
+            .collect();
+        let lanes = layouts
+            .iter()
+            .map(|(name, layout)| (name.clone(), Self::pack_lanes(layout)))
+            .collect();
+        Codec {
+            dict,
+            widen_u32,
+            layouts,
+            lanes,
+        }
+    }
+
+    /// Converts a layout's groups into the gpu kernel's lane spec.
+    fn pack_lanes(layout: &RelationLayout) -> Vec<Vec<PackLane>> {
+        layout
+            .groups
+            .iter()
+            .map(|g| {
+                g.lanes
+                    .iter()
+                    .map(|l| PackLane {
+                        column: l.column,
+                        shift: l.shift,
+                        mask: l.mask(),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    pub(crate) fn layout(&self, relation: &str) -> &RelationLayout {
+        &self.layouts[relation]
+    }
+
+    /// The pack lanes of a relation, or `None` when its layout is the
+    /// identity (callers skip the pack/unpack kernels entirely).
+    pub(crate) fn lanes(&self, relation: &str) -> Option<&Vec<Vec<PackLane>>> {
+        if self.layouts[relation].is_identity() {
+            None
+        } else {
+            Some(&self.lanes[relation])
+        }
+    }
+
+    /// Maps a program symbol constant to its local rank.
+    pub(crate) fn local_const(&self, global: u32) -> u64 {
+        u64::from(
+            self.dict
+                .local(global)
+                .expect("program symbol constant missing from dictionary"),
+        )
+    }
+}
+
+/// Packs full-width columns carrying **global** symbol ids into a
+/// relation's group columns with local ranks. Consumes (recycles) the wide
+/// input. Identity layouts pass the columns through untouched.
+fn encode_wide(
+    device: &Device,
+    codec: &Codec,
+    relation: &str,
+    schema: &RelationSchema,
+    columns: Columns,
+) -> Columns {
+    let layout = codec.layout(relation);
+    if layout.is_identity() {
+        return columns;
+    }
+    let arena = device.arena();
+    // Rewrite symbol columns global → local before packing; other columns
+    // pack straight from the input.
+    let mut locals: Vec<Option<Column>> = Vec::with_capacity(columns.len());
+    for (c, col) in columns.iter().enumerate() {
+        if schema.arg_types[c] == ValueType::Symbol {
+            let mut local = arena.alloc_zeroed(CODEC_SITE, col.len());
+            let dict = &codec.dict;
+            par_map_into(device, &mut local, |k| {
+                u64::from(
+                    dict.local(col[k] as u32)
+                        .expect("symbol value missing from dictionary"),
+                )
+            });
+            locals.push(Some(local));
+        } else {
+            locals.push(None);
+        }
+    }
+    let refs: Vec<&[u64]> = locals
+        .iter()
+        .zip(columns.iter())
+        .map(|(local, col)| local.as_deref().unwrap_or(col.as_slice()))
+        .collect();
+    let lanes = codec.lanes(relation).expect("non-identity layout");
+    let packed = kernels::pack_columns(device, &refs, lanes);
+    drop(refs);
+    recycle_columns(device, locals.into_iter().flatten().collect());
+    recycle_columns(device, columns);
+    packed
+}
+
+/// Inverse of [`encode_wide`]: unpacks a relation's group columns back to
+/// full-width columns carrying **global** symbol ids. The packed input is
+/// borrowed; the output is fresh.
+fn decode_packed(device: &Device, codec: &Codec, relation: &str, packed: &[Column]) -> Columns {
+    let layout = codec.layout(relation);
+    if layout.is_identity() {
+        return packed.to_vec();
+    }
+    let refs: Vec<&[u64]> = packed.iter().map(|c| c.as_slice()).collect();
+    let lanes = codec.lanes(relation).expect("non-identity layout");
+    let mut wide = kernels::unpack_columns(device, &refs, lanes, layout.arity);
+    for group in &layout.groups {
+        for lane in &group.lanes {
+            if lane.symbol {
+                for v in wide[lane.column].iter_mut() {
+                    *v = u64::from(
+                        codec
+                            .dict
+                            .global(*v as u32)
+                            .expect("local rank out of dictionary range"),
+                    );
+                }
+            }
+        }
+    }
+    wide
+}
+
+/// Scalar row extraction from a packed table: unpacks each group word and
+/// maps symbol ranks back to global ids. Used by [`Database::rows`], which
+/// has no [`Device`] at hand — extraction is a cold path.
+fn decoded_rows_packed<P: Provenance>(
+    table: &SortedTable<P>,
+    schema: &RelationSchema,
+    codec: &Codec,
+    relation: &str,
+) -> Vec<(Tuple, P::Tag)> {
+    let layout = codec.layout(relation);
+    (0..table.len())
+        .map(|row| {
+            let mut words = vec![0u64; layout.arity];
+            for (g, group) in layout.groups.iter().enumerate() {
+                let word = table.columns[g][row];
+                for (l, lane) in group.lanes.iter().enumerate() {
+                    let mut v = group.unpack(word, l);
+                    if lane.symbol {
+                        v = u64::from(
+                            codec
+                                .dict
+                                .global(v as u32)
+                                .expect("local rank out of dictionary range"),
+                        );
+                    }
+                    words[lane.column] = v;
+                }
+            }
+            let tuple: Tuple = schema
+                .arg_types
+                .iter()
+                .enumerate()
+                .map(|(c, ty)| Value::decode(words[c], *ty))
+                .collect();
+            (tuple, table.tags[row].clone())
+        })
+        .collect()
+}
+
 /// The bookkeeping for one relation: the semi-naive partitions plus staged
 /// delta candidates produced by `store` instructions during the current
 /// iteration.
@@ -248,16 +479,23 @@ impl<P: Provenance> RelationData<P> {
 
 /// The tagged, columnar database: every relation's facts plus the semi-naive
 /// partitions used during fix-point execution.
+///
+/// A database is either *full-width* ([`Database::new`]; every logical
+/// column is one `u64` column, values are stored in global encoding) or
+/// *encoded* ([`Database::new_encoded`]; relations hold packed group columns
+/// under a shared [`SymbolDict`]). The two are observationally identical:
+/// [`Database::rows`] returns the same tuples in the same order either way.
 #[derive(Debug, Clone)]
 pub struct Database<P: Provenance> {
     schemas: BTreeMap<String, RelationSchema>,
     relations: BTreeMap<String, RelationData<P>>,
     pending: BTreeMap<String, (Columns, Vec<P::Tag>)>,
     provenance: P,
+    codec: Option<Codec>,
 }
 
 impl<P: Provenance> Database<P> {
-    /// Creates an empty database for the given schemas.
+    /// Creates an empty full-width database for the given schemas.
     pub fn new(schemas: BTreeMap<String, RelationSchema>, provenance: P) -> Self {
         let relations = schemas
             .iter()
@@ -272,7 +510,135 @@ impl<P: Provenance> Database<P> {
             relations,
             pending,
             provenance,
+            codec: None,
         }
+    }
+
+    /// Creates an empty *encoded* database: relations are stored as packed
+    /// group columns under a dictionary seeded with the program's symbol
+    /// constants. Facts still go in and come out in full-width global
+    /// encoding; see the module docs.
+    pub fn new_encoded(
+        schemas: BTreeMap<String, RelationSchema>,
+        provenance: P,
+        spec: &EncodingSpec,
+    ) -> Self {
+        let dict = SymbolDict::from_globals(spec.symbol_constants.clone());
+        let codec = Codec::new(&schemas, dict, spec.widen_u32);
+        let relations = schemas
+            .keys()
+            .map(|name| {
+                (
+                    name.clone(),
+                    RelationData::new(codec.layout(name).packed_arity()),
+                )
+            })
+            .collect();
+        let pending = schemas
+            .iter()
+            .map(|(name, schema)| (name.clone(), (vec![Vec::new(); schema.arity()], Vec::new())))
+            .collect();
+        Database {
+            schemas,
+            relations,
+            pending,
+            provenance,
+            codec: Some(codec),
+        }
+    }
+
+    /// The active codec, if this database is encoded.
+    pub(crate) fn codec(&self) -> Option<&Codec> {
+        self.codec.as_ref()
+    }
+
+    /// `true` when relations are stored in packed, dictionary-encoded form.
+    pub fn is_encoded(&self) -> bool {
+        self.codec.is_some()
+    }
+
+    /// The number of physical (stored) columns of a relation: the packed
+    /// group count when encoded, the logical arity otherwise.
+    #[cfg(test)]
+    pub(crate) fn storage_arity(&self, relation: &str) -> usize {
+        match self.codec.as_ref() {
+            Some(codec) => codec.layout(relation).packed_arity(),
+            None => self.schemas[relation].arity(),
+        }
+    }
+
+    /// Extends the dictionary to cover `globals`, re-encoding every stored
+    /// table under the extended dictionary. No-op for full-width databases
+    /// or when everything is already covered.
+    ///
+    /// Re-encoding never re-sorts: dictionary extension is monotone
+    /// ([`SymbolDict::extend`]), so local rank order — and therefore packed
+    /// row order — is unchanged by the remap.
+    pub fn ensure_symbols(&mut self, device: &Device, globals: impl IntoIterator<Item = u32>) {
+        let Some(codec) = self.codec.as_ref() else {
+            return;
+        };
+        let missing: Vec<u32> = globals
+            .into_iter()
+            .filter(|g| codec.dict.local(*g).is_none())
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let (dict, _remap) = codec.dict.extend(missing);
+        let next = Codec::new(&self.schemas, dict, codec.widen_u32);
+        let old = self.codec.take().expect("codec present");
+        for (name, data) in self.relations.iter_mut() {
+            debug_assert!(
+                data.staged.is_empty(),
+                "dictionary extension with staged rows in `{name}`"
+            );
+            let schema = &self.schemas[name];
+            let packed_arity = next.layout(name).packed_arity();
+            for table in [&mut data.stable, &mut data.recent] {
+                let re = if table.is_empty() {
+                    SortedTable::empty(packed_arity)
+                } else {
+                    let wide = decode_packed(device, &old, name, &table.columns);
+                    let packed = encode_wide(device, &next, name, schema, wide);
+                    SortedTable {
+                        columns: packed,
+                        tags: std::mem::take(&mut table.tags),
+                        arity: packed_arity,
+                    }
+                };
+                let dead = std::mem::replace(table, re);
+                dead.recycle(device);
+            }
+        }
+        self.codec = Some(next);
+    }
+
+    /// Builds a sorted table in this database's storage encoding from
+    /// full-width columns carrying global symbol ids: extends the dictionary
+    /// over the columns' symbol values, packs, then sorts/deduplicates. On a
+    /// full-width database this is plain [`SortedTable::from_unsorted`].
+    pub(crate) fn encoded_from_unsorted(
+        &mut self,
+        device: &Device,
+        relation: &str,
+        columns: Columns,
+        tags: Vec<P::Tag>,
+    ) -> SortedTable<P> {
+        let prov = self.provenance.clone();
+        if self.codec.is_none() {
+            return SortedTable::from_unsorted(device, &prov, columns, tags);
+        }
+        let mut syms: Vec<u32> = Vec::new();
+        for (c, ty) in self.schemas[relation].arg_types.iter().enumerate() {
+            if *ty == ValueType::Symbol {
+                syms.extend(columns[c].iter().map(|v| *v as u32));
+            }
+        }
+        self.ensure_symbols(device, syms);
+        let codec = self.codec.as_ref().expect("codec present");
+        let packed = encode_wide(device, codec, relation, &self.schemas[relation], columns);
+        SortedTable::from_unsorted(device, &prov, packed, tags)
     }
 
     /// The provenance context used by this database.
@@ -319,9 +685,11 @@ impl<P: Provenance> Database<P> {
         self.insert_encoded(relation, &row, tag);
     }
 
-    /// Folds all pending inserts into the stable partitions.
+    /// Folds all pending inserts into the stable partitions. Pending facts
+    /// arrive in full-width global encoding; on an encoded database they are
+    /// packed here (extending the dictionary first if they mention new
+    /// symbols).
     pub fn seal(&mut self, device: &Device) {
-        let prov = self.provenance.clone();
         let names: Vec<String> = self.pending.keys().cloned().collect();
         for name in names {
             let arity = self.schemas[&name].arity();
@@ -331,10 +699,11 @@ impl<P: Provenance> Database<P> {
             }
             let columns = std::mem::replace(columns, vec![Vec::new(); arity]);
             let tags = std::mem::take(tags);
-            let table = SortedTable::from_unsorted(device, &prov, columns, tags);
+            let table = self.encoded_from_unsorted(device, &name, columns, tags);
             let data = self.relations.get_mut(&name).expect("relation exists");
             let new_rows = data.stable.difference_from(device, &table);
             data.stable = data.stable.merge_disjoint(device, &new_rows);
+            table.recycle(device);
         }
     }
 
@@ -360,7 +729,8 @@ impl<P: Provenance> Database<P> {
     }
 
     /// The decoded rows (with tags) of a relation, combining stable and
-    /// recent partitions.
+    /// recent partitions. Encoded databases unpack and translate back to
+    /// global symbol ids here, so callers see identical tuples either way.
     pub fn rows(&self, relation: &str) -> Vec<(Tuple, P::Tag)> {
         let Some(schema) = self.schemas.get(relation) else {
             return Vec::new();
@@ -368,9 +738,18 @@ impl<P: Provenance> Database<P> {
         let Some(data) = self.relations.get(relation) else {
             return Vec::new();
         };
-        let mut rows = data.stable.decoded_rows(schema);
-        rows.extend(data.recent.decoded_rows(schema));
-        rows
+        match self.codec.as_ref() {
+            Some(codec) if !codec.layout(relation).is_identity() => {
+                let mut rows = decoded_rows_packed(&data.stable, schema, codec, relation);
+                rows.extend(decoded_rows_packed(&data.recent, schema, codec, relation));
+                rows
+            }
+            _ => {
+                let mut rows = data.stable.decoded_rows(schema);
+                rows.extend(data.recent.decoded_rows(schema));
+                rows
+            }
+        }
     }
 
     /// Internal access for the executor.
@@ -383,10 +762,14 @@ impl<P: Provenance> Database<P> {
         self.relations.get_mut(relation).expect("relation exists")
     }
 
-    /// Clears all facts (schemas are kept). Used between samples.
+    /// Clears all facts (schemas — and the dictionary, which only grows —
+    /// are kept). Used between samples.
     pub fn clear_facts(&mut self) {
         for (name, data) in self.relations.iter_mut() {
-            let arity = self.schemas[name].arity();
+            let arity = match self.codec.as_ref() {
+                Some(codec) => codec.layout(name).packed_arity(),
+                None => self.schemas[name].arity(),
+            };
             *data = RelationData::new(arity);
         }
         for (name, (columns, tags)) in self.pending.iter_mut() {
@@ -500,5 +883,110 @@ mod tests {
         let merged = a.merge_disjoint(&device, &new);
         assert_eq!(merged.len(), 3);
         assert_eq!(merged.columns[0], vec![1, 2, 3]);
+    }
+
+    fn sym_schemas() -> BTreeMap<String, RelationSchema> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "likes".into(),
+            RelationSchema::new("likes", vec![ValueType::Symbol, ValueType::Symbol]),
+        );
+        m.insert(
+            "edge".into(),
+            RelationSchema::new("edge", vec![ValueType::U32, ValueType::U32]),
+        );
+        m
+    }
+
+    #[test]
+    fn encoded_database_matches_full_width_rows() {
+        let device = Device::sequential();
+        let spec = EncodingSpec {
+            symbol_constants: vec![900],
+            widen_u32: false,
+        };
+        let mut wide = Database::new(sym_schemas(), Unit::new());
+        let mut packed = Database::new_encoded(sym_schemas(), Unit::new(), &spec);
+        assert!(packed.is_encoded());
+        assert!(!wide.is_encoded());
+        // Global ids deliberately large and sparse: the dictionary narrows
+        // them to ranks regardless of magnitude.
+        let facts = [
+            (1_000_000u32, 5u32),
+            (5, 1_000_000),
+            (900, 900),
+            (5, 5),
+            (1_000_000, 900),
+        ];
+        for db in [&mut wide, &mut packed] {
+            for (a, b) in facts {
+                db.insert("likes", &[Value::Symbol(a), Value::Symbol(b)], ());
+            }
+            db.insert("edge", &[Value::U32(7), Value::U32(8)], ());
+            db.seal(&device);
+        }
+        // Bit-identical extraction: same tuples in the same order.
+        assert_eq!(wide.rows("likes"), packed.rows("likes"));
+        assert_eq!(wide.rows("edge"), packed.rows("edge"));
+        // Two symbol columns (1 byte each) pack into one physical column;
+        // two u32 columns share one word.
+        assert_eq!(packed.storage_arity("likes"), 1);
+        assert_eq!(packed.storage_arity("edge"), 1);
+        assert_eq!(wide.storage_arity("likes"), 2);
+        assert!(packed.size_bytes() < wide.size_bytes());
+    }
+
+    #[test]
+    fn dictionary_extension_reencodes_without_resorting() {
+        let device = Device::sequential();
+        let spec = EncodingSpec::default();
+        let mut db = Database::new_encoded(sym_schemas(), Unit::new(), &spec);
+        db.insert("likes", &[Value::Symbol(50), Value::Symbol(10)], ());
+        db.seal(&device);
+        // Second seal brings symbols below and above the existing ids: every
+        // stored rank shifts, but row order must be preserved.
+        db.insert("likes", &[Value::Symbol(5), Value::Symbol(99)], ());
+        db.insert("likes", &[Value::Symbol(50), Value::Symbol(5)], ());
+        db.seal(&device);
+        let rows: Vec<_> = db.rows("likes").into_iter().map(|(t, _)| t).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Symbol(5), Value::Symbol(99)],
+                vec![Value::Symbol(50), Value::Symbol(5)],
+                vec![Value::Symbol(50), Value::Symbol(10)],
+            ]
+        );
+        // Sealing the same fact again after extension still deduplicates.
+        db.insert("likes", &[Value::Symbol(50), Value::Symbol(10)], ());
+        db.seal(&device);
+        assert_eq!(db.relation_len("likes"), 3);
+    }
+
+    #[test]
+    fn widened_u32_lanes_stay_full_width() {
+        let spec = EncodingSpec {
+            symbol_constants: Vec::new(),
+            widen_u32: true,
+        };
+        let db: Database<Unit> = Database::new_encoded(sym_schemas(), Unit::new(), &spec);
+        // With u32 arithmetic in play, u32 lanes cannot narrow: `edge`
+        // stays two full-width columns.
+        assert_eq!(db.storage_arity("edge"), 2);
+        // Symbol columns still narrow.
+        assert_eq!(db.storage_arity("likes"), 1);
+    }
+
+    #[test]
+    fn encoded_clear_facts_keeps_packed_arity() {
+        let device = Device::sequential();
+        let mut db = Database::new_encoded(sym_schemas(), Unit::new(), &EncodingSpec::default());
+        db.insert("likes", &[Value::Symbol(3), Value::Symbol(4)], ());
+        db.seal(&device);
+        db.clear_facts();
+        assert_eq!(db.total_facts(), 0);
+        db.insert("likes", &[Value::Symbol(3), Value::Symbol(4)], ());
+        db.seal(&device);
+        assert_eq!(db.rows("likes").len(), 1);
     }
 }

@@ -21,6 +21,7 @@ use crate::compiler::{compile_stratum_with_options, CompiledStratum};
 use crate::config::RuntimeOptions;
 use crate::database::{Database, SortedTable};
 use crate::isa::{DbPart, Instr, RegId};
+use lobster_gpu::kernels::PackLane;
 use lobster_gpu::{kernels, Column, Device, DeviceError, HashIndex, ProbePartition};
 use lobster_provenance::Provenance;
 use lobster_ram::RamProgram;
@@ -251,6 +252,47 @@ impl<P: Provenance> Executor<P> {
             data.staged.clear();
         }
 
+        // Dictionary-encoded databases execute in *local* symbol space:
+        // loads unpack to local ranks, so the program's symbol constants
+        // (global interner ids) must be rewritten to ranks too. Extend the
+        // dictionary first — a constant no fact mentions still needs a rank
+        // (extension re-encodes stored tables, which is why it happens once,
+        // up front, never mid-stratum).
+        let consts: Option<Vec<u32>> = db.codec().and_then(|_| {
+            let mut consts: Vec<u32> = Vec::new();
+            for instr in &compiled.program.instructions {
+                if let Instr::Eval { projection, .. } = instr {
+                    projection.symbol_consts(&mut consts);
+                }
+            }
+            if consts.is_empty() {
+                return None;
+            }
+            Some(consts)
+        });
+        let rewritten: Option<CompiledStratum> = consts.map(|consts| {
+            db.ensure_symbols(&self.device, consts);
+            let codec = db.codec().expect("codec present");
+            let mut owned = compiled.clone();
+            for instr in &mut owned.program.instructions {
+                if let Instr::Eval { projection, .. } = instr {
+                    if projection.has_symbol_consts() {
+                        *projection = projection.map_symbol_consts(&|g| codec.local_const(g));
+                    }
+                }
+            }
+            owned
+        });
+        let compiled = rewritten.as_ref().unwrap_or(compiled);
+        // Pack lanes of the stratum's own relations (`None` = identity
+        // layout or full-width database), resolved after any dictionary
+        // extension so widths are final for the whole stratum.
+        let stratum_lanes: Vec<Option<Vec<Vec<PackLane>>>> = compiled
+            .relations
+            .iter()
+            .map(|rel| db.codec().and_then(|c| c.lanes(rel).cloned()))
+            .collect();
+
         // Registers that survive across iterations.
         let mut static_file: HashMap<RegId, RegValue<P>> = HashMap::new();
         // Cached "all" loads of relations not updated by this stratum (the
@@ -280,12 +322,17 @@ impl<P: Provenance> Executor<P> {
             // candidate) are recycled into the arena, which is what keeps
             // the next iteration allocation-free.
             let mut changed = false;
-            for rel in &compiled.relations {
+            for (rel, lanes) in compiled.relations.iter().zip(&stratum_lanes) {
                 let prov = self.provenance.clone();
                 let data = db.relation_data_mut(rel);
                 let staged = std::mem::take(&mut data.staged);
-                let candidate =
-                    Self::collect_staged(&self.device, &prov, staged, data.recent.arity());
+                let candidate = Self::collect_staged(
+                    &self.device,
+                    &prov,
+                    staged,
+                    data.recent.arity(),
+                    lanes.as_deref(),
+                );
                 let arity = data.recent.arity();
                 // Fold the previous frontier into the stable set. When the
                 // frontier is empty the stable set is unchanged, so the merge
@@ -344,18 +391,27 @@ impl<P: Provenance> Executor<P> {
     /// Turns the staged (columns, tags) chunks produced by `store` into one
     /// sorted, deduplicated candidate table. The staged chunk buffers are
     /// recycled into the arena once concatenated.
+    ///
+    /// When `lanes` is given the relation is stored packed: the logical
+    /// columns are fused into group words *before* sorting, so the radix
+    /// sort, dedup, merge, and difference downstream all run over
+    /// `packed_arity` columns instead of the logical arity — the bandwidth
+    /// win of the encoded layout. `storage_arity` is the stored column count
+    /// (`packed_arity` when packed, logical arity otherwise).
     fn collect_staged(
         device: &Device,
         prov: &P,
         staged: Vec<(Vec<Column>, Vec<P::Tag>)>,
-        arity: usize,
+        storage_arity: usize,
+        lanes: Option<&[Vec<PackLane>]>,
     ) -> SortedTable<P> {
         if staged.is_empty() {
-            return SortedTable::empty(arity);
+            return SortedTable::empty(storage_arity);
         }
         let arena = device.arena();
+        let logical_arity = staged[0].0.len();
         let rows: usize = staged.iter().map(|(_, t)| t.len()).sum();
-        let mut columns: Vec<Column> = (0..arity)
+        let mut columns: Vec<Column> = (0..logical_arity)
             .map(|_| arena.alloc_empty(exec_sites::STAGED, rows))
             .collect();
         let mut tags: Vec<P::Tag> = Vec::with_capacity(rows);
@@ -370,6 +426,20 @@ impl<P: Provenance> Executor<P> {
             }
             tags.extend(t);
         }
+        let columns = match lanes {
+            Some(lanes) => {
+                let refs: Vec<&[u64]> = columns.iter().map(|c| c.as_slice()).collect();
+                let packed = kernels::pack_columns(device, &refs, lanes);
+                drop(refs);
+                for col in columns {
+                    if col.capacity() > 0 {
+                        arena.recycle_shared(col);
+                    }
+                }
+                packed
+            }
+            None => columns,
+        };
         SortedTable::from_unsorted(device, prov, columns, tags)
     }
 
@@ -457,33 +527,67 @@ impl<P: Provenance> Executor<P> {
                         }
                     }
                     let arena = self.device.arena();
+                    // Packed relations are unpacked into wide registers here
+                    // (values stay in *local* symbol space); full-width
+                    // relations and identity layouts copy straight through.
+                    let lanes = db.codec().and_then(|c| c.lanes(relation));
+                    let unpack = |packed: &[Column]| -> Vec<Arc<Column>> {
+                        let lanes = lanes.expect("lanes present");
+                        let refs: Vec<&[u64]> = packed.iter().map(|c| c.as_slice()).collect();
+                        kernels::unpack_columns(&self.device, &refs, lanes, columns.len())
+                            .into_iter()
+                            .map(Arc::new)
+                            .collect()
+                    };
                     let data = db.relation_data(relation);
                     let (cols, tag_vec): (Vec<Arc<Column>>, Arc<Vec<P::Tag>>) = match part {
                         DbPart::Stable => (
-                            data.stable
-                                .columns
-                                .iter()
-                                .map(|c| Arc::new(arena.alloc_copy(exec_sites::LOAD, c)))
-                                .collect(),
+                            if lanes.is_some() {
+                                unpack(&data.stable.columns)
+                            } else {
+                                data.stable
+                                    .columns
+                                    .iter()
+                                    .map(|c| Arc::new(arena.alloc_copy(exec_sites::LOAD, c)))
+                                    .collect()
+                            },
                             Arc::new(data.stable.tags.clone()),
                         ),
                         DbPart::Recent => (
-                            data.recent
-                                .columns
-                                .iter()
-                                .map(|c| Arc::new(arena.alloc_copy(exec_sites::LOAD, c)))
-                                .collect(),
+                            if lanes.is_some() {
+                                unpack(&data.recent.columns)
+                            } else {
+                                data.recent
+                                    .columns
+                                    .iter()
+                                    .map(|c| Arc::new(arena.alloc_copy(exec_sites::LOAD, c)))
+                                    .collect()
+                            },
                             Arc::new(data.recent.tags.clone()),
                         ),
                         DbPart::All => {
-                            let mut cols = Vec::with_capacity(data.stable.arity());
+                            // Concatenate the (narrow) stored columns first,
+                            // then unpack once — moving packed bytes is
+                            // cheaper than moving unpacked ones.
+                            let mut merged_cols = Vec::with_capacity(data.stable.columns.len());
                             for (s, r) in data.stable.columns.iter().zip(&data.recent.columns) {
                                 let mut merged =
                                     arena.alloc_empty(exec_sites::LOAD, s.len() + r.len());
                                 merged.extend_from_slice(s);
                                 merged.extend_from_slice(r);
-                                cols.push(Arc::new(merged));
+                                merged_cols.push(merged);
                             }
+                            let cols = if lanes.is_some() {
+                                let wide = unpack(&merged_cols);
+                                for col in merged_cols {
+                                    if col.capacity() > 0 {
+                                        arena.recycle_shared(col);
+                                    }
+                                }
+                                wide
+                            } else {
+                                merged_cols.into_iter().map(Arc::new).collect()
+                            };
                             let mut t = data.stable.tags.clone();
                             t.extend(data.recent.tags.iter().cloned());
                             (cols, Arc::new(t))
@@ -1065,6 +1169,72 @@ mod tests {
         );
         let err = exec.run_program(&mut db, &compiled.ram).unwrap_err();
         assert!(matches!(err, ExecError::Timeout { .. }));
+    }
+
+    #[test]
+    fn encoded_execution_is_bit_identical_to_full_width() {
+        use crate::database::EncodingSpec;
+        use lobster_gpu::DeviceConfig;
+
+        // Symbol-typed TC with a symbol constant in a rule body, so the
+        // encoded run exercises constant rewriting, dictionary-encoded
+        // loads/stores, and packed sort/merge/difference.
+        let compiled = parse(
+            r#"type edge(x: symbol, y: symbol)
+             rel path(x, y) = edge(x, y) or (path(x, z) and edge(z, y))
+             rel from_root(y) = path("n000", y)
+             query from_root"#,
+        )
+        .unwrap();
+        let symbols = compiled.symbols.clone();
+        let names: Vec<u32> = (0..60)
+            .map(|i| symbols.intern(&format!("n{i:03}")))
+            .collect();
+        let spec = EncodingSpec {
+            symbol_constants: compiled.ram.symbol_constants(),
+            widen_u32: compiled.ram.has_u32_arithmetic(),
+        };
+        for parallelism in [1, 3] {
+            let device = Device::new(DeviceConfig {
+                parallelism,
+                min_parallel_rows: 1,
+                ..DeviceConfig::default()
+            });
+            let prov = AddMultProb::new();
+            let mut wide = Database::new(compiled.ram.schemas.clone(), prov);
+            let mut packed = Database::new_encoded(compiled.ram.schemas.clone(), prov, &spec);
+            for db in [&mut wide, &mut packed] {
+                for (i, w) in names.windows(2).enumerate() {
+                    let p = 0.5 + (i as f64) / 200.0;
+                    db.insert(
+                        "edge",
+                        &[Value::Symbol(w[0]), Value::Symbol(w[1])],
+                        prov.input_tag(InputFactId(i as u32), Some(p)),
+                    );
+                }
+                db.seal(&device);
+            }
+            let exec = Executor::new(device, prov, RuntimeOptions::default());
+            exec.run_program(&mut wide, &compiled.ram).unwrap();
+            exec.run_program(&mut packed, &compiled.ram).unwrap();
+            for rel in ["edge", "path", "from_root"] {
+                let w = wide.rows(rel);
+                let p = packed.rows(rel);
+                assert_eq!(w.len(), p.len(), "{rel} row count at par {parallelism}");
+                for ((wt, wtag), (pt, ptag)) in w.iter().zip(&p) {
+                    assert_eq!(wt, pt, "{rel} tuples at par {parallelism}");
+                    assert_eq!(
+                        wtag.to_bits(),
+                        ptag.to_bits(),
+                        "{rel} tags bit-identical at par {parallelism}"
+                    );
+                }
+            }
+            assert!(
+                packed.size_bytes() < wide.size_bytes(),
+                "encoded database should be smaller"
+            );
+        }
     }
 
     #[test]

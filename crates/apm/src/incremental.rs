@@ -94,7 +94,6 @@ pub fn refresh_database<P: Provenance>(
     edb: &dyn Fn(&str) -> EdbContent<P::Tag>,
 ) -> Result<ExecutionStats, ExecError> {
     let device = executor.device().clone();
-    let prov = db.provenance().clone();
     let mut stats = ExecutionStats::default();
 
     // Relations whose content differs from the materialized state.
@@ -114,7 +113,7 @@ pub fn refresh_database<P: Provenance>(
     // tags carry no new information), which keeps double-inserts idempotent
     // and the disjointness invariant of the final fold intact.
     for (rel, (cols, tags)) in inserted {
-        let table = SortedTable::from_unsorted(&device, &prov, cols.clone(), tags.clone());
+        let table = db.encoded_from_unsorted(&device, rel, cols.clone(), tags.clone());
         let data = db.relation_data_mut(rel);
         let delta = data.stable.difference_from_owned(&device, table);
         if delta.is_empty() {
@@ -139,7 +138,7 @@ pub fn refresh_database<P: Provenance>(
             continue;
         }
         let (cols, tags) = edb(rel);
-        let new = SortedTable::from_unsorted(&device, &prov, cols, tags);
+        let new = db.encoded_from_unsorted(&device, rel, cols, tags);
         let data = db.relation_data_mut(rel);
         debug_assert!(
             data.recent.is_empty(),
@@ -231,7 +230,7 @@ pub fn refresh_database<P: Provenance>(
                 .iter()
                 .map(|rel| {
                     let (cols, tags) = edb(rel);
-                    let new = SortedTable::from_unsorted(&device, &prov, cols, tags);
+                    let new = db.encoded_from_unsorted(&device, rel, cols, tags);
                     if seeded.remove(rel) {
                         // A pending EDB seed on this relation is subsumed by
                         // the full rebuild.

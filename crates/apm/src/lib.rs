@@ -34,7 +34,7 @@ pub use compiler::{
     compile_stratum, compile_stratum_delta, compile_stratum_with_options, CompiledStratum,
 };
 pub use config::{fnv1a, fnv1a_extend, RuntimeOptions};
-pub use database::{Database, SortedTable};
+pub use database::{Database, EncodingSpec, SortedTable};
 pub use executor::{ExecError, ExecutionStats, Executor};
 pub use incremental::{refresh_database, EdbContent};
 pub use isa::{ApmProgram, DbPart, Instr, RegId};

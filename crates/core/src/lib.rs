@@ -210,4 +210,4 @@ pub use lobster_provenance::{
     InputFactRegistry, MaxMinProb, Output, Provenance, ProvenanceKind, SessionProvenance,
     Top1Proof, Unit,
 };
-pub use lobster_ram::{Diagnostic, Severity, Value, ValueType};
+pub use lobster_ram::{Diagnostic, Severity, SymbolTable, Value, ValueType};

@@ -13,7 +13,8 @@ use crate::error::LobsterError;
 use crate::scheduler::plan_offload;
 use crate::session::Session;
 use lobster_apm::{
-    batch_transform, compile_stratum, Database, ExecutionStats, Executor, RuntimeOptions,
+    batch_transform, compile_stratum, Database, EncodingSpec, ExecutionStats, Executor,
+    RuntimeOptions,
 };
 use lobster_datalog::CompiledProgram;
 use lobster_gpu::{Device, TransferDirection};
@@ -341,6 +342,28 @@ impl<P: Provenance> Program<P> {
             }
         }
         Ok(())
+    }
+
+    /// Creates the database a run of `ram` executes against: narrow
+    /// dictionary-encoded storage when the `encode_columns` option is on and
+    /// the program is eligible, full-width otherwise.
+    ///
+    /// Eligibility: programs applying arithmetic to `Symbol`/`Bool` operands
+    /// (the `symbol-arithmetic` lint) treat raw interner ids as numbers, so
+    /// their results are not invariant under re-encoding — they silently get
+    /// full-width storage. Programs with `u32` arithmetic stay encoded but
+    /// keep `u32` lanes at word width (see
+    /// `lobster_ram::RelationLayout::plan`).
+    pub(crate) fn new_database(&self, provenance: P, ram: &RamProgram) -> Database<P> {
+        if self.options.encode_columns && !ram.has_symbol_arithmetic() {
+            let spec = EncodingSpec {
+                symbol_constants: ram.symbol_constants(),
+                widen_u32: ram.has_u32_arithmetic(),
+            };
+            Database::new_encoded(ram.schemas.clone(), provenance, &spec)
+        } else {
+            Database::new(ram.schemas.clone(), provenance)
+        }
     }
 
     /// Simulates the host↔device transfer of the current database contents

@@ -173,8 +173,9 @@ impl RunResult {
             .unwrap_or_default()
     }
 
-    /// Resolves an interned symbol id back to its string.
-    pub fn resolve_symbol(&self, value: &Value) -> Option<String> {
+    /// Resolves an interned symbol id back to its string. The returned
+    /// handle shares the symbol table's storage (no allocation per call).
+    pub fn resolve_symbol(&self, value: &Value) -> Option<std::sync::Arc<str>> {
         match value {
             Value::Symbol(id) => self.symbols.resolve(*id),
             _ => None,
@@ -439,7 +440,7 @@ impl<P: Provenance> Session<P> {
     /// Returns a [`LobsterError::Execution`] on device OOM or timeout.
     pub fn run(&self) -> Result<RunResult, LobsterError> {
         let ram = self.program.ram();
-        let mut db = Database::new(ram.schemas.clone(), self.provenance.clone());
+        let mut db = self.program.new_database(self.provenance.clone(), ram);
         for fact in &self.facts {
             let prob = fact.probabilistic.then(|| self.registry.prob(fact.id));
             let tag = self.provenance.input_tag(fact.id, prob);
@@ -610,7 +611,7 @@ impl<P: Provenance> Session<P> {
     /// the database.
     fn materialize(&mut self) -> Result<RunResult, LobsterError> {
         let ram = self.program.ram();
-        let mut db = Database::new(ram.schemas.clone(), self.provenance.clone());
+        let mut db = self.program.new_database(self.provenance.clone(), ram);
         for fact in &self.facts {
             let prob = fact.probabilistic.then(|| self.registry.prob(fact.id));
             let tag = self.provenance.input_tag(fact.id, prob);
@@ -735,7 +736,7 @@ impl<P: SessionProvenance> Session<P> {
             .unwrap_or_default();
         registry.refork_from(&self.registry);
         let provenance = self.provenance.rebind(registry.clone());
-        let mut db = Database::new(batched.schemas.clone(), provenance.clone());
+        let mut db = self.program.new_database(provenance.clone(), batched);
         for (sample, facts) in samples.iter().enumerate() {
             for fact in &self.facts {
                 let prob = fact.probabilistic.then(|| registry.prob(fact.id));

@@ -42,7 +42,10 @@ pub struct CompiledProgram {
 /// arity mismatches, unsupported expressions, or unbound variables.
 pub fn compile(items: &[Item]) -> Result<CompiledProgram, DatalogError> {
     let inferred = infer_schemas(items)?;
-    let symbols = SymbolTable::new();
+    // Intern through the process-wide table: every compiled program agrees
+    // on symbol ids, so pooled sessions, incremental delta sessions, and TCP
+    // connections can exchange encoded facts without re-interning.
+    let symbols = SymbolTable::global();
 
     let mut schemas: BTreeMap<String, RelationSchema> = BTreeMap::new();
     for (name, types) in &inferred {

@@ -91,6 +91,10 @@ pub mod sites {
     pub const JOIN_BUILD: usize = 17;
     /// Radix-grouped probe scratch (probe hashes, grouping, grouped outputs).
     pub const JOIN_PROBE: usize = 18;
+    /// Pack-columns output (dictionary-encoded narrow words).
+    pub const PACK_OUT: usize = 19;
+    /// Unpack-columns output (full-width logical columns).
+    pub const UNPACK_OUT: usize = 20;
 }
 
 /// Compares row `i` of `a` with row `j` of `b` lexicographically by column.
@@ -168,6 +172,75 @@ where
         sources.extend_from_slice(&sink.sources);
     }
     (columns, sources)
+}
+
+/// One lane of a packed word: logical column `column`'s value bits (`mask`
+/// wide) placed at bit offset `shift`. The first logical column of a group
+/// occupies the most-significant lane, so comparing packed words as `u64`s
+/// equals comparing the lanes' columns lexicographically — the property that
+/// lets every sort/merge/difference kernel run unchanged on packed data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackLane {
+    /// Index of the logical (full-width) column this lane carries.
+    pub column: usize,
+    /// Bit offset of the lane within the packed word.
+    pub shift: u32,
+    /// Mask of the lane's value bits, before shifting.
+    pub mask: u64,
+}
+
+/// `pack(s*, G)`: fuses logical columns into one narrow word column per
+/// lane group. `out[g][k] = Σ_lanes (columns[lane.column][k] & mask) << shift`.
+///
+/// Every input value must fit its lane (`value & !mask == 0`) — the caller's
+/// layout planner guarantees this by sizing lanes from the column's logical
+/// type and dictionary cardinality. Debug builds assert it.
+pub fn pack_columns(device: &Device, columns: &[&[u64]], groups: &[Vec<PackLane>]) -> Columns {
+    let _t = device.launch(KernelKind::Other);
+    let rows = columns.first().map_or(0, |c| c.len());
+    let arena = device.arena();
+    groups
+        .iter()
+        .map(|lanes| {
+            let mut out = arena.alloc_zeroed(sites::PACK_OUT, rows);
+            par_map_into(device, &mut out, |k| {
+                let mut word = 0u64;
+                for lane in lanes {
+                    let v = columns[lane.column][k];
+                    debug_assert_eq!(v & !lane.mask, 0, "value overflows its pack lane");
+                    word |= (v & lane.mask) << lane.shift;
+                }
+                word
+            });
+            out
+        })
+        .collect()
+}
+
+/// Inverse of [`pack_columns`]: splits packed group columns back into
+/// `arity` full-width logical columns.
+/// `out[lane.column][k] = (packed[g][k] >> shift) & mask`.
+pub fn unpack_columns(
+    device: &Device,
+    packed: &[&[u64]],
+    groups: &[Vec<PackLane>],
+    arity: usize,
+) -> Columns {
+    let _t = device.launch(KernelKind::Other);
+    let rows = packed.first().map_or(0, |c| c.len());
+    let arena = device.arena();
+    let mut out: Columns = (0..arity)
+        .map(|_| arena.alloc_zeroed(sites::UNPACK_OUT, rows))
+        .collect();
+    for (group, lanes) in packed.iter().zip(groups) {
+        for lane in lanes {
+            let (shift, mask) = (lane.shift, lane.mask);
+            par_map_into(device, &mut out[lane.column], |k| {
+                (group[k] >> shift) & mask
+            });
+        }
+    }
+    out
 }
 
 /// `gather(i, s)`: `out[k] = column[indices[k]]`.
@@ -1295,6 +1368,59 @@ mod tests {
         });
         assert_eq!(cols, vec![vec![10, 30, 50]]);
         assert_eq!(src, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_and_orders_like_lex() {
+        let d = dev();
+        // Layout: group 0 = [4-byte col0 | 2-byte col1 | 1-byte col2],
+        // group 1 = [8-byte col3]. First column most significant.
+        let groups = vec![
+            vec![
+                PackLane {
+                    column: 0,
+                    shift: 24,
+                    mask: 0xFFFF_FFFF,
+                },
+                PackLane {
+                    column: 1,
+                    shift: 8,
+                    mask: 0xFFFF,
+                },
+                PackLane {
+                    column: 2,
+                    shift: 0,
+                    mask: 0xFF,
+                },
+            ],
+            vec![PackLane {
+                column: 3,
+                shift: 0,
+                mask: u64::MAX,
+            }],
+        ];
+        let cols: Columns = vec![
+            vec![7, 7, 8],
+            vec![300, 2, 2],
+            vec![1, 255, 0],
+            vec![u64::MAX, 0, 42],
+        ];
+        let packed = pack_columns(&d, &refs(&cols), &groups);
+        assert_eq!(packed.len(), 2);
+        // Lexicographic order of (col0, col1, col2) == numeric order of
+        // the packed group-0 words.
+        assert!(packed[0][1] < packed[0][0]);
+        assert!(packed[0][0] < packed[0][2]);
+        let back = unpack_columns(&d, &refs(&packed), &groups, 4);
+        assert_eq!(back, cols);
+        // Parallel device produces identical bytes.
+        let par = Device::new(crate::DeviceConfig {
+            parallelism: 3,
+            min_parallel_rows: 1,
+            ..crate::DeviceConfig::default()
+        });
+        assert_eq!(pack_columns(&par, &refs(&cols), &groups), packed);
+        assert_eq!(unpack_columns(&par, &refs(&packed), &groups, 4), back);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! (`batch_agreement`, `sharded_agreement`, cross-provenance) lean on: if
 //! each kernel is chunk-invariant, whole fix-points are.
 
+use lobster_gpu::kernels::PackLane;
 use lobster_gpu::{kernels, Device, DeviceConfig, HashIndex, ProbePartition};
 
 /// Parallelism degrees exercised against the sequential baseline.
@@ -433,6 +434,79 @@ fn pooled_device_reuse_is_stable_across_repeated_launches() {
             Some(first) => assert_eq!(&run, first, "round {round} diverged"),
         }
         index.recycle(&par);
+    }
+}
+
+/// Narrow encoded rows: for every physical lane width the dictionary layer
+/// can emit (1, 2, 4, 8 bytes), packing logical columns into group words and
+/// unpacking them back must be the identity, must be chunk-invariant across
+/// parallelism degrees, and — the property the encoded storage layer leans
+/// on — sorting the packed words must order rows exactly like sorting the
+/// full-width columns (first lane most significant ⇒ word order is
+/// column-lexicographic order).
+#[test]
+fn packed_narrow_rows_sort_like_wide_rows() {
+    let seq = Device::sequential();
+    const ARITY: usize = 3;
+    for width_bytes in [1usize, 2, 4, 8] {
+        let bits = width_bytes as u32 * 8;
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
+        // Small key spaces force duplicate rows (sort-tie coverage); cap at
+        // the lane's capacity so every value fits its mask.
+        let key_space = mask.min(97) + 1;
+        // Greedy grouping, matching the layout planner: as many lanes per
+        // 8-byte word as fit, first logical column in the topmost lane.
+        let per_group = 8 / width_bytes;
+        let groups: Vec<Vec<PackLane>> = (0..ARITY)
+            .collect::<Vec<_>>()
+            .chunks(per_group)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &column)| PackLane {
+                        column,
+                        shift: (chunk.len() - 1 - i) as u32 * bits,
+                        mask,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for rows in ROW_COUNTS {
+            let mut rng = Rng::new(rows as u64 * 43 + width_bytes as u64);
+            let (cols, _) = random_table(&mut rng, rows, ARITY, key_space);
+            let seq_packed = kernels::pack_columns(&seq, &refs(&cols), &groups);
+            let unpacked = kernels::unpack_columns(&seq, &refs(&seq_packed), &groups, ARITY);
+            assert_eq!(unpacked, cols, "w {width_bytes}, rows {rows}: round trip");
+            let wide_perm = kernels::sort_permutation(&seq, &refs(&cols));
+            let packed_perm = kernels::sort_permutation(&seq, &refs(&seq_packed));
+            assert_eq!(
+                packed_perm, wide_perm,
+                "w {width_bytes}, rows {rows}: packed sort order"
+            );
+
+            for parallelism in PARALLELISMS {
+                let par = parallel_device(parallelism);
+                let ctx = format!("w {width_bytes}, rows {rows}, p {parallelism}");
+                let packed = kernels::pack_columns(&par, &refs(&cols), &groups);
+                assert_eq!(packed, seq_packed, "pack: {ctx}");
+                assert_eq!(
+                    kernels::unpack_columns(&par, &refs(&packed), &groups, ARITY),
+                    cols,
+                    "unpack: {ctx}"
+                );
+                assert_eq!(
+                    kernels::sort_permutation(&par, &refs(&packed)),
+                    wide_perm,
+                    "packed sort: {ctx}"
+                );
+            }
+        }
     }
 }
 

@@ -119,6 +119,10 @@ impl ScalarExpr {
     fn emit(&self, ops: &mut Vec<ByteOp>) {
         match self {
             ScalarExpr::Col(i) => ops.push(ByteOp::PushCol(*i)),
+            // Symbol constants keep their identity in the bytecode so a
+            // dictionary-encoding executor can rewrite them to local ids at
+            // run time; they evaluate to the same word as `PushConst` would.
+            ScalarExpr::Const(Value::Symbol(id)) => ops.push(ByteOp::PushSymConst(*id)),
             ScalarExpr::Const(v) => ops.push(ByteOp::PushConst(v.encode())),
             ScalarExpr::Binary { op, ty, lhs, rhs } => {
                 lhs.emit(ops);
@@ -137,6 +141,54 @@ impl ScalarExpr {
         match self {
             ScalarExpr::Col(i) => Some(*i),
             _ => None,
+        }
+    }
+
+    /// Collects the global ids of every `Value::Symbol` constant in the
+    /// expression tree.
+    pub fn symbol_consts(&self, out: &mut Vec<u32>) {
+        match self {
+            ScalarExpr::Const(Value::Symbol(id)) => out.push(*id),
+            ScalarExpr::Col(_) | ScalarExpr::Const(_) => {}
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.symbol_consts(out);
+                rhs.symbol_consts(out);
+            }
+            ScalarExpr::Unary { expr, .. } => expr.symbol_consts(out),
+        }
+    }
+
+    /// `true` when the expression applies an arithmetic operator (add, sub,
+    /// mul, div, rem, or negation) at `Symbol` or `Bool` operand type —
+    /// which silently treats interned ids / truth values as machine words.
+    pub fn has_symbol_arithmetic(&self) -> bool {
+        match self {
+            ScalarExpr::Col(_) | ScalarExpr::Const(_) => false,
+            ScalarExpr::Binary { op, ty, lhs, rhs } => {
+                (is_arithmetic_op(*op) && is_id_type(*ty))
+                    || lhs.has_symbol_arithmetic()
+                    || rhs.has_symbol_arithmetic()
+            }
+            ScalarExpr::Unary { op, ty, expr } => {
+                (*op == UnaryOp::Neg && is_id_type(*ty)) || expr.has_symbol_arithmetic()
+            }
+        }
+    }
+
+    /// `true` when the expression applies an arithmetic operator at `u32`
+    /// operand type (computed at unmasked 64-bit width — see
+    /// [`ExprProgram::has_u32_arithmetic`]).
+    pub fn has_u32_arithmetic(&self) -> bool {
+        match self {
+            ScalarExpr::Col(_) | ScalarExpr::Const(_) => false,
+            ScalarExpr::Binary { op, ty, lhs, rhs } => {
+                (is_arithmetic_op(*op) && *ty == ValueType::U32)
+                    || lhs.has_u32_arithmetic()
+                    || rhs.has_u32_arithmetic()
+            }
+            ScalarExpr::Unary { op, ty, expr } => {
+                (*op == UnaryOp::Neg && *ty == ValueType::U32) || expr.has_u32_arithmetic()
+            }
         }
     }
 
@@ -161,6 +213,11 @@ pub enum ByteOp {
     PushCol(usize),
     /// Push an encoded constant.
     PushConst(u64),
+    /// Push a symbol constant by its global interner id. Identical to
+    /// `PushConst(id as u64)` under full-width execution; kept distinct so
+    /// dictionary-encoded execution can rewrite the id to the database's
+    /// local rank ([`RowProjection::map_symbol_consts`]).
+    PushSymConst(u32),
     /// Pop two operands, apply a typed binary operator, push the result.
     Binary(BinaryOp, ValueType),
     /// Pop one operand, apply a typed unary operator, push the result.
@@ -201,6 +258,7 @@ impl ExprProgram {
             match op {
                 ByteOp::PushCol(i) => stack.push(row[*i]),
                 ByteOp::PushConst(c) => stack.push(*c),
+                ByteOp::PushSymConst(id) => stack.push(u64::from(*id)),
                 ByteOp::Binary(op, ty) => {
                     let b = stack.pop().expect("expression stack underflow");
                     let a = stack.pop().expect("expression stack underflow");
@@ -220,6 +278,62 @@ impl ExprProgram {
         self.eval(row) != 0
     }
 
+    /// A copy of the program with every symbol constant replaced by
+    /// `f(global id)` — the hook dictionary-encoded execution uses to turn
+    /// global interner ids into per-database local ranks. Programs without
+    /// symbol constants are returned unchanged (cheap clone of the op list).
+    pub fn map_symbol_consts(&self, f: &dyn Fn(u32) -> u64) -> ExprProgram {
+        ExprProgram {
+            ops: self
+                .ops
+                .iter()
+                .map(|op| match op {
+                    ByteOp::PushSymConst(id) => ByteOp::PushConst(f(*id)),
+                    other => *other,
+                })
+                .collect(),
+        }
+    }
+
+    /// `true` when the program contains a symbol constant.
+    pub fn has_symbol_consts(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, ByteOp::PushSymConst(_)))
+    }
+
+    /// The compiled-bytecode variant of
+    /// [`ScalarExpr::has_symbol_arithmetic`].
+    pub fn has_symbol_arithmetic(&self) -> bool {
+        self.ops.iter().any(|op| match op {
+            ByteOp::Binary(op, ty) => is_arithmetic_op(*op) && is_id_type(*ty),
+            ByteOp::Unary(UnaryOp::Neg, ty) => is_id_type(*ty),
+            _ => false,
+        })
+    }
+
+    /// The global ids of every symbol constant in the program.
+    pub fn symbol_consts(&self, out: &mut Vec<u32>) {
+        for op in &self.ops {
+            if let ByteOp::PushSymConst(id) = op {
+                out.push(*id);
+            }
+        }
+    }
+
+    /// `true` when the program applies an arithmetic operator at `u32`
+    /// operand type. Such operations compute at full 64-bit word width
+    /// without masking (overflow wraps at 64, not 32, bits), so storage must
+    /// not narrow `u32` columns while any rule can feed them arithmetic
+    /// results — see `RelationLayout::plan`.
+    pub fn has_u32_arithmetic(&self) -> bool {
+        self.ops.iter().any(|op| match op {
+            ByteOp::Binary(op, ValueType::U32) => is_arithmetic_op(*op),
+            ByteOp::Unary(UnaryOp::Neg, ValueType::U32) => true,
+            _ => false,
+        })
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -229,6 +343,20 @@ impl ExprProgram {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+}
+
+/// Operators whose result depends on the numeric magnitude of the operands
+/// (as opposed to comparisons, which only need a consistent ordering).
+fn is_arithmetic_op(op: BinaryOp) -> bool {
+    matches!(
+        op,
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem
+    )
+}
+
+/// Types whose words are identifiers or truth values, not numbers.
+fn is_id_type(ty: ValueType) -> bool {
+    matches!(ty, ValueType::Symbol | ValueType::Bool)
 }
 
 fn apply_binary(op: BinaryOp, ty: ValueType, a: u64, b: u64) -> u64 {
@@ -370,6 +498,61 @@ impl RowProjection {
     pub fn is_permutation(&self) -> bool {
         self.permutation.is_some()
     }
+
+    /// `true` when any output expression or the filter contains a symbol
+    /// constant.
+    pub fn has_symbol_consts(&self) -> bool {
+        self.programs.iter().any(ExprProgram::has_symbol_consts)
+            || self
+                .filter
+                .as_ref()
+                .is_some_and(ExprProgram::has_symbol_consts)
+    }
+
+    /// Collects the global ids of every symbol constant in the projection.
+    pub fn symbol_consts(&self, out: &mut Vec<u32>) {
+        for program in &self.programs {
+            program.symbol_consts(out);
+        }
+        if let Some(filter) = &self.filter {
+            filter.symbol_consts(out);
+        }
+    }
+
+    /// `true` when any output expression or the filter applies arithmetic at
+    /// `Symbol` or `Bool` operand type (see
+    /// [`ScalarExpr::has_symbol_arithmetic`]).
+    pub fn has_symbol_arithmetic(&self) -> bool {
+        self.programs.iter().any(ExprProgram::has_symbol_arithmetic)
+            || self
+                .filter
+                .as_ref()
+                .is_some_and(ExprProgram::has_symbol_arithmetic)
+    }
+
+    /// `true` when any output expression or the filter applies arithmetic at
+    /// `u32` operand type (see [`ExprProgram::has_u32_arithmetic`]).
+    pub fn has_u32_arithmetic(&self) -> bool {
+        self.programs.iter().any(ExprProgram::has_u32_arithmetic)
+            || self
+                .filter
+                .as_ref()
+                .is_some_and(ExprProgram::has_u32_arithmetic)
+    }
+
+    /// A copy of the projection with every symbol constant rewritten through
+    /// `f` (see [`ExprProgram::map_symbol_consts`]).
+    pub fn map_symbol_consts(&self, f: &dyn Fn(u32) -> u64) -> RowProjection {
+        RowProjection {
+            programs: self
+                .programs
+                .iter()
+                .map(|p| p.map_symbol_consts(f))
+                .collect(),
+            permutation: self.permutation.clone(),
+            filter: self.filter.as_ref().map(|p| p.map_symbol_consts(f)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +640,38 @@ mod tests {
         let proj = RowProjection::identity(3);
         assert_eq!(proj.output_arity(), 3);
         assert_eq!(proj.eval(&[7, 8, 9]), Some(vec![7, 8, 9]));
+    }
+
+    #[test]
+    fn symbol_consts_are_typed_and_rewritable() {
+        let e = ScalarExpr::binary(
+            BinaryOp::Eq,
+            ValueType::Symbol,
+            ScalarExpr::Col(0),
+            ScalarExpr::Const(Value::Symbol(40)),
+        );
+        let program = e.compile();
+        assert!(program.has_symbol_consts());
+        let mut ids = Vec::new();
+        program.symbol_consts(&mut ids);
+        assert_eq!(ids, vec![40]);
+        // Untouched, the constant evaluates to its global id.
+        assert_eq!(program.eval(&[40]), 1);
+        assert_eq!(program.eval(&[41]), 0);
+        // Rewritten, it evaluates to whatever the dictionary says.
+        let local = program.map_symbol_consts(&|id| u64::from(id) - 37);
+        assert!(!local.has_symbol_consts());
+        assert_eq!(local.eval(&[3]), 1);
+        assert_eq!(local.eval(&[40]), 0);
+
+        let proj = RowProjection::new(vec![ScalarExpr::Col(0)], Some(e));
+        assert!(proj.has_symbol_consts());
+        let mut ids = Vec::new();
+        proj.symbol_consts(&mut ids);
+        assert_eq!(ids, vec![40]);
+        let mapped = proj.map_symbol_consts(&|_| 7);
+        assert_eq!(mapped.eval(&[7]), Some(vec![7]));
+        assert_eq!(mapped.eval(&[40]), None);
     }
 
     #[test]

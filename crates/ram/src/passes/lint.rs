@@ -13,6 +13,12 @@
 //!   returns: facts inserted there are dead weight;
 //! * `constant-false-filter` — a selection or projection filter that
 //!   references no columns and evaluates to false, making the rule a no-op;
+//! * `symbol-arithmetic` — an expression applies `+ - * / %` or negation at
+//!   `symbol` or `bool` operand type, silently treating interned ids (or
+//!   truth values) as machine words; besides being almost certainly a
+//!   front-end mistake, it pins the program to full-width execution because
+//!   dictionary-encoded symbol ranks are only order-preserving, not
+//!   magnitude-preserving;
 //! * `dead-rule` — a rule that cannot reach any declared output (see
 //!   [`super::liveness`]).
 
@@ -106,15 +112,20 @@ pub fn lint_program(ram: &RamProgram) -> Vec<Diagnostic> {
                     rule: Some(at()),
                     message: "width-0 join is a cartesian product".into(),
                 }),
-                RamExpr::Select { cond, .. } if is_constant_false(cond) => {
-                    report.push(Diagnostic {
-                        severity: Severity::Warning,
-                        code: "constant-false-filter",
-                        rule: Some(at()),
-                        message: "selection condition is constant false; \
-                                  the rule derives nothing"
-                            .into(),
-                    });
+                RamExpr::Select { cond, .. } => {
+                    if is_constant_false(cond) {
+                        report.push(Diagnostic {
+                            severity: Severity::Warning,
+                            code: "constant-false-filter",
+                            rule: Some(at()),
+                            message: "selection condition is constant false; \
+                                      the rule derives nothing"
+                                .into(),
+                        });
+                    }
+                    if cond.has_symbol_arithmetic() {
+                        report.push(symbol_arithmetic(at(), "selection condition"));
+                    }
                 }
                 RamExpr::Project { proj, .. } => {
                     if let Some(filter) = &proj.filter {
@@ -128,6 +139,9 @@ pub fn lint_program(ram: &RamProgram) -> Vec<Diagnostic> {
                                     .into(),
                             });
                         }
+                    }
+                    if proj.has_symbol_arithmetic() {
+                        report.push(symbol_arithmetic(at(), "projection"));
                     }
                 }
                 _ => {}
@@ -167,6 +181,21 @@ pub fn lint_program(ram: &RamProgram) -> Vec<Diagnostic> {
         });
     }
     report
+}
+
+/// Builds the `symbol-arithmetic` diagnostic for one offending site.
+fn symbol_arithmetic(rule: RuleRef, site: &str) -> Diagnostic {
+    Diagnostic {
+        severity: Severity::Warning,
+        code: "symbol-arithmetic",
+        rule: Some(rule),
+        message: format!(
+            "{site} applies arithmetic to `symbol`/`bool` operands, \
+             treating interned ids as machine words; the result is \
+             id-assignment dependent and the program falls back to \
+             full-width (unencoded) columnar execution"
+        ),
+    }
 }
 
 /// A condition with no column references that evaluates to false.
@@ -288,6 +317,96 @@ mod tests {
         assert_eq!(report.len(), 1);
         assert_eq!(report[0].code, "constant-false-filter");
         assert_eq!(report[0].rule.as_ref().unwrap().target, "path");
+    }
+
+    #[test]
+    fn symbol_arithmetic_is_flagged_in_selects_and_projections() {
+        let mut schemas = schemas(&["pair", "out"]);
+        for schema in schemas.values_mut() {
+            *schema = RelationSchema::new(
+                schema.name.clone(),
+                vec![ValueType::Symbol, ValueType::Symbol],
+            );
+        }
+        let sym_sum = ScalarExpr::binary(
+            BinaryOp::Add,
+            ValueType::Symbol,
+            ScalarExpr::Col(0),
+            ScalarExpr::Col(1),
+        );
+        let ram = RamProgram {
+            schemas,
+            strata: vec![Stratum {
+                relations: vec!["out".into()],
+                rules: vec![
+                    RamRule {
+                        target: "out".into(),
+                        // Comparison at symbol type is fine; the nested
+                        // addition is not.
+                        expr: RamExpr::relation("pair").select(ScalarExpr::binary(
+                            BinaryOp::Eq,
+                            ValueType::Symbol,
+                            sym_sum.clone(),
+                            ScalarExpr::Col(0),
+                        )),
+                    },
+                    RamRule {
+                        target: "out".into(),
+                        expr: RamExpr::Project {
+                            input: Box::new(RamExpr::relation("pair")),
+                            proj: crate::RowProjection::new(
+                                vec![sym_sum, ScalarExpr::Col(1)],
+                                None,
+                            ),
+                        },
+                    },
+                ],
+                recursive: false,
+            }],
+            outputs: vec!["out".into()],
+        };
+        let report = lint_program(&ram);
+        let hits: Vec<&Diagnostic> = report
+            .iter()
+            .filter(|d| d.code == "symbol-arithmetic")
+            .collect();
+        assert_eq!(hits.len(), 2, "{report:?}");
+        assert!(hits.iter().all(|d| d.severity == Severity::Warning));
+        assert!(hits[0].message.contains("selection condition"));
+        assert!(hits[1].message.contains("projection"));
+
+        // Pure comparisons over symbols are order-preserving and stay clean.
+        let clean = RamProgram {
+            schemas: {
+                let mut s = BTreeMap::new();
+                s.insert(
+                    "pair".to_string(),
+                    RelationSchema::new("pair", vec![ValueType::Symbol, ValueType::Symbol]),
+                );
+                s.insert(
+                    "out".to_string(),
+                    RelationSchema::new("out", vec![ValueType::Symbol, ValueType::Symbol]),
+                );
+                s
+            },
+            strata: vec![Stratum {
+                relations: vec!["out".into()],
+                rules: vec![RamRule {
+                    target: "out".into(),
+                    expr: RamExpr::relation("pair").select(ScalarExpr::binary(
+                        BinaryOp::Lt,
+                        ValueType::Symbol,
+                        ScalarExpr::Col(0),
+                        ScalarExpr::Col(1),
+                    )),
+                }],
+                recursive: false,
+            }],
+            outputs: vec!["out".into()],
+        };
+        assert!(lint_program(&clean)
+            .iter()
+            .all(|d| d.code != "symbol-arithmetic"));
     }
 
     #[test]

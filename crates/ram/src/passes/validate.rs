@@ -292,9 +292,11 @@ fn check_program(
                     stack.push(input_types[*i]);
                 }
             }
-            // Constants are already encoded in bytecode; their logical type
-            // is gone, so they never conflict.
+            // Generic constants are already encoded in bytecode; their
+            // logical type is gone, so they never conflict. Symbol constants
+            // keep their type.
             ByteOp::PushConst(_) => stack.push(None),
+            ByteOp::PushSymConst(_) => stack.push(Some(ValueType::Symbol)),
             ByteOp::Binary(op, ty) => {
                 let b = stack.pop().flatten();
                 let a = stack.pop().flatten();

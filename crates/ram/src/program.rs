@@ -240,6 +240,67 @@ impl RamProgram {
         self.schemas.get(name)
     }
 
+    /// The global interner ids of every symbol constant appearing in any
+    /// rule expression, sorted and deduplicated. A dictionary-encoding
+    /// runtime seeds its per-database dictionary with these so constant
+    /// rewriting always finds a local rank, even for symbols no fact
+    /// mentions.
+    pub fn symbol_constants(&self) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for stratum in &self.strata {
+            for rule in &stratum.rules {
+                rule.expr.visit(&mut |node| match node {
+                    RamExpr::Select { cond, .. } => cond.symbol_consts(&mut ids),
+                    RamExpr::Project { proj, .. } => proj.symbol_consts(&mut ids),
+                    _ => {}
+                });
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// `true` when any rule applies arithmetic at `Symbol`/`Bool` operand
+    /// type (the `symbol-arithmetic` lint). Dictionary-encoding runtimes
+    /// must fall back to full-width storage for such programs: arithmetic
+    /// over raw interner ids is not invariant under re-encoding.
+    pub fn has_symbol_arithmetic(&self) -> bool {
+        self.any_rule_expr(|node| match node {
+            RamExpr::Select { cond, .. } => cond.has_symbol_arithmetic(),
+            RamExpr::Project { proj, .. } => proj.has_symbol_arithmetic(),
+            _ => false,
+        })
+    }
+
+    /// `true` when any rule applies arithmetic at `u32` operand type. Such
+    /// arithmetic is computed at unmasked 64-bit width, so encoded storage
+    /// must keep `u32` lanes 8 bytes wide (see
+    /// `lobster_ram::RelationLayout::plan`).
+    pub fn has_u32_arithmetic(&self) -> bool {
+        self.any_rule_expr(|node| match node {
+            RamExpr::Select { cond, .. } => cond.has_u32_arithmetic(),
+            RamExpr::Project { proj, .. } => proj.has_u32_arithmetic(),
+            _ => false,
+        })
+    }
+
+    /// Visits every rule expression node, returning `true` as soon as
+    /// `pred` matches one.
+    fn any_rule_expr(&self, pred: impl Fn(&RamExpr) -> bool) -> bool {
+        let mut found = false;
+        for stratum in &self.strata {
+            for rule in &stratum.rules {
+                rule.expr.visit(&mut |node| {
+                    if pred(node) {
+                        found = true;
+                    }
+                });
+            }
+        }
+        found
+    }
+
     /// The arity of a relation, if declared.
     pub fn arity(&self, name: &str) -> Option<usize> {
         self.schemas.get(name).map(RelationSchema::arity)

@@ -17,6 +17,21 @@ pub enum ValueType {
     Bool,
 }
 
+impl ValueType {
+    /// The physical width in bytes a column of this type needs on the
+    /// device, before dictionary encoding: booleans fit a byte, `u32`s four,
+    /// and the 64-bit types the full word. `Symbol` reports its *ceiling*
+    /// width — a per-database dictionary can narrow symbol columns further
+    /// (see [`crate::SymbolDict::width_bytes`]).
+    pub fn physical_width(self) -> usize {
+        match self {
+            ValueType::Bool => 1,
+            ValueType::U32 | ValueType::Symbol => 4,
+            ValueType::I64 | ValueType::F64 => 8,
+        }
+    }
+}
+
 impl fmt::Display for ValueType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {

@@ -25,9 +25,12 @@
 //! ```
 //!
 //! Values are tagged objects — `{"u32": n}`, `{"i64": n}` (as a string when
-//! outside ±2^53), `{"f64": x}`, `{"bool": b}`, `{"sym_id": n}` — and
-//! responses resolve interned symbols back to `{"sym": "text"}` where
-//! possible. A successful `run` answers
+//! outside ±2^53), `{"f64": x}`, `{"bool": b}`, `{"sym": "text"}` (interned
+//! into the process-wide symbol table on receipt), `{"sym_id": n}` (a raw
+//! already-interned id) — and responses resolve interned symbols back to
+//! `{"sym": "text"}` where possible. Because compilation and the wire layer
+//! share one interner, ids in request facts agree with the ids symbol
+//! constants compiled to, across every pooled session on the server. A successful `run` answers
 //!
 //! ```json
 //! {"ok": true, "relations": {"path": [
@@ -63,7 +66,7 @@ use crate::cache::{CacheStats, ProgramCache};
 use crate::error::ServeError;
 use crate::json::{obj, parse, Json};
 use crate::scheduler::{BatchScheduler, SchedulerConfig};
-use lobster::{DynProgram, FactSet, LobsterError, RunResult, Value};
+use lobster::{DynProgram, FactSet, LobsterError, RunResult, SymbolTable, Value};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -562,7 +565,7 @@ fn value_to_json(value: &Value, result: Option<&RunResult>) -> Json {
         Value::F64(x) => obj([("f64", Json::Num(*x))]),
         Value::Bool(b) => obj([("bool", Json::Bool(*b))]),
         Value::Symbol(id) => match result.and_then(|r| r.resolve_symbol(value)) {
-            Some(text) => obj([("sym", Json::from(text.as_str()))]),
+            Some(text) => obj([("sym", Json::from(&*text))]),
             None => obj([("sym_id", Json::from(u64::from(*id)))]),
         },
     }
@@ -602,6 +605,10 @@ fn value_from_json(json: &Json) -> Result<Value, String> {
             .as_bool()
             .map(Value::Bool)
             .ok_or_else(|| format!("bad bool: {}", inner.to_compact())),
+        "sym" => inner
+            .as_str()
+            .map(|text| Value::Symbol(SymbolTable::global().intern(text)))
+            .ok_or_else(|| format!("bad sym: {}", inner.to_compact())),
         "sym_id" => inner
             .as_u64()
             .and_then(|n| u32::try_from(n).ok())
@@ -1234,5 +1241,18 @@ mod tests {
             let decoded = value_from_json(&encoded).expect("decodes");
             assert_eq!(value, decoded, "via {}", encoded.to_compact());
         }
+    }
+
+    #[test]
+    fn sym_text_values_intern_through_the_shared_table() {
+        let json = obj([("sym", Json::from("net-shared-intern"))]);
+        let decoded = value_from_json(&json).expect("decodes");
+        let expected = SymbolTable::global().intern("net-shared-intern");
+        assert_eq!(decoded, Value::Symbol(expected));
+        // A second decode agrees with the first: the id is stable.
+        assert_eq!(value_from_json(&json).unwrap(), Value::Symbol(expected));
+        // Non-string payloads are rejected, not silently coerced.
+        let bad = obj([("sym", Json::from(3u64))]);
+        assert!(value_from_json(&bad).is_err());
     }
 }
